@@ -1,0 +1,39 @@
+// Command dlis-inspect prints model summaries: per-layer parameters,
+// MACs and output shapes, plus the runtime memory footprint in dense and
+// CSR formats on demand.
+//
+// Usage:
+//
+//	dlis-inspect -model vgg16
+//	dlis-inspect -model mobilenet -sparsity 0.2346
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	dlis "repro"
+	"repro/internal/compress/prune"
+	"repro/internal/metrics"
+)
+
+func main() {
+	model := flag.String("model", "resnet18", "model name (vgg16, resnet18, mobilenet, mini-*)")
+	sparsity := flag.Float64("sparsity", 0, "weight-prune to this sparsity before inspecting")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	net, err := dlis.BuildModel(*model, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlis-inspect:", err)
+		os.Exit(1)
+	}
+	if *sparsity > 0 {
+		prune.NetworkToSparsity(net, *sparsity)
+	}
+	fmt.Print(net.Summary(1))
+	fmt.Printf("\nweight sparsity: %.2f%%\n", net.WeightSparsity()*100)
+	fmt.Printf("memory (dense):  %s\n", metrics.Measure(net, 1, metrics.Dense))
+	fmt.Printf("memory (csr):    %s\n", metrics.Measure(net, 1, metrics.CSR))
+}

@@ -1,0 +1,156 @@
+// Package dlis is the public API of this reproduction of
+// "Characterising Across-Stack Optimisations for Deep Convolutional
+// Neural Networks" (Turner et al., IISWC 2018): the Deep Learning
+// Inference Stack.
+//
+// The package is a deliberately thin facade over the internal
+// implementation packages; everything a downstream user needs — building
+// the paper's networks, applying the three compression techniques,
+// configuring the five stack layers, executing real inference, and
+// projecting execution onto the modelled hardware platforms — is
+// reachable from here.
+//
+// Quick start:
+//
+//	net, _ := dlis.BuildModel("resnet18", 42)
+//	cfg := dlis.StackConfig{
+//	    Model: "resnet18", Technique: dlis.ChannelPruned,
+//	    Point: dlis.OperatingPoint{CompressionRate: 0.6},
+//	    Backend: dlis.OMP, Threads: 4, Platform: "odroid-xu4",
+//	}
+//	inst, _ := dlis.Instantiate(cfg)
+//	seconds := inst.Simulate()       // modelled platform time
+//	out := inst.Run(input)           // real host execution
+//	mb := inst.MemoryMB()            // runtime footprint
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package dlis
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/pareto"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// Re-exported stack-configuration types (see internal/core).
+type (
+	// StackConfig selects one candidate per stack layer.
+	StackConfig = core.Config
+	// OperatingPoint pins a compression level.
+	OperatingPoint = core.OperatingPoint
+	// Instance is an instantiated, runnable stack configuration.
+	Instance = core.Instance
+	// Technique is the compression technique (stack layer 2).
+	Technique = core.Technique
+	// Backend is the execution substrate (stack layer 4).
+	Backend = core.Backend
+	// Network is a runnable neural network.
+	Network = nn.Network
+	// Tensor is the dense NCHW array type.
+	Tensor = tensor.Tensor
+	// Platform is a modelled hardware target.
+	Platform = hw.Platform
+)
+
+// Compression techniques, in the paper's legend order.
+const (
+	Plain         = core.Plain
+	WeightPruned  = core.WeightPruned
+	ChannelPruned = core.ChannelPruned
+	Quantised     = core.Quantised
+)
+
+// Execution backends.
+const (
+	OMP     = core.OMP
+	OCL     = core.OCL
+	CLBlast = core.CLBlast
+)
+
+// BuildModel constructs one of the paper's networks ("vgg16",
+// "resnet18", "mobilenet", or a "mini-*" training variant) with
+// deterministic initialisation from the seed.
+func BuildModel(name string, seed uint64) (*Network, error) {
+	return models.ByName(name, tensor.NewRNG(seed|1))
+}
+
+// ModelNames lists the full-size model names.
+func ModelNames() []string { return models.Names() }
+
+// Instantiate builds a stack configuration (see StackConfig).
+func Instantiate(cfg StackConfig) (*Instance, error) { return core.Instantiate(cfg) }
+
+// Platforms returns the two modelled hardware targets of the paper.
+func Platforms() []*Platform { return hw.Platforms() }
+
+// PlatformByName resolves "odroid-xu4" or "intel-i7".
+func PlatformByName(name string) (*Platform, error) { return hw.ByName(name) }
+
+// NewImage allocates an NCHW input tensor (batch, 3, h, w) filled with
+// deterministic noise — convenient for benchmarks and smoke tests.
+func NewImage(batch, h, w int, seed uint64) *Tensor {
+	t := tensor.New(batch, 3, h, w)
+	t.FillNormal(tensor.NewRNG(seed|1), 0, 1)
+	return t
+}
+
+// TableIII returns the paper's baseline operating points for a model.
+func TableIII(model string) (map[Technique]OperatingPoint, error) { return pareto.TableIII(model) }
+
+// TableV returns the paper's fixed-90%-accuracy operating points.
+func TableV(model string) (map[Technique]OperatingPoint, error) { return pareto.TableV(model) }
+
+// SyntheticCIFAR generates the deterministic CIFAR-shaped synthetic
+// dataset used by the training experiments (see DESIGN.md §2 for the
+// substitution rationale).
+func SyntheticCIFAR(trainN, testN int, seed uint64) (trainSet, testSet *data.Dataset) {
+	cfg := data.DefaultConfig()
+	cfg.Train, cfg.Test, cfg.Seed = trainN, testN, seed
+	return data.Generate(cfg)
+}
+
+// Train runs SGD training of a network on a dataset (also the
+// fine-tuning entry point after compression).
+func Train(net *Network, trainSet, testSet *data.Dataset, cfg train.Config) train.Result {
+	return train.Run(net, trainSet, testSet, cfg)
+}
+
+// TrainConfig re-exports the training configuration type.
+type TrainConfig = train.Config
+
+// DefaultTrainConfig returns a configuration suited to mini models.
+func DefaultTrainConfig() TrainConfig { return train.DefaultConfig() }
+
+// Evaluate returns top-1 accuracy of a network on a dataset.
+func Evaluate(net *Network, d *data.Dataset, threads int) float64 {
+	return train.Evaluate(net, d, threads)
+}
+
+// ExperimentIDs lists the table/figure generators ("fig1" ... "ablate").
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper artifact into w. Options zero
+// value gives the fast calibrated mode.
+func RunExperiment(id string, w io.Writer, opts ExperimentOptions) error {
+	return experiments.Run(id, w, opts)
+}
+
+// RunAllExperiments regenerates every artifact in order.
+func RunAllExperiments(w io.Writer, opts ExperimentOptions) error {
+	return experiments.RunAll(w, opts)
+}
+
+// ExperimentOptions re-exports the experiment options type.
+type ExperimentOptions = experiments.Options
+
+// DefaultExperimentOptions returns the fast calibrated configuration.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }

@@ -1,0 +1,188 @@
+package dlis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBuildModelPublicAPI(t *testing.T) {
+	for _, name := range ModelNames() {
+		if name == "vgg16" || name == "resnet18" {
+			continue // exercised by internal suites; slow to build here
+		}
+		net, err := BuildModel(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.ParamCount() == 0 {
+			t.Fatalf("%s has no parameters", name)
+		}
+	}
+	if _, err := BuildModel("lenet", 1); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestStackRoundtrip(t *testing.T) {
+	inst, err := Instantiate(StackConfig{
+		Model:     "mini-resnet",
+		Technique: Plain,
+		Backend:   OMP,
+		Threads:   2,
+		Platform:  "odroid-xu4",
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := NewImage(1, 32, 32, 7)
+	res := inst.Run(img)
+	if res.Output.Shape()[1] != 10 {
+		t.Fatalf("logit shape %v", res.Output.Shape())
+	}
+	if sim := inst.Simulate(); sim <= 0 {
+		t.Fatalf("simulated time %v", sim)
+	}
+	if mb := inst.MemoryMB(); mb <= 0 {
+		t.Fatalf("memory %v", mb)
+	}
+}
+
+func TestPlatformsPublicAPI(t *testing.T) {
+	if len(Platforms()) != 2 {
+		t.Fatalf("expected the paper's two platforms, got %d", len(Platforms()))
+	}
+	p, err := PlatformByName("odroid-xu4")
+	if err != nil || p.GPU == nil {
+		t.Fatalf("odroid lookup failed: %v", err)
+	}
+}
+
+func TestTablesPublicAPI(t *testing.T) {
+	for _, model := range ModelNames() {
+		t3, err := TableIII(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t5, err := TableV(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if t3[WeightPruned].Sparsity <= 0 || t5[ChannelPruned].CompressionRate <= 0 {
+			t.Fatalf("%s: implausible operating points %+v %+v", model, t3, t5)
+		}
+	}
+}
+
+func TestSyntheticCIFARAndTraining(t *testing.T) {
+	trainSet, testSet := SyntheticCIFAR(64, 16, 3)
+	if trainSet.Len() != 64 || testSet.Len() != 16 {
+		t.Fatalf("split %d/%d", trainSet.Len(), testSet.Len())
+	}
+	net, err := BuildModel("mini-mobilenet", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	res := Train(net, trainSet, testSet, cfg)
+	if res.Steps == 0 {
+		t.Fatal("training took no steps")
+	}
+	acc := Evaluate(net, testSet, 1)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v out of range", acc)
+	}
+}
+
+func TestExperimentsPublicAPI(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 12 {
+		t.Fatalf("expected ≥12 experiments, got %v", ids)
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("tab3", &buf, DefaultExperimentOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "76.54") {
+		t.Fatalf("tab3 output missing paper anchor:\n%s", buf.String())
+	}
+}
+
+func TestGPUBackendConfigs(t *testing.T) {
+	// The GPU backends are valid only for plain models on the Odroid.
+	inst, err := Instantiate(StackConfig{
+		Model: "mini-mobilenet", Technique: Plain,
+		Backend: OCL, Threads: 1, Platform: "odroid-xu4", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocl := inst.Simulate()
+	inst2, err := Instantiate(StackConfig{
+		Model: "mini-mobilenet", Technique: Plain,
+		Backend: CLBlast, Threads: 1, Platform: "odroid-xu4", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clb := inst2.Simulate()
+	if ocl <= 0 || clb <= 0 {
+		t.Fatalf("GPU simulations must be positive: ocl=%v clblast=%v", ocl, clb)
+	}
+	if clb <= ocl {
+		t.Fatalf("CLBlast must lose to hand-tuned OpenCL at CIFAR scale: %v vs %v", clb, ocl)
+	}
+}
+
+func TestConcurrentInferenceIsSafe(t *testing.T) {
+	// After Instantiate (which freezes CSR views), concurrent Run calls
+	// on separate inputs must be race-free: inference touches no layer
+	// caches. Run with -race to enforce.
+	inst, err := Instantiate(StackConfig{
+		Model: "mini-resnet", Technique: WeightPruned,
+		Point:   OperatingPoint{Sparsity: 0.5},
+		Backend: OMP, Threads: 1, Platform: "intel-i7", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Tensor, 4)
+	for i := 0; i < 4; i++ {
+		go func(seed uint64) {
+			done <- inst.Run(NewImage(1, 32, 32, seed)).Output
+		}(uint64(i + 1))
+	}
+	for i := 0; i < 4; i++ {
+		out := <-done
+		if !out.AllFinite() {
+			t.Fatal("concurrent inference produced non-finite output")
+		}
+	}
+}
+
+func TestDeterministicInstantiation(t *testing.T) {
+	cfg := StackConfig{
+		Model: "mini-vgg", Technique: Quantised,
+		Point:   OperatingPoint{TTQThreshold: 0.1},
+		Backend: OMP, Threads: 1, Platform: "intel-i7", Seed: 7,
+	}
+	a, err := Instantiate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Instantiate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same config, same seed → identical logits across builds.
+	img := NewImage(1, 32, 32, 9)
+	outA := a.Run(img).Output
+	outB := b.Run(img).Output
+	for i, v := range outA.Data() {
+		if v != outB.Data()[i] {
+			t.Fatal("same seed must produce identical instances")
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Pareto: real training on the synthetic dataset — train a mini VGG,
+// then iteratively weight-prune it with fine-tuning and print the
+// accuracy/sparsity Pareto curve (the Fig. 3a procedure, scaled to run
+// on a laptop in minutes).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dlis "repro"
+	"repro/internal/compress/prune"
+	"repro/internal/train"
+)
+
+func main() {
+	trainSet, testSet := dlis.SyntheticCIFAR(400, 150, 11)
+
+	net, err := dlis.BuildModel("mini-vgg", 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dlis.DefaultTrainConfig()
+	cfg.Epochs = 3
+	cfg.Verbose = true
+	fmt.Println("pre-training mini-vgg on the synthetic CIFAR task...")
+	base := dlis.Train(net, trainSet, testSet, cfg)
+	fmt.Printf("baseline test accuracy: %.1f%%\n\n", base.TestAccuracy*100)
+
+	curve := prune.Iterative(net, trainSet, testSet, prune.IterativeConfig{
+		Targets: []float64{0.5, 0.7, 0.85},
+		FineTune: train.Config{
+			Epochs: 1, BatchSize: 32,
+			Schedule: train.Schedule{Base: 0.005}, Seed: 13,
+		},
+	})
+	fmt.Printf("%-14s %-12s\n", "sparsity(%)", "accuracy(%)")
+	for _, p := range curve {
+		fmt.Printf("%-14.1f %-12.1f\n", p.Sparsity*100, p.Accuracy*100)
+	}
+	fmt.Println("\nthe curve holds flat through moderate sparsity then falls — the Fig. 3a shape.")
+}

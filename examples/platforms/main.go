@@ -1,0 +1,46 @@
+// Platforms: compare the three execution backends (OpenMP-style CPU,
+// hand-tuned OpenCL GPU, CLBlast GEMM library) across the three plain
+// models on the Odroid-XU4 model — the paper's Fig. 6 — and show the
+// image-size crossover where the GEMM library starts to pay off (§V-F).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dlis "repro"
+)
+
+func main() {
+	fmt.Println("== plain models on odroid-xu4 (seconds) ==")
+	fmt.Printf("%-12s %10s %10s %10s\n", "model", "openmp", "opencl", "clblast")
+	for _, model := range dlis.ModelNames() {
+		times := map[dlis.Backend]float64{}
+		for _, backend := range []dlis.Backend{dlis.OMP, dlis.OCL, dlis.CLBlast} {
+			inst, err := dlis.Instantiate(dlis.StackConfig{
+				Model:     model,
+				Technique: dlis.Plain,
+				Backend:   backend,
+				Threads:   8,
+				Platform:  "odroid-xu4",
+				Seed:      1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[backend] = inst.Simulate()
+		}
+		fmt.Printf("%-12s %10.3f %10.3f %10.3f\n", model,
+			times[dlis.OMP], times[dlis.OCL], times[dlis.CLBlast])
+	}
+	fmt.Println()
+	fmt.Println("hand-tuned OpenCL wins; the tuned GEMM library loses badly at CIFAR sizes.")
+
+	od, err := dlis.PlatformByName("odroid-xu4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := od.GPU.CrossoverImageSize(512, 512, 3, 8)
+	fmt.Printf("\ndeep-layer crossover: CLBlast overtakes hand-tuned kernels at %dx%d inputs\n", x, x)
+	fmt.Println("(which is why it wins for ImageNet's 224x224 but not CIFAR's 32x32).")
+}

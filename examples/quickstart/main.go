@@ -1,0 +1,46 @@
+// Quickstart: build ResNet-18, classify a synthetic image, and inspect
+// the network through the public dlis API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dlis "repro"
+)
+
+func main() {
+	// Build the paper's CIFAR-10 form of ResNet-18 with deterministic
+	// initialisation.
+	net, err := dlis.BuildModel("resnet18", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %s: %d parameters\n", net.NetName, net.ParamCount())
+
+	// Configure the full stack: plain model, OpenMP-style backend,
+	// 4 threads, modelled on the Intel i7.
+	inst, err := dlis.Instantiate(dlis.StackConfig{
+		Model:     "resnet18",
+		Technique: dlis.Plain,
+		Backend:   dlis.OMP,
+		Threads:   4,
+		Platform:  "intel-i7",
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Real host inference on one CIFAR-shaped image.
+	img := dlis.NewImage(1, 32, 32, 7)
+	res := inst.Run(img)
+	probs := res.Output
+	best := probs.ArgMax()
+	fmt.Printf("host inference: class %d in %v\n", best, res.Elapsed)
+
+	// Projected execution time on the modelled platform and the
+	// runtime memory footprint.
+	fmt.Printf("simulated i7 (4 threads): %.3f s\n", inst.Simulate())
+	fmt.Printf("runtime memory:           %.1f MB\n", inst.MemoryMB())
+}

@@ -1,0 +1,255 @@
+package blas
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func randMat(r *tensor.RNG, rows, cols int) *tensor.Tensor {
+	m := tensor.New(rows, cols)
+	m.FillNormal(r, 0, 1)
+	return m
+}
+
+func TestGEMMNaiveKnownValues(t *testing.T) {
+	a := tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := tensor.FromSlice([]float32{5, 6, 7, 8}, 2, 2)
+	c := GEMMNaive(a, b)
+	want := []float32{19, 22, 43, 50}
+	for i, v := range c.Data() {
+		if v != want[i] {
+			t.Fatalf("GEMM result %v, want %v", c.Data(), want)
+		}
+	}
+}
+
+func TestGEMMIdentity(t *testing.T) {
+	r := tensor.NewRNG(1)
+	a := randMat(r, 5, 5)
+	id := tensor.New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(1, i, i)
+	}
+	if d := tensor.MaxAbsDiff(GEMMNaive(a, id), a); d > 1e-6 {
+		t.Fatalf("A·I differs from A by %v", d)
+	}
+}
+
+func TestGEMMDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner-dimension mismatch")
+		}
+	}()
+	GEMMNaive(tensor.New(2, 3), tensor.New(4, 2))
+}
+
+func TestGEMMBlockedMatchesNaive(t *testing.T) {
+	r := tensor.NewRNG(2)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {17, 33, 9}, {64, 64, 64}, {65, 127, 31}} {
+		a := randMat(r, dims[0], dims[1])
+		b := randMat(r, dims[1], dims[2])
+		want := GEMMNaive(a, b)
+		for _, tile := range []Tiling{DefaultTiling(), {MC: 8, KC: 8, NC: 8}, {MC: 1, KC: 1, NC: 1}, {MC: 1000, KC: 1000, NC: 1000}} {
+			got := GEMMBlocked(a, b, tile)
+			if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
+				t.Fatalf("dims %v tile %v: blocked differs from naive by %v", dims, tile, d)
+			}
+		}
+	}
+}
+
+func TestGEMMParallelMatchesNaive(t *testing.T) {
+	r := tensor.NewRNG(3)
+	a := randMat(r, 37, 29)
+	b := randMat(r, 29, 41)
+	want := GEMMNaive(a, b)
+	for _, threads := range []int{1, 2, 4, 8} {
+		got := GEMMParallel(a, b, DefaultTiling(), threads)
+		if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
+			t.Fatalf("threads=%d: parallel differs by %v", threads, d)
+		}
+	}
+}
+
+func TestGEMMInvalidTilingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero tile")
+		}
+	}()
+	GEMMBlocked(tensor.New(2, 2), tensor.New(2, 2), Tiling{MC: 0, KC: 8, NC: 8})
+}
+
+func TestGEMMProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		m, k, n := 1+r.Intn(12), 1+r.Intn(12), 1+r.Intn(12)
+		a, b := randMat(r, m, k), randMat(r, k, n)
+		return tensor.MaxAbsDiff(GEMMNaive(a, b), GEMMBlocked(a, b, Tiling{MC: 4, KC: 4, NC: 4})) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGEMMLinearity checks A·(x+y) = A·x + A·y, a defining algebraic
+// property that catches accumulation bugs tile boundaries can introduce.
+func TestGEMMLinearity(t *testing.T) {
+	r := tensor.NewRNG(4)
+	a := randMat(r, 9, 13)
+	x := randMat(r, 13, 3)
+	y := randMat(r, 13, 3)
+	lhs := GEMM(a, tensor.Add(x, y))
+	rhs := tensor.Add(GEMM(a, x), GEMM(a, y))
+	if d := tensor.MaxAbsDiff(lhs, rhs); d > 1e-3 {
+		t.Fatalf("GEMM not linear: diff %v", d)
+	}
+}
+
+func TestGEMMFLOPs(t *testing.T) {
+	if GEMMFLOPs(2, 3, 4) != 48 {
+		t.Fatalf("GEMMFLOPs(2,3,4) = %d, want 48", GEMMFLOPs(2, 3, 4))
+	}
+}
+
+func TestIm2colKnownLayout(t *testing.T) {
+	// 1 channel, 3×3 image, 2×2 kernel, stride 1, no pad → 4 columns.
+	in := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 3, 3)
+	p := Im2colParams{C: 1, H: 3, W: 3, KH: 2, KW: 2, Stride: 1, Pad: 0}
+	cols := Im2col(in, p)
+	if !cols.Shape().Equal(tensor.Shape{4, 4}) {
+		t.Fatalf("cols shape %v, want (4, 4)", cols.Shape())
+	}
+	// First column = receptive field of output (0,0): 1,2,4,5.
+	want0 := []float32{1, 2, 4, 5}
+	for r, w := range want0 {
+		if cols.At(r, 0) != w {
+			t.Fatalf("col 0 row %d = %v, want %v", r, cols.At(r, 0), w)
+		}
+	}
+	// Last column = receptive field of output (1,1): 5,6,8,9.
+	want3 := []float32{5, 6, 8, 9}
+	for r, w := range want3 {
+		if cols.At(r, 3) != w {
+			t.Fatalf("col 3 row %d = %v, want %v", r, cols.At(r, 3), w)
+		}
+	}
+}
+
+func TestIm2colPaddingZeros(t *testing.T) {
+	in := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	p := Im2colParams{C: 1, H: 2, W: 2, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	cols := Im2col(in, p)
+	// Output is 2×2; column 0 is the field centred at (0,0), whose
+	// top-left taps are out of bounds and must be zero.
+	if cols.At(0, 0) != 0 || cols.At(1, 0) != 0 || cols.At(3, 0) != 0 {
+		t.Fatal("out-of-bounds taps must be zero")
+	}
+	if cols.At(4, 0) != 1 { // centre tap hits pixel (0,0)
+		t.Fatalf("centre tap = %v, want 1", cols.At(4, 0))
+	}
+}
+
+// TestIm2colGEMMEqualsDirectConv is the cross-algorithm equivalence at
+// the heart of the Data Formats & Algorithms layer: lowering through
+// im2col then multiplying by the flattened filters must reproduce direct
+// convolution exactly.
+func TestIm2colGEMMEqualsDirectConv(t *testing.T) {
+	r := tensor.NewRNG(5)
+	const C, H, W, OutC, K = 3, 8, 8, 6, 3
+	in := tensor.New(C, H, W)
+	in.FillNormal(r, 0, 1)
+	w := tensor.New(OutC, C, K, K)
+	w.FillNormal(r, 0, 1)
+	p := Im2colParams{C: C, H: H, W: W, KH: K, KW: K, Stride: 1, Pad: 1}
+	oh, ow := p.OutSize()
+
+	cols := Im2col(in, p)
+	flatW := w.Reshape(OutC, C*K*K)
+	viaGEMM := GEMM(flatW, cols) // (OutC, OH*OW)
+
+	// Direct convolution reference.
+	padded := tensor.Pad2D(in.Reshape(1, C, H, W), 1)
+	for oc := 0; oc < OutC; oc++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				var acc float32
+				for c := 0; c < C; c++ {
+					for ky := 0; ky < K; ky++ {
+						for kx := 0; kx < K; kx++ {
+							acc += w.At(oc, c, ky, kx) * padded.At(0, c, y+ky, x+kx)
+						}
+					}
+				}
+				if got := viaGEMM.At(oc, y*ow+x); absDiff(got, acc) > 1e-3 {
+					t.Fatalf("oc=%d (%d,%d): im2col+GEMM %v vs direct %v", oc, y, x, got, acc)
+				}
+			}
+		}
+	}
+}
+
+func absDiff(a, b float32) float64 {
+	d := float64(a) - float64(b)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// TestCol2imAdjoint verifies <Im2col(x), y> == <x, Col2im(y)>, the
+// defining adjoint property that makes the conv backward pass correct.
+func TestCol2imAdjoint(t *testing.T) {
+	r := tensor.NewRNG(6)
+	p := Im2colParams{C: 2, H: 6, W: 5, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	x := tensor.New(p.C, p.H, p.W)
+	x.FillNormal(r, 0, 1)
+	rows, cols := p.ColShape()
+	y := tensor.New(rows, cols)
+	y.FillNormal(r, 0, 1)
+
+	lhs := tensor.Dot(Im2col(x, p).Reshape(rows*cols), y.Reshape(rows*cols))
+	back := Col2im(y, p)
+	rhs := tensor.Dot(x.Reshape(p.C*p.H*p.W), back.Reshape(p.C*p.H*p.W))
+	if diff := lhs - rhs; diff > 1e-2 || diff < -1e-2 {
+		t.Fatalf("adjoint identity violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestColBytesGrowsWithImage(t *testing.T) {
+	small := Im2colParams{C: 64, H: 32, W: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	big := Im2colParams{C: 64, H: 224, W: 224, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if small.ColBytes() >= big.ColBytes() {
+		t.Fatal("column buffer must grow with image size")
+	}
+}
+
+func TestAutoTunerFindsValidTile(t *testing.T) {
+	tuner := &AutoTuner{Candidates: []int{8, 32}, Repeats: 1}
+	best, trace := tuner.Tune(24, 24, 24)
+	if !best.Valid() {
+		t.Fatalf("tuner returned invalid tiling %+v", best)
+	}
+	if len(trace) != 8 {
+		t.Fatalf("expected 8 configurations in trace, got %d", len(trace))
+	}
+	// Best must appear in the trace with the minimal time.
+	minT := trace[0].Elapsed
+	for _, tr := range trace {
+		if tr.Elapsed < minT {
+			minT = tr.Elapsed
+		}
+	}
+	found := false
+	for _, tr := range trace {
+		if tr.Tile == best && tr.Elapsed == minT {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("best tile must be the minimal-time trace entry")
+	}
+}

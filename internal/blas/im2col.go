@@ -1,0 +1,109 @@
+package blas
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Im2colParams describes the convolution geometry being lowered.
+type Im2colParams struct {
+	C, H, W     int // input channels and spatial extent
+	KH, KW      int // kernel extent
+	Stride, Pad int
+}
+
+// OutSize returns the convolution output extent.
+func (p Im2colParams) OutSize() (int, int) {
+	oh := (p.H+2*p.Pad-p.KH)/p.Stride + 1
+	ow := (p.W+2*p.Pad-p.KW)/p.Stride + 1
+	return oh, ow
+}
+
+// ColShape returns the shape of the column matrix: (C·KH·KW, OH·OW).
+func (p Im2colParams) ColShape() (int, int) {
+	oh, ow := p.OutSize()
+	return p.C * p.KH * p.KW, oh * ow
+}
+
+// ColBytes returns the size of the column buffer in bytes — the
+// "rearranges image blocks to columns" scratch the paper notes is not a
+// simple procedure and can hurt performance (§IV-D). It dominates the
+// extra memory the im2col algorithm needs over direct convolution.
+func (p Im2colParams) ColBytes() int {
+	r, c := p.ColShape()
+	return 4 * r * c
+}
+
+// Im2col rearranges one image (C,H,W flattened in in) into the column
+// matrix used to express convolution as GEMM: each output position
+// becomes a column containing its receptive field. Out-of-bounds taps
+// contribute zeros (implicit padding).
+func Im2col(in *tensor.Tensor, p Im2colParams) *tensor.Tensor {
+	if in.NumElements() != p.C*p.H*p.W {
+		panic(fmt.Sprintf("blas: Im2col input has %d elements, want %d", in.NumElements(), p.C*p.H*p.W))
+	}
+	oh, ow := p.OutSize()
+	rows, cols := p.ColShape()
+	out := tensor.New(rows, cols)
+	id, od := in.Data(), out.Data()
+	for c := 0; c < p.C; c++ {
+		for ky := 0; ky < p.KH; ky++ {
+			for kx := 0; kx < p.KW; kx++ {
+				row := (c*p.KH+ky)*p.KW + kx
+				dst := od[row*cols : (row+1)*cols]
+				for y := 0; y < oh; y++ {
+					sy := y*p.Stride + ky - p.Pad
+					if sy < 0 || sy >= p.H {
+						continue // leave zeros
+					}
+					srcRow := id[(c*p.H+sy)*p.W:]
+					for x := 0; x < ow; x++ {
+						sx := x*p.Stride + kx - p.Pad
+						if sx < 0 || sx >= p.W {
+							continue
+						}
+						dst[y*ow+x] = srcRow[sx]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2im scatters a column matrix back into an image, accumulating
+// overlapping contributions. It is the adjoint of Im2col and is used by
+// the convolution backward pass to form input gradients.
+func Col2im(cols *tensor.Tensor, p Im2colParams) *tensor.Tensor {
+	rows, ncols := p.ColShape()
+	if cols.Shape().Rank() != 2 || cols.Shape()[0] != rows || cols.Shape()[1] != ncols {
+		panic(fmt.Sprintf("blas: Col2im input shape %v, want (%d, %d)", cols.Shape(), rows, ncols))
+	}
+	oh, ow := p.OutSize()
+	out := tensor.New(p.C, p.H, p.W)
+	cd, od := cols.Data(), out.Data()
+	for c := 0; c < p.C; c++ {
+		for ky := 0; ky < p.KH; ky++ {
+			for kx := 0; kx < p.KW; kx++ {
+				row := (c*p.KH+ky)*p.KW + kx
+				src := cd[row*ncols : (row+1)*ncols]
+				for y := 0; y < oh; y++ {
+					sy := y*p.Stride + ky - p.Pad
+					if sy < 0 || sy >= p.H {
+						continue
+					}
+					dstRow := od[(c*p.H+sy)*p.W:]
+					for x := 0; x < ow; x++ {
+						sx := x*p.Stride + kx - p.Pad
+						if sx < 0 || sx >= p.W {
+							continue
+						}
+						dstRow[sx] += src[y*ow+x]
+					}
+				}
+			}
+		}
+	}
+	return out
+}

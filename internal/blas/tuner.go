@@ -1,0 +1,73 @@
+package blas
+
+import (
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// AutoTuner searches the tiling space for the fastest GEMM configuration
+// on a given problem shape, mirroring CLTune, the auto-tuner bundled with
+// CLBlast ("up to 14 parameters can be tuned", paper §IV-D). Our blocked
+// CPU kernel exposes three tile extents; the tuner exhaustively times a
+// candidate grid and returns the winner.
+type AutoTuner struct {
+	// Candidates is the grid searched per dimension; a default grid is
+	// installed by NewAutoTuner.
+	Candidates []int
+	// Repeats is how many timed runs are averaged per configuration.
+	Repeats int
+}
+
+// NewAutoTuner returns a tuner with the default candidate grid.
+func NewAutoTuner() *AutoTuner {
+	return &AutoTuner{
+		Candidates: []int{16, 32, 64, 128, 256},
+		Repeats:    1,
+	}
+}
+
+// TuneResult records one evaluated configuration.
+type TuneResult struct {
+	Tile    Tiling
+	Elapsed time.Duration
+}
+
+// Tune times every candidate tiling on an m×k×n problem and returns the
+// best configuration plus the full search trace (slowest configurations
+// included, for the ablation benches).
+func (a *AutoTuner) Tune(m, k, n int) (Tiling, []TuneResult) {
+	r := tensor.NewRNG(99)
+	A := tensor.New(m, k)
+	B := tensor.New(k, n)
+	A.FillNormal(r, 0, 1)
+	B.FillNormal(r, 0, 1)
+
+	repeats := a.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	var results []TuneResult
+	best := DefaultTiling()
+	bestTime := time.Duration(1<<62 - 1)
+	for _, mc := range a.Candidates {
+		for _, kc := range a.Candidates {
+			for _, nc := range a.Candidates {
+				tile := Tiling{MC: mc, KC: kc, NC: nc}
+				var total time.Duration
+				for rep := 0; rep < repeats; rep++ {
+					start := time.Now()
+					_ = GEMMBlocked(A, B, tile)
+					total += time.Since(start)
+				}
+				avg := total / time.Duration(repeats)
+				results = append(results, TuneResult{Tile: tile, Elapsed: avg})
+				if avg < bestTime {
+					bestTime = avg
+					best = tile
+				}
+			}
+		}
+	}
+	return best, results
+}

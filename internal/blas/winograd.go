@@ -1,0 +1,201 @@
+package blas
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Winograd F(2×2, 3×3) convolution — the "other data transformations
+// (e.g. Winograd transform)" the paper lists at the Data Formats and
+// Algorithms stack layer (§II-B) but leaves unevaluated. It computes a
+// 3×3 stride-1 convolution using 2.25× fewer multiplies than the direct
+// method by transforming 4×4 input tiles and 3×3 filters into a 4×4
+// element-product domain:
+//
+//	Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+//
+// with the classic Winograd matrices below.
+//
+// The repository ships it as an engine extension (see nn.Winograd) and
+// an ablation benchmark; filters are transformed once per call, so the
+// win over direct convolution grows with spatial size.
+
+// winogradFilter transforms one 3×3 filter g into the 4×4 domain:
+// U = G·g·Gᵀ, with G = [[1,0,0],[½,½,½],[½,-½,½],[0,0,1]].
+func winogradFilter(g []float32, u *[16]float32) {
+	// t = G·g (4×3)
+	var t [12]float32
+	for c := 0; c < 3; c++ {
+		g0, g1, g2 := g[0*3+c], g[1*3+c], g[2*3+c]
+		t[0*3+c] = g0
+		t[1*3+c] = 0.5 * (g0 + g1 + g2)
+		t[2*3+c] = 0.5 * (g0 - g1 + g2)
+		t[3*3+c] = g2
+	}
+	// U = t·Gᵀ (4×4)
+	for r := 0; r < 4; r++ {
+		t0, t1, t2 := t[r*3+0], t[r*3+1], t[r*3+2]
+		u[r*4+0] = t0
+		u[r*4+1] = 0.5 * (t0 + t1 + t2)
+		u[r*4+2] = 0.5 * (t0 - t1 + t2)
+		u[r*4+3] = t2
+	}
+}
+
+// winogradInput transforms one 4×4 input tile d: V = Bᵀ·d·B, with
+// Bᵀ = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]].
+func winogradInput(d *[16]float32, v *[16]float32) {
+	var t [16]float32
+	for c := 0; c < 4; c++ {
+		d0, d1, d2, d3 := d[0*4+c], d[1*4+c], d[2*4+c], d[3*4+c]
+		t[0*4+c] = d0 - d2
+		t[1*4+c] = d1 + d2
+		t[2*4+c] = d2 - d1
+		t[3*4+c] = d1 - d3
+	}
+	for r := 0; r < 4; r++ {
+		t0, t1, t2, t3 := t[r*4+0], t[r*4+1], t[r*4+2], t[r*4+3]
+		v[r*4+0] = t0 - t2
+		v[r*4+1] = t1 + t2
+		v[r*4+2] = t2 - t1
+		v[r*4+3] = t1 - t3
+	}
+}
+
+// winogradOutput maps the 4×4 element-product m back to the 2×2 output:
+// Y = Aᵀ·m·A, with Aᵀ = [[1,1,1,0],[0,1,-1,-1]].
+func winogradOutput(m *[16]float32, y *[4]float32) {
+	var t [8]float32
+	for c := 0; c < 4; c++ {
+		m0, m1, m2, m3 := m[0*4+c], m[1*4+c], m[2*4+c], m[3*4+c]
+		t[0*4+c] = m0 + m1 + m2
+		t[1*4+c] = m1 - m2 - m3
+	}
+	for r := 0; r < 2; r++ {
+		t0, t1, t2, t3 := t[r*4+0], t[r*4+1], t[r*4+2], t[r*4+3]
+		y[r*2+0] = t0 + t1 + t2
+		y[r*2+1] = t1 - t2 - t3
+	}
+}
+
+// WinogradConv2D computes a stride-1 3×3 convolution over an NCHW input
+// with pad=1 using F(2×2, 3×3) tiles. Weights are (OutC, InC, 3, 3);
+// bias may be nil. The output spatial extent equals the input extent
+// (same-padding); odd extents are handled by edge tiles that read the
+// zero-padded border.
+func WinogradConv2D(in, weights *tensor.Tensor, bias []float32) *tensor.Tensor {
+	if in.Shape().Rank() != 4 {
+		panic(fmt.Sprintf("blas: WinogradConv2D requires NCHW input, got %v", in.Shape()))
+	}
+	ws := weights.Shape()
+	if ws.Rank() != 4 || ws[2] != 3 || ws[3] != 3 {
+		panic(fmt.Sprintf("blas: WinogradConv2D requires (OutC, InC, 3, 3) weights, got %v", ws))
+	}
+	n, c, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
+	outC, inC := ws[0], ws[1]
+	if inC != c {
+		panic(fmt.Sprintf("blas: WinogradConv2D input channels %d != weights %d", c, inC))
+	}
+	if bias != nil && len(bias) != outC {
+		panic(fmt.Sprintf("blas: bias length %d, want %d", len(bias), outC))
+	}
+
+	// Pre-transform every filter: U[oc][ic] is 4×4.
+	ut := make([][16]float32, outC*inC)
+	wd := weights.Data()
+	for f := 0; f < outC*inC; f++ {
+		winogradFilter(wd[f*9:(f+1)*9], &ut[f])
+	}
+
+	tilesY := (h + 1) / 2
+	tilesX := (w + 1) / 2
+	// The padded buffer must cover every 4×4 tile read: the last tile
+	// starts at 2·(tiles-1) and reads 4 rows/cols, so for odd extents
+	// one extra zero row/column beyond the usual pad=1 ring is needed.
+	ph, pw := 2*tilesY+2, 2*tilesX+2
+	padded := tensor.New(n, c, ph, pw)
+	pd := padded.Data()
+	id := in.Data()
+	for nc := 0; nc < n*c; nc++ {
+		src := id[nc*h*w:]
+		dst := pd[nc*ph*pw+pw+1:]
+		for row := 0; row < h; row++ {
+			copy(dst[row*pw:row*pw+w], src[row*w:(row+1)*w])
+		}
+	}
+	out := tensor.New(n, outC, h, w)
+	od := out.Data()
+
+	var d, m [16]float32
+	var y [4]float32
+	// V-tiles are reused across output channels: transform per (ic,
+	// tile) once, then accumulate products for every oc.
+	vt := make([][16]float32, inC)
+
+	for ni := 0; ni < n; ni++ {
+		for ty := 0; ty < tilesY; ty++ {
+			for tx := 0; tx < tilesX; tx++ {
+				oy, ox := ty*2, tx*2
+				// Gather + transform the 4×4 input tile of each channel.
+				for ic := 0; ic < inC; ic++ {
+					base := (ni*inC + ic) * ph * pw
+					for r := 0; r < 4; r++ {
+						row := base + (oy+r)*pw + ox
+						d[r*4+0] = pd[row+0]
+						d[r*4+1] = pd[row+1]
+						d[r*4+2] = pd[row+2]
+						d[r*4+3] = pd[row+3]
+					}
+					winogradInput(&d, &vt[ic])
+				}
+				for oc := 0; oc < outC; oc++ {
+					for i := range m {
+						m[i] = 0
+					}
+					for ic := 0; ic < inC; ic++ {
+						u := &ut[oc*inC+ic]
+						vv := &vt[ic]
+						for i := 0; i < 16; i++ {
+							m[i] += u[i] * vv[i]
+						}
+					}
+					winogradOutput(&m, &y)
+					b := float32(0)
+					if bias != nil {
+						b = bias[oc]
+					}
+					dst := od[(ni*outC+oc)*h*w:]
+					for r := 0; r < 2; r++ {
+						yy := oy + r
+						if yy >= h {
+							continue
+						}
+						for cx := 0; cx < 2; cx++ {
+							xx := ox + cx
+							if xx >= w {
+								continue
+							}
+							dst[yy*w+xx] = y[r*2+cx] + b
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WinogradMultiplies returns the element-domain multiply count of the
+// tiled algorithm for an (outC, inC) 3×3 layer over an h×w output —
+// 16 multiplies per tile versus 36 for direct F(2×2,3×3), the 2.25×
+// reduction that motivates the transform.
+func WinogradMultiplies(outC, inC, h, w int) int64 {
+	tiles := int64((h+1)/2) * int64((w+1)/2)
+	return tiles * 16 * int64(outC) * int64(inC)
+}
+
+// DirectMultiplies is the matching direct-convolution multiply count.
+func DirectMultiplies(outC, inC, h, w int) int64 {
+	return int64(h) * int64(w) * 9 * int64(outC) * int64(inC)
+}

@@ -1,0 +1,137 @@
+package blas
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// directConv3x3 is the reference same-padding 3×3 convolution.
+func directConv3x3(in, w *tensor.Tensor, bias []float32) *tensor.Tensor {
+	n, c, h, wd := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
+	outC := w.Shape()[0]
+	padded := tensor.Pad2D(in, 1)
+	out := tensor.New(n, outC, h, wd)
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < outC; oc++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < wd; x++ {
+					var acc float32
+					if bias != nil {
+						acc = bias[oc]
+					}
+					for ic := 0; ic < c; ic++ {
+						for ky := 0; ky < 3; ky++ {
+							for kx := 0; kx < 3; kx++ {
+								acc += w.At(oc, ic, ky, kx) * padded.At(ni, ic, y+ky, x+kx)
+							}
+						}
+					}
+					out.Set(acc, ni, oc, y, x)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func winogradCase(t *testing.T, seed uint64, n, c, outC, h, w int) {
+	t.Helper()
+	r := tensor.NewRNG(seed)
+	in := tensor.New(n, c, h, w)
+	in.FillNormal(r, 0, 1)
+	weights := tensor.New(outC, c, 3, 3)
+	weights.FillNormal(r, 0, 0.5)
+	bias := make([]float32, outC)
+	for i := range bias {
+		bias[i] = float32(r.NormFloat64())
+	}
+	got := WinogradConv2D(in, weights, bias)
+	want := directConv3x3(in, weights, bias)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
+		t.Fatalf("winograd differs from direct by %v (n=%d c=%d outC=%d %dx%d)", d, n, c, outC, h, w)
+	}
+}
+
+func TestWinogradMatchesDirectEven(t *testing.T) {
+	winogradCase(t, 1, 2, 3, 4, 8, 8)
+}
+
+func TestWinogradMatchesDirectOdd(t *testing.T) {
+	// Odd extents exercise the edge tiles that straddle the border.
+	winogradCase(t, 2, 1, 2, 3, 7, 5)
+}
+
+func TestWinogradMatchesDirectTiny(t *testing.T) {
+	winogradCase(t, 3, 1, 1, 1, 2, 2)
+	winogradCase(t, 4, 1, 1, 1, 3, 3)
+	winogradCase(t, 5, 1, 2, 2, 1, 1)
+}
+
+func TestWinogradNoBias(t *testing.T) {
+	r := tensor.NewRNG(6)
+	in := tensor.New(1, 2, 6, 6)
+	in.FillNormal(r, 0, 1)
+	w := tensor.New(3, 2, 3, 3)
+	w.FillNormal(r, 0, 0.5)
+	got := WinogradConv2D(in, w, nil)
+	want := directConv3x3(in, w, nil)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
+		t.Fatalf("no-bias winograd differs by %v", d)
+	}
+}
+
+func TestWinogradProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n, c, outC := 1, 1+r.Intn(3), 1+r.Intn(3)
+		h, w := 1+r.Intn(9), 1+r.Intn(9)
+		in := tensor.New(n, c, h, w)
+		in.FillNormal(r, 0, 1)
+		weights := tensor.New(outC, c, 3, 3)
+		weights.FillNormal(r, 0, 0.5)
+		got := WinogradConv2D(in, weights, nil)
+		want := directConv3x3(in, weights, nil)
+		return tensor.MaxAbsDiff(got, want) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWinogradRejectsNon3x3(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 5x5 weights")
+		}
+	}()
+	WinogradConv2D(tensor.New(1, 1, 4, 4), tensor.New(1, 1, 5, 5), nil)
+}
+
+func TestWinogradMultiplyReduction(t *testing.T) {
+	// The transform's raison d'être: 2.25× fewer multiplies.
+	win := WinogradMultiplies(64, 64, 32, 32)
+	dir := DirectMultiplies(64, 64, 32, 32)
+	ratio := float64(dir) / float64(win)
+	if ratio < 2.2 || ratio > 2.3 {
+		t.Fatalf("multiply reduction %v, want 2.25", ratio)
+	}
+}
+
+func TestWinogradFilterTransformKnown(t *testing.T) {
+	// An all-ones 3×3 filter: G·1·Gᵀ has a known closed form; verify a
+	// few entries (row sums of G are 1, 1.5, 0.5, 1).
+	g := make([]float32, 9)
+	for i := range g {
+		g[i] = 1
+	}
+	var u [16]float32
+	winogradFilter(g, &u)
+	if u[0] != 1 { // (G·g·Gᵀ)[0,0] = g[0,0]
+		t.Fatalf("u[0,0] = %v, want 1", u[0])
+	}
+	if u[5] != 2.25 { // centre entry: (3/2)·(3/2)
+		t.Fatalf("u[1,1] = %v, want 2.25", u[5])
+	}
+}

@@ -1,0 +1,295 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func forwardOK(t *testing.T, net *nn.Network, size int) *tensor.Tensor {
+	t.Helper()
+	ctx := nn.Inference()
+	r := tensor.NewRNG(99)
+	in := tensor.New(1, 3, size, size)
+	in.FillNormal(r, 0, 1)
+	out := net.Forward(&ctx, in)
+	if !out.Shape().Equal(tensor.Shape{1, 10}) {
+		t.Fatalf("forward shape %v after surgery", out.Shape())
+	}
+	if !out.AllFinite() {
+		t.Fatal("non-finite output after surgery")
+	}
+	return out
+}
+
+func TestSitesVGG(t *testing.T) {
+	net := models.MiniVGG(tensor.NewRNG(1))
+	sites := Sites(net)
+	// All 13 convs are prunable: 12 feed the next conv, the last feeds fc1.
+	if len(sites) != 13 {
+		t.Fatalf("VGG sites = %d, want 13", len(sites))
+	}
+	last := sites[len(sites)-1]
+	if last.NextLinear == nil {
+		t.Fatal("last VGG site must have a linear consumer")
+	}
+	if last.SpatialPer != 1 {
+		t.Fatalf("VGG last site SpatialPer = %d, want 1", last.SpatialPer)
+	}
+	for _, s := range sites {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if s.FLOPsPerChannel <= 0 {
+			t.Fatalf("site %q has no FLOP annotation", s.Name)
+		}
+	}
+}
+
+func TestSitesResNetOnlyBetweenShortcuts(t *testing.T) {
+	net := models.MiniResNet(tensor.NewRNG(1))
+	sites := Sites(net)
+	// 8 blocks, each exposing only conv1 (paper: "only layers between
+	// the shortcuts can be pruned").
+	if len(sites) != 8 {
+		t.Fatalf("ResNet sites = %d, want 8", len(sites))
+	}
+	for _, s := range sites {
+		if s.Next == nil {
+			t.Fatalf("ResNet site %q must feed the block's conv2", s.Name)
+		}
+	}
+}
+
+func TestSitesMobileNetCascade(t *testing.T) {
+	net := models.MiniMobileNet(tensor.NewRNG(1))
+	sites := Sites(net)
+	// conv1 + 13 pointwise convs are producers (depthwise are not).
+	if len(sites) != 14 {
+		t.Fatalf("MobileNet sites = %d, want 14", len(sites))
+	}
+	cascades := 0
+	for _, s := range sites {
+		if s.DW != nil {
+			cascades++
+		}
+	}
+	// All but the last site cascade through a depthwise conv.
+	if cascades != 13 {
+		t.Fatalf("MobileNet cascade sites = %d, want 13", cascades)
+	}
+	if sites[len(sites)-1].NextLinear == nil {
+		t.Fatal("final MobileNet site must feed the classifier")
+	}
+}
+
+func TestSurgeryVGGPreservesForward(t *testing.T) {
+	net := models.MiniVGG(tensor.NewRNG(2))
+	sites := Sites(net)
+	before := ConvParams(net)
+	for _, s := range sites {
+		s.Remove(0)
+	}
+	if ConvParams(net) >= before {
+		t.Fatal("surgery did not reduce conv parameters")
+	}
+	forwardOK(t, net, 32)
+}
+
+func TestSurgeryResNetPreservesForward(t *testing.T) {
+	net := models.MiniResNet(tensor.NewRNG(3))
+	for _, s := range Sites(net) {
+		s.Remove(s.Channels() - 1)
+		s.Remove(0)
+	}
+	forwardOK(t, net, 32)
+}
+
+func TestSurgeryMobileNetPreservesForward(t *testing.T) {
+	net := models.MiniMobileNet(tensor.NewRNG(4))
+	for _, s := range Sites(net) {
+		s.Remove(1)
+	}
+	forwardOK(t, net, 32)
+}
+
+func TestSurgeryKeepsUnrelatedChannelsIntact(t *testing.T) {
+	// Removing a channel must not change the function computed by the
+	// remaining channels: compare logits of a network where the removed
+	// channel was already dead (zero weights, zero BN gamma/beta).
+	r := tensor.NewRNG(5)
+	net := models.MiniVGG(r)
+	sites := Sites(net)
+	s := sites[0]
+	ch := 1
+	// Kill channel ch everywhere it contributes.
+	kArea := s.Conv.Geom.KH * s.Conv.Geom.KW
+	cpg := s.Conv.Geom.InC / s.Conv.Geom.Groups
+	wd := s.Conv.W.W.Data()
+	for i := ch * cpg * kArea; i < (ch+1)*cpg*kArea; i++ {
+		wd[i] = 0
+	}
+	s.Conv.B.W.Data()[ch] = 0
+	s.BN.Gamma.W.Data()[ch] = 0
+	s.BN.Beta.W.Data()[ch] = 0
+
+	in := tensor.New(1, 3, 32, 32)
+	in.FillNormal(tensor.NewRNG(6), 0, 1)
+	ctx := nn.Inference()
+	before := net.Forward(&ctx, in)
+	s.Remove(ch)
+	after := net.Forward(&ctx, in)
+	if d := tensor.MaxAbsDiff(before, after); d > 1e-3 {
+		t.Fatalf("removing a dead channel changed the output by %v", d)
+	}
+}
+
+func TestSurgeryBatchNormStateShrinks(t *testing.T) {
+	net := models.MiniVGG(tensor.NewRNG(7))
+	s := Sites(net)[2]
+	c0 := s.Channels()
+	s.Remove(0)
+	if s.BN.C != c0-1 || len(s.BN.RunningMean) != c0-1 || len(s.BN.RunningVar) != c0-1 {
+		t.Fatal("batch-norm state did not shrink with surgery")
+	}
+	if s.Conv.Geom.OutC != c0-1 {
+		t.Fatal("conv geometry did not shrink")
+	}
+}
+
+func TestRemoveLastChannelPanics(t *testing.T) {
+	net := models.MiniVGG(tensor.NewRNG(8))
+	s := Sites(net)[0]
+	for s.Channels() > 1 {
+		s.Remove(0)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic removing the final channel")
+		}
+	}()
+	s.Remove(0)
+}
+
+func TestUniformShrinkHitsRate(t *testing.T) {
+	for _, rate := range []float64{0.3, 0.6, 0.88} {
+		net := models.MiniVGG(tensor.NewRNG(9))
+		got := UniformShrink(net, rate)
+		if got < rate-0.12 || got > rate+0.12 {
+			t.Fatalf("target %v, achieved %v", rate, got)
+		}
+		forwardOK(t, net, 32)
+	}
+}
+
+func TestUniformShrinkMobileNet(t *testing.T) {
+	net := models.MiniMobileNet(tensor.NewRNG(10))
+	got := UniformShrink(net, 0.8)
+	if got < 0.6 {
+		t.Fatalf("mobilenet shrink achieved only %v", got)
+	}
+	forwardOK(t, net, 32)
+}
+
+func TestUniformShrinkReducesMACs(t *testing.T) {
+	net := models.MiniVGG(tensor.NewRNG(11))
+	_, before := net.Describe(1)
+	UniformShrink(net, 0.7)
+	_, after := net.Describe(1)
+	if after.MACs >= before.MACs/2 {
+		t.Fatalf("MACs %d → %d; channel pruning must cut operations roughly with parameters",
+			before.MACs, after.MACs)
+	}
+}
+
+func TestSelectChannelPrefersLowSaliency(t *testing.T) {
+	net := models.MiniVGG(tensor.NewRNG(12))
+	sites := Sites(net)[:2]
+	for _, s := range sites {
+		s.Conv.FisherScores = make([]float64, s.Channels())
+		for i := range s.Conv.FisherScores {
+			s.Conv.FisherScores[i] = 10
+		}
+	}
+	sites[1].Conv.FisherScores[3] = 0.001
+	si, ch := selectChannel(sites, 0, 1)
+	if si != 1 || ch != 3 {
+		t.Fatalf("selected site %d ch %d, want site 1 ch 3", si, ch)
+	}
+}
+
+func TestSelectChannelFLOPPenalty(t *testing.T) {
+	net := models.MiniVGG(tensor.NewRNG(13))
+	sites := Sites(net)[:2]
+	for _, s := range sites {
+		s.Conv.FisherScores = make([]float64, s.Channels())
+	}
+	// Equal saliency: the penalty must steer selection to the site with
+	// more FLOPs per channel.
+	expensive := 0
+	if sites[1].FLOPsPerChannel > sites[0].FLOPsPerChannel {
+		expensive = 1
+	}
+	si, _ := selectChannel(sites, 1e-3, 1)
+	if si != expensive {
+		t.Fatalf("selected site %d, want the FLOP-heavier site %d", si, expensive)
+	}
+}
+
+func TestSelectChannelRespectsFloor(t *testing.T) {
+	net := models.MiniVGG(tensor.NewRNG(14))
+	sites := Sites(net)[:1]
+	min := sites[0].Channels()
+	si, _ := selectChannel(sites, 0, min)
+	if si != -1 {
+		t.Fatal("selection must refuse sites at the channel floor")
+	}
+}
+
+func TestFisherPruneEndToEnd(t *testing.T) {
+	trainSet, testSet := data.Generate(data.Config{Train: 32, Test: 16, Size: 32, Noise: 0.15, Seed: 15})
+	net := models.MiniVGG(tensor.NewRNG(15))
+	cfg := Config{
+		Remove:      4,
+		Every:       1,
+		Beta:        1e-6,
+		MinChannels: 2,
+		FineTune: train.Config{
+			Epochs: 2, BatchSize: 16,
+			Schedule: train.Schedule{Base: 0.02}, Seed: 16,
+		},
+	}
+	res := Prune(net, trainSet, testSet, cfg)
+	if res.Removed != 4 {
+		t.Fatalf("removed %d channels, want 4", res.Removed)
+	}
+	if res.CompressionRate <= 0 {
+		t.Fatalf("compression rate %v must be positive", res.CompressionRate)
+	}
+	// The pruned network must still run and record finite accuracy.
+	forwardOK(t, net, 32)
+	if res.Accuracy < 0 || res.Accuracy > 1 {
+		t.Fatalf("accuracy %v out of range", res.Accuracy)
+	}
+	// Fisher recording must be switched off afterwards.
+	for _, s := range Sites(net) {
+		if s.Conv.FisherRecord {
+			t.Fatal("FisherRecord left enabled after pruning")
+		}
+	}
+}
+
+func TestConvParamsCountsWeightsAndBiases(t *testing.T) {
+	net := models.MiniVGG(tensor.NewRNG(16))
+	want := 0
+	for _, c := range net.Convs() {
+		want += c.W.W.NumElements() + c.Geom.OutC
+	}
+	if got := ConvParams(net); got != want {
+		t.Fatalf("ConvParams = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,285 @@
+package channel
+
+import (
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// Sites discovers every prunable location in a network by walking its
+// layer graph:
+//
+//   - sequential conv→conv chains (VGG) produce plain sites;
+//   - residual blocks expose only their first convolution ("only layers
+//     between the shortcuts can be pruned", §V-B2);
+//   - depthwise-separable chains (MobileNet) produce cascade sites;
+//   - a final convolution feeding the classifier uses a linear consumer.
+//
+// Depthwise convolutions are never producers — their channel count is
+// controlled by the upstream pointwise site through the cascade.
+func Sites(net *nn.Network) []*Site {
+	type unit struct {
+		conv *nn.Conv2D
+		bn   *nn.BatchNorm
+		lin  *nn.Linear
+		stop bool // residual-block boundary
+	}
+	var sites []*Site
+	var units []unit
+	for _, l := range net.Layers {
+		switch v := l.(type) {
+		case *nn.Conv2D:
+			units = append(units, unit{conv: v})
+		case *nn.BatchNorm:
+			if n := len(units); n > 0 && units[n-1].conv != nil && units[n-1].bn == nil {
+				units[n-1].bn = v
+			}
+		case *nn.Linear:
+			units = append(units, unit{lin: v})
+		case *nn.ResidualBlock:
+			sites = append(sites, &Site{
+				Name: v.Name() + ".conv1",
+				Conv: v.Conv1,
+				BN:   v.BN1,
+				Next: v.Conv2,
+			})
+			units = append(units, unit{stop: true})
+		}
+	}
+	for i, u := range units {
+		if u.conv == nil || u.conv.Geom.Groups > 1 || i+1 >= len(units) {
+			continue
+		}
+		next := units[i+1]
+		site := &Site{Name: u.conv.Name(), Conv: u.conv, BN: u.bn}
+		if next.conv != nil && next.conv.Geom.Groups > 1 {
+			// Depthwise cascade: the consumer after the depthwise pair.
+			if i+2 >= len(units) {
+				continue
+			}
+			site.DW, site.DWBN = next.conv, next.bn
+			after := units[i+2]
+			switch {
+			case after.conv != nil && after.conv.Geom.Groups == 1:
+				site.Next = after.conv
+			case after.lin != nil:
+				site.NextLinear = after.lin
+				site.SpatialPer = after.lin.In / u.conv.Geom.OutC
+			default:
+				continue
+			}
+		} else {
+			switch {
+			case next.conv != nil:
+				site.Next = next.conv
+			case next.lin != nil:
+				site.NextLinear = next.lin
+				site.SpatialPer = next.lin.In / u.conv.Geom.OutC
+			default:
+				continue // block boundary
+			}
+		}
+		sites = append(sites, site)
+	}
+	annotateFLOPs(net, sites)
+	return sites
+}
+
+// annotateFLOPs walks the network shapes and fills FLOPsPerChannel for
+// every site producer.
+func annotateFLOPs(net *nn.Network, sites []*Site) {
+	perChan := map[*nn.Conv2D]float64{}
+	shape := tensor.Shape{1, net.InputShape[0], net.InputShape[1], net.InputShape[2]}
+	record := func(c *nn.Conv2D, in tensor.Shape) {
+		out := c.OutShape(in)
+		cpg := c.Geom.InC / c.Geom.Groups
+		perChan[c] = 2 * float64(cpg*c.Geom.KH*c.Geom.KW) * float64(out[2]*out[3])
+	}
+	for _, l := range net.Layers {
+		if v, ok := l.(*nn.Conv2D); ok {
+			record(v, shape)
+		}
+		if v, ok := l.(*nn.ResidualBlock); ok {
+			record(v.Conv1, shape)
+		}
+		_, shape = l.Describe(shape)
+	}
+	for _, s := range sites {
+		s.FLOPsPerChannel = perChan[s.Conv]
+	}
+}
+
+// ConvParams counts the convolutional parameters of the network — the
+// denominator of the paper's "compression rate of the convolutional
+// layers" (Fig. 3b x-axis).
+func ConvParams(net *nn.Network) int {
+	total := 0
+	for _, c := range net.Convs() {
+		total += c.W.W.NumElements() + c.Geom.OutC
+	}
+	return total
+}
+
+// Config controls Fisher pruning.
+type Config struct {
+	// Remove is the total number of channels to remove.
+	Remove int
+	// Every removes one channel per this many optimisation steps
+	// (the paper uses 100).
+	Every int
+	// Beta is the FLOP penalty coefficient (the paper uses 1e-6).
+	Beta float64
+	// MinChannels is the per-site floor (a site never drops below it).
+	MinChannels int
+	// FineTune configures the fine-tuning run the pruning rides on.
+	FineTune train.Config
+}
+
+// DefaultConfig mirrors the paper's settings scaled to mini models.
+func DefaultConfig() Config {
+	return Config{
+		Remove:      8,
+		Every:       20,
+		Beta:        1e-6,
+		MinChannels: 2,
+		FineTune:    train.DefaultConfig(),
+	}
+}
+
+// Result reports a pruning run.
+type Result struct {
+	// Removed is the channel count actually removed.
+	Removed int
+	// CompressionRate is the fraction of convolutional parameters
+	// eliminated relative to the network before pruning.
+	CompressionRate float64
+	// Accuracy is the post-pruning test accuracy.
+	Accuracy float64
+}
+
+// selectChannel returns the site index and channel with the smallest
+// penalised Fisher saliency, or (-1, -1) when no site can shrink.
+func selectChannel(sites []*Site, beta float64, minCh int) (int, int) {
+	bestSite, bestCh := -1, -1
+	best := math.Inf(1)
+	for si, s := range sites {
+		if s.Channels() <= minCh {
+			continue
+		}
+		scores := s.Conv.FisherScores
+		for ch := 0; ch < s.Channels(); ch++ {
+			var f float64
+			if ch < len(scores) {
+				f = scores[ch]
+			}
+			score := f - beta*s.FLOPsPerChannel
+			if score < best {
+				best, bestSite, bestCh = score, si, ch
+			}
+		}
+	}
+	return bestSite, bestCh
+}
+
+// Prune runs Fisher channel pruning: fine-tune the network while
+// removing the least-salient channel every cfg.Every steps, then report
+// the compression rate and final accuracy.
+func Prune(net *nn.Network, trainSet, testSet *data.Dataset, cfg Config) Result {
+	sites := Sites(net)
+	for _, s := range sites {
+		s.Conv.FisherRecord = true
+	}
+	defer func() {
+		for _, s := range sites {
+			s.Conv.FisherRecord = false
+		}
+	}()
+	before := ConvParams(net)
+
+	removed := 0
+	ft := cfg.FineTune
+	prev := ft.OnStep
+	ft.OnStep = func(step int) {
+		if prev != nil {
+			prev(step)
+		}
+		if removed >= cfg.Remove || cfg.Every <= 0 || step%cfg.Every != 0 {
+			return
+		}
+		si, ch := selectChannel(sites, cfg.Beta, cfg.MinChannels)
+		if si < 0 {
+			return
+		}
+		sites[si].Remove(ch)
+		for _, s := range sites {
+			s.Conv.ResetFisher()
+		}
+		removed++
+	}
+	res := train.Run(net, trainSet, testSet, ft)
+	return Result{
+		Removed:         removed,
+		CompressionRate: 1 - float64(ConvParams(net))/float64(before),
+		Accuracy:        res.TestAccuracy,
+	}
+}
+
+// UniformShrink removes channels without training until the network's
+// convolutional parameter count is reduced by the target rate, taking
+// channels uniformly across sites (conv parameters scale with the
+// product of adjacent widths, so a width factor of sqrt(1-rate) is used
+// as the per-site target). This builds the channel-pruned *architecture*
+// at the paper's Table III / Table V operating points for the hardware
+// experiments, where only topology matters, not learned weights.
+func UniformShrink(net *nn.Network, rate float64) float64 {
+	if rate <= 0 {
+		return 0
+	}
+	if rate >= 1 {
+		rate = 0.99
+	}
+	sites := Sites(net)
+	before := ConvParams(net)
+	width := math.Sqrt(1 - rate)
+	targets := make([]int, len(sites))
+	for i, s := range sites {
+		t := int(math.Round(float64(s.Channels()) * width))
+		if t < 2 {
+			t = 2
+		}
+		targets[i] = t
+	}
+	for i, s := range sites {
+		for s.Channels() > targets[i] {
+			s.Remove(s.Channels() - 1)
+		}
+	}
+	return 1 - float64(ConvParams(net))/float64(before)
+}
+
+// PointOnCurve is one accuracy/compression measurement (Fig. 3b).
+type PointOnCurve struct {
+	CompressionRate float64
+	Accuracy        float64
+}
+
+// Curve traces the accuracy-vs-compression Pareto curve by repeatedly
+// pruning further and fine-tuning, starting from the trained network.
+func Curve(net *nn.Network, trainSet, testSet *data.Dataset, stages []Config) []PointOnCurve {
+	original := ConvParams(net)
+	curve := []PointOnCurve{{
+		CompressionRate: 0,
+		Accuracy:        train.Evaluate(net, testSet, 1),
+	}}
+	for _, cfg := range stages {
+		res := Prune(net, trainSet, testSet, cfg)
+		curve = append(curve, PointOnCurve{
+			CompressionRate: 1 - float64(ConvParams(net))/float64(original),
+			Accuracy:        res.Accuracy,
+		})
+	}
+	return curve
+}

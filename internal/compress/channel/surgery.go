@@ -1,0 +1,197 @@
+// Package channel implements Fisher channel pruning (Molchanov et al.
+// [33], Theis et al. [34] in the paper): whole output channels of
+// convolutional layers are removed by physical surgery on the weight
+// tensors, so the compressed network is an ordinary *dense* network with
+// a reduced architecture — the property that makes channel pruning the
+// hardware-friendly technique in every one of the paper's experiments.
+//
+// Channel selection uses the Fisher-information saliency accumulated by
+// nn.Conv2D during fine-tuning, biased by a FLOP penalty so expensive
+// channels are preferred for removal, with one channel removed every N
+// optimisation steps (§V-B2).
+package channel
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Site is one prunable location: a convolution whose output channels can
+// be removed, together with every downstream tensor that must shrink in
+// concert. The three paper topologies produce three consumer patterns:
+//
+//   - VGG:      conv→bn→(relu/pool)→conv     (Next)
+//   - ResNet:   block.conv1→bn1→relu→block.conv2 (Next; only layers
+//     "between the shortcuts" are prunable, as in the paper)
+//   - MobileNet: pw→bn→relu→dw(+bn)→pw        (DW cascade then Next)
+//
+// A final convolution feeding the classifier head uses NextLinear with
+// SpatialPer features per channel.
+type Site struct {
+	Name string
+	Conv *nn.Conv2D
+	BN   *nn.BatchNorm
+
+	// DW / DWBN describe a depthwise consumer that loses the same
+	// channel on both sides (MobileNet cascade); nil elsewhere.
+	DW   *nn.Conv2D
+	DWBN *nn.BatchNorm
+
+	// Next is a standard convolution consumer losing an input channel.
+	Next *nn.Conv2D
+	// NextLinear is a fully-connected consumer losing SpatialPer
+	// input features per removed channel.
+	NextLinear *nn.Linear
+	SpatialPer int
+
+	// FLOPsPerChannel is the approximate MAC cost one output channel
+	// of Conv contributes per inference, used by the FLOP penalty.
+	FLOPsPerChannel float64
+}
+
+// Channels returns the current output-channel count at the site.
+func (s *Site) Channels() int { return s.Conv.Geom.OutC }
+
+// Validate checks the structural consistency of the site.
+func (s *Site) Validate() error {
+	if s.Conv == nil {
+		return fmt.Errorf("channel: site %q has no conv", s.Name)
+	}
+	if s.BN != nil && s.BN.C != s.Conv.Geom.OutC {
+		return fmt.Errorf("channel: site %q BN channels %d != conv out %d", s.Name, s.BN.C, s.Conv.Geom.OutC)
+	}
+	if s.Next == nil && s.NextLinear == nil && s.DW == nil {
+		return fmt.Errorf("channel: site %q has no consumer", s.Name)
+	}
+	return nil
+}
+
+// dropRow removes block row ch from a tensor whose first dimension is
+// channels, returning a new tensor.
+func dropRow(t *tensor.Tensor, ch int) *tensor.Tensor {
+	s := t.Shape()
+	per := t.NumElements() / s[0]
+	ns := s.Clone()
+	ns[0] = s[0] - 1
+	out := tensor.New(ns...)
+	copy(out.Data()[:ch*per], t.Data()[:ch*per])
+	copy(out.Data()[ch*per:], t.Data()[(ch+1)*per:])
+	return out
+}
+
+// dropVec removes element ch from a length-n float32 slice.
+func dropVec(v []float32, ch int) []float32 {
+	out := make([]float32, 0, len(v)-1)
+	out = append(out, v[:ch]...)
+	return append(out, v[ch+1:]...)
+}
+
+// removeConvOut removes output channel ch of a convolution (weights row,
+// bias entry), updating the geometry. For depthwise convolutions the
+// same index is simultaneously an input channel and a group.
+func removeConvOut(c *nn.Conv2D, ch int) {
+	g := &c.Geom
+	if ch < 0 || ch >= g.OutC {
+		panic(fmt.Sprintf("channel: out channel %d out of range [0,%d)", ch, g.OutC))
+	}
+	c.W.W = dropRow(c.W.W, ch)
+	c.W.Grad = tensor.New(c.W.W.Shape()...)
+	c.W.Mask = nil
+	c.B.W = tensor.FromSlice(dropVec(c.B.W.Data(), ch), g.OutC-1)
+	c.B.Grad = tensor.New(g.OutC - 1)
+	g.OutC--
+	if g.Groups > 1 { // depthwise: in channel and group vanish too
+		g.InC--
+		g.Groups--
+	}
+	if c.FisherScores != nil {
+		c.FisherScores = append(c.FisherScores[:ch], c.FisherScores[ch+1:]...)
+	}
+	c.Invalidate()
+}
+
+// removeConvIn removes input channel ch of a standard (groups=1)
+// convolution by deleting the channel's K×K slice from every filter.
+func removeConvIn(c *nn.Conv2D, ch int) {
+	g := &c.Geom
+	if g.Groups != 1 {
+		panic(fmt.Sprintf("channel: removeConvIn on grouped conv %q", c.Name()))
+	}
+	if ch < 0 || ch >= g.InC {
+		panic(fmt.Sprintf("channel: in channel %d out of range [0,%d)", ch, g.InC))
+	}
+	old := c.W.W
+	kArea := g.KH * g.KW
+	out := tensor.New(g.OutC, g.InC-1, g.KH, g.KW)
+	od, id := out.Data(), old.Data()
+	for oc := 0; oc < g.OutC; oc++ {
+		srcBase := oc * g.InC * kArea
+		dstBase := oc * (g.InC - 1) * kArea
+		copy(od[dstBase:dstBase+ch*kArea], id[srcBase:srcBase+ch*kArea])
+		copy(od[dstBase+ch*kArea:dstBase+(g.InC-1)*kArea], id[srcBase+(ch+1)*kArea:srcBase+g.InC*kArea])
+	}
+	c.W.W = out
+	c.W.Grad = tensor.New(out.Shape()...)
+	c.W.Mask = nil
+	g.InC--
+	c.Invalidate()
+}
+
+// removeBN removes channel ch from a batch-norm layer.
+func removeBN(b *nn.BatchNorm, ch int) {
+	b.Gamma.W = tensor.FromSlice(dropVec(b.Gamma.W.Data(), ch), b.C-1)
+	b.Gamma.Grad = tensor.New(b.C - 1)
+	b.Beta.W = tensor.FromSlice(dropVec(b.Beta.W.Data(), ch), b.C-1)
+	b.Beta.Grad = tensor.New(b.C - 1)
+	b.RunningMean = dropVec(b.RunningMean, ch)
+	b.RunningVar = dropVec(b.RunningVar, ch)
+	b.C--
+}
+
+// removeLinearIn removes the per input features of channel ch from a
+// fully-connected layer (flattened NCHW order is channel-major).
+func removeLinearIn(l *nn.Linear, ch, per int) {
+	oldIn := l.In
+	newIn := oldIn - per
+	out := tensor.New(l.Out, newIn)
+	od, id := out.Data(), l.W.W.Data()
+	lo, hi := ch*per, (ch+1)*per
+	for o := 0; o < l.Out; o++ {
+		src := id[o*oldIn : (o+1)*oldIn]
+		dst := od[o*newIn : (o+1)*newIn]
+		copy(dst[:lo], src[:lo])
+		copy(dst[lo:], src[hi:])
+	}
+	l.W.W = out
+	l.W.Grad = tensor.New(out.Shape()...)
+	l.W.Mask = nil
+	l.In = newIn
+	l.Invalidate()
+}
+
+// Remove performs the full surgery for output channel ch at the site:
+// the producing convolution, its batch-norm, any depthwise cascade, and
+// the consuming convolution or linear layer all shrink consistently.
+func (s *Site) Remove(ch int) {
+	if s.Channels() <= 1 {
+		panic(fmt.Sprintf("channel: site %q cannot drop its last channel", s.Name))
+	}
+	removeConvOut(s.Conv, ch)
+	if s.BN != nil {
+		removeBN(s.BN, ch)
+	}
+	if s.DW != nil {
+		removeConvOut(s.DW, ch) // depthwise loses in+out+group together
+		if s.DWBN != nil {
+			removeBN(s.DWBN, ch)
+		}
+	}
+	switch {
+	case s.Next != nil:
+		removeConvIn(s.Next, ch)
+	case s.NextLinear != nil:
+		removeLinearIn(s.NextLinear, ch, s.SpatialPer)
+	}
+}

@@ -1,0 +1,240 @@
+// Package huffman implements the third stage of the Deep Compression
+// pipeline (Han et al., the paper's [12]): entropy coding of the pruned,
+// quantised weight stream. The paper's §III-A describes the "three stage
+// method for storing the network involving pruning, quantisation, and
+// Huffman coding"; this package provides the canonical-Huffman coder and
+// the storage estimator used by the deep-compression extension
+// experiment.
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Code is one symbol's canonical Huffman code.
+type Code struct {
+	Symbol byte
+	Bits   uint32
+	Len    int
+}
+
+// Codebook maps symbols to canonical codes.
+type Codebook struct {
+	codes map[byte]Code
+}
+
+// node is a Huffman-tree node for construction.
+type node struct {
+	count       int
+	symbol      byte
+	leaf        bool
+	left, right *node
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count < h[j].count
+	}
+	// Deterministic tie-break on symbol for reproducible codebooks.
+	return h[i].symbol < h[j].symbol
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Build constructs a canonical Huffman codebook from symbol counts.
+// At least one symbol must have a positive count.
+func Build(counts map[byte]int) (*Codebook, error) {
+	var h nodeHeap
+	for sym, c := range counts {
+		if c > 0 {
+			h = append(h, &node{count: c, symbol: sym, leaf: true})
+		}
+	}
+	if len(h) == 0 {
+		return nil, fmt.Errorf("huffman: no symbols with positive count")
+	}
+	if len(h) == 1 {
+		// Degenerate single-symbol stream: one-bit code.
+		cb := &Codebook{codes: map[byte]Code{h[0].symbol: {Symbol: h[0].symbol, Bits: 0, Len: 1}}}
+		return cb, nil
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*node)
+		b := heap.Pop(&h).(*node)
+		heap.Push(&h, &node{count: a.count + b.count, symbol: minByte(a.symbol, b.symbol), left: a, right: b})
+	}
+	root := h[0]
+
+	// Collect code lengths.
+	lengths := map[byte]int{}
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n.leaf {
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+
+	// Canonicalise: sort by (length, symbol) and assign sequential codes.
+	type ls struct {
+		sym byte
+		ln  int
+	}
+	order := make([]ls, 0, len(lengths))
+	for sym, ln := range lengths {
+		order = append(order, ls{sym, ln})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].ln != order[j].ln {
+			return order[i].ln < order[j].ln
+		}
+		return order[i].sym < order[j].sym
+	})
+	codes := map[byte]Code{}
+	code := uint32(0)
+	prevLen := order[0].ln
+	for _, o := range order {
+		code <<= uint(o.ln - prevLen)
+		prevLen = o.ln
+		codes[o.sym] = Code{Symbol: o.sym, Bits: code, Len: o.ln}
+		code++
+	}
+	return &Codebook{codes: codes}, nil
+}
+
+func minByte(a, b byte) byte {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CodeFor returns the code of a symbol.
+func (cb *Codebook) CodeFor(sym byte) (Code, bool) {
+	c, ok := cb.codes[sym]
+	return c, ok
+}
+
+// Symbols returns the coded symbol count.
+func (cb *Codebook) Symbols() int { return len(cb.codes) }
+
+// Encode compresses a symbol stream into a bitstream (packed MSB-first)
+// and returns the packed bytes and total bit length.
+func (cb *Codebook) Encode(stream []byte) ([]byte, int, error) {
+	var out []byte
+	var cur byte
+	nbits := 0
+	total := 0
+	for _, sym := range stream {
+		c, ok := cb.codes[sym]
+		if !ok {
+			return nil, 0, fmt.Errorf("huffman: symbol %d not in codebook", sym)
+		}
+		for i := c.Len - 1; i >= 0; i-- {
+			bit := byte((c.Bits >> uint(i)) & 1)
+			cur = cur<<1 | bit
+			nbits++
+			total++
+			if nbits == 8 {
+				out = append(out, cur)
+				cur, nbits = 0, 0
+			}
+		}
+	}
+	if nbits > 0 {
+		out = append(out, cur<<uint(8-nbits))
+	}
+	return out, total, nil
+}
+
+// Decode expands a bitstream back into n symbols.
+func (cb *Codebook) Decode(packed []byte, bits, n int) ([]byte, error) {
+	// Build a (code,len) → symbol reverse map; code space is small for
+	// byte alphabets so a map is fine.
+	type key struct {
+		bits uint32
+		ln   int
+	}
+	rev := map[key]byte{}
+	for sym, c := range cb.codes {
+		rev[key{c.Bits, c.Len}] = sym
+	}
+	out := make([]byte, 0, n)
+	var acc uint32
+	ln := 0
+	pos := 0
+	for len(out) < n {
+		if pos >= bits {
+			return nil, fmt.Errorf("huffman: bitstream exhausted after %d of %d symbols", len(out), n)
+		}
+		byteIdx, bitIdx := pos/8, 7-pos%8
+		bit := (packed[byteIdx] >> uint(bitIdx)) & 1
+		acc = acc<<1 | uint32(bit)
+		ln++
+		pos++
+		if sym, ok := rev[key{acc, ln}]; ok {
+			out = append(out, sym)
+			acc, ln = 0, 0
+		}
+		if ln > 32 {
+			return nil, fmt.Errorf("huffman: no code matches after 32 bits")
+		}
+	}
+	return out, nil
+}
+
+// Entropy returns the Shannon entropy (bits/symbol) of a count table —
+// the lower bound any prefix code must respect.
+func Entropy(counts map[byte]int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// MeanCodeLength returns the average code length (bits/symbol) the
+// codebook achieves on a count table.
+func (cb *Codebook) MeanCodeLength(counts map[byte]int) float64 {
+	total, bits := 0, 0.0
+	for sym, c := range counts {
+		code, ok := cb.codes[sym]
+		if !ok {
+			continue
+		}
+		total += c
+		bits += float64(c * code.Len)
+	}
+	if total == 0 {
+		return 0
+	}
+	return bits / float64(total)
+}

@@ -1,0 +1,145 @@
+// Package prune implements Deep-Compression-style weight pruning
+// (Han et al., the paper's [10]/[12]): magnitude-based removal of
+// individual weights, layer-by-layer thresholds derived from each
+// layer's statistics, pruning masks that keep removed weights at exactly
+// zero through fine-tuning, and the iterative prune→retrain loop used to
+// trace the accuracy/sparsity Pareto curve of Fig. 3a.
+package prune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// prunableParams returns the weight tensors subject to pruning: all
+// convolution and fully-connected weights (biases and batch-norm
+// parameters are never pruned).
+func prunableParams(net *nn.Network) []*nn.Param {
+	var ps []*nn.Param
+	for _, c := range net.Convs() {
+		ps = append(ps, c.W)
+	}
+	for _, l := range net.Linears() {
+		ps = append(ps, l.W)
+	}
+	return ps
+}
+
+// ensureMask installs an all-ones mask if the parameter has none.
+func ensureMask(p *nn.Param) {
+	if p.Mask == nil {
+		p.Mask = tensor.New(p.W.Shape()...)
+		p.Mask.Fill(1)
+	}
+}
+
+// MagnitudeThreshold prunes every weight in p whose magnitude is below
+// thr, updating the mask, and returns the number of weights removed by
+// this call.
+func MagnitudeThreshold(p *nn.Param, thr float32) int {
+	ensureMask(p)
+	w, m := p.W.Data(), p.Mask.Data()
+	removed := 0
+	for i, v := range w {
+		if m[i] == 0 {
+			continue
+		}
+		if v < thr && v > -thr {
+			m[i] = 0
+			w[i] = 0
+			removed++
+		}
+	}
+	return removed
+}
+
+// StdThreshold prunes layer p at a threshold of quality × std(weights),
+// the per-layer rule of Han et al. ("the threshold is determined by the
+// standard deviation of the layer").
+func StdThreshold(p *nn.Param, quality float64) int {
+	return MagnitudeThreshold(p, float32(quality*p.W.Std()))
+}
+
+// ToSparsity prunes the smallest-magnitude weights of p until the layer
+// reaches the target zero fraction. Already-masked weights count toward
+// the target.
+func ToSparsity(p *nn.Param, target float64) {
+	if target < 0 || target > 1 {
+		panic(fmt.Sprintf("prune: target sparsity %v outside [0,1]", target))
+	}
+	ensureMask(p)
+	w := p.W.Data()
+	n := len(w)
+	goal := int(math.Round(target * float64(n)))
+	type wv struct {
+		idx int
+		abs float32
+	}
+	all := make([]wv, n)
+	for i, v := range w {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		all[i] = wv{i, a}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].abs < all[j].abs })
+	m := p.Mask.Data()
+	for i := 0; i < goal; i++ {
+		m[all[i].idx] = 0
+		w[all[i].idx] = 0
+	}
+}
+
+// NetworkToSparsity prunes every prunable layer to the same target
+// sparsity. The paper's schedule zeroes the globally lowest-magnitude
+// fraction; per-layer targets give the same aggregate while preserving
+// at least some weights in small layers.
+func NetworkToSparsity(net *nn.Network, target float64) {
+	for _, p := range prunableParams(net) {
+		ToSparsity(p, target)
+	}
+	net.Freeze()
+}
+
+// Sparsity reports the current zero fraction over prunable weights.
+func Sparsity(net *nn.Network) float64 { return net.WeightSparsity() }
+
+// PointOnCurve is one measured operating point of the accuracy/sparsity
+// Pareto curve.
+type PointOnCurve struct {
+	Sparsity float64
+	Accuracy float64
+}
+
+// IterativeConfig controls the prune→retrain loop.
+type IterativeConfig struct {
+	// Targets is the increasing sparsity schedule; the paper starts at
+	// 50% and raises the threshold after each fine-tuning round.
+	Targets []float64
+	// FineTune configures each retraining round (the paper fine-tunes
+	// for 30 epochs per round; mini-model experiments use fewer).
+	FineTune train.Config
+}
+
+// Iterative runs the Deep Compression loop: prune to each target in
+// sequence, fine-tune with masks held, and record test accuracy. The
+// returned curve is the Fig. 3a generator for real (mini-model) training.
+func Iterative(net *nn.Network, trainSet, testSet *data.Dataset, cfg IterativeConfig) []PointOnCurve {
+	curve := []PointOnCurve{{
+		Sparsity: Sparsity(net),
+		Accuracy: train.Evaluate(net, testSet, cfg.FineTune.Threads),
+	}}
+	for _, target := range cfg.Targets {
+		NetworkToSparsity(net, target)
+		res := train.Run(net, trainSet, testSet, cfg.FineTune)
+		curve = append(curve, PointOnCurve{Sparsity: Sparsity(net), Accuracy: res.TestAccuracy})
+	}
+	return curve
+}

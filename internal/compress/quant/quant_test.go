@@ -1,0 +1,199 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func smallNet(r *tensor.RNG) *nn.Network {
+	net := nn.NewNetwork("small", tensor.Shape{3, 8, 8}, 10)
+	net.Add(
+		nn.NewConv2D("c1", sparse.ConvParams{InC: 3, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r),
+		nn.NewReLU("r1"),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewFlatten("fl"),
+		nn.NewLinear("fc", 8, 10, r),
+	)
+	return net
+}
+
+func ternaryValues(t *testing.T, p *nn.Param, wp, wn float32) {
+	t.Helper()
+	for i, v := range p.W.Data() {
+		if v != 0 && v != wp && v != -wn {
+			t.Fatalf("%s[%d] = %v not in {0, %v, %v}", p.Name, i, v, wp, -wn)
+		}
+	}
+}
+
+func TestQuantizeProducesTernaryWeights(t *testing.T) {
+	r := tensor.NewRNG(1)
+	net := smallNet(r)
+	st := Quantize(net, 0.05)
+	if len(st.Layers) != 2 {
+		t.Fatalf("quantised %d layers, want 2 (conv + fc)", len(st.Layers))
+	}
+	for _, ls := range st.Layers {
+		ternaryValues(t, ls.Param, ls.Wp, ls.Wn)
+		if ls.Wp <= 0 || ls.Wn <= 0 {
+			t.Fatalf("scales must be positive: Wp=%v Wn=%v", ls.Wp, ls.Wn)
+		}
+	}
+}
+
+func TestQuantizeThresholdControlsSparsity(t *testing.T) {
+	// Higher thresholds must zero more weights (monotone, Fig. 3c).
+	sparsities := make([]float64, 0, 3)
+	for _, thr := range []float64{0.01, 0.1, 0.3} {
+		net := smallNet(tensor.NewRNG(2))
+		st := Quantize(net, thr)
+		sparsities = append(sparsities, st.Sparsity())
+	}
+	if !(sparsities[0] < sparsities[1] && sparsities[1] < sparsities[2]) {
+		t.Fatalf("sparsity not monotone in threshold: %v", sparsities)
+	}
+}
+
+func TestQuantizeZeroThresholdKeepsAllWeights(t *testing.T) {
+	net := smallNet(tensor.NewRNG(3))
+	st := Quantize(net, 0)
+	// Only exact zeros (none with Gaussian init) should be zero.
+	if s := st.Sparsity(); s > 0.01 {
+		t.Fatalf("threshold 0 sparsity = %v, want ≈0", s)
+	}
+}
+
+func TestQuantizeInvalidThresholdPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for threshold ≥ 1")
+		}
+	}()
+	Quantize(smallNet(tensor.NewRNG(4)), 1.0)
+}
+
+func TestScaleInitialisationIsMeanMagnitude(t *testing.T) {
+	r := tensor.NewRNG(5)
+	net := smallNet(r)
+	conv := net.Convs()[0]
+	latent := conv.W.W.Clone()
+	st := Quantize(net, 0.1)
+	ls := st.Layers[0]
+	delta := float32(0.1) * latent.AbsMax()
+	var posSum float64
+	var posN int
+	for _, v := range latent.Data() {
+		if v > delta {
+			posSum += float64(v)
+			posN++
+		}
+	}
+	want := float32(posSum / float64(posN))
+	if math.Abs(float64(ls.Wp-want)) > 1e-5 {
+		t.Fatalf("Wp = %v, want mean surviving magnitude %v", ls.Wp, want)
+	}
+}
+
+func TestStepKeepsWeightsTernary(t *testing.T) {
+	r := tensor.NewRNG(6)
+	net := smallNet(r)
+	st := Quantize(net, 0.05)
+	for _, ls := range st.Layers {
+		ls.Param.Grad.FillNormal(r, 0, 1)
+	}
+	st.Step(0.01)
+	for _, ls := range st.Layers {
+		ternaryValues(t, ls.Param, ls.Wp, ls.Wn)
+	}
+}
+
+func TestStepLearnsScales(t *testing.T) {
+	r := tensor.NewRNG(7)
+	net := smallNet(r)
+	st := Quantize(net, 0.05)
+	ls := st.Layers[0]
+	wp0 := ls.Wp
+	// A uniform positive gradient on positive-coded weights must shrink Wp.
+	g := ls.Param.Grad.Data()
+	for i, w := range ls.Param.W.Data() {
+		if w > 0 {
+			g[i] = 1
+		}
+	}
+	st.Step(0.1)
+	if ls.Wp >= wp0 {
+		t.Fatalf("Wp did not move against its gradient: %v → %v", wp0, ls.Wp)
+	}
+}
+
+func TestStepScalesStayPositive(t *testing.T) {
+	r := tensor.NewRNG(8)
+	net := smallNet(r)
+	st := Quantize(net, 0.05)
+	ls := st.Layers[0]
+	for i := range ls.Param.Grad.Data() {
+		ls.Param.Grad.Data()[i] = 100 // huge gradient
+	}
+	st.Step(1)
+	if ls.Wp <= 0 || ls.Wn <= 0 {
+		t.Fatalf("scales collapsed: Wp=%v Wn=%v", ls.Wp, ls.Wn)
+	}
+}
+
+func TestTernaryFormatRoundtrip(t *testing.T) {
+	// Quantised weights must convert exactly into the sparse ternary
+	// storage format.
+	r := tensor.NewRNG(9)
+	net := smallNet(r)
+	st := Quantize(net, 0.1)
+	ls := st.Layers[1] // the linear layer: already a matrix
+	tern := sparse.TernaryFromDense(ls.Param.W, ls.Wp, ls.Wn)
+	if d := tensor.MaxAbsDiff(tern.ToDense(), ls.Param.W); d > 1e-6 {
+		t.Fatalf("ternary format roundtrip differs by %v", d)
+	}
+}
+
+func TestFineTuneImprovesQuantisedNetwork(t *testing.T) {
+	trainSet, testSet := data.Generate(data.Config{Train: 200, Test: 80, Size: 8, Noise: 0.15, Seed: 10})
+	r := tensor.NewRNG(10)
+	net := smallNet(r)
+	// Pre-train dense.
+	train.Run(net, trainSet, nil, train.Config{Epochs: 4, BatchSize: 20, Schedule: train.Schedule{Base: 0.05}, Seed: 11})
+	st := Quantize(net, 0.05)
+	before := train.Evaluate(net, testSet, 1)
+	res := st.FineTune(net, trainSet, testSet, train.Config{
+		Epochs: 3, BatchSize: 20, Schedule: train.Schedule{Base: 0.01}, Seed: 12,
+	})
+	// Weights must remain ternary after fine-tuning.
+	for _, ls := range st.Layers {
+		ternaryValues(t, ls.Param, ls.Wp, ls.Wn)
+	}
+	if res.TestAccuracy+0.1 < before {
+		t.Fatalf("fine-tuning degraded accuracy: %.3f → %.3f", before, res.TestAccuracy)
+	}
+}
+
+func TestCurveProducesRequestedThresholds(t *testing.T) {
+	trainSet, testSet := data.Generate(data.Config{Train: 60, Test: 30, Size: 8, Noise: 0.15, Seed: 13})
+	factory := func() *nn.Network {
+		net := smallNet(tensor.NewRNG(14))
+		return net
+	}
+	curve := Curve(factory, trainSet, testSet, []float64{0.02, 0.1},
+		train.Config{Epochs: 1, BatchSize: 20, Schedule: train.Schedule{Base: 0.01}, Seed: 15})
+	if len(curve) != 2 {
+		t.Fatalf("curve has %d points, want 2", len(curve))
+	}
+	if curve[0].Threshold != 0.02 || curve[1].Threshold != 0.1 {
+		t.Fatalf("thresholds wrong: %+v", curve)
+	}
+	if curve[1].Sparsity <= curve[0].Sparsity {
+		t.Fatalf("sparsity must grow with threshold: %+v", curve)
+	}
+}

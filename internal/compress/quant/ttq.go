@@ -1,0 +1,253 @@
+// Package quant implements Trained Ternary Quantisation (Zhu et al.,
+// the paper's [36]): each layer's weights are constrained to three
+// values {-Wn, 0, +Wp}, where the threshold hyper-parameter t sets the
+// zero band (|w| ≤ t·max|w| → 0) and the two magnitudes Wp/Wn are
+// learned per layer during fine-tuning. Full-precision latent weights
+// are kept alongside the quantised ones and updated with a
+// straight-through estimator.
+package quant
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// LayerState holds the quantisation state of one weight tensor.
+type LayerState struct {
+	Param *nn.Param
+	// Latent is the full-precision shadow copy updated by fine-tuning.
+	Latent *tensor.Tensor
+	// Wp and Wn are the learned positive/negative magnitudes.
+	Wp, Wn float32
+	// Delta is the zero-band half-width t·max|latent|.
+	Delta float32
+}
+
+// State is the quantisation state of a whole network.
+type State struct {
+	// Threshold is the TTQ threshold hyper-parameter t (Fig. 3c x-axis).
+	Threshold float64
+	Layers    []*LayerState
+}
+
+// quantisableParams returns conv and linear weights (biases and
+// batch-norm parameters stay full precision, as in TTQ).
+func quantisableParams(net *nn.Network) []*nn.Param {
+	var ps []*nn.Param
+	for _, c := range net.Convs() {
+		ps = append(ps, c.W)
+	}
+	for _, l := range net.Linears() {
+		ps = append(ps, l.W)
+	}
+	return ps
+}
+
+// Quantize converts every conv/linear weight tensor of the network to
+// ternary form at threshold t, initialising Wp/Wn to the mean magnitude
+// of the surviving positive/negative weights of that layer (the TTQ
+// initialisation), and returns the state needed for fine-tuning.
+func Quantize(net *nn.Network, t float64) *State {
+	if t < 0 || t >= 1 {
+		panic(fmt.Sprintf("quant: threshold %v outside [0,1)", t))
+	}
+	st := &State{Threshold: t}
+	for _, p := range quantisableParams(net) {
+		ls := &LayerState{Param: p, Latent: p.W.Clone()}
+		requantize(ls, t, true)
+		st.Layers = append(st.Layers, ls)
+	}
+	net.Freeze()
+	return st
+}
+
+// requantize writes the ternary weights of ls.Latent into ls.Param.W.
+// When initScales is set, Wp/Wn are re-estimated from the latent
+// distribution; otherwise the learned values are kept.
+func requantize(ls *LayerState, t float64, initScales bool) {
+	latent := ls.Latent.Data()
+	ls.Delta = float32(t) * ls.Latent.AbsMax()
+	if initScales {
+		var posSum, negSum float64
+		var posN, negN int
+		for _, v := range latent {
+			switch {
+			case v > ls.Delta:
+				posSum += float64(v)
+				posN++
+			case v < -ls.Delta:
+				negSum -= float64(v)
+				negN++
+			}
+		}
+		ls.Wp, ls.Wn = 1, 1
+		if posN > 0 {
+			ls.Wp = float32(posSum / float64(posN))
+		}
+		if negN > 0 {
+			ls.Wn = float32(negSum / float64(negN))
+		}
+	}
+	w := ls.Param.W.Data()
+	for i, v := range latent {
+		switch {
+		case v > ls.Delta:
+			w[i] = ls.Wp
+		case v < -ls.Delta:
+			w[i] = -ls.Wn
+		default:
+			w[i] = 0
+		}
+	}
+}
+
+// Sparsity returns the zero fraction induced across all quantised layers
+// (the paper reports it per threshold in Tables III and V).
+func (s *State) Sparsity() float64 {
+	var zeros, total int
+	for _, ls := range s.Layers {
+		zeros += ls.Param.W.CountZeros()
+		total += ls.Param.W.NumElements()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zeros) / float64(total)
+}
+
+// Step applies one TTQ update from the gradients accumulated in each
+// parameter: scale gradients are routed to Wp/Wn according to each
+// weight's code, latent weights receive the straight-through gradient,
+// and the ternary weights are rewritten. lr is the learning rate.
+func (s *State) Step(lr float64) {
+	for _, ls := range s.Layers {
+		g := ls.Param.Grad.Data()
+		w := ls.Param.W.Data()
+		latent := ls.Latent.Data()
+		var gp, gn float64
+		var np, nn_ int
+		for i, gi := range g {
+			switch {
+			case w[i] > 0:
+				gp += float64(gi)
+				np++
+			case w[i] < 0:
+				gn -= float64(gi)
+				nn_++
+			}
+			// Straight-through update of the latent weight.
+			latent[i] -= float32(lr) * gi
+		}
+		if np > 0 {
+			ls.Wp -= float32(lr * gp / float64(np))
+		}
+		if nn_ > 0 {
+			ls.Wn -= float32(lr * gn / float64(nn_))
+		}
+		// Keep the scales positive; a collapsed scale would flip signs.
+		if ls.Wp < 1e-4 {
+			ls.Wp = 1e-4
+		}
+		if ls.Wn < 1e-4 {
+			ls.Wn = 1e-4
+		}
+		requantize(ls, s.Threshold, false)
+	}
+}
+
+// FineTune retrains the quantised network for the given number of
+// epochs: full-precision latent weights carry the optimisation while the
+// forward/backward passes always see ternary weights. Non-quantised
+// parameters (biases, batch-norm) train with plain SGD.
+func (s *State) FineTune(net *nn.Network, trainSet, testSet *data.Dataset, cfg train.Config) train.Result {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	quantised := map[*nn.Param]bool{}
+	for _, ls := range s.Layers {
+		quantised[ls.Param] = true
+	}
+	ctx := nn.Inference()
+	ctx.Training = true
+	ctx.Threads = cfg.Threads
+	if ctx.Threads <= 0 {
+		ctx.Threads = 1
+	}
+	opt := train.NewSGD(cfg.Schedule.Base)
+	r := tensor.NewRNG(cfg.Seed)
+
+	steps := 0
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.Schedule.At(epoch)
+		opt.LR = lr
+		perm := r.Perm(trainSet.Len())
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < len(perm); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			images, labels := trainSet.Batch(perm[start:end])
+			net.ZeroGrads()
+			out := net.Forward(&ctx, images)
+			loss, grad := train.SoftmaxCE(out, labels)
+			net.Backward(&ctx, grad)
+
+			// Split the parameter set: plain SGD for full-precision
+			// params, TTQ update for quantised ones.
+			var plain []*nn.Param
+			for _, p := range net.Params() {
+				if !quantised[p] {
+					plain = append(plain, p)
+				}
+			}
+			opt.Step(plain)
+			s.Step(lr)
+
+			epochLoss += loss
+			batches++
+			steps++
+		}
+		lastLoss = epochLoss / float64(batches)
+	}
+	net.Freeze()
+	res := train.Result{FinalLoss: lastLoss, Steps: steps}
+	res.TrainAccuracy = train.Evaluate(net, trainSet, ctx.Threads)
+	if testSet != nil {
+		res.TestAccuracy = train.Evaluate(net, testSet, ctx.Threads)
+	}
+	return res
+}
+
+// PointOnCurve is one accuracy measurement at a TTQ threshold (Fig. 3c).
+type PointOnCurve struct {
+	Threshold float64
+	Sparsity  float64
+	Accuracy  float64
+}
+
+// Curve quantises fresh copies of the trained network at each threshold,
+// fine-tunes, and records accuracy — the Fig. 3c generator. The caller
+// provides a factory so each threshold starts from the same trained
+// full-precision weights.
+func Curve(factory func() *nn.Network, trainSet, testSet *data.Dataset,
+	thresholds []float64, cfg train.Config) []PointOnCurve {
+	var curve []PointOnCurve
+	for _, t := range thresholds {
+		net := factory()
+		st := Quantize(net, t)
+		res := st.FineTune(net, trainSet, testSet, cfg)
+		curve = append(curve, PointOnCurve{
+			Threshold: t,
+			Sparsity:  st.Sparsity(),
+			Accuracy:  res.TestAccuracy,
+		})
+	}
+	return curve
+}

@@ -1,0 +1,366 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/pareto"
+	"repro/internal/tensor"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := core.Config{Model: "vgg16", Technique: core.Plain, Backend: core.OMP, Threads: 4, Platform: "odroid-xu4"}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []core.Config{
+		{Model: "alexnet", Backend: core.OMP, Threads: 1, Platform: "odroid-xu4"},
+		{Model: "vgg16", Backend: core.OMP, Threads: 0, Platform: "odroid-xu4"},
+		{Model: "vgg16", Backend: core.OMP, Threads: 16, Platform: "odroid-xu4"},
+		{Model: "vgg16", Backend: core.OMP, Threads: 8, Platform: "intel-i7"},
+		{Model: "vgg16", Backend: core.OCL, Threads: 1, Platform: "intel-i7"},
+		{Model: "vgg16", Technique: core.WeightPruned, Backend: core.OCL, Threads: 1, Platform: "odroid-xu4"},
+		{Model: "vgg16", Backend: core.OMP, Threads: 1, Platform: "jetson"},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestAlgoAndFormatMapping(t *testing.T) {
+	cases := []struct {
+		tech    core.Technique
+		backend core.Backend
+		algo    nn.Algo
+		format  metrics.Format
+	}{
+		{core.Plain, core.OMP, nn.Direct, metrics.Dense},
+		{core.WeightPruned, core.OMP, nn.SparseDirect, metrics.CSR},
+		{core.ChannelPruned, core.OMP, nn.Direct, metrics.Dense},
+		{core.Quantised, core.OMP, nn.SparseDirect, metrics.CSR},
+		{core.Plain, core.CLBlast, nn.Im2colGEMM, metrics.Dense},
+	}
+	for _, c := range cases {
+		cfg := core.Config{Technique: c.tech, Backend: c.backend}
+		if cfg.Algo() != c.algo {
+			t.Fatalf("%v/%v: algo %v, want %v", c.tech, c.backend, cfg.Algo(), c.algo)
+		}
+		if cfg.Format() != c.format {
+			t.Fatalf("%v: format %v, want %v", c.tech, cfg.Format(), c.format)
+		}
+	}
+}
+
+func TestWorkloadFlattensResidualBlocks(t *testing.T) {
+	r := tensor.NewRNG(1)
+	net := models.MiniResNet(r)
+	work := core.Workload(net, 1, nn.Direct, metrics.Dense)
+	// conv1+bn+relu + 8 blocks × (5 or 7 sublayers + add) + head(3).
+	convs := 0
+	adds := 0
+	for _, w := range work {
+		if w.Stats.Kind == "conv" {
+			convs++
+		}
+		if w.Stats.Kind == "add" {
+			adds++
+		}
+	}
+	if convs != 20 {
+		t.Fatalf("flattened workload has %d convs, want 20", convs)
+	}
+	if adds != 8 {
+		t.Fatalf("flattened workload has %d residual adds, want 8", adds)
+	}
+}
+
+func TestWorkloadMACsMatchDescribe(t *testing.T) {
+	r := tensor.NewRNG(2)
+	net := models.MiniVGG(r)
+	work := core.Workload(net, 1, nn.Direct, metrics.Dense)
+	var got int64
+	for _, w := range work {
+		if w.Stats.Kind == "conv" || w.Stats.Kind == "linear" {
+			got += w.Stats.MACs
+		}
+	}
+	var want int64
+	stats, _ := net.Describe(1)
+	for _, s := range stats {
+		if s.Kind == "conv" || s.Kind == "linear" {
+			want += s.MACs
+		}
+	}
+	if got != want {
+		t.Fatalf("workload MACs %d != describe MACs %d", got, want)
+	}
+}
+
+func TestInstantiateOperatingPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size instantiation is slow in -short mode")
+	}
+	pts, _ := pareto.TableIII("mobilenet")
+	// Weight pruning must land at the requested sparsity.
+	wp, err := core.Instantiate(core.Config{Model: "mobilenet", Technique: core.WeightPruned,
+		Point: pts[core.WeightPruned], Backend: core.OMP, Threads: 1, Platform: "odroid-xu4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := wp.Net.WeightSparsity(); s < 0.22 || s > 0.25 {
+		t.Fatalf("weight-pruned sparsity %v, want ≈0.2346", s)
+	}
+	// Channel pruning must reduce conv parameters by roughly the rate.
+	orig, _ := models.ByName("mobilenet", tensor.NewRNG(1))
+	cp, err := core.Instantiate(core.Config{Model: "mobilenet", Technique: core.ChannelPruned,
+		Point: pts[core.ChannelPruned], Backend: core.OMP, Threads: 1, Platform: "odroid-xu4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Net.ParamCount() >= orig.ParamCount()/2 {
+		t.Fatalf("channel-pruned params %d not clearly reduced from %d",
+			cp.Net.ParamCount(), orig.ParamCount())
+	}
+	// Quantisation must produce ternary weights at the pinned sparsity.
+	q, err := core.Instantiate(core.Config{Model: "mobilenet", Technique: core.Quantised,
+		Point: pts[core.Quantised], Backend: core.OMP, Threads: 1, Platform: "odroid-xu4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := q.Net.WeightSparsity(); s < 0.90 {
+		t.Fatalf("quantised sparsity %v, want ≥0.9213-ish", s)
+	}
+}
+
+func TestRunProducesLogits(t *testing.T) {
+	inst, err := core.Instantiate(core.Config{Model: "mini-vgg", Technique: core.Plain,
+		Backend: core.OMP, Threads: 1, Platform: "intel-i7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(3)
+	in := tensor.New(1, 3, 32, 32)
+	in.FillNormal(r, 0, 1)
+	res := inst.Run(in)
+	if !res.Output.Shape().Equal(tensor.Shape{1, 10}) {
+		t.Fatalf("run output shape %v", res.Output.Shape())
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed time must be positive")
+	}
+}
+
+// buildAt instantiates one (model, technique) at Table III points and
+// returns simulated times across thread counts on a platform.
+func simulateRow(t *testing.T, model string, tech core.Technique, platform string) map[int]float64 {
+	t.Helper()
+	pts, err := pareto.TableIII(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := core.Instantiate(core.Config{Model: model, Technique: tech, Point: pts[tech],
+		Backend: core.OMP, Threads: 1, Platform: platform, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := hw.ByName(platform)
+	work := core.Workload(inst.Net, 1, inst.Config.Algo(), inst.Config.Format())
+	out := map[int]float64{}
+	for threads := 1; threads <= p.CPU.MaxThreads; threads *= 2 {
+		out[threads] = p.NetworkTime(work, threads)
+	}
+	return out
+}
+
+// TestGoldenFig4 asserts the paper's baseline-experiment findings on the
+// full stack (Fig. 4): these are the headline results of the paper.
+func TestGoldenFig4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden full-stack checks are slow in -short mode")
+	}
+	for _, platform := range []string{"odroid-xu4", "intel-i7"} {
+		vggPlain := simulateRow(t, "vgg16", core.Plain, platform)
+		vggWP := simulateRow(t, "vgg16", core.WeightPruned, platform)
+		vggCP := simulateRow(t, "vgg16", core.ChannelPruned, platform)
+		vggQ := simulateRow(t, "vgg16", core.Quantised, platform)
+		mobPlain := simulateRow(t, "mobilenet", core.Plain, platform)
+		mobWP := simulateRow(t, "mobilenet", core.WeightPruned, platform)
+		mobCP := simulateRow(t, "mobilenet", core.ChannelPruned, platform)
+		mobQ := simulateRow(t, "mobilenet", core.Quantised, platform)
+
+		p, _ := hw.ByName(platform)
+		maxT := p.CPU.MaxThreads
+
+		// F2: channel pruning wins in every setup considered.
+		for threads := 1; threads <= maxT; threads *= 2 {
+			if !(vggCP[threads] < vggPlain[threads] && vggCP[threads] < vggWP[threads] && vggCP[threads] < vggQ[threads]) {
+				t.Errorf("%s@%dT: VGG channel pruning must be fastest: cp=%.3f plain=%.3f wp=%.3f q=%.3f",
+					platform, threads, vggCP[threads], vggPlain[threads], vggWP[threads], vggQ[threads])
+			}
+			if !(mobCP[threads] < mobWP[threads] && mobCP[threads] < mobQ[threads]) {
+				t.Errorf("%s@%dT: MobileNet channel pruning must beat the sparse techniques: cp=%.3f wp=%.3f q=%.3f",
+					platform, threads, mobCP[threads], mobWP[threads], mobQ[threads])
+			}
+		}
+
+		// F2/V-D: sparse methods hurt VGG at every thread count.
+		for threads := 1; threads <= maxT; threads *= 2 {
+			if vggWP[threads] <= vggPlain[threads] {
+				t.Errorf("%s@%dT: VGG weight pruning must be slower than plain (%.3f vs %.3f)",
+					platform, threads, vggWP[threads], vggPlain[threads])
+			}
+			if vggQ[threads] <= vggPlain[threads] {
+				t.Errorf("%s@%dT: VGG quantisation must be slower than plain (%.3f vs %.3f)",
+					platform, threads, vggQ[threads], vggPlain[threads])
+			}
+		}
+
+		// F4a: plain VGG speeds up with threads.
+		if !(vggPlain[1] > vggPlain[2] && vggPlain[2] > vggPlain[maxT]) {
+			t.Errorf("%s: plain VGG must speed up with threads: %v", platform, vggPlain)
+		}
+		// F4b: plain MobileNet slows down with threads.
+		if !(mobPlain[maxT] > mobPlain[1]) {
+			t.Errorf("%s: plain MobileNet must slow down with threads: %v", platform, mobPlain)
+		}
+		// F4c: sparse MobileNet beats plain at max threads but not at 1.
+		if mobWP[maxT] >= mobPlain[maxT] {
+			t.Errorf("%s: MobileNet weight pruning must beat plain at %dT (%.3f vs %.3f)",
+				platform, maxT, mobWP[maxT], mobPlain[maxT])
+		}
+		if mobWP[1] <= mobPlain[1] {
+			t.Errorf("%s: MobileNet weight pruning must lose to plain at 1T (%.3f vs %.3f)",
+				platform, mobWP[1], mobPlain[1])
+		}
+	}
+}
+
+// TestGoldenFig5 asserts F5: at fixed 90% accuracy (Table V points), the
+// channel-pruned big networks outperform every MobileNet variant on the
+// embedded platform at 8 threads.
+func TestGoldenFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden full-stack checks are slow in -short mode")
+	}
+	platform := "odroid-xu4"
+	p, _ := hw.ByName(platform)
+	at := func(model string, tech core.Technique) float64 {
+		pts, err := pareto.TableV(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := core.Instantiate(core.Config{Model: model, Technique: tech, Point: pts[tech],
+			Backend: core.OMP, Threads: 8, Platform: platform, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := core.Workload(inst.Net, 1, inst.Config.Algo(), inst.Config.Format())
+		return p.NetworkTime(work, 8)
+	}
+	vggCP := at("vgg16", core.ChannelPruned)
+	resCP := at("resnet18", core.ChannelPruned)
+	// Channel-pruned VGG-16 beats MobileNet under *every* technique.
+	for _, tech := range []core.Technique{core.WeightPruned, core.ChannelPruned, core.Quantised} {
+		mob := at("mobilenet", tech)
+		if vggCP >= mob {
+			t.Errorf("channel-pruned VGG-16 must beat MobileNet/%v on Odroid@8T: vggCP=%.3f mob=%.3f",
+				tech, vggCP, mob)
+		}
+	}
+	// Channel-pruned ResNet-18 beats MobileNet's sparse variants. (Its
+	// shortcut-constrained surgery cannot reach the paper's 94% global
+	// rate — conv2/skip layers are unprunable — so the CP-vs-CP margin
+	// of Fig. 5 is not reproduced exactly; see EXPERIMENTS.md.)
+	for _, tech := range []core.Technique{core.WeightPruned, core.Quantised} {
+		mob := at("mobilenet", tech)
+		if resCP >= mob {
+			t.Errorf("channel-pruned ResNet-18 must beat MobileNet/%v on Odroid@8T: resCP=%.3f mob=%.3f",
+				tech, resCP, mob)
+		}
+	}
+}
+
+// TestGoldenFig6 asserts F6 on the full networks: hand-tuned OpenCL
+// beats OpenMP, which beats CLBlast, at CIFAR scale; CLBlast overtakes
+// OpenMP at ImageNet scale.
+func TestGoldenFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden full-stack checks are slow in -short mode")
+	}
+	od, _ := hw.ByName("odroid-xu4")
+	for _, model := range models.Names() {
+		net, err := models.ByName(model, tensor.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := core.Workload(net, 1, nn.Direct, metrics.Dense)
+		omp := od.NetworkTime(work, 8)
+		ocl := core.SimulateGPUHandTuned(net, od.GPU)
+		clb := core.SimulateGPUCLBlast(net, od.GPU)
+		if !(ocl < omp && omp < clb) {
+			t.Errorf("%s: expected core.OCL < core.OMP < core.CLBlast at CIFAR scale, got ocl=%.3f omp=%.3f clblast=%.3f",
+				model, ocl, omp, clb)
+		}
+	}
+	// §V-F: at ImageNet scale core.CLBlast overtakes OpenMP for VGG-16.
+	vgg, _ := models.ByName("vgg16", tensor.NewRNG(1))
+	vgg.InputShape = tensor.Shape{3, 224, 224}
+	work := core.Workload(vgg, 1, nn.Direct, metrics.Dense)
+	omp224 := od.NetworkTime(work, 8)
+	clb224 := core.SimulateGPUCLBlast(vgg, od.GPU)
+	if clb224 >= omp224 {
+		t.Errorf("at 224×224 core.CLBlast must beat OpenMP: clblast=%.3f omp=%.3f", clb224, omp224)
+	}
+}
+
+// TestGoldenFig1 asserts F1: expected FLOP-proportional speedup from
+// weight pruning does not materialise under dense execution, and CSR
+// execution stays far above the expectation too.
+func TestGoldenFig1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden full-stack checks are slow in -short mode")
+	}
+	i7, _ := hw.ByName("intel-i7")
+	inst, err := core.Instantiate(core.Config{Model: "vgg16", Technique: core.Plain,
+		Backend: core.OMP, Threads: 1, Platform: "intel-i7", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := core.Workload(inst.Net, 1, nn.Direct, metrics.Dense)
+	base := i7.NetworkTime(dense, 1)
+	for _, s := range []float64{0.4, 0.6, 0.8} {
+		wp, err := core.Instantiate(core.Config{Model: "vgg16", Technique: core.WeightPruned,
+			Point: core.OperatingPoint{Sparsity: s}, Backend: core.OMP, Threads: 1, Platform: "intel-i7", Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected := base * (1 - s)
+		observedDense := i7.NetworkTime(core.Workload(wp.Net, 1, nn.Direct, metrics.Dense), 1)
+		observedCSR := i7.NetworkTime(core.Workload(wp.Net, 1, nn.SparseDirect, metrics.CSR), 1)
+		if observedDense < base*0.99 {
+			t.Errorf("sparsity %v: dense execution must not speed up (%.3f vs baseline %.3f)",
+				s, observedDense, base)
+		}
+		if observedCSR < expected*1.5 {
+			t.Errorf("sparsity %v: CSR time %.3f should remain far above FLOP expectation %.3f",
+				s, observedCSR, expected)
+		}
+	}
+}
+
+func TestTechniqueBackendStrings(t *testing.T) {
+	if core.Plain.String() != "plain" || core.WeightPruned.String() != "weight-pruning" ||
+		core.ChannelPruned.String() != "channel-pruning" || core.Quantised.String() != "quantisation" {
+		t.Fatal("technique names wrong")
+	}
+	if core.OMP.String() != "openmp" || core.OCL.String() != "opencl" || core.CLBlast.String() != "clblast" {
+		t.Fatal("backend names wrong")
+	}
+}

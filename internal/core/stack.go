@@ -1,0 +1,250 @@
+// Package core implements the paper's primary contribution: the Deep
+// Learning Inference Stack (DLIS, Table I) — a five-layer configuration
+// space spanning
+//
+//  1. Neural Network Models     (VGG-16 / ResNet-18 / MobileNet)
+//  2. Machine Learning Techniques (plain / weight pruning / channel
+//     pruning / ternary quantisation)
+//  3. Data Formats & Algorithms  (dense direct / CSR sparse / im2col+GEMM)
+//  4. Systems Techniques         (thread count & schedule, OpenMP-style
+//     CPU, OpenCL-style GPU, CLBlast-style GEMM library)
+//  5. Hardware                   (Odroid-XU4 / Intel i7 platform models)
+//
+// A Config picks one candidate per layer; Instantiate builds the real
+// network at the requested compression operating point; Run executes it
+// on the host engine; Simulate projects its execution time onto the
+// modelled platform; MemoryMB accounts its runtime footprint. The
+// experiments in internal/experiments are thin sweeps over Configs.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compress/channel"
+	"repro/internal/compress/prune"
+	"repro/internal/compress/quant"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Technique is stack layer 2: the compression technique.
+type Technique int
+
+const (
+	// Plain is the uncompressed dense baseline.
+	Plain Technique = iota
+	// WeightPruned is Deep-Compression-style magnitude pruning,
+	// executed in CSR format.
+	WeightPruned
+	// ChannelPruned is Fisher channel pruning, executed densely with a
+	// reduced architecture.
+	ChannelPruned
+	// Quantised is trained ternary quantisation, executed in CSR.
+	Quantised
+)
+
+// String names the technique as the paper's figures do.
+func (t Technique) String() string {
+	switch t {
+	case Plain:
+		return "plain"
+	case WeightPruned:
+		return "weight-pruning"
+	case ChannelPruned:
+		return "channel-pruning"
+	case Quantised:
+		return "quantisation"
+	default:
+		return "unknown"
+	}
+}
+
+// Techniques lists all four in the paper's legend order.
+func Techniques() []Technique { return []Technique{Plain, WeightPruned, ChannelPruned, Quantised} }
+
+// Backend is stack layer 4: the parallel execution substrate.
+type Backend int
+
+const (
+	// OMP is CPU thread parallelism (the OpenMP implementation).
+	OMP Backend = iota
+	// OCL is the hand-tuned OpenCL GPU implementation.
+	OCL
+	// CLBlast is convolution-as-GEMM through the tuned BLAS library.
+	CLBlast
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case OMP:
+		return "openmp"
+	case OCL:
+		return "opencl"
+	case CLBlast:
+		return "clblast"
+	default:
+		return "unknown"
+	}
+}
+
+// OperatingPoint is the compression level of a technique: exactly one
+// field is meaningful, matching Tables III and V.
+type OperatingPoint struct {
+	// Sparsity is the weight-pruning zero fraction.
+	Sparsity float64
+	// CompressionRate is the channel-pruning parameter-removal rate.
+	CompressionRate float64
+	// TTQThreshold is the quantisation threshold; TTQSparsity the zero
+	// fraction it induces (reported alongside in the paper).
+	TTQThreshold float64
+	TTQSparsity  float64
+}
+
+// Config selects one candidate per stack layer.
+type Config struct {
+	// Model is the network name ("vgg16", "resnet18", "mobilenet").
+	Model string
+	// Technique is the compression technique.
+	Technique Technique
+	// Point is the compression operating point.
+	Point OperatingPoint
+	// Backend is the execution substrate.
+	Backend Backend
+	// Threads is the CPU thread count (OMP backend).
+	Threads int
+	// Platform is the modelled hardware ("odroid-xu4", "intel-i7").
+	Platform string
+	// Seed drives deterministic weight initialisation.
+	Seed uint64
+}
+
+// Validate rejects inconsistent configurations.
+func (c *Config) Validate() error {
+	if _, err := models.ByName(c.Model, tensor.NewRNG(1)); err != nil {
+		return err
+	}
+	if _, err := hw.ByName(c.Platform); err != nil {
+		return err
+	}
+	if c.Threads < 1 {
+		return fmt.Errorf("core: thread count %d must be ≥ 1", c.Threads)
+	}
+	p, _ := hw.ByName(c.Platform)
+	if c.Threads > p.CPU.MaxThreads {
+		return fmt.Errorf("core: platform %s supports at most %d threads, got %d",
+			c.Platform, p.CPU.MaxThreads, c.Threads)
+	}
+	if c.Backend != OMP && p.GPU == nil {
+		return fmt.Errorf("core: platform %s has no GPU for backend %s", c.Platform, c.Backend)
+	}
+	if c.Backend != OMP && c.Technique != Plain {
+		return fmt.Errorf("core: the GPU backends are evaluated on plain models only (§V-F)")
+	}
+	return nil
+}
+
+// Algo returns the convolution algorithm implied by technique+backend.
+func (c *Config) Algo() nn.Algo {
+	if c.Backend == CLBlast {
+		return nn.Im2colGEMM
+	}
+	switch c.Technique {
+	case WeightPruned, Quantised:
+		return nn.SparseDirect
+	default:
+		return nn.Direct
+	}
+}
+
+// Format returns the weight storage format implied by the technique.
+func (c *Config) Format() metrics.Format {
+	switch c.Technique {
+	case WeightPruned, Quantised:
+		return metrics.CSR
+	default:
+		return metrics.Dense
+	}
+}
+
+// Instance is a fully-built stack configuration ready to run.
+type Instance struct {
+	Config   Config
+	Net      *nn.Network
+	Platform *hw.Platform
+}
+
+// Instantiate builds the network at the configured operating point:
+// weight pruning applies magnitude masks at the target sparsity, channel
+// pruning performs FLOP-aware architecture surgery at the target rate,
+// and quantisation converts weights to ternary at the target threshold.
+// (Accuracy at these operating points is the subject of the Pareto
+// machinery in internal/pareto; here the *architecture and format* are
+// what the hardware experiments consume.)
+func Instantiate(cfg Config) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := tensor.NewRNG(cfg.Seed | 1)
+	net, err := models.ByName(cfg.Model, r)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Technique {
+	case WeightPruned:
+		prune.NetworkToSparsity(net, cfg.Point.Sparsity)
+	case ChannelPruned:
+		channel.UniformShrink(net, cfg.Point.CompressionRate)
+	case Quantised:
+		quant.Quantize(net, cfg.Point.TTQThreshold)
+		// The paper reports the achieved sparsity per threshold (Table
+		// III); when the caller pins one, prune down to it so the CSR
+		// cost matches the reported operating point.
+		if s := cfg.Point.TTQSparsity; s > 0 && net.WeightSparsity() < s {
+			prune.NetworkToSparsity(net, s)
+		}
+	}
+	net.Freeze()
+	platform, _ := hw.ByName(cfg.Platform)
+	return &Instance{Config: cfg, Net: net, Platform: platform}, nil
+}
+
+// RunResult is one real host execution.
+type RunResult struct {
+	Output  *tensor.Tensor
+	Elapsed time.Duration
+}
+
+// Run executes a real inference on the host engine with the configured
+// algorithm and thread count, returning the logits and wall time.
+func (in *Instance) Run(input *tensor.Tensor) RunResult {
+	ctx := nn.Inference()
+	ctx.Threads = in.Config.Threads
+	ctx.Algo = in.Config.Algo()
+	start := time.Now()
+	out := in.Net.Forward(&ctx, input)
+	return RunResult{Output: out, Elapsed: time.Since(start)}
+}
+
+// Simulate projects the configuration's single-image inference time (in
+// seconds) onto the modelled platform.
+func (in *Instance) Simulate() float64 {
+	switch in.Config.Backend {
+	case OCL:
+		return SimulateGPUHandTuned(in.Net, in.Platform.GPU)
+	case CLBlast:
+		return SimulateGPUCLBlast(in.Net, in.Platform.GPU)
+	default:
+		work := Workload(in.Net, 1, in.Config.Algo(), in.Config.Format())
+		return in.Platform.NetworkTime(work, in.Config.Threads)
+	}
+}
+
+// MemoryMB accounts the configuration's runtime memory footprint.
+func (in *Instance) MemoryMB() float64 {
+	return metrics.Measure(in.Net, 1, in.Config.Format()).MB()
+}

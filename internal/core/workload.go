@@ -1,0 +1,177 @@
+package core
+
+import (
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Workload flattens a network into the per-layer execution profile the
+// platform cost model consumes. Residual blocks expand into their
+// primitive sub-layers (each is a barrier-separated parallel region in
+// the paper's implementation); the residual addition contributes an
+// elementwise memory-bound pseudo-layer.
+func Workload(net *nn.Network, batch int, algo nn.Algo, format metrics.Format) []*hw.LayerWork {
+	var work []*hw.LayerWork
+	shape := tensor.Shape{batch, net.InputShape[0], net.InputShape[1], net.InputShape[2]}
+
+	addConv := func(c *nn.Conv2D, in tensor.Shape) tensor.Shape {
+		s, out := c.Describe(in)
+		work = append(work, &hw.LayerWork{
+			Stats:          s,
+			Algo:           algo,
+			KernelArea:     c.Geom.KH * c.Geom.KW,
+			WeightBytesFmt: metrics.ConvWeightBytes(c, format),
+		})
+		return out
+	}
+	addPlain := func(l nn.Layer, in tensor.Shape) tensor.Shape {
+		s, out := l.Describe(in)
+		lw := &hw.LayerWork{Stats: s, Algo: nn.Direct, WeightBytesFmt: s.WeightBytes}
+		if lin, ok := l.(*nn.Linear); ok {
+			lw.Algo = algo
+			lw.WeightBytesFmt = metrics.LinearWeightBytes(lin, format)
+		}
+		work = append(work, lw)
+		return out
+	}
+
+	for _, l := range net.Layers {
+		switch v := l.(type) {
+		case *nn.Conv2D:
+			shape = addConv(v, shape)
+		case *nn.ResidualBlock:
+			blockIn := shape
+			s := addConv(v.Conv1, blockIn)
+			s = addPlain(v.BN1, s)
+			s = addPlain(v.Relu1, s)
+			s = addConv(v.Conv2, s)
+			out := addPlain(v.BN2, s)
+			if v.SkipConv != nil {
+				skip := addConv(v.SkipConv, blockIn)
+				addPlain(v.SkipBN, skip)
+			}
+			// Residual addition + final ReLU: an elementwise pass over
+			// the block output (memory-bound pseudo-layer).
+			work = append(work, &hw.LayerWork{
+				Stats: nn.Stats{
+					Name:     v.Name() + ".add",
+					Kind:     "add",
+					MACs:     int64(out.NumElements()),
+					InBytes:  8 * out.NumElements(), // two operands
+					OutBytes: 4 * out.NumElements(),
+					OutShape: out.Clone(),
+				},
+				Algo: nn.Direct,
+			})
+			shape = out
+		default:
+			shape = addPlain(l, shape)
+		}
+	}
+	return work
+}
+
+// gemmShapes lowers every convolution of the network to its GEMM
+// dimensions (per image), for the GPU backend models.
+func gemmShapes(net *nn.Network) []hw.GEMMShape {
+	var shapes []hw.GEMMShape
+	visit := func(c *nn.Conv2D, in tensor.Shape) {
+		out := c.OutShape(in)
+		cpg := c.Geom.InC / c.Geom.Groups
+		// Grouped convolutions lower to one GEMM per group; represent
+		// them as Groups repetitions of the per-group shape.
+		per := hw.GEMMShape{
+			M: c.Geom.OutC / c.Geom.Groups,
+			K: cpg * c.Geom.KH * c.Geom.KW,
+			N: out[2] * out[3],
+		}
+		for g := 0; g < c.Geom.Groups; g++ {
+			shapes = append(shapes, per)
+		}
+	}
+	shape := tensor.Shape{1, net.InputShape[0], net.InputShape[1], net.InputShape[2]}
+	for _, l := range net.Layers {
+		switch v := l.(type) {
+		case *nn.Conv2D:
+			visit(v, shape)
+		case *nn.ResidualBlock:
+			s1, _ := v.Conv1.Describe(shape)
+			visit(v.Conv1, shape)
+			visit(v.Conv2, s1.OutShape)
+			if v.SkipConv != nil {
+				visit(v.SkipConv, shape)
+			}
+		}
+		_, shape = l.Describe(shape)
+	}
+	return shapes
+}
+
+// elementwiseBytes sums the activation traffic of the non-conv layers,
+// which the GPU backends execute as bandwidth-bound kernels.
+func elementwiseBytes(net *nn.Network) (int, int) {
+	bytes, layers := 0, 0
+	shape := tensor.Shape{1, net.InputShape[0], net.InputShape[1], net.InputShape[2]}
+	var walk func(ls []nn.Layer, in tensor.Shape) tensor.Shape
+	walk = func(ls []nn.Layer, in tensor.Shape) tensor.Shape {
+		shape := in
+		for _, l := range ls {
+			switch v := l.(type) {
+			case *nn.Conv2D:
+				_, shape = v.Describe(shape)
+			case *nn.ResidualBlock:
+				sub := []nn.Layer{v.Conv1, v.BN1, v.Relu1, v.Conv2, v.BN2}
+				out := walk(sub, shape)
+				if v.SkipConv != nil {
+					walk([]nn.Layer{v.SkipConv, v.SkipBN}, shape)
+				}
+				bytes += 12 * out.NumElements() // the residual add
+				layers++
+				shape = out
+			case *nn.Linear:
+				var s nn.Stats
+				s, shape = v.Describe(shape)
+				bytes += s.InBytes + s.OutBytes + s.WeightBytes
+				layers++
+			default:
+				var s nn.Stats
+				s, shape = l.Describe(shape)
+				bytes += s.InBytes + s.OutBytes
+				layers++
+			}
+		}
+		return shape
+	}
+	walk(net.Layers, shape)
+	return bytes, layers
+}
+
+// SimulateGPUHandTuned models the full network under the hand-tuned
+// OpenCL backend: dot-product conv kernels plus bandwidth-bound
+// elementwise kernels.
+func SimulateGPUHandTuned(net *nn.Network, gpu *hw.GPU) float64 {
+	var total float64
+	for _, g := range gemmShapes(net) {
+		total += gpu.HandTunedConvTime(g)
+	}
+	bytes, layers := elementwiseBytes(net)
+	total += gpu.HandTunedElementwiseTime(bytes)
+	total += float64(layers) * gpu.KernelLaunchUs * 1e-6
+	return total
+}
+
+// SimulateGPUCLBlast models the full network under the CLBlast backend:
+// every convolution becomes im2col + padded library GEMM; elementwise
+// layers as above.
+func SimulateGPUCLBlast(net *nn.Network, gpu *hw.GPU) float64 {
+	var total float64
+	for _, g := range gemmShapes(net) {
+		total += gpu.CLBlastConvTime(g)
+	}
+	bytes, layers := elementwiseBytes(net)
+	total += gpu.HandTunedElementwiseTime(bytes)
+	total += float64(layers) * gpu.KernelLaunchUs * 1e-6
+	return total
+}

@@ -1,0 +1,181 @@
+// Package data provides the synthetic CIFAR-10 substitute used by the
+// training experiments.
+//
+// The real CIFAR-10 images cannot ship with this repository (and the
+// module is built offline), so we generate a deterministic procedural
+// dataset with the same tensor geometry: 10 object classes of 32×32 RGB
+// images. Each class is defined by a distinctive generative recipe
+// (oriented gradients, blobs, stripes, checkerboards, rings, ... at
+// class-specific colours and frequencies) plus per-sample pose/colour
+// jitter and pixel noise, so that classification is learnable but not
+// trivial, and — crucially for reproducing Fig. 3 — networks must use a
+// reasonable fraction of their capacity, giving compression techniques
+// real accuracy trade-offs to expose.
+//
+// DESIGN.md documents this substitution; the timing and memory
+// experiments never depend on image content.
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// NumClasses is the class count, matching CIFAR-10.
+const NumClasses = 10
+
+// Dataset is an in-memory labelled image collection.
+type Dataset struct {
+	// Images holds N tensors of shape (C, H, W).
+	Images []*tensor.Tensor
+	// Labels holds the class index of each image.
+	Labels []int
+	// C, H, W is the per-image shape.
+	C, H, W int
+}
+
+// Len returns the sample count.
+func (d *Dataset) Len() int { return len(d.Images) }
+
+// Batch assembles the samples at the given indices into an NCHW tensor
+// and a label slice.
+func (d *Dataset) Batch(indices []int) (*tensor.Tensor, []int) {
+	n := len(indices)
+	out := tensor.New(n, d.C, d.H, d.W)
+	labels := make([]int, n)
+	per := d.C * d.H * d.W
+	for i, idx := range indices {
+		copy(out.Data()[i*per:(i+1)*per], d.Images[idx].Data())
+		labels[i] = d.Labels[idx]
+	}
+	return out, labels
+}
+
+// Config controls synthetic dataset generation.
+type Config struct {
+	// Train and Test are the split sizes (CIFAR-10 uses 50000/10000;
+	// the mini-training experiments use far fewer).
+	Train, Test int
+	// Size is the square image extent (32 for the CIFAR geometry).
+	Size int
+	// Noise is the additive pixel noise standard deviation.
+	Noise float64
+	// Seed makes generation reproducible.
+	Seed uint64
+}
+
+// DefaultConfig returns the geometry used by the accuracy experiments:
+// CIFAR-shaped images in a small split that mini-models can be trained
+// on within the pure-Go budget.
+func DefaultConfig() Config {
+	return Config{Train: 2000, Test: 500, Size: 32, Noise: 0.25, Seed: 1234}
+}
+
+// Generate produces the train and test datasets.
+func Generate(cfg Config) (train, test *Dataset) {
+	if cfg.Size <= 0 {
+		panic(fmt.Sprintf("data: invalid image size %d", cfg.Size))
+	}
+	r := tensor.NewRNG(cfg.Seed)
+	train = generateSplit(r.Split(), cfg, cfg.Train)
+	test = generateSplit(r.Split(), cfg, cfg.Test)
+	return train, test
+}
+
+func generateSplit(r *tensor.RNG, cfg Config, n int) *Dataset {
+	d := &Dataset{C: 3, H: cfg.Size, W: cfg.Size}
+	for i := 0; i < n; i++ {
+		label := i % NumClasses // balanced classes
+		d.Images = append(d.Images, renderClass(r, label, cfg))
+		d.Labels = append(d.Labels, label)
+	}
+	return d
+}
+
+// classPalette gives each class a base RGB colour.
+var classPalette = [NumClasses][3]float64{
+	{0.9, 0.2, 0.2}, // 0
+	{0.2, 0.9, 0.2}, // 1
+	{0.2, 0.2, 0.9}, // 2
+	{0.9, 0.9, 0.2}, // 3
+	{0.9, 0.2, 0.9}, // 4
+	{0.2, 0.9, 0.9}, // 5
+	{0.8, 0.5, 0.2}, // 6
+	{0.5, 0.2, 0.8}, // 7
+	{0.6, 0.6, 0.6}, // 8
+	{0.3, 0.7, 0.4}, // 9
+}
+
+// renderClass draws one sample of the given class with pose and colour
+// jitter plus additive noise, normalised roughly to zero mean.
+func renderClass(r *tensor.RNG, label int, cfg Config) *tensor.Tensor {
+	s := cfg.Size
+	img := tensor.New(3, s, s)
+	base := classPalette[label]
+	// Jitter the palette and pose.
+	jitter := func(v float64) float64 { return v + 0.15*(r.Float64()-0.5) }
+	col := [3]float64{jitter(base[0]), jitter(base[1]), jitter(base[2])}
+	cx := float64(s)/2 + (r.Float64()-0.5)*float64(s)*0.3
+	cy := float64(s)/2 + (r.Float64()-0.5)*float64(s)*0.3
+	phase := r.Float64() * 2 * math.Pi
+	freq := 2*math.Pi/float64(s)*2 + r.Float64()*0.2
+
+	value := func(x, y int) float64 {
+		fx, fy := float64(x), float64(y)
+		dx, dy := fx-cx, fy-cy
+		rad := math.Sqrt(dx*dx + dy*dy)
+		switch label % 5 {
+		case 0: // horizontal stripes
+			return math.Sin(freq*4*fy + phase)
+		case 1: // vertical stripes
+			return math.Sin(freq*4*fx + phase)
+		case 2: // rings
+			return math.Sin(freq*5*rad + phase)
+		case 3: // checkerboard
+			return math.Sin(freq*4*fx+phase) * math.Sin(freq*4*fy+phase)
+		default: // radial blob
+			return math.Exp(-rad * rad / (2 * float64(s) * 1.5))
+		}
+	}
+	// Classes 5-9 reuse the texture family but with an inverted palette
+	// relationship between channels, so colour is decisive for them.
+	invert := label >= 5
+
+	for y := 0; y < s; y++ {
+		for x := 0; x < s; x++ {
+			v := value(x, y)
+			for c := 0; c < 3; c++ {
+				ch := col[c]
+				if invert {
+					ch = col[(c+1)%3]
+				}
+				pix := ch*v + cfg.Noise*r.NormFloat64()
+				img.Set(float32(pix), c, y, x)
+			}
+		}
+	}
+	return img
+}
+
+// Augment applies the paper's training augmentation: pad the image with
+// zeros and take a random crop of the original size (§IV: "padding each
+// image with 2×2 zeros and taking random 32×32 crops").
+func Augment(img *tensor.Tensor, pad int, r *tensor.RNG) *tensor.Tensor {
+	if pad == 0 {
+		return img
+	}
+	c, h, w := img.Shape()[0], img.Shape()[1], img.Shape()[2]
+	padded := tensor.Pad2D(img.Reshape(1, c, h, w), pad)
+	dy, dx := r.Intn(2*pad+1), r.Intn(2*pad+1)
+	out := tensor.New(c, h, w)
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				out.Set(padded.At(0, ci, y+dy, x+dx), ci, y, x)
+			}
+		}
+	}
+	return out
+}

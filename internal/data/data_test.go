@@ -1,0 +1,166 @@
+package data
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestGenerateShapesAndLabels(t *testing.T) {
+	cfg := Config{Train: 40, Test: 20, Size: 16, Noise: 0.1, Seed: 1}
+	train, test := Generate(cfg)
+	if train.Len() != 40 || test.Len() != 20 {
+		t.Fatalf("split sizes %d/%d, want 40/20", train.Len(), test.Len())
+	}
+	for i, img := range train.Images {
+		if !img.Shape().Equal(tensor.Shape{3, 16, 16}) {
+			t.Fatalf("image %d shape %v", i, img.Shape())
+		}
+		if l := train.Labels[i]; l < 0 || l >= NumClasses {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestGenerateBalancedClasses(t *testing.T) {
+	train, _ := Generate(Config{Train: 100, Test: 10, Size: 8, Noise: 0, Seed: 2})
+	counts := make([]int, NumClasses)
+	for _, l := range train.Labels {
+		counts[l]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples, want 10", c, n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Train: 10, Test: 5, Size: 8, Noise: 0.2, Seed: 7}
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	for i := range a.Images {
+		if tensor.MaxAbsDiff(a.Images[i], b.Images[i]) != 0 {
+			t.Fatal("same seed must generate identical datasets")
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Config{Train: 4, Test: 1, Size: 8, Noise: 0.2, Seed: 1})
+	b, _ := Generate(Config{Train: 4, Test: 1, Size: 8, Noise: 0.2, Seed: 2})
+	if tensor.MaxAbsDiff(a.Images[0], b.Images[0]) == 0 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// Images of the same class must correlate more with each other (on
+	// average) than with other classes — the property that makes the
+	// dataset learnable.
+	train, _ := Generate(Config{Train: 200, Test: 10, Size: 16, Noise: 0.1, Seed: 3})
+	// Compute per-class mean images.
+	means := make([]*tensor.Tensor, NumClasses)
+	counts := make([]int, NumClasses)
+	for i, img := range train.Images {
+		l := train.Labels[i]
+		if means[l] == nil {
+			means[l] = img.Clone()
+		} else {
+			tensor.AddInPlace(means[l], img)
+		}
+		counts[l]++
+	}
+	for c := range means {
+		means[c].Scale(1 / float32(counts[c]))
+	}
+	// Nearest-mean classification should beat chance by a wide margin.
+	correct := 0
+	for i, img := range train.Images {
+		best, bestD := -1, 1e30
+		for c := range means {
+			d := 0.0
+			for j, v := range img.Data() {
+				diff := float64(v - means[c].Data()[j])
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == train.Labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(train.Len())
+	if acc < 0.5 {
+		t.Fatalf("nearest-mean accuracy %.2f; dataset not separable enough", acc)
+	}
+}
+
+func TestBatchAssembly(t *testing.T) {
+	train, _ := Generate(Config{Train: 10, Test: 2, Size: 8, Noise: 0, Seed: 4})
+	images, labels := train.Batch([]int{3, 7})
+	if !images.Shape().Equal(tensor.Shape{2, 3, 8, 8}) {
+		t.Fatalf("batch shape %v", images.Shape())
+	}
+	if labels[0] != train.Labels[3] || labels[1] != train.Labels[7] {
+		t.Fatalf("batch labels %v", labels)
+	}
+	// First image in batch must equal source image 3.
+	per := 3 * 8 * 8
+	for i := 0; i < per; i++ {
+		if images.Data()[i] != train.Images[3].Data()[i] {
+			t.Fatal("batch content mismatch")
+		}
+	}
+}
+
+func TestAugmentPreservesShape(t *testing.T) {
+	r := tensor.NewRNG(5)
+	img := tensor.New(3, 8, 8)
+	img.FillNormal(r, 0, 1)
+	out := Augment(img, 2, r)
+	if !out.Shape().Equal(img.Shape()) {
+		t.Fatalf("augmented shape %v", out.Shape())
+	}
+}
+
+func TestAugmentZeroPadIsIdentity(t *testing.T) {
+	r := tensor.NewRNG(6)
+	img := tensor.New(3, 8, 8)
+	img.FillNormal(r, 0, 1)
+	out := Augment(img, 0, r)
+	if tensor.MaxAbsDiff(img, out) != 0 {
+		t.Fatal("pad=0 augmentation must be identity")
+	}
+}
+
+func TestAugmentIsShift(t *testing.T) {
+	// Every augmented image must be a shifted view of the zero-padded
+	// original: check that some shift reproduces it exactly.
+	r := tensor.NewRNG(7)
+	img := tensor.New(1, 6, 6)
+	img.FillNormal(r, 0, 1)
+	out := Augment(img, 2, r)
+	padded := tensor.Pad2D(img.Reshape(1, 1, 6, 6), 2)
+	matched := false
+	for dy := 0; dy <= 4 && !matched; dy++ {
+		for dx := 0; dx <= 4 && !matched; dx++ {
+			same := true
+			for y := 0; y < 6 && same; y++ {
+				for x := 0; x < 6 && same; x++ {
+					if out.At(0, y, x) != padded.At(0, 0, y+dy, x+dx) {
+						same = false
+					}
+				}
+			}
+			if same {
+				matched = true
+			}
+		}
+	}
+	if !matched {
+		t.Fatal("augmented image is not a shift of the padded original")
+	}
+}

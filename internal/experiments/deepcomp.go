@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compress/huffman"
+	"repro/internal/compress/prune"
+	"repro/internal/compress/quant"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/pareto"
+	"repro/internal/tensor"
+)
+
+// DeepComp runs the Deep Compression storage pipeline (paper [12],
+// described in §III-A: pruning → quantisation → Huffman coding) over the
+// three full-size networks at their Table III sparsities, reporting the
+// weight-stream storage at each stage. This is the paper's
+// "future-work" counterpoint to Table IV: the *storage* format can
+// shrink dramatically even while the *runtime* CSR format grows.
+func DeepComp(w io.Writer, opts Options) error {
+	fmt.Fprintf(w, "%-12s %12s %14s %12s %12s %10s\n",
+		"model", "dense(MB)", "prunedCSR(MB)", "ternary(MB)", "huffman(MB)", "ratio")
+	for _, model := range fig3Models {
+		net, err := models.ByName(model, tensor.NewRNG(opts.Seed|1))
+		if err != nil {
+			return err
+		}
+		pts, err := pareto.TableIII(model)
+		if err != nil {
+			return err
+		}
+		// Stage 1+2: prune to the Table III sparsity, then ternarise
+		// the survivors.
+		sparsity := pts[core.WeightPruned].Sparsity
+		prune.NetworkToSparsity(net, sparsity)
+		quant.Quantize(net, 0)
+		prune.NetworkToSparsity(net, sparsity) // re-zero after quantise
+		st, err := huffman.Measure(net)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %12.2f %14.2f %12.2f %12.2f %9.1fx\n",
+			model,
+			float64(st.Dense)/1e6, float64(st.PrunedCSR)/1e6,
+			float64(st.Ternary)/1e6, float64(st.Huffman)/1e6,
+			float64(st.Dense)/float64(st.Huffman))
+	}
+	fmt.Fprintln(w, "\nthe storage pipeline shrinks every stage — the opposite of the *runtime*")
+	fmt.Fprintln(w, "footprint of Table IV, where per-filter CSR bookkeeping dominates. Storage")
+	fmt.Fprintln(w, "compression and execution speed are different axes of the stack.")
+	return nil
+}

@@ -1,0 +1,97 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§V). Each generator emits a plain-text table with
+// the same rows/series the paper reports, produced by the real engine's
+// operation counts projected through the platform models (and, for the
+// accuracy curves, either the calibrated full-size Pareto curves or real
+// mini-model training).
+//
+// The per-experiment index lives in DESIGN.md §4; paper-vs-measured
+// values are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options configures a run.
+type Options struct {
+	// Real switches the Fig. 3 accuracy experiments from the calibrated
+	// full-size curves to real mini-model training on the synthetic
+	// dataset (slow: minutes per figure on one core).
+	Real bool
+	// Seed drives all deterministic randomness.
+	Seed uint64
+	// Threads used by real host execution during experiments.
+	Threads int
+}
+
+// DefaultOptions returns the fast, deterministic configuration.
+func DefaultOptions() Options { return Options{Seed: 1, Threads: 1} }
+
+// Generator produces one experiment's output.
+type Generator func(w io.Writer, opts Options) error
+
+var registry = map[string]struct {
+	title string
+	gen   Generator
+}{
+	"fig1":     {"Fig. 1: expected vs observed time under weight pruning (VGG-16, i7)", Fig1},
+	"fig3a":    {"Fig. 3a: accuracy vs weight-pruning sparsity", Fig3a},
+	"fig3b":    {"Fig. 3b: accuracy vs channel-pruning compression rate", Fig3b},
+	"fig3c":    {"Fig. 3c: accuracy vs TTQ threshold", Fig3c},
+	"tab3":     {"Table III: baseline operating points (Pareto elbows)", Tab3},
+	"fig4":     {"Fig. 4: inference time vs thread count, both platforms", Fig4},
+	"tab4":     {"Table IV: memory requirements at Table III points (MB)", Tab4},
+	"tab5":     {"Table V: operating points at fixed 90% accuracy", Tab5},
+	"fig5":     {"Fig. 5: inference time at fixed 90% accuracy", Fig5},
+	"tab6":     {"Table VI: memory requirements at Table V points (MB)", Tab6},
+	"fig6":     {"Fig. 6: OpenMP vs OpenCL vs CLBlast (plain models, Odroid)", Fig6},
+	"fig6ext":  {"§V-F extension: CLBlast vs OpenMP across input sizes", Fig6Ext},
+	"ablate":   {"Ablations: CSR penalty, scheduling, GEMM tiling", Ablate},
+	"deepcomp": {"Extension: Deep Compression storage pipeline (prune→ternary→Huffman)", DeepComp},
+	"winograd": {"Extension: Winograd F(2x2,3x3) vs direct vs im2col+GEMM (host wall-clock)", Winograd},
+}
+
+// IDs returns the experiment identifiers in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns the human-readable title of an experiment.
+func Title(id string) (string, error) {
+	e, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return e.title, nil
+}
+
+// Run executes one experiment by id.
+func Run(id string, w io.Writer, opts Options) error {
+	e, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	if _, err := fmt.Fprintf(w, "### %s\n\n", e.title); err != nil {
+		return err
+	}
+	return e.gen(w, opts)
+}
+
+// RunAll executes every experiment in stable order.
+func RunAll(w io.Writer, opts Options) error {
+	for _, id := range IDs() {
+		if err := Run(id, w, opts); err != nil {
+			return fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

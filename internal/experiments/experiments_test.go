@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact must have a generator.
+	want := []string{"fig1", "fig3a", "fig3b", "fig3c", "tab3", "fig4", "tab4", "tab5", "fig5", "tab6", "fig6"}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("missing generator for %s", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig99", &buf, DefaultOptions()); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	if _, err := Title("fig99"); err == nil {
+		t.Fatal("unknown title must error")
+	}
+}
+
+func TestTitles(t *testing.T) {
+	for _, id := range IDs() {
+		title, err := Title(id)
+		if err != nil || title == "" {
+			t.Fatalf("Title(%s): %q, %v", id, title, err)
+		}
+	}
+}
+
+func runExperiment(t *testing.T, id string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(id, &buf, DefaultOptions()); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	out := buf.String()
+	if len(out) < 100 {
+		t.Fatalf("%s produced suspiciously short output:\n%s", id, out)
+	}
+	return out
+}
+
+func TestCalibratedFig3Outputs(t *testing.T) {
+	for _, id := range []string{"fig3a", "fig3b", "fig3c"} {
+		out := runExperiment(t, id)
+		for _, model := range []string{"vgg16", "resnet18", "mobilenet"} {
+			if !strings.Contains(out, model) {
+				t.Fatalf("%s output missing model %s:\n%s", id, model, out)
+			}
+		}
+	}
+}
+
+func TestTab3ContainsPaperPoints(t *testing.T) {
+	out := runExperiment(t, "tab3")
+	for _, v := range []string{"76.54", "88.48", "0.09", "88.92", "60.24", "23.46", "80.33"} {
+		if !strings.Contains(out, v) {
+			t.Fatalf("tab3 output missing paper value %s:\n%s", v, out)
+		}
+	}
+}
+
+func TestTab5ContainsPaperPoints(t *testing.T) {
+	out := runExperiment(t, "tab5")
+	for _, v := range []string{"85.00", "94.00", "91.00", "42.00", "96.00"} {
+		if !strings.Contains(out, v) {
+			t.Fatalf("tab5 output missing paper value %s:\n%s", v, out)
+		}
+	}
+}
+
+func TestFig1Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size experiment generators are slow in -short mode")
+	}
+	out := runExperiment(t, "fig1")
+	if !strings.Contains(out, "expected") || !strings.Contains(out, "observed-dense") {
+		t.Fatalf("fig1 output malformed:\n%s", out)
+	}
+}
+
+func TestHeavyGenerators(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size experiment generators are slow in -short mode")
+	}
+	for _, id := range []string{"fig4", "tab4", "fig5", "tab6", "fig6"} {
+		out := runExperiment(t, id)
+		if !strings.Contains(out, "mobilenet") {
+			t.Fatalf("%s output missing mobilenet row:\n%s", id, out)
+		}
+	}
+	// fig6ext sweeps VGG-16 only; it must show the ImageNet-scale win.
+	out := runExperiment(t, "fig6ext")
+	if !strings.Contains(out, "224x224") || !strings.Contains(out, "clblast") {
+		t.Fatalf("fig6ext output missing the 224x224 crossover row:\n%s", out)
+	}
+}

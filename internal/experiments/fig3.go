@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compress/channel"
+	"repro/internal/compress/prune"
+	"repro/internal/compress/quant"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/pareto"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// fig3Models are the three networks of every Fig. 3 panel.
+var fig3Models = []string{"vgg16", "resnet18", "mobilenet"}
+
+// Fig3a emits accuracy versus weight-pruning sparsity. In calibrated
+// mode the full-size Pareto curves are sampled; in Real mode the three
+// mini-models are trained on the synthetic dataset and iteratively
+// pruned, reproducing the curve shapes with real optimisation.
+func Fig3a(w io.Writer, opts Options) error {
+	if !opts.Real {
+		return emitCalibrated(w, "sparsity(%)", pareto.WeightPruningCurve, 100)
+	}
+	trainSet, testSet := miniData(opts)
+	fmt.Fprintf(w, "%-16s %-14s %-12s\n", "model", "sparsity(%)", "accuracy(%)")
+	for _, build := range miniBuilders() {
+		net := build.fn(tensor.NewRNG(opts.Seed | 1))
+		pretrain(net, trainSet, opts)
+		cfg := prune.IterativeConfig{
+			Targets:  []float64{0.5, 0.7, 0.9},
+			FineTune: miniFineTune(opts),
+		}
+		for _, p := range prune.Iterative(net, trainSet, testSet, cfg) {
+			fmt.Fprintf(w, "%-16s %-14.1f %-12.1f\n", build.name, p.Sparsity*100, p.Accuracy*100)
+		}
+	}
+	return nil
+}
+
+// Fig3b emits accuracy versus channel-pruning compression rate.
+func Fig3b(w io.Writer, opts Options) error {
+	if !opts.Real {
+		return emitCalibrated(w, "compression(%)", pareto.ChannelPruningCurve, 100)
+	}
+	trainSet, testSet := miniData(opts)
+	fmt.Fprintf(w, "%-16s %-16s %-12s\n", "model", "compression(%)", "accuracy(%)")
+	for _, build := range miniBuilders() {
+		net := build.fn(tensor.NewRNG(opts.Seed | 1))
+		pretrain(net, trainSet, opts)
+		stage := channel.Config{
+			Remove: 6, Every: 4, Beta: 1e-6, MinChannels: 2,
+			FineTune: miniFineTune(opts),
+		}
+		for _, p := range channel.Curve(net, trainSet, testSet, []channel.Config{stage, stage}) {
+			fmt.Fprintf(w, "%-16s %-16.1f %-12.1f\n", build.name, p.CompressionRate*100, p.Accuracy*100)
+		}
+	}
+	return nil
+}
+
+// Fig3c emits accuracy versus TTQ threshold.
+func Fig3c(w io.Writer, opts Options) error {
+	if !opts.Real {
+		return emitCalibrated(w, "ttq-threshold", pareto.QuantisationCurve, 1)
+	}
+	trainSet, testSet := miniData(opts)
+	fmt.Fprintf(w, "%-16s %-14s %-12s %-12s\n", "model", "threshold", "sparsity(%)", "accuracy(%)")
+	for _, build := range miniBuilders() {
+		factory := func() *nn.Network {
+			net := build.fn(tensor.NewRNG(opts.Seed | 1))
+			pretrain(net, trainSet, opts)
+			return net
+		}
+		curve := quant.Curve(factory, trainSet, testSet, []float64{0.02, 0.1, 0.2}, miniFineTune(opts))
+		for _, p := range curve {
+			fmt.Fprintf(w, "%-16s %-14.2f %-12.1f %-12.1f\n", build.name, p.Threshold, p.Sparsity*100, p.Accuracy*100)
+		}
+	}
+	return nil
+}
+
+// Tab3 emits the Table III operating points together with the elbows our
+// calibrated curves select.
+func Tab3(w io.Writer, opts Options) error {
+	fmt.Fprintf(w, "%-12s %-22s %-22s %-26s\n", "model",
+		"w.pruning sparsity(%)", "c.pruning rate(%)", "quantisation thr/sparsity")
+	for _, m := range fig3Models {
+		pts, err := pareto.TableIII(m)
+		if err != nil {
+			return err
+		}
+		wp := pts[core.WeightPruned]
+		cp := pts[core.ChannelPruned]
+		q := pts[core.Quantised]
+		fmt.Fprintf(w, "%-12s %-22.2f %-22.2f %.2f / %.2f%%\n", m,
+			wp.Sparsity*100, cp.CompressionRate*100, q.TTQThreshold, q.TTQSparsity*100)
+	}
+	fmt.Fprintln(w, "\nelbow check (tolerance 1 accuracy point on calibrated curves):")
+	for _, m := range fig3Models {
+		c, err := pareto.WeightPruningCurve(m)
+		if err != nil {
+			return err
+		}
+		e := c.Elbow(1.0)
+		fmt.Fprintf(w, "  %-12s weight-pruning elbow at %.1f%% sparsity (accuracy %.1f%%)\n",
+			m, e.X*100, e.Accuracy)
+	}
+	return nil
+}
+
+// Tab5 emits the Table V fixed-90%-accuracy operating points plus the
+// inverse-lookup values our calibrated curves produce.
+func Tab5(w io.Writer, opts Options) error {
+	fmt.Fprintf(w, "%-12s %-22s %-22s %-26s\n", "model",
+		"w.pruning sparsity(%)", "c.pruning rate(%)", "quantisation thr/sparsity")
+	for _, m := range fig3Models {
+		pts, err := pareto.TableV(m)
+		if err != nil {
+			return err
+		}
+		wp := pts[core.WeightPruned]
+		cp := pts[core.ChannelPruned]
+		q := pts[core.Quantised]
+		fmt.Fprintf(w, "%-12s %-22.2f %-22.2f %.2f / %.2f%%\n", m,
+			wp.Sparsity*100, cp.CompressionRate*100, q.TTQThreshold, q.TTQSparsity*100)
+	}
+	fmt.Fprintln(w, "\ninverse-lookup check (largest rate with ≥90% calibrated accuracy):")
+	for _, m := range fig3Models {
+		wpC, _ := pareto.WeightPruningCurve(m)
+		cpC, _ := pareto.ChannelPruningCurve(m)
+		wpX, _ := wpC.MaxXAtAccuracy(90)
+		cpX, _ := cpC.MaxXAtAccuracy(90)
+		fmt.Fprintf(w, "  %-12s weight-pruning %.1f%%   channel-pruning %.1f%%\n", m, wpX*100, cpX*100)
+	}
+	return nil
+}
+
+// emitCalibrated samples a curve family for all three models.
+func emitCalibrated(w io.Writer, axis string, get func(string) (*pareto.Curve, error), scale float64) error {
+	fmt.Fprintf(w, "%-16s %-14s %-12s   (calibrated full-size curves; use -real for mini-model training)\n",
+		"model", axis, "accuracy(%)")
+	for _, m := range fig3Models {
+		c, err := get(m)
+		if err != nil {
+			return err
+		}
+		for _, p := range c.Samples(9) {
+			fmt.Fprintf(w, "%-16s %-14.2f %-12.1f\n", m, p.X*scale, p.Accuracy)
+		}
+	}
+	return nil
+}
+
+// ---- real-training helpers (mini models on the synthetic dataset) ----
+
+type miniBuilder struct {
+	name string
+	fn   func(*tensor.RNG) *nn.Network
+}
+
+func miniBuilders() []miniBuilder {
+	return []miniBuilder{
+		{"mini-vgg", models.MiniVGG},
+		{"mini-resnet", models.MiniResNet},
+		{"mini-mobilenet", models.MiniMobileNet},
+	}
+}
+
+func miniData(opts Options) (*data.Dataset, *data.Dataset) {
+	return data.Generate(data.Config{Train: 600, Test: 200, Size: 32, Noise: 0.2, Seed: opts.Seed | 3})
+}
+
+func pretrain(net *nn.Network, trainSet *data.Dataset, opts Options) {
+	cfg := train.Config{
+		Epochs: 3, BatchSize: 32,
+		Schedule: train.Schedule{Base: 0.03, StepEvery: 2, Factor: 10},
+		Threads:  opts.Threads, Seed: opts.Seed | 5,
+	}
+	if net.NetName == "mini-mobilenet" {
+		cfg.Epochs = 6
+		cfg.Schedule = train.Schedule{Base: 0.02, StepEvery: 4, Factor: 10}
+	}
+	train.Run(net, trainSet, nil, cfg)
+}
+
+func miniFineTune(opts Options) train.Config {
+	return train.Config{
+		Epochs: 1, BatchSize: 32,
+		Schedule: train.Schedule{Base: 0.005},
+		Threads:  opts.Threads, Seed: opts.Seed | 7,
+	}
+}

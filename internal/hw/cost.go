@@ -1,0 +1,162 @@
+package hw
+
+import (
+	"repro/internal/nn"
+)
+
+// LayerWork describes one layer's execution profile as the cost model
+// sees it: derived from the real engine's nn.Stats plus the selected
+// algorithm/format.
+type LayerWork struct {
+	Stats nn.Stats
+	// Algo is the convolution/linear execution algorithm.
+	Algo nn.Algo
+	// KernelArea is KH·KW for convolutions (0 otherwise); the CSR
+	// indirection penalty depends on it (3×3 filters decode a 2-D tap,
+	// 1×1 filters only a channel index).
+	KernelArea int
+	// WeightBytesFmt is the weight storage size in the execution
+	// format (dense bytes or CSR bytes).
+	WeightBytesFmt int
+}
+
+// parallelizable reports whether the paper's implementation parallelises
+// this layer ("the outer for loop of the convolutional layers is
+// parallelised"; fully-connected layers share the same loop structure).
+func (w *LayerWork) parallelizable() bool {
+	return w.Stats.Kind == "conv" || w.Stats.Kind == "linear"
+}
+
+// execMACs returns the MAC count the chosen algorithm actually executes.
+func (w *LayerWork) execMACs() int64 {
+	if w.Algo == nn.SparseDirect {
+		return w.Stats.SparseMACs
+	}
+	return w.Stats.MACs
+}
+
+// rateFactor returns the relative MAC throughput of this layer/algorithm
+// pair, where 1.0 is the dense direct 3×3 convolution rate:
+//
+//   - dense 1×1 (pointwise) convolutions stream slightly worse than 3×3
+//     (no register reuse of the input row);
+//   - depthwise convolutions have very low arithmetic intensity and run
+//     far below the dense rate;
+//   - CSR execution pays the indirection/no-SIMD penalty, harsher for
+//     3×3 filters (2-D tap decode, scattered input walk) than 1×1.
+func (w *LayerWork) rateFactor() float64 {
+	s := &w.Stats
+	sparse := w.Algo == nn.SparseDirect
+	switch s.Kind {
+	case "conv":
+		depthwise := s.Groups > 1
+		pointwise := w.KernelArea == 1
+		switch {
+		case sparse && depthwise:
+			return 0.35 / 4.0
+		case sparse && pointwise:
+			return 0.8 / 3.5
+		case sparse:
+			return 1.0 / 10.0
+		case depthwise:
+			return 0.35
+		case pointwise:
+			return 0.8
+		default:
+			return 1.0
+		}
+	case "linear":
+		if sparse {
+			return 0.8 / 10.0
+		}
+		return 0.8
+	default:
+		// Elementwise layers (batch-norm, ReLU, pooling): cheap ops,
+		// generally memory-bound; give them the dense rate and let the
+		// bandwidth bound dominate.
+		return 1.0
+	}
+}
+
+// chunkFactor scales the dynamic-scheduling cost per chunk: the CSR
+// kernels iterate rows whose work is known from the row-pointer array,
+// allowing coarser chunking than the dense loop.
+func (w *LayerWork) chunkFactor() float64 {
+	if w.Algo == nn.SparseDirect {
+		return 0.6
+	}
+	return 1.0
+}
+
+// chunks returns the number of dynamically-scheduled work items of the
+// layer's parallel loop: one per (image, output channel), matching the
+// paper's OpenMP parallelisation of the outer conv loop.
+func (w *LayerWork) chunks() float64 {
+	if !w.parallelizable() {
+		return 0
+	}
+	out := w.Stats.OutShape
+	if len(out) >= 2 {
+		return float64(out[0] * out[1])
+	}
+	return 1
+}
+
+// LayerTime returns the modelled execution time in seconds of one layer
+// on the platform's CPU at the given thread count.
+//
+// Model: T = max(compute, memory) + scheduling + fixed overhead, where
+//
+//	compute    = MACs / (unitRate · rateFactor · throughputUnits)
+//	memory     = bytes touched / DRAM bandwidth
+//	scheduling = chunks · contention(chunkWork, threads) · (t-1)/t
+//
+// contention is the dynamic-scheduling/migration cost per chunk; it is
+// fully paid when a chunk's work is small relative to the scheduling
+// window (σ·threads) and amortised away for long-running chunks — the
+// mechanism that makes MobileNet's 27 small layers scale *backwards*
+// with threads while VGG-16's large layers scale well (paper §V-D).
+func (p *Platform) LayerTime(w *LayerWork, threads int) float64 {
+	cpu := &p.CPU
+	if threads < 1 {
+		threads = 1
+	}
+	unit := cpu.UnitGMACs * 1e9
+
+	// Serial compute time on one performance-1.0 core.
+	serial := float64(w.execMACs()) / (unit * w.rateFactor())
+
+	// Non-parallelized layers run on the fastest core; parallel loops
+	// use the summed throughput of the assigned cores.
+	compute := serial / cpu.ThroughputUnits(1)
+	sched := 0.0
+	if w.parallelizable() && threads > 1 {
+		compute = serial / cpu.ThroughputUnits(threads)
+		chunks := w.chunks()
+		if chunks > 0 {
+			sigma := cpu.SchedNsPerChunk * 1e-9 * w.chunkFactor()
+			chunkWork := serial / chunks
+			contention := sigma / (1 + chunkWork/(sigma*float64(threads)))
+			sched = chunks * contention * float64(threads-1) / float64(threads)
+		}
+	}
+
+	bytes := float64(w.WeightBytesFmt + w.Stats.InBytes + w.Stats.OutBytes + w.Stats.PadBytes)
+	mem := bytes / (cpu.MemBWGBs * 1e9)
+
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return t + sched + cpu.LayerOverheadUs*1e-6
+}
+
+// NetworkTime sums the layer times of an entire network execution; the
+// per-layer barrier of the paper's implementation makes the sum exact.
+func (p *Platform) NetworkTime(work []*LayerWork, threads int) float64 {
+	var total float64
+	for _, w := range work {
+		total += p.LayerTime(w, threads)
+	}
+	return total
+}

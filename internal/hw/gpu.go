@@ -1,0 +1,128 @@
+package hw
+
+import "math"
+
+// GPU execution models for the two OpenCL backends of §V-F:
+//
+//   - HandTunedTime models the paper's hand-tuned OpenCL kernels
+//     (dot-product convolutions, 4×4 work-groups, 16-wide vectors): a
+//     modest fraction of peak throughput plus per-kernel launch costs.
+//   - CLBlastTime models convolution-as-GEMM through a tuned BLAS
+//     library: the GEMM itself runs near library efficiency, but the
+//     matrix must first be built by im2col, dimensions are padded up to
+//     the library's tile multiples, and efficiency collapses for the
+//     small matrices CIFAR-sized images produce — "the efficient matrix
+//     multiplication operation only pays off for big matrices".
+
+// GEMMShape describes one convolution lowered to GEMM.
+type GEMMShape struct {
+	// M = output channels, K = inC·KH·KW, N = OH·OW.
+	M, K, N int
+}
+
+// padUp rounds v up to a multiple of m.
+func padUp(v, m int) int {
+	if m <= 1 {
+		return v
+	}
+	return ((v + m - 1) / m) * m
+}
+
+// Library tile multiples (typical CLBlast defaults on Mali).
+const (
+	padM = 64
+	padN = 128
+	padK = 16
+)
+
+// PaddedMACs returns the MACs the library actually executes after
+// padding each dimension to its tile multiple.
+func (g GEMMShape) PaddedMACs() float64 {
+	return float64(padUp(g.M, padM)) * float64(padUp(g.K, padK)) * float64(padUp(g.N, padN))
+}
+
+// RealMACs returns the useful MAC count.
+func (g GEMMShape) RealMACs() float64 {
+	return float64(g.M) * float64(g.K) * float64(g.N)
+}
+
+// gemmEfficiency returns the fraction of peak the library sustains for
+// the padded problem: saturating in every dimension, so tall-skinny or
+// tiny-N CIFAR matrices run far below peak.
+func (gpu *GPU) gemmEfficiency(g GEMMShape) float64 {
+	sat := func(d, d0 float64) float64 { return d / (d + d0) }
+	m := float64(padUp(g.M, padM))
+	k := float64(padUp(g.K, padK))
+	n := float64(padUp(g.N, padN))
+	return gpu.GEMMEffMax * sat(m, 48) * sat(k, 96) * sat(n, 384)
+}
+
+// CLBlastConvTime models one convolution executed as im2col + library
+// GEMM: host-side column-matrix construction traffic, two kernel
+// launches (im2col pack + GEMM), and the padded GEMM at the realised
+// efficiency.
+func (gpu *GPU) CLBlastConvTime(g GEMMShape) float64 {
+	eff := gpu.gemmEfficiency(g)
+	if eff <= 0 {
+		eff = 1e-6
+	}
+	gemm := g.PaddedMACs() / (gpu.PeakGMACs * 1e9 * eff)
+	// im2col: write K×N floats, read them back in the GEMM, plus the
+	// strided source reads — ≈3× the column-matrix bytes.
+	colBytes := 4 * float64(g.K) * float64(g.N)
+	pack := 3 * colBytes / (gpu.MemBWGBs * 1e9)
+	launches := 2 * gpu.KernelLaunchUs * 1e-6
+	return gemm + pack + launches
+}
+
+// HandTunedConvTime models one convolution under the hand-tuned OpenCL
+// dot-product kernels.
+func (gpu *GPU) HandTunedConvTime(g GEMMShape) float64 {
+	compute := g.RealMACs() / (gpu.PeakGMACs * 1e9 * gpu.HandTunedEff)
+	launch := gpu.KernelLaunchUs * 1e-6
+	return compute + launch
+}
+
+// HandTunedElementwiseTime models the non-convolution layers (bn, relu,
+// pooling) on the GPU: bandwidth-bound streaming plus a launch.
+func (gpu *GPU) HandTunedElementwiseTime(bytes int) float64 {
+	return float64(bytes)/(gpu.MemBWGBs*1e9) + gpu.KernelLaunchUs*1e-6
+}
+
+// SpeedOfLight returns the minimum time to execute the given MACs at
+// peak throughput — a sanity lower bound used in tests.
+func (gpu *GPU) SpeedOfLight(macs float64) float64 {
+	return macs / (gpu.PeakGMACs * 1e9)
+}
+
+// EfficiencyRatio is a diagnostic: realised/peak for a GEMM shape.
+func (gpu *GPU) EfficiencyRatio(g GEMMShape) float64 {
+	t := gpu.CLBlastConvTime(g)
+	if t <= 0 {
+		return 0
+	}
+	return g.RealMACs() / (gpu.PeakGMACs * 1e9) / t
+}
+
+// CrossoverImageSize finds (by doubling search) the square *input image*
+// size at which CLBlast becomes faster than the hand-tuned kernels for a
+// deep convolution layer operating after `downsample`× spatial reduction
+// (e.g. a VGG conv behind three poolings uses downsample=8) — the §V-F
+// observation that CLBlast wins at ImageNet (224×224) scale but loses at
+// CIFAR (32×32) scale, because deep-layer matrices are tiny at 32×32.
+func (gpu *GPU) CrossoverImageSize(outC, inC, k, downsample int) int {
+	if downsample < 1 {
+		downsample = 1
+	}
+	for size := 8; size <= 2048; size *= 2 {
+		s := size / downsample
+		if s < 1 {
+			s = 1
+		}
+		g := GEMMShape{M: outC, K: inC * k * k, N: s * s}
+		if gpu.CLBlastConvTime(g) < gpu.HandTunedConvTime(g) {
+			return size
+		}
+	}
+	return math.MaxInt32
+}

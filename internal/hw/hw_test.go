@@ -1,0 +1,275 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestPlatformsByName(t *testing.T) {
+	for _, name := range []string{"odroid-xu4", "intel-i7"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := ByName("raspberry-pi"); err == nil {
+		t.Fatal("unknown platform must error")
+	}
+}
+
+func TestOdroidTopology(t *testing.T) {
+	p := OdroidXU4()
+	if p.CPU.TotalCores() != 8 {
+		t.Fatalf("Odroid big.LITTLE has 8 cores, model says %d", p.CPU.TotalCores())
+	}
+	if p.GPU == nil {
+		t.Fatal("Odroid must model the Mali GPU")
+	}
+	if p.CPU.MaxThreads != 8 {
+		t.Fatalf("paper measures up to 8 threads on Odroid, model says %d", p.CPU.MaxThreads)
+	}
+}
+
+func TestI7Topology(t *testing.T) {
+	p := IntelI7()
+	if p.CPU.TotalCores() != 4 || p.CPU.MaxThreads != 4 {
+		t.Fatal("i7-3820 is modelled with 4 cores / 4 threads")
+	}
+	if p.GPU != nil {
+		t.Fatal("the paper evaluates no GPU on the i7")
+	}
+}
+
+func TestThroughputUnitsBigLittle(t *testing.T) {
+	c := &OdroidXU4().CPU
+	if c.ThroughputUnits(1) != 1.0 {
+		t.Fatalf("1 thread = one A15 = 1.0 units, got %v", c.ThroughputUnits(1))
+	}
+	if c.ThroughputUnits(4) != 4.0 {
+		t.Fatalf("4 threads fill the A15 cluster, got %v", c.ThroughputUnits(4))
+	}
+	got8 := c.ThroughputUnits(8)
+	if got8 <= 4.0 || got8 >= 8.0 {
+		t.Fatalf("8 threads add slow A7 cores: units must be in (4,8), got %v", got8)
+	}
+	// Oversubscription adds nothing.
+	if c.ThroughputUnits(16) != got8 {
+		t.Fatal("threads beyond physical cores must add no throughput")
+	}
+}
+
+func TestI7FasterPerCoreThanA15(t *testing.T) {
+	if IntelI7().CPU.ThroughputUnits(1) <= OdroidXU4().CPU.ThroughputUnits(1) {
+		t.Fatal("one i7 core must outperform one A15")
+	}
+}
+
+// bigConvWork models one large VGG-style convolution layer.
+func bigConvWork(algo nn.Algo, sparsity float64) *LayerWork {
+	denseMACs := int64(512 * 512 * 9 * 16 * 16)
+	return &LayerWork{
+		Stats: nn.Stats{
+			Kind:       "conv",
+			MACs:       denseMACs,
+			SparseMACs: int64(float64(denseMACs) * (1 - sparsity)),
+			InBytes:    4 * 512 * 16 * 16,
+			OutBytes:   4 * 512 * 16 * 16,
+			OutShape:   tensor.Shape{1, 512, 16, 16},
+		},
+		Algo:           algo,
+		KernelArea:     9,
+		WeightBytesFmt: 4 * 512 * 512 * 9,
+	}
+}
+
+// smallConvWork models one MobileNet-style pointwise layer (tiny work,
+// many channels).
+func smallConvWork(algo nn.Algo, sparsity float64) *LayerWork {
+	denseMACs := int64(512 * 512 * 2 * 2)
+	return &LayerWork{
+		Stats: nn.Stats{
+			Kind:       "conv",
+			MACs:       denseMACs,
+			SparseMACs: int64(float64(denseMACs) * (1 - sparsity)),
+			InBytes:    4 * 512 * 2 * 2,
+			OutBytes:   4 * 512 * 2 * 2,
+			OutShape:   tensor.Shape{1, 512, 2, 2},
+		},
+		Algo:           algo,
+		KernelArea:     1,
+		WeightBytesFmt: 4 * 512 * 512,
+	}
+}
+
+func TestBigLayersScaleWithThreads(t *testing.T) {
+	p := OdroidXU4()
+	w := bigConvWork(nn.Direct, 0)
+	t1 := p.LayerTime(w, 1)
+	t4 := p.LayerTime(w, 4)
+	t8 := p.LayerTime(w, 8)
+	if !(t1 > t4 && t4 > t8) {
+		t.Fatalf("large conv must speed up with threads: %v / %v / %v", t1, t4, t8)
+	}
+	if t1/t4 < 2 {
+		t.Fatalf("4 threads should at least halve a large conv: speedup %v", t1/t4)
+	}
+}
+
+func TestSmallLayersScaleBackwards(t *testing.T) {
+	// The MobileNet pathology (paper §V-D): many small layers get
+	// slower as threads are added.
+	p := OdroidXU4()
+	many := make([]*LayerWork, 27)
+	for i := range many {
+		many[i] = smallConvWork(nn.Direct, 0)
+	}
+	t1 := p.NetworkTime(many, 1)
+	t8 := p.NetworkTime(many, 8)
+	if t8 <= t1 {
+		t.Fatalf("a stack of small layers must slow down at 8 threads: %v vs %v", t1, t8)
+	}
+}
+
+func TestCSRSlowerThanDenseAtModerateSparsity(t *testing.T) {
+	// Paper F1/F2: at the Table III sparsities, CSR execution of a 3×3
+	// conv is slower than plain dense execution.
+	p := IntelI7()
+	for _, s := range []float64{0.5, 0.7654, 0.8892} {
+		dense := p.LayerTime(bigConvWork(nn.Direct, s), 1)
+		sparse := p.LayerTime(bigConvWork(nn.SparseDirect, s), 1)
+		if sparse <= dense {
+			t.Fatalf("CSR at sparsity %v must be slower than dense: %v vs %v", s, sparse, dense)
+		}
+	}
+}
+
+func TestCSRWinsAtExtremeSparsity(t *testing.T) {
+	p := IntelI7()
+	dense := p.LayerTime(bigConvWork(nn.Direct, 0.99), 1)
+	sparse := p.LayerTime(bigConvWork(nn.SparseDirect, 0.99), 1)
+	if sparse >= dense {
+		t.Fatalf("at 99%% sparsity CSR should finally win: %v vs %v", sparse, dense)
+	}
+}
+
+func TestDenseTimeIndependentOfSparsity(t *testing.T) {
+	// Fig. 1's root cause: dense execution does not speed up when
+	// weights are zero.
+	p := IntelI7()
+	t0 := p.LayerTime(bigConvWork(nn.Direct, 0), 1)
+	t80 := p.LayerTime(bigConvWork(nn.Direct, 0.8), 1)
+	if t0 != t80 {
+		t.Fatalf("dense time must ignore sparsity: %v vs %v", t0, t80)
+	}
+}
+
+func TestSparseMobileNetCrossover(t *testing.T) {
+	// Paper F4: sparse execution of the small-layer stack beats plain
+	// at high thread counts (cheaper scheduling of row-chunked work)
+	// but loses at one thread (CSR compute penalty).
+	p := OdroidXU4()
+	mk := func(algo nn.Algo) []*LayerWork {
+		ws := make([]*LayerWork, 27)
+		for i := range ws {
+			ws[i] = smallConvWork(algo, 0.2346)
+		}
+		return ws
+	}
+	plain, sparse := mk(nn.Direct), mk(nn.SparseDirect)
+	if p.NetworkTime(sparse, 1) <= p.NetworkTime(plain, 1) {
+		t.Fatal("at 1 thread the CSR penalty must dominate")
+	}
+	if p.NetworkTime(sparse, 8) >= p.NetworkTime(plain, 8) {
+		t.Fatal("at 8 threads the sparse stack must outperform plain")
+	}
+}
+
+func TestMemoryBoundLayerUsesBandwidth(t *testing.T) {
+	p := OdroidXU4()
+	// A pure elementwise layer with huge buffers and negligible MACs.
+	w := &LayerWork{
+		Stats: nn.Stats{
+			Kind:     "relu",
+			MACs:     1,
+			InBytes:  1 << 28,
+			OutBytes: 1 << 28,
+			OutShape: tensor.Shape{1, 1},
+		},
+		Algo: nn.Direct,
+	}
+	want := float64(2<<28) / (p.CPU.MemBWGBs * 1e9)
+	got := p.LayerTime(w, 1)
+	if got < want {
+		t.Fatalf("memory-bound layer time %v below bandwidth bound %v", got, want)
+	}
+}
+
+func TestLayerTimeMonotoneInWork(t *testing.T) {
+	p := IntelI7()
+	small := bigConvWork(nn.Direct, 0)
+	big := bigConvWork(nn.Direct, 0)
+	big.Stats.MACs *= 2
+	if p.LayerTime(big, 2) <= p.LayerTime(small, 2) {
+		t.Fatal("doubling MACs must increase modelled time")
+	}
+}
+
+func TestGEMMPadding(t *testing.T) {
+	g := GEMMShape{M: 512, K: 4608, N: 16}
+	if g.PaddedMACs() <= g.RealMACs() {
+		t.Fatal("tiny-N GEMM must pay padding waste")
+	}
+	gBig := GEMMShape{M: 512, K: 4608, N: 50176}
+	ratio := gBig.PaddedMACs() / gBig.RealMACs()
+	if ratio > 1.05 {
+		t.Fatalf("large GEMM should pad negligibly, waste ratio %v", ratio)
+	}
+}
+
+func TestGEMMEfficiencyGrowsWithN(t *testing.T) {
+	gpu := OdroidXU4().GPU
+	small := gpu.EfficiencyRatio(GEMMShape{M: 512, K: 4608, N: 16})
+	big := gpu.EfficiencyRatio(GEMMShape{M: 512, K: 4608, N: 50176})
+	if small >= big {
+		t.Fatalf("GEMM efficiency must grow with matrix size: %v vs %v", small, big)
+	}
+	if big > 1 {
+		t.Fatalf("efficiency cannot exceed peak: %v", big)
+	}
+}
+
+func TestCLBlastLosesAtCIFARWinsAtImageNet(t *testing.T) {
+	// §V-F: CLBlast slower than hand-tuned OpenCL for a deep conv at
+	// CIFAR scale, faster at ImageNet scale.
+	gpu := OdroidXU4().GPU
+	deepCIFAR := GEMMShape{M: 512, K: 512 * 9, N: 4 * 4}
+	deepImageNet := GEMMShape{M: 512, K: 512 * 9, N: 28 * 28}
+	if gpu.CLBlastConvTime(deepCIFAR) <= gpu.HandTunedConvTime(deepCIFAR) {
+		t.Fatal("CLBlast must lose on CIFAR-sized deep layers")
+	}
+	if gpu.CLBlastConvTime(deepImageNet) >= gpu.HandTunedConvTime(deepImageNet) {
+		t.Fatal("CLBlast must win on ImageNet-sized deep layers")
+	}
+}
+
+func TestCrossoverBetween32And224(t *testing.T) {
+	gpu := OdroidXU4().GPU
+	size := gpu.CrossoverImageSize(512, 512, 3, 8)
+	if size <= 32 || size > 224 {
+		t.Fatalf("deep-layer CLBlast crossover should fall in (32, 224], got %d", size)
+	}
+}
+
+func TestSpeedOfLightIsLowerBound(t *testing.T) {
+	gpu := OdroidXU4().GPU
+	g := GEMMShape{M: 64, K: 576, N: 1024}
+	sol := gpu.SpeedOfLight(g.RealMACs())
+	if gpu.HandTunedConvTime(g) < sol || gpu.CLBlastConvTime(g) < sol {
+		t.Fatal("no backend may beat speed of light")
+	}
+}

@@ -1,0 +1,149 @@
+// Package metrics implements the runtime memory-footprint accounting of
+// the paper's Tables IV and VI: network parameters in their execution
+// format (dense, or CSR for weight-pruned and quantised models),
+// activation buffers for every layer, and the padding scratch the direct
+// convolution allocates.
+//
+// The CSR accounting follows the paper's description of its storage:
+// each small convolution filter is kept as its *own* CSR matrix ("in
+// dense format the matrix is an array of 9 floating point elements for
+// the 3×3 filter, while in CSR format there are 3 arrays ... with
+// additional parameters to account for the size of arrays", §V-D). For
+// 3×3 and especially 1×1 filters this per-filter bookkeeping is why the
+// sparse formats *increase* total memory despite high sparsity.
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Format selects the weight storage format being accounted.
+type Format int
+
+const (
+	// Dense stores every weight as float32.
+	Dense Format = iota
+	// CSR stores conv filters as per-filter CSR matrices and linear
+	// layers as whole-matrix CSR.
+	CSR
+)
+
+// String names the format.
+func (f Format) String() string {
+	if f == CSR {
+		return "csr"
+	}
+	return "dense"
+}
+
+// csrHeaderBytes is the per-matrix bookkeeping (rows, cols, nnz words).
+const csrHeaderBytes = 12
+
+// ConvWeightBytes returns the weight storage of a convolution layer in
+// the given format, computed from the layer's actual weights.
+func ConvWeightBytes(c *nn.Conv2D, f Format) int {
+	g := c.Geom
+	dense := 4 * (c.W.W.NumElements() + g.OutC) // weights + bias
+	if f == Dense {
+		return dense
+	}
+	// Per-filter CSR: one KH×KW CSR matrix per (outChannel, inChannel).
+	cpg := g.InC / g.Groups
+	kArea := g.KH * g.KW
+	wd := c.W.W.Data()
+	total := 4 * g.OutC // bias stays dense
+	rowPtr := 4 * (g.KH + 1)
+	for f := 0; f < g.OutC*cpg; f++ {
+		nnz := 0
+		for i := f * kArea; i < (f+1)*kArea; i++ {
+			if wd[i] != 0 {
+				nnz++
+			}
+		}
+		total += rowPtr + 8*nnz + csrHeaderBytes
+	}
+	return total
+}
+
+// LinearWeightBytes returns the weight storage of a fully-connected
+// layer in the given format (whole-matrix CSR when sparse).
+func LinearWeightBytes(l *nn.Linear, f Format) int {
+	dense := 4 * (l.W.W.NumElements() + l.Out)
+	if f == Dense {
+		return dense
+	}
+	nnz := l.W.W.NumElements() - l.W.W.CountZeros()
+	return 4*(l.Out+1) + 8*nnz + csrHeaderBytes + 4*l.Out
+}
+
+// Footprint is the runtime memory breakdown of one network execution.
+type Footprint struct {
+	// WeightBytes is parameter storage in the execution format.
+	WeightBytes int
+	// ActivationBytes is the sum of all layer output buffers plus the
+	// input buffer (the paper's implementation keeps per-layer buffers
+	// alive for the whole inference).
+	ActivationBytes int
+	// PadBytes is the padding scratch of the direct convolutions.
+	PadBytes int
+}
+
+// Total returns the aggregate footprint in bytes.
+func (fp Footprint) Total() int { return fp.WeightBytes + fp.ActivationBytes + fp.PadBytes }
+
+// MB converts the total to megabytes.
+func (fp Footprint) MB() float64 { return float64(fp.Total()) / 1e6 }
+
+// String renders the footprint for experiment tables.
+func (fp Footprint) String() string {
+	return fmt.Sprintf("%.1f MB (weights %.1f, activations %.1f, padding %.1f)",
+		fp.MB(), float64(fp.WeightBytes)/1e6, float64(fp.ActivationBytes)/1e6, float64(fp.PadBytes)/1e6)
+}
+
+// Measure walks the network at the given batch size and accounts every
+// buffer the inference touches in the given weight format.
+func Measure(net *nn.Network, batch int, f Format) Footprint {
+	var fp Footprint
+	shape := tensor.Shape{batch, net.InputShape[0], net.InputShape[1], net.InputShape[2]}
+	fp.ActivationBytes += 4 * shape.NumElements() // the input itself
+
+	var walk func(layers []nn.Layer, in tensor.Shape) tensor.Shape
+	walk = func(layers []nn.Layer, in tensor.Shape) tensor.Shape {
+		shape := in
+		for _, l := range layers {
+			switch v := l.(type) {
+			case *nn.Conv2D:
+				fp.WeightBytes += ConvWeightBytes(v, f)
+				var s nn.Stats
+				s, shape = v.Describe(shape)
+				fp.ActivationBytes += s.OutBytes
+				fp.PadBytes += s.PadBytes
+			case *nn.Linear:
+				fp.WeightBytes += LinearWeightBytes(v, f)
+				var s nn.Stats
+				s, shape = v.Describe(shape)
+				fp.ActivationBytes += s.OutBytes
+			case *nn.ResidualBlock:
+				sub := []nn.Layer{v.Conv1, v.BN1, v.Relu1, v.Conv2, v.BN2}
+				out := walk(sub, shape)
+				if v.SkipConv != nil {
+					walk([]nn.Layer{v.SkipConv, v.SkipBN}, shape)
+				}
+				// The residual sum allocates one more buffer.
+				fp.ActivationBytes += 4 * out.NumElements()
+				shape = out
+			default:
+				var s nn.Stats
+				s, shape = l.Describe(shape)
+				fp.ActivationBytes += s.OutBytes
+				fp.WeightBytes += s.WeightBytes
+			}
+		}
+		return shape
+	}
+	walk(net.Layers, shape)
+	return fp
+}

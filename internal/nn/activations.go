@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation used by all three networks.
+type ReLU struct {
+	LayerName string
+	lastIn    *tensor.Tensor
+}
+
+// NewReLU constructs a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{LayerName: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.LayerName }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	if ctx.Training {
+		r.lastIn = in
+	}
+	out := tensor.New(in.Shape()...)
+	id, od := in.Data(), out.Data()
+	for i, v := range id {
+		if v > 0 {
+			od[i] = v
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: gradients pass only where the input was
+// positive.
+func (r *ReLU) Backward(ctx *Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	if r.lastIn == nil {
+		panic(fmt.Sprintf("nn: relu %q Backward before training Forward", r.LayerName))
+	}
+	gradIn := tensor.New(gradOut.Shape()...)
+	id, gd, gid := r.lastIn.Data(), gradOut.Data(), gradIn.Data()
+	for i := range gid {
+		if id[i] > 0 {
+			gid[i] = gd[i]
+		}
+	}
+	return gradIn
+}
+
+// Describe implements Layer.
+func (r *ReLU) Describe(in tensor.Shape) (Stats, tensor.Shape) {
+	return Stats{
+		Name:     r.LayerName,
+		Kind:     "relu",
+		MACs:     int64(in.NumElements()), // one compare/select per element
+		InBytes:  activationBytes(in),
+		OutBytes: activationBytes(in),
+		OutShape: in.Clone(),
+	}, in.Clone()
+}
+
+// Flatten reshapes NCHW activations to (N, C·H·W) for the classifier
+// head. It is shape bookkeeping only; data is shared.
+type Flatten struct {
+	LayerName string
+	lastShape tensor.Shape
+}
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{LayerName: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.LayerName }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	n := in.Shape()[0]
+	if ctx.Training {
+		f.lastShape = in.Shape().Clone()
+	}
+	return in.Reshape(n, in.NumElements()/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(ctx *Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	if f.lastShape == nil {
+		panic(fmt.Sprintf("nn: flatten %q Backward before training Forward", f.LayerName))
+	}
+	return gradOut.Reshape(f.lastShape...)
+}
+
+// Describe implements Layer.
+func (f *Flatten) Describe(in tensor.Shape) (Stats, tensor.Shape) {
+	n := in[0]
+	out := tensor.Shape{n, in.NumElements() / n}
+	return Stats{
+		Name:     f.LayerName,
+		Kind:     "flatten",
+		InBytes:  activationBytes(in),
+		OutBytes: activationBytes(out),
+		OutShape: out,
+	}, out
+}

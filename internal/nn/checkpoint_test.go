@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+func checkpointNet(seed uint64) *Network {
+	r := tensor.NewRNG(seed)
+	net := NewNetwork("ckpt", tensor.Shape{3, 8, 8}, 10)
+	net.Add(
+		NewConv2D("c1", sparse.ConvParams{InC: 3, OutC: 6, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r),
+		NewBatchNorm("bn1", 6),
+		NewReLU("r1"),
+		NewResidualBlock("b1", 6, 8, 2, r),
+		NewGlobalAvgPool("gap"),
+		NewFlatten("fl"),
+		NewLinear("fc", 8, 10, r),
+	)
+	return net
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	src := checkpointNet(1)
+	// Move batch-norm running stats off their defaults.
+	ctx := Inference()
+	ctx.Training = true
+	r := tensor.NewRNG(2)
+	in := tensor.New(4, 3, 8, 8)
+	in.FillNormal(r, 0, 1)
+	src.Forward(&ctx, in)
+
+	var buf bytes.Buffer
+	if err := src.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := checkpointNet(99) // different init, same topology
+	if err := dst.LoadWeights(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Outputs must now be bit-identical in inference mode.
+	infer := Inference()
+	probe := tensor.New(1, 3, 8, 8)
+	probe.FillNormal(tensor.NewRNG(3), 0, 1)
+	a := src.Forward(&infer, probe)
+	b := dst.Forward(&infer, probe)
+	if d := tensor.MaxAbsDiff(a, b); d != 0 {
+		t.Fatalf("checkpoint roundtrip changed outputs by %v", d)
+	}
+}
+
+func TestCheckpointPreservesPrunedZeros(t *testing.T) {
+	src := checkpointNet(4)
+	conv := src.Convs()[0]
+	for i := 0; i < conv.W.W.NumElements(); i += 2 {
+		conv.W.W.Data()[i] = 0
+	}
+	var buf bytes.Buffer
+	if err := src.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := checkpointNet(5)
+	if err := dst.LoadWeights(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dst.Convs()[0].W.W.Sparsity(), conv.W.W.Sparsity(); got != want {
+		t.Fatalf("sparsity %v after load, want %v", got, want)
+	}
+}
+
+func TestCheckpointRejectsWrongTopology(t *testing.T) {
+	src := checkpointNet(6)
+	var buf bytes.Buffer
+	if err := src.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(7)
+	other := NewNetwork("other", tensor.Shape{3, 8, 8}, 10)
+	other.Add(
+		NewConv2D("c1", sparse.ConvParams{InC: 3, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r),
+		NewFlatten("fl"),
+		NewLinear("fc", 4*8*8, 10, r),
+	)
+	if err := other.LoadWeights(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("mismatched topology must be rejected")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	net := checkpointNet(8)
+	if err := net.LoadWeights(bytes.NewReader([]byte("not a checkpoint at all"))); err == nil {
+		t.Fatal("garbage input must be rejected")
+	}
+}
+
+func TestCheckpointInvalidatesCSR(t *testing.T) {
+	src := checkpointNet(9)
+	dst := checkpointNet(10)
+	csr := dst.Convs()[0].CSR() // freeze before load
+	var buf bytes.Buffer
+	if err := src.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.LoadWeights(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Convs()[0].CSR() == csr {
+		t.Fatal("stale CSR view survived checkpoint load")
+	}
+}

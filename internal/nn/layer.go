@@ -1,0 +1,168 @@
+// Package nn implements the neural-network layer zoo of the Deep
+// Learning Inference Stack: convolutions (direct, im2col+GEMM and
+// CSR-sparse execution), depthwise/pointwise variants, linear layers,
+// batch normalisation, activations, pooling, residual blocks and the
+// softmax cross-entropy loss — each with a full backward pass so the
+// compression techniques (which all require fine-tuning) can retrain
+// networks end to end.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Algo selects the convolution execution algorithm — the paper's
+// "Data Formats and Algorithms" stack layer.
+type Algo int
+
+const (
+	// Direct executes dense nested-loop convolution.
+	Direct Algo = iota
+	// Im2colGEMM lowers convolution to GEMM via im2col (the CLBlast path).
+	Im2colGEMM
+	// SparseDirect executes direct convolution over CSR-stored filters
+	// (the weight-pruning / quantisation path).
+	SparseDirect
+	// Winograd executes 3×3 stride-1 convolutions via the F(2×2,3×3)
+	// Winograd transform (the paper's §II-B "other data
+	// transformations" extension); unsupported geometries fall back to
+	// the direct kernel.
+	Winograd
+)
+
+// String names the algorithm for experiment output.
+func (a Algo) String() string {
+	switch a {
+	case Direct:
+		return "direct"
+	case Im2colGEMM:
+		return "im2col+gemm"
+	case SparseDirect:
+		return "sparse-csr"
+	case Winograd:
+		return "winograd"
+	default:
+		return "unknown"
+	}
+}
+
+// Context carries the execution configuration down the layer stack.
+type Context struct {
+	// Threads is the worker count for parallel loops (the OpenMP
+	// thread count in the paper's experiments).
+	Threads int
+	// Sched selects static or dynamic loop scheduling.
+	Sched parallel.Schedule
+	// Algo selects the convolution algorithm.
+	Algo Algo
+	// Training toggles batch-norm batch statistics and enables the
+	// caches backward passes need.
+	Training bool
+}
+
+// Inference returns a single-threaded dense inference context, the
+// baseline configuration of the paper's serial C implementation.
+func Inference() Context {
+	return Context{Threads: 1, Sched: parallel.Dynamic, Algo: Direct}
+}
+
+// Param is one learnable tensor with its gradient accumulator and an
+// optional pruning mask (1 = keep, 0 = pruned). SGD steps must call
+// ApplyMask afterwards so pruned weights stay exactly zero through
+// fine-tuning, as Deep Compression prescribes.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+	Mask *tensor.Tensor
+	// Decay marks parameters subject to weight decay (weights yes,
+	// biases and batch-norm affine parameters conventionally no).
+	Decay bool
+}
+
+// NewParam allocates a parameter and matching gradient buffer.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{
+		Name:  name,
+		W:     tensor.New(shape...),
+		Grad:  tensor.New(shape...),
+		Decay: true,
+	}
+}
+
+// ApplyMask zeroes masked weights (no-op without a mask).
+func (p *Param) ApplyMask() {
+	if p.Mask == nil {
+		return
+	}
+	w, m := p.W.Data(), p.Mask.Data()
+	for i := range w {
+		w[i] *= m[i]
+	}
+}
+
+// MaskGrad zeroes gradients of masked weights so momentum cannot
+// resurrect them.
+func (p *Param) MaskGrad() {
+	if p.Mask == nil {
+		return
+	}
+	g, m := p.Grad.Data(), p.Mask.Data()
+	for i := range g {
+		g[i] *= m[i]
+	}
+}
+
+// Stats summarises one layer for the cost model and the footprint
+// accounting: parameter and operation counts plus the sizes of the
+// buffers the layer touches at inference time.
+type Stats struct {
+	Name string
+	Kind string
+	// Params is the learnable parameter count; NNZ the non-zero count.
+	Params int
+	NNZ    int
+	// MACs is the dense multiply-accumulate count per forward pass at
+	// the described input shape; SparseMACs the count a CSR kernel
+	// would execute (proportional to NNZ).
+	MACs       int64
+	SparseMACs int64
+	// InBytes/OutBytes are activation buffer sizes; WeightBytes the
+	// dense weight storage; PadBytes any padding scratch allocated.
+	InBytes, OutBytes, WeightBytes, PadBytes int
+	// Groups is the convolution group count (InC for depthwise layers,
+	// 0 for non-convolution layers). The cost model uses it to assign
+	// the low-arithmetic-intensity depthwise rate.
+	Groups   int
+	OutShape tensor.Shape
+}
+
+// Layer is the interface every network component implements.
+type Layer interface {
+	// Name returns a short unique identifier within the network.
+	Name() string
+	// Forward runs the layer. When ctx.Training is set the layer may
+	// cache whatever its backward pass needs.
+	Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor
+	// Backward consumes dL/d(output) and returns dL/d(input),
+	// accumulating parameter gradients along the way. It must be
+	// called after a Forward with ctx.Training set.
+	Backward(ctx *Context, gradOut *tensor.Tensor) *tensor.Tensor
+	// Params returns the learnable parameters (possibly empty).
+	Params() []*Param
+	// Describe reports the layer's stats for the given NCHW input
+	// shape and returns the output shape.
+	Describe(in tensor.Shape) (Stats, tensor.Shape)
+}
+
+// activationBytes is 4 bytes per float32 element.
+func activationBytes(s tensor.Shape) int { return 4 * s.NumElements() }
+
+func checkRank4(name string, in *tensor.Tensor) {
+	if in.Shape().Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s requires NCHW input, got %v", name, in.Shape()))
+	}
+}

@@ -1,0 +1,178 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+// Linear is a fully-connected layer y = W·x + b operating on flattened
+// inputs. Input tensors of rank 4 are flattened implicitly — the paper's
+// networks all end with a flatten-then-dense classifier head.
+type Linear struct {
+	LayerName string
+	In, Out   int
+	W         *Param // (Out, In)
+	B         *Param // (Out)
+
+	csr    *sparse.CSR
+	lastIn *tensor.Tensor // flattened (N, In)
+}
+
+// NewLinear builds a fully-connected layer with He initialisation.
+func NewLinear(name string, in, out int, r *tensor.RNG) *Linear {
+	l := &Linear{
+		LayerName: name,
+		In:        in,
+		Out:       out,
+		W:         NewParam(name+".weight", out, in),
+		B:         NewParam(name+".bias", out),
+	}
+	l.B.Decay = false
+	if r != nil {
+		l.W.W.FillHe(r, in)
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return l.LayerName }
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Freeze builds the CSR view for sparse execution.
+func (l *Linear) Freeze() *sparse.CSR {
+	l.csr = sparse.FromDense(l.W.W)
+	return l.csr
+}
+
+// CSR returns the frozen sparse view, building it on first use.
+func (l *Linear) CSR() *sparse.CSR {
+	if l.csr == nil {
+		return l.Freeze()
+	}
+	return l.csr
+}
+
+// Invalidate drops the CSR cache.
+func (l *Linear) Invalidate() { l.csr = nil }
+
+func (l *Linear) flatten(in *tensor.Tensor) *tensor.Tensor {
+	n := in.Shape()[0]
+	per := in.NumElements() / n
+	if per != l.In {
+		panic(fmt.Sprintf("nn: linear %q expects %d features, got %d (shape %v)",
+			l.LayerName, l.In, per, in.Shape()))
+	}
+	return in.Reshape(n, l.In)
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	x := l.flatten(in)
+	if ctx.Training {
+		l.lastIn = x
+	}
+	n := x.Shape()[0]
+	out := tensor.New(n, l.Out)
+	bias := l.B.W.Data()
+
+	if ctx.Algo == SparseDirect {
+		c := l.CSR()
+		for ni := 0; ni < n; ni++ {
+			row := out.Data()[ni*l.Out : (ni+1)*l.Out]
+			c.MatVec(x.Data()[ni*l.In:(ni+1)*l.In], row)
+			for i := range row {
+				row[i] += bias[i]
+			}
+		}
+		return out
+	}
+
+	wd, xd, od := l.W.W.Data(), x.Data(), out.Data()
+	parallel.For(n*l.Out, ctx.Threads, ctx.Sched, func(job int) {
+		ni, o := job/l.Out, job%l.Out
+		wrow := wd[o*l.In : (o+1)*l.In]
+		xrow := xd[ni*l.In : (ni+1)*l.In]
+		acc := bias[o]
+		for i, wv := range wrow {
+			acc += wv * xrow[i]
+		}
+		od[ni*l.Out+o] = acc
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(ctx *Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.lastIn == nil {
+		panic(fmt.Sprintf("nn: linear %q Backward before training Forward", l.LayerName))
+	}
+	l.Invalidate()
+	x := l.lastIn
+	n := x.Shape()[0]
+	if !gradOut.Shape().Equal(tensor.Shape{n, l.Out}) {
+		panic(fmt.Sprintf("nn: linear %q gradOut shape %v, want (%d, %d)",
+			l.LayerName, gradOut.Shape(), n, l.Out))
+	}
+	gd, xd := gradOut.Data(), x.Data()
+	gw, gb, wd := l.W.Grad.Data(), l.B.Grad.Data(), l.W.W.Data()
+
+	// dW[o,i] += Σ_n g[n,o]·x[n,i]; db[o] += Σ_n g[n,o].
+	parallel.For(l.Out, ctx.Threads, ctx.Sched, func(o int) {
+		grow := gw[o*l.In : (o+1)*l.In]
+		var bacc float32
+		for ni := 0; ni < n; ni++ {
+			g := gd[ni*l.Out+o]
+			bacc += g
+			if g == 0 {
+				continue
+			}
+			xrow := xd[ni*l.In : (ni+1)*l.In]
+			for i := range grow {
+				grow[i] += g * xrow[i]
+			}
+		}
+		gb[o] += bacc
+	})
+
+	// dX[n,i] = Σ_o g[n,o]·W[o,i].
+	gradIn := tensor.New(n, l.In)
+	gid := gradIn.Data()
+	parallel.For(n, ctx.Threads, ctx.Sched, func(ni int) {
+		dst := gid[ni*l.In : (ni+1)*l.In]
+		for o := 0; o < l.Out; o++ {
+			g := gd[ni*l.Out+o]
+			if g == 0 {
+				continue
+			}
+			wrow := wd[o*l.In : (o+1)*l.In]
+			for i := range dst {
+				dst[i] += g * wrow[i]
+			}
+		}
+	})
+	return gradIn
+}
+
+// Describe implements Layer.
+func (l *Linear) Describe(in tensor.Shape) (Stats, tensor.Shape) {
+	n := in[0]
+	out := tensor.Shape{n, l.Out}
+	nnz := l.W.W.NumElements() - l.W.W.CountZeros()
+	return Stats{
+		Name:        l.LayerName,
+		Kind:        "linear",
+		Params:      l.W.W.NumElements() + l.Out,
+		NNZ:         nnz + l.Out,
+		MACs:        int64(n) * int64(l.In) * int64(l.Out),
+		SparseMACs:  int64(n) * int64(nnz),
+		InBytes:     activationBytes(in),
+		OutBytes:    activationBytes(out),
+		WeightBytes: 4 * (l.W.W.NumElements() + l.Out),
+		OutShape:    out,
+	}, out
+}

@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss over a batch
+// of logits (N, C) with integer labels, and the gradient with respect to
+// the logits. This is the training objective of the paper ("SGD to
+// minimise the cross-entropy loss, averaged across all data items").
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if logits.Shape().Rank() != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy requires (N, C) logits, got %v", logits.Shape()))
+	}
+	n, c := logits.Shape()[0], logits.Shape()[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
+	}
+	grad := tensor.New(n, c)
+	ld, gd := logits.Data(), grad.Data()
+	var loss float64
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		if labels[i] < 0 || labels[i] >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", labels[i], c))
+		}
+		row := ld[i*c : (i+1)*c]
+		// Stable softmax.
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxV))
+		}
+		logSum := math.Log(sum)
+		loss += invN * (logSum - float64(row[labels[i]]-maxV))
+		grow := gd[i*c : (i+1)*c]
+		for j, v := range row {
+			p := math.Exp(float64(v-maxV)) / sum
+			grow[j] = float32(p * invN)
+		}
+		grow[labels[i]] -= float32(invN)
+	}
+	return loss, grad
+}
+
+// Softmax converts logits (N, C) to probabilities, used at inference
+// time when calibrated confidences are wanted.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, c := logits.Shape()[0], logits.Shape()[1]
+	out := tensor.New(n, c)
+	ld, od := logits.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		row := ld[i*c : (i+1)*c]
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxV))
+		}
+		orow := od[i*c : (i+1)*c]
+		for j, v := range row {
+			orow[j] = float32(math.Exp(float64(v-maxV)) / sum)
+		}
+	}
+	return out
+}
+
+// Predictions returns the argmax class per batch row.
+func Predictions(logits *tensor.Tensor) []int {
+	n, c := logits.Shape()[0], logits.Shape()[1]
+	preds := make([]int, n)
+	ld := logits.Data()
+	for i := 0; i < n; i++ {
+		row := ld[i*c : (i+1)*c]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		preds[i] = best
+	}
+	return preds
+}

@@ -1,0 +1,545 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+func trainCtx() *Context {
+	c := Inference()
+	c.Training = true
+	return &c
+}
+
+func inferCtx(algo Algo, threads int) *Context {
+	c := Inference()
+	c.Algo = algo
+	c.Threads = threads
+	return &c
+}
+
+func randInput(r *tensor.RNG, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	t.FillNormal(r, 0, 1)
+	return t
+}
+
+// numericGrad estimates dLoss/dTheta for a scalar loss via central
+// differences, the oracle for all analytic gradients below.
+func numericGrad(theta *tensor.Tensor, idx int, loss func() float64) float64 {
+	const eps = 1e-3
+	d := theta.Data()
+	orig := d[idx]
+	d[idx] = orig + eps
+	lp := loss()
+	d[idx] = orig - eps
+	lm := loss()
+	d[idx] = orig
+	return (lp - lm) / (2 * eps)
+}
+
+// scalarLoss runs a forward pass and reduces the output to a simple
+// deterministic scalar (sum of squares / 2), whose output gradient is
+// the output itself.
+func scalarLoss(ctx *Context, l Layer, in *tensor.Tensor) float64 {
+	out := l.Forward(ctx, in)
+	var acc float64
+	for _, v := range out.Data() {
+		acc += 0.5 * float64(v) * float64(v)
+	}
+	return acc
+}
+
+// checkLayerGradients validates analytic parameter and input gradients
+// against numeric differentiation for a layer.
+func checkLayerGradients(t *testing.T, l Layer, in *tensor.Tensor, tol float64) {
+	t.Helper()
+	ctx := trainCtx()
+	out := l.Forward(ctx, in)
+	grad := out.Clone() // d(sum sq/2)/d(out) = out
+	for _, p := range l.Params() {
+		p.Grad.Zero()
+	}
+	gradIn := l.Backward(ctx, grad)
+
+	for _, p := range l.Params() {
+		n := p.W.NumElements()
+		stride := n/5 + 1
+		for idx := 0; idx < n; idx += stride {
+			want := numericGrad(p.W, idx, func() float64 { return scalarLoss(ctx, l, in) })
+			got := float64(p.Grad.Data()[idx])
+			if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", p.Name, idx, got, want)
+			}
+		}
+	}
+	nIn := in.NumElements()
+	stride := nIn/5 + 1
+	for idx := 0; idx < nIn; idx += stride {
+		want := numericGrad(in, idx, func() float64 { return scalarLoss(ctx, l, in) })
+		got := float64(gradIn.Data()[idx])
+		if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+			t.Fatalf("input grad[%d]: analytic %v vs numeric %v", idx, got, want)
+		}
+	}
+}
+
+func TestConvForwardAlgosAgree(t *testing.T) {
+	r := tensor.NewRNG(1)
+	conv := NewConv2D("c", sparse.ConvParams{InC: 3, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r)
+	conv.B.W.FillNormal(r, 0, 0.5)
+	in := randInput(r, 2, 3, 10, 10)
+	direct := conv.Forward(inferCtx(Direct, 1), in)
+	gemm := conv.Forward(inferCtx(Im2colGEMM, 1), in)
+	spr := conv.Forward(inferCtx(SparseDirect, 1), in)
+	if d := tensor.MaxAbsDiff(direct, gemm); d > 1e-3 {
+		t.Fatalf("direct vs im2col+GEMM differ by %v", d)
+	}
+	if d := tensor.MaxAbsDiff(direct, spr); d > 1e-3 {
+		t.Fatalf("direct vs sparse differ by %v", d)
+	}
+}
+
+func TestConvForwardAlgosAgreeStride2Grouped(t *testing.T) {
+	r := tensor.NewRNG(2)
+	conv := NewConv2D("c", sparse.ConvParams{InC: 4, OutC: 4, KH: 3, KW: 3, Stride: 2, Pad: 1, Groups: 4}, r)
+	in := randInput(r, 1, 4, 9, 9)
+	direct := conv.Forward(inferCtx(Direct, 1), in)
+	gemm := conv.Forward(inferCtx(Im2colGEMM, 1), in)
+	spr := conv.Forward(inferCtx(SparseDirect, 1), in)
+	if d := tensor.MaxAbsDiff(direct, gemm); d > 1e-3 {
+		t.Fatalf("depthwise direct vs gemm differ by %v", d)
+	}
+	if d := tensor.MaxAbsDiff(direct, spr); d > 1e-3 {
+		t.Fatalf("depthwise direct vs sparse differ by %v", d)
+	}
+}
+
+func TestConvParallelMatchesSerial(t *testing.T) {
+	r := tensor.NewRNG(3)
+	conv := NewConv2D("c", sparse.ConvParams{InC: 3, OutC: 6, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r)
+	in := randInput(r, 2, 3, 8, 8)
+	want := conv.Forward(inferCtx(Direct, 1), in)
+	for _, threads := range []int{2, 4, 8} {
+		got := conv.Forward(inferCtx(Direct, threads), in)
+		if d := tensor.MaxAbsDiff(got, want); d != 0 {
+			t.Fatalf("threads=%d differs by %v", threads, d)
+		}
+	}
+}
+
+func TestConvGradients(t *testing.T) {
+	r := tensor.NewRNG(4)
+	conv := NewConv2D("c", sparse.ConvParams{InC: 2, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r)
+	conv.B.W.FillNormal(r, 0, 0.1)
+	checkLayerGradients(t, conv, randInput(r, 2, 2, 5, 5), 2e-2)
+}
+
+func TestConvGradientsStride2(t *testing.T) {
+	r := tensor.NewRNG(5)
+	conv := NewConv2D("c", sparse.ConvParams{InC: 2, OutC: 2, KH: 3, KW: 3, Stride: 2, Pad: 1, Groups: 1}, r)
+	checkLayerGradients(t, conv, randInput(r, 1, 2, 6, 6), 2e-2)
+}
+
+func TestConvGradientsDepthwise(t *testing.T) {
+	r := tensor.NewRNG(6)
+	conv := NewConv2D("c", sparse.ConvParams{InC: 3, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 3}, r)
+	checkLayerGradients(t, conv, randInput(r, 1, 3, 5, 5), 2e-2)
+}
+
+func TestConvGradients1x1(t *testing.T) {
+	r := tensor.NewRNG(7)
+	conv := NewConv2D("c", sparse.ConvParams{InC: 4, OutC: 3, KH: 1, KW: 1, Stride: 1, Pad: 0, Groups: 1}, r)
+	checkLayerGradients(t, conv, randInput(r, 2, 4, 4, 4), 2e-2)
+}
+
+func TestLinearForwardKnown(t *testing.T) {
+	l := NewLinear("fc", 3, 2, nil)
+	copy(l.W.W.Data(), []float32{1, 2, 3, 4, 5, 6})
+	copy(l.B.W.Data(), []float32{0.5, -0.5})
+	in := tensor.FromSlice([]float32{1, 1, 1}, 1, 3)
+	out := l.Forward(inferCtx(Direct, 1), in)
+	if out.At(0, 0) != 6.5 || out.At(0, 1) != 14.5 {
+		t.Fatalf("linear forward = %v", out.Data())
+	}
+}
+
+func TestLinearSparseMatchesDense(t *testing.T) {
+	r := tensor.NewRNG(8)
+	l := NewLinear("fc", 20, 7, r)
+	// Prune half the weights.
+	d := l.W.W.Data()
+	for i := range d {
+		if r.Float64() < 0.5 {
+			d[i] = 0
+		}
+	}
+	in := randInput(r, 3, 20)
+	dense := l.Forward(inferCtx(Direct, 1), in)
+	l.Invalidate()
+	spr := l.Forward(inferCtx(SparseDirect, 1), in)
+	if d := tensor.MaxAbsDiff(dense, spr); d > 1e-4 {
+		t.Fatalf("sparse linear differs by %v", d)
+	}
+}
+
+func TestLinearGradients(t *testing.T) {
+	r := tensor.NewRNG(9)
+	l := NewLinear("fc", 6, 4, r)
+	l.B.W.FillNormal(r, 0, 0.1)
+	checkLayerGradients(t, l, randInput(r, 3, 6), 2e-2)
+}
+
+func TestLinearFlattensRank4(t *testing.T) {
+	r := tensor.NewRNG(10)
+	l := NewLinear("fc", 2*3*3, 5, r)
+	out := l.Forward(inferCtx(Direct, 1), randInput(r, 2, 2, 3, 3))
+	if !out.Shape().Equal(tensor.Shape{2, 5}) {
+		t.Fatalf("output shape %v", out.Shape())
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	relu := NewReLU("r")
+	ctx := trainCtx()
+	in := tensor.FromSlice([]float32{-1, 2, -3, 4}, 1, 1, 2, 2)
+	out := relu.Forward(ctx, in)
+	want := []float32{0, 2, 0, 4}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("relu forward = %v", out.Data())
+		}
+	}
+	grad := tensor.FromSlice([]float32{10, 10, 10, 10}, 1, 1, 2, 2)
+	gin := relu.Backward(ctx, grad)
+	wantG := []float32{0, 10, 0, 10}
+	for i, v := range gin.Data() {
+		if v != wantG[i] {
+			t.Fatalf("relu backward = %v", gin.Data())
+		}
+	}
+}
+
+func TestBatchNormTrainNormalises(t *testing.T) {
+	r := tensor.NewRNG(11)
+	bn := NewBatchNorm("bn", 4)
+	ctx := trainCtx()
+	in := randInput(r, 8, 4, 6, 6)
+	in.Scale(3)
+	out := bn.Forward(ctx, in)
+	// Each channel of the output must have ~zero mean and ~unit var.
+	n, c, h, w := 8, 4, 6, 6
+	for ci := 0; ci < c; ci++ {
+		var sum, sq float64
+		for ni := 0; ni < n; ni++ {
+			for i := 0; i < h*w; i++ {
+				v := float64(out.Data()[(ni*c+ci)*h*w+i])
+				sum += v
+				sq += v * v
+			}
+		}
+		cnt := float64(n * h * w)
+		mean := sum / cnt
+		variance := sq/cnt - mean*mean
+		if math.Abs(mean) > 1e-4 {
+			t.Fatalf("channel %d mean %v, want ~0", ci, mean)
+		}
+		if math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d var %v, want ~1", ci, variance)
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	r := tensor.NewRNG(12)
+	bn := NewBatchNorm("bn", 2)
+	// Train once to move the running stats.
+	bn.Forward(trainCtx(), randInput(r, 4, 2, 3, 3))
+	infer := inferCtx(Direct, 1)
+	in := randInput(r, 1, 2, 3, 3)
+	out1 := bn.Forward(infer, in)
+	out2 := bn.Forward(infer, in)
+	if d := tensor.MaxAbsDiff(out1, out2); d != 0 {
+		t.Fatal("inference batch-norm must be deterministic")
+	}
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	r := tensor.NewRNG(13)
+	bn := NewBatchNorm("bn", 3)
+	bn.Gamma.W.FillNormal(r, 1, 0.2)
+	bn.Beta.W.FillNormal(r, 0, 0.2)
+	checkLayerGradients(t, bn, randInput(r, 4, 3, 3, 3), 5e-2)
+}
+
+func TestMaxPoolForward(t *testing.T) {
+	mp := NewMaxPool2D("mp", 2)
+	in := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	out := mp.Forward(inferCtx(Direct, 1), in)
+	want := []float32{6, 8, 14, 16}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("maxpool forward = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestMaxPoolBackwardRoutesToArgmax(t *testing.T) {
+	mp := NewMaxPool2D("mp", 2)
+	ctx := trainCtx()
+	in := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	mp.Forward(ctx, in)
+	g := mp.Backward(ctx, tensor.FromSlice([]float32{7}, 1, 1, 1, 1))
+	want := []float32{0, 0, 0, 7}
+	for i, v := range g.Data() {
+		if v != want[i] {
+			t.Fatalf("maxpool backward = %v, want %v", g.Data(), want)
+		}
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	gp := NewGlobalAvgPool("gp")
+	ctx := trainCtx()
+	in := tensor.FromSlice([]float32{1, 2, 3, 4, 10, 10, 10, 10}, 1, 2, 2, 2)
+	out := gp.Forward(ctx, in)
+	if out.At(0, 0, 0, 0) != 2.5 || out.At(0, 1, 0, 0) != 10 {
+		t.Fatalf("avgpool forward = %v", out.Data())
+	}
+	g := gp.Backward(ctx, tensor.FromSlice([]float32{4, 8}, 1, 2, 1, 1))
+	if g.At(0, 0, 1, 1) != 1 || g.At(0, 1, 0, 0) != 2 {
+		t.Fatalf("avgpool backward = %v", g.Data())
+	}
+}
+
+func TestFlattenRoundtrip(t *testing.T) {
+	f := NewFlatten("fl")
+	ctx := trainCtx()
+	r := tensor.NewRNG(14)
+	in := randInput(r, 2, 3, 4, 4)
+	out := f.Forward(ctx, in)
+	if !out.Shape().Equal(tensor.Shape{2, 48}) {
+		t.Fatalf("flatten shape %v", out.Shape())
+	}
+	back := f.Backward(ctx, out)
+	if !back.Shape().Equal(in.Shape()) {
+		t.Fatalf("unflatten shape %v", back.Shape())
+	}
+}
+
+func TestResidualBlockIdentityShape(t *testing.T) {
+	r := tensor.NewRNG(15)
+	b := NewResidualBlock("b", 8, 8, 1, r)
+	if b.SkipConv != nil {
+		t.Fatal("same-shape block must use identity skip")
+	}
+	out := b.Forward(inferCtx(Direct, 1), randInput(r, 1, 8, 6, 6))
+	if !out.Shape().Equal(tensor.Shape{1, 8, 6, 6}) {
+		t.Fatalf("block output shape %v", out.Shape())
+	}
+}
+
+func TestResidualBlockProjectionShape(t *testing.T) {
+	r := tensor.NewRNG(16)
+	b := NewResidualBlock("b", 8, 16, 2, r)
+	if b.SkipConv == nil {
+		t.Fatal("stride-2 block must use projection skip")
+	}
+	out := b.Forward(inferCtx(Direct, 1), randInput(r, 1, 8, 6, 6))
+	if !out.Shape().Equal(tensor.Shape{1, 16, 3, 3}) {
+		t.Fatalf("block output shape %v", out.Shape())
+	}
+}
+
+func TestResidualBlockGradients(t *testing.T) {
+	r := tensor.NewRNG(17)
+	b := NewResidualBlock("b", 2, 2, 1, r)
+	checkLayerGradients(t, b, randInput(r, 2, 2, 4, 4), 6e-2)
+}
+
+func TestResidualBlockProjectionGradients(t *testing.T) {
+	r := tensor.NewRNG(18)
+	b := NewResidualBlock("b", 2, 4, 2, r)
+	checkLayerGradients(t, b, randInput(r, 2, 2, 4, 4), 6e-2)
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	// Uniform logits: loss = ln(C).
+	logits := tensor.New(1, 4)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{2})
+	if math.Abs(loss-math.Log(4)) > 1e-6 {
+		t.Fatalf("uniform loss = %v, want ln4 = %v", loss, math.Log(4))
+	}
+	// Gradient: p - onehot = 0.25 everywhere except 0.25-1 at label.
+	for j := 0; j < 4; j++ {
+		want := 0.25
+		if j == 2 {
+			want = -0.75
+		}
+		if math.Abs(float64(grad.At(0, j))-want) > 1e-6 {
+			t.Fatalf("grad[%d] = %v, want %v", j, grad.At(0, j), want)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyGradientNumeric(t *testing.T) {
+	r := tensor.NewRNG(19)
+	logits := randInput(r, 3, 5)
+	labels := []int{1, 4, 0}
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	for idx := 0; idx < logits.NumElements(); idx += 3 {
+		want := numericGrad(logits, idx, func() float64 {
+			l, _ := SoftmaxCrossEntropy(logits, labels)
+			return l
+		})
+		if math.Abs(float64(grad.Data()[idx])-want) > 1e-3 {
+			t.Fatalf("CE grad[%d] = %v, numeric %v", idx, grad.Data()[idx], want)
+		}
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	r := tensor.NewRNG(20)
+	p := Softmax(randInput(r, 4, 7))
+	for i := 0; i < 4; i++ {
+		var sum float64
+		for j := 0; j < 7; j++ {
+			sum += float64(p.At(i, j))
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestPredictions(t *testing.T) {
+	logits := tensor.FromSlice([]float32{0, 1, 0, 3, 2, 1}, 2, 3)
+	p := Predictions(logits)
+	if p[0] != 1 || p[1] != 0 {
+		t.Fatalf("predictions = %v", p)
+	}
+}
+
+func TestParamMask(t *testing.T) {
+	p := NewParam("w", 4)
+	copy(p.W.Data(), []float32{1, 2, 3, 4})
+	p.Mask = tensor.FromSlice([]float32{1, 0, 1, 0}, 4)
+	p.ApplyMask()
+	if p.W.Data()[1] != 0 || p.W.Data()[3] != 0 || p.W.Data()[0] != 1 {
+		t.Fatalf("masked weights = %v", p.W.Data())
+	}
+	copy(p.Grad.Data(), []float32{5, 5, 5, 5})
+	p.MaskGrad()
+	if p.Grad.Data()[1] != 0 || p.Grad.Data()[0] != 5 {
+		t.Fatalf("masked grads = %v", p.Grad.Data())
+	}
+}
+
+func TestNetworkForwardAndDescribe(t *testing.T) {
+	r := tensor.NewRNG(21)
+	net := NewNetwork("tiny", tensor.Shape{3, 8, 8}, 10)
+	net.Add(
+		NewConv2D("c1", sparse.ConvParams{InC: 3, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r),
+		NewBatchNorm("bn1", 8),
+		NewReLU("r1"),
+		NewMaxPool2D("mp1", 2),
+		NewFlatten("fl"),
+		NewLinear("fc", 8*4*4, 10, r),
+	)
+	out := net.Forward(inferCtx(Direct, 1), randInput(r, 2, 3, 8, 8))
+	if !out.Shape().Equal(tensor.Shape{2, 10}) {
+		t.Fatalf("network output %v", out.Shape())
+	}
+	stats, agg := net.Describe(1)
+	if len(stats) != 6 {
+		t.Fatalf("expected 6 layer stats, got %d", len(stats))
+	}
+	wantParams := (3*8*9 + 8) + 16 + (8*4*4*10 + 10)
+	if agg.Params != wantParams {
+		t.Fatalf("aggregate params %d, want %d", agg.Params, wantParams)
+	}
+	if agg.MACs <= 0 {
+		t.Fatal("aggregate MACs must be positive")
+	}
+	if net.ParamCount() != wantParams {
+		t.Fatalf("ParamCount %d, want %d", net.ParamCount(), wantParams)
+	}
+}
+
+func TestNetworkSparsityAccounting(t *testing.T) {
+	r := tensor.NewRNG(22)
+	net := NewNetwork("tiny", tensor.Shape{2, 4, 4}, 2)
+	conv := NewConv2D("c1", sparse.ConvParams{InC: 2, OutC: 2, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r)
+	net.Add(conv, NewFlatten("fl"), NewLinear("fc", 2*4*4, 2, r))
+	if s := net.WeightSparsity(); s != 0 {
+		t.Fatalf("fresh network sparsity = %v, want 0", s)
+	}
+	conv.W.W.Zero()
+	s := net.WeightSparsity()
+	convW := 2 * 2 * 9
+	fcW := 2 * 4 * 4 * 2
+	want := float64(convW) / float64(convW+fcW)
+	if math.Abs(s-want) > 1e-9 {
+		t.Fatalf("sparsity = %v, want %v", s, want)
+	}
+}
+
+func TestNetworkTrainingStepReducesLoss(t *testing.T) {
+	r := tensor.NewRNG(23)
+	net := NewNetwork("tiny", tensor.Shape{1, 6, 6}, 3)
+	net.Add(
+		NewConv2D("c1", sparse.ConvParams{InC: 1, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r),
+		NewReLU("r1"),
+		NewFlatten("fl"),
+		NewLinear("fc", 4*6*6, 3, r),
+	)
+	ctx := trainCtx()
+	in := randInput(r, 4, 1, 6, 6)
+	labels := []int{0, 1, 2, 0}
+
+	step := func() float64 {
+		net.ZeroGrads()
+		out := net.Forward(ctx, in)
+		loss, grad := SoftmaxCrossEntropy(out, labels)
+		net.Backward(ctx, grad)
+		for _, p := range net.Params() {
+			tensor.AXPY(-0.05, p.Grad, p.W)
+		}
+		return loss
+	}
+	first := step()
+	var last float64
+	for i := 0; i < 20; i++ {
+		last = step()
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v → %v", first, last)
+	}
+}
+
+func TestFreezeInvalidateCycle(t *testing.T) {
+	r := tensor.NewRNG(24)
+	conv := NewConv2D("c", sparse.ConvParams{InC: 2, OutC: 2, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r)
+	csr1 := conv.CSR()
+	if conv.CSR() != csr1 {
+		t.Fatal("CSR must be cached")
+	}
+	conv.Invalidate()
+	if conv.CSR() == csr1 {
+		t.Fatal("Invalidate must drop the cache")
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	if Direct.String() != "direct" || Im2colGEMM.String() != "im2col+gemm" || SparseDirect.String() != "sparse-csr" {
+		t.Fatal("algo names wrong")
+	}
+}

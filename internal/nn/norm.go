@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm is per-channel batch normalisation over NCHW activations
+// (Ioffe & Szegedy, the paper's [32]). ResNet-18 and MobileNet use it
+// after every convolution; its per-channel scale is also the signal some
+// channel-pruning schemes threshold on.
+type BatchNorm struct {
+	LayerName string
+	C         int
+	Gamma     *Param
+	Beta      *Param
+	// Running statistics used at inference time.
+	RunningMean []float32
+	RunningVar  []float32
+	// Momentum of the running-statistics update.
+	Momentum float32
+	Eps      float32
+
+	// Training caches.
+	lastIn   *tensor.Tensor
+	batchMu  []float32
+	batchVar []float32
+	xhat     []float32
+}
+
+// NewBatchNorm constructs a batch-norm layer with gamma=1, beta=0 and
+// unit running variance.
+func NewBatchNorm(name string, channels int) *BatchNorm {
+	b := &BatchNorm{
+		LayerName:   name,
+		C:           channels,
+		Gamma:       NewParam(name+".gamma", channels),
+		Beta:        NewParam(name+".beta", channels),
+		RunningMean: make([]float32, channels),
+		RunningVar:  make([]float32, channels),
+		Momentum:    0.1,
+		Eps:         1e-5,
+	}
+	b.Gamma.Decay = false
+	b.Beta.Decay = false
+	b.Gamma.W.Fill(1)
+	for i := range b.RunningVar {
+		b.RunningVar[i] = 1
+	}
+	return b
+}
+
+// Name implements Layer.
+func (b *BatchNorm) Name() string { return b.LayerName }
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	checkRank4(b.LayerName, in)
+	n, c, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
+	if c != b.C {
+		panic(fmt.Sprintf("nn: batchnorm %q expects %d channels, got %d", b.LayerName, b.C, c))
+	}
+	out := tensor.New(n, c, h, w)
+	id, od := in.Data(), out.Data()
+	hw := h * w
+	gamma, beta := b.Gamma.W.Data(), b.Beta.W.Data()
+
+	if ctx.Training {
+		b.lastIn = in
+		if b.batchMu == nil || len(b.batchMu) != c {
+			b.batchMu = make([]float32, c)
+			b.batchVar = make([]float32, c)
+		}
+		b.xhat = make([]float32, len(id))
+		cnt := float32(n * hw)
+		for ci := 0; ci < c; ci++ {
+			var sum float64
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * hw
+				for i := 0; i < hw; i++ {
+					sum += float64(id[base+i])
+				}
+			}
+			mu := float32(sum / float64(cnt))
+			var vs float64
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * hw
+				for i := 0; i < hw; i++ {
+					d := id[base+i] - mu
+					vs += float64(d) * float64(d)
+				}
+			}
+			variance := float32(vs / float64(cnt))
+			b.batchMu[ci] = mu
+			b.batchVar[ci] = variance
+			b.RunningMean[ci] = (1-b.Momentum)*b.RunningMean[ci] + b.Momentum*mu
+			b.RunningVar[ci] = (1-b.Momentum)*b.RunningVar[ci] + b.Momentum*variance
+			inv := float32(1 / math.Sqrt(float64(variance)+float64(b.Eps)))
+			g, bt := gamma[ci], beta[ci]
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * hw
+				for i := 0; i < hw; i++ {
+					xh := (id[base+i] - mu) * inv
+					b.xhat[base+i] = xh
+					od[base+i] = g*xh + bt
+				}
+			}
+		}
+		return out
+	}
+
+	// Inference: use running statistics, fold into scale+shift.
+	for ci := 0; ci < c; ci++ {
+		inv := float32(1 / math.Sqrt(float64(b.RunningVar[ci])+float64(b.Eps)))
+		scale := gamma[ci] * inv
+		shift := beta[ci] - scale*b.RunningMean[ci]
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * hw
+			for i := 0; i < hw; i++ {
+				od[base+i] = scale*id[base+i] + shift
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer with the standard batch-norm gradient.
+func (b *BatchNorm) Backward(ctx *Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	if b.lastIn == nil || b.xhat == nil {
+		panic(fmt.Sprintf("nn: batchnorm %q Backward before training Forward", b.LayerName))
+	}
+	in := b.lastIn
+	n, c, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
+	hw := h * w
+	m := float32(n * hw)
+	gd := gradOut.Data()
+	gg, gb := b.Gamma.Grad.Data(), b.Beta.Grad.Data()
+	gamma := b.Gamma.W.Data()
+	gradIn := tensor.New(n, c, h, w)
+	gid := gradIn.Data()
+
+	for ci := 0; ci < c; ci++ {
+		inv := float32(1 / math.Sqrt(float64(b.batchVar[ci])+float64(b.Eps)))
+		var sumG, sumGX float64
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * hw
+			for i := 0; i < hw; i++ {
+				g := gd[base+i]
+				sumG += float64(g)
+				sumGX += float64(g) * float64(b.xhat[base+i])
+			}
+		}
+		gg[ci] += float32(sumGX)
+		gb[ci] += float32(sumG)
+		k1 := float32(sumG) / m
+		k2 := float32(sumGX) / m
+		scale := gamma[ci] * inv
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * hw
+			for i := 0; i < hw; i++ {
+				gid[base+i] = scale * (gd[base+i] - k1 - b.xhat[base+i]*k2)
+			}
+		}
+	}
+	return gradIn
+}
+
+// Describe implements Layer.
+func (b *BatchNorm) Describe(in tensor.Shape) (Stats, tensor.Shape) {
+	return Stats{
+		Name:        b.LayerName,
+		Kind:        "batchnorm",
+		Params:      2 * b.C,
+		NNZ:         2 * b.C,
+		MACs:        int64(in.NumElements()) * 2, // scale + shift
+		SparseMACs:  int64(in.NumElements()) * 2,
+		InBytes:     activationBytes(in),
+		OutBytes:    activationBytes(in),
+		WeightBytes: 4 * 4 * b.C, // gamma, beta, running mean/var
+		OutShape:    in.Clone(),
+	}, in.Clone()
+}

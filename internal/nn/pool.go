@@ -1,0 +1,176 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2D is a k×k max pooling layer with stride equal to the kernel
+// size (the configuration VGG-16 uses after layers {2,4,7,10,13}).
+type MaxPool2D struct {
+	LayerName string
+	K         int
+
+	lastIn  *tensor.Tensor
+	argmax  []int32
+	outSize tensor.Shape
+}
+
+// NewMaxPool2D constructs a pooling layer with window and stride k.
+func NewMaxPool2D(name string, k int) *MaxPool2D {
+	if k <= 0 {
+		panic("nn: MaxPool2D requires positive window")
+	}
+	return &MaxPool2D{LayerName: name, K: k}
+}
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return m.LayerName }
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+func (m *MaxPool2D) outShape(in tensor.Shape) tensor.Shape {
+	return tensor.Shape{in[0], in[1], in[2] / m.K, in[3] / m.K}
+}
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	checkRank4(m.LayerName, in)
+	n, c, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
+	if h%m.K != 0 || w%m.K != 0 {
+		panic(fmt.Sprintf("nn: maxpool %q input %v not divisible by window %d", m.LayerName, in.Shape(), m.K))
+	}
+	oh, ow := h/m.K, w/m.K
+	out := tensor.New(n, c, oh, ow)
+	id, od := in.Data(), out.Data()
+	if ctx.Training {
+		m.lastIn = in
+		m.argmax = make([]int32, out.NumElements())
+		m.outSize = out.Shape().Clone()
+	}
+	for nc := 0; nc < n*c; nc++ {
+		src := id[nc*h*w:]
+		dst := od[nc*oh*ow:]
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				best := float32(math.Inf(-1))
+				bestIdx := 0
+				for ky := 0; ky < m.K; ky++ {
+					row := (y*m.K + ky) * w
+					for kx := 0; kx < m.K; kx++ {
+						idx := row + x*m.K + kx
+						if v := src[idx]; v > best {
+							best, bestIdx = v, idx
+						}
+					}
+				}
+				dst[y*ow+x] = best
+				if ctx.Training {
+					m.argmax[nc*oh*ow+y*ow+x] = int32(nc*h*w + bestIdx)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: gradients route to the argmax positions.
+func (m *MaxPool2D) Backward(ctx *Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	if m.lastIn == nil || m.argmax == nil {
+		panic(fmt.Sprintf("nn: maxpool %q Backward before training Forward", m.LayerName))
+	}
+	if !gradOut.Shape().Equal(m.outSize) {
+		panic(fmt.Sprintf("nn: maxpool %q gradOut shape %v, want %v", m.LayerName, gradOut.Shape(), m.outSize))
+	}
+	gradIn := tensor.New(m.lastIn.Shape()...)
+	gid, gd := gradIn.Data(), gradOut.Data()
+	for i, src := range m.argmax {
+		gid[src] += gd[i]
+	}
+	return gradIn
+}
+
+// Describe implements Layer.
+func (m *MaxPool2D) Describe(in tensor.Shape) (Stats, tensor.Shape) {
+	out := m.outShape(in)
+	return Stats{
+		Name:     m.LayerName,
+		Kind:     "maxpool",
+		MACs:     int64(in.NumElements()), // one compare per input element
+		InBytes:  activationBytes(in),
+		OutBytes: activationBytes(out),
+		OutShape: out,
+	}, out
+}
+
+// GlobalAvgPool averages each channel's spatial map to a single value,
+// the head used by ResNet-18 and MobileNet before their classifiers.
+type GlobalAvgPool struct {
+	LayerName string
+	lastShape tensor.Shape
+}
+
+// NewGlobalAvgPool constructs the pooling layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{LayerName: name} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return g.LayerName }
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	checkRank4(g.LayerName, in)
+	n, c, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
+	if ctx.Training {
+		g.lastShape = in.Shape().Clone()
+	}
+	out := tensor.New(n, c, 1, 1)
+	id, od := in.Data(), out.Data()
+	hw := float32(h * w)
+	for nc := 0; nc < n*c; nc++ {
+		var acc float32
+		src := id[nc*h*w : (nc+1)*h*w]
+		for _, v := range src {
+			acc += v
+		}
+		od[nc] = acc / hw
+	}
+	return out
+}
+
+// Backward implements Layer: the gradient spreads uniformly.
+func (g *GlobalAvgPool) Backward(ctx *Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	if g.lastShape == nil {
+		panic(fmt.Sprintf("nn: avgpool %q Backward before training Forward", g.LayerName))
+	}
+	n, c, h, w := g.lastShape[0], g.lastShape[1], g.lastShape[2], g.lastShape[3]
+	gradIn := tensor.New(n, c, h, w)
+	gid, gd := gradIn.Data(), gradOut.Data()
+	inv := 1 / float32(h*w)
+	for nc := 0; nc < n*c; nc++ {
+		v := gd[nc] * inv
+		dst := gid[nc*h*w : (nc+1)*h*w]
+		for i := range dst {
+			dst[i] = v
+		}
+	}
+	return gradIn
+}
+
+// Describe implements Layer.
+func (g *GlobalAvgPool) Describe(in tensor.Shape) (Stats, tensor.Shape) {
+	out := tensor.Shape{in[0], in[1], 1, 1}
+	return Stats{
+		Name:     g.LayerName,
+		Kind:     "avgpool",
+		MACs:     int64(in.NumElements()),
+		InBytes:  activationBytes(in),
+		OutBytes: activationBytes(out),
+		OutShape: out,
+	}, out
+}

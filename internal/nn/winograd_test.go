@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+func TestConvWinogradMatchesDirect(t *testing.T) {
+	r := tensor.NewRNG(31)
+	conv := NewConv2D("c", sparse.ConvParams{InC: 4, OutC: 6, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r)
+	conv.B.W.FillNormal(r, 0, 0.3)
+	in := tensor.New(2, 4, 9, 9)
+	in.FillNormal(r, 0, 1)
+	direct := conv.Forward(inferCtx(Direct, 1), in)
+	wino := conv.Forward(inferCtx(Winograd, 1), in)
+	if d := tensor.MaxAbsDiff(direct, wino); d > 1e-3 {
+		t.Fatalf("winograd conv differs from direct by %v", d)
+	}
+}
+
+func TestConvWinogradFallback(t *testing.T) {
+	// Unsupported geometries (1×1, strided, grouped) must fall back to
+	// the direct kernel transparently.
+	r := tensor.NewRNG(32)
+	geoms := []sparse.ConvParams{
+		{InC: 4, OutC: 4, KH: 1, KW: 1, Stride: 1, Pad: 0, Groups: 1},
+		{InC: 4, OutC: 4, KH: 3, KW: 3, Stride: 2, Pad: 1, Groups: 1},
+		{InC: 4, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 4},
+	}
+	for _, g := range geoms {
+		conv := NewConv2D("c", g, r)
+		in := tensor.New(1, 4, 8, 8)
+		in.FillNormal(r, 0, 1)
+		direct := conv.Forward(inferCtx(Direct, 1), in)
+		wino := conv.Forward(inferCtx(Winograd, 1), in)
+		if d := tensor.MaxAbsDiff(direct, wino); d != 0 {
+			t.Fatalf("fallback for %+v differs by %v", g, d)
+		}
+	}
+}
+
+func TestNetworkUnderWinograd(t *testing.T) {
+	// A whole VGG-style network must produce the same logits under the
+	// Winograd algorithm (its convs are all 3×3 s1 p1).
+	r := tensor.NewRNG(33)
+	net := NewNetwork("tiny", tensor.Shape{3, 8, 8}, 10)
+	net.Add(
+		NewConv2D("c1", sparse.ConvParams{InC: 3, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r),
+		NewReLU("r1"),
+		NewConv2D("c2", sparse.ConvParams{InC: 8, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r),
+		NewGlobalAvgPool("gap"),
+		NewFlatten("fl"),
+		NewLinear("fc", 8, 10, r),
+	)
+	in := tensor.New(1, 3, 8, 8)
+	in.FillNormal(r, 0, 1)
+	direct := net.Forward(inferCtx(Direct, 1), in)
+	wino := net.Forward(inferCtx(Winograd, 1), in)
+	if d := tensor.MaxAbsDiff(direct, wino); d > 1e-3 {
+		t.Fatalf("network-level winograd differs by %v", d)
+	}
+}

@@ -1,0 +1,142 @@
+// Package parallel provides the thread-level execution substrate that
+// plays the role OpenMP plays in the paper: a fixed-size worker pool and
+// parallel-for loops with static or dynamic (chunk-stealing) scheduling.
+//
+// The paper parallelises the outer loop of each convolutional layer with
+// OpenMP dynamic scheduling ("because of the different amount of data
+// required to process in each loop") and synchronises between layers.
+// ParallelFor reproduces exactly that structure: fork worker goroutines,
+// partition the iteration space, join at a barrier before returning.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects how the iteration space is partitioned across workers.
+type Schedule int
+
+const (
+	// Static divides the range into one contiguous chunk per worker,
+	// like OpenMP schedule(static).
+	Static Schedule = iota
+	// Dynamic hands out fixed-size chunks from a shared counter, like
+	// OpenMP schedule(dynamic) — better for imbalanced iterations such
+	// as CSR rows with varying non-zero counts.
+	Dynamic
+)
+
+// String names the schedule for logs and experiment output.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultChunk is the dynamic-schedule chunk size; small enough to
+// balance CSR row irregularity, large enough to amortise the counter.
+const DefaultChunk = 4
+
+// For runs body(i) for every i in [0,n) across the given number of
+// workers, blocking until all iterations complete. threads <= 1 runs
+// serially with no goroutine overhead.
+func For(n, threads int, sched Schedule, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if threads <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	switch sched {
+	case Static:
+		// Contiguous blocks, remainder spread over the first workers.
+		base := n / threads
+		rem := n % threads
+		start := 0
+		for t := 0; t < threads; t++ {
+			size := base
+			if t < rem {
+				size++
+			}
+			lo, hi := start, start+size
+			start = hi
+			go func() {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}()
+		}
+	case Dynamic:
+		var next int64
+		for t := 0; t < threads; t++ {
+			go func() {
+				defer wg.Done()
+				for {
+					lo := int(atomic.AddInt64(&next, DefaultChunk)) - DefaultChunk
+					if lo >= n {
+						return
+					}
+					hi := lo + DefaultChunk
+					if hi > n {
+						hi = n
+					}
+					for i := lo; i < hi; i++ {
+						body(i)
+					}
+				}
+			}()
+		}
+	default:
+		panic("parallel: unknown schedule")
+	}
+	wg.Wait()
+}
+
+// ForRange is like For but hands each worker a half-open [lo,hi) block,
+// avoiding per-index closure calls for cache-friendly inner loops.
+// Only static scheduling is meaningful here.
+func ForRange(n, threads int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if threads <= 1 || n == 1 {
+		body(0, n)
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	base := n / threads
+	rem := n % threads
+	start := 0
+	for t := 0; t < threads; t++ {
+		size := base
+		if t < rem {
+			size++
+		}
+		lo, hi := start, start+size
+		start = hi
+		go func() {
+			defer wg.Done()
+			body(lo, hi)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,120 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func coverage(n, threads int, sched Schedule) []int32 {
+	hits := make([]int32, n)
+	For(n, threads, sched, func(i int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	return hits
+}
+
+func TestForStaticCoversEveryIndexOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{1, 2, 7, 64} {
+			for i, h := range coverage(n, threads, Static) {
+				if h != 1 {
+					t.Fatalf("static n=%d threads=%d: index %d hit %d times", n, threads, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForDynamicCoversEveryIndexOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 5, 16} {
+		for _, n := range []int{1, 3, DefaultChunk, DefaultChunk*3 + 1, 100} {
+			for i, h := range coverage(n, threads, Dynamic) {
+				if h != 1 {
+					t.Fatalf("dynamic n=%d threads=%d: index %d hit %d times", n, threads, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	ran := false
+	For(0, 4, Static, func(int) { ran = true })
+	For(-3, 4, Dynamic, func(int) { ran = true })
+	if ran {
+		t.Fatal("body must not run for n <= 0")
+	}
+}
+
+func TestForSumProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := int(seed)%200 + 1
+		threads := int(seed)%7 + 1
+		var sum int64
+		For(n, threads, Dynamic, func(i int) {
+			atomic.AddInt64(&sum, int64(i))
+		})
+		return sum == int64(n*(n-1)/2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForRangeCoversExactly(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 9} {
+		n := 37
+		hits := make([]int32, n)
+		ForRange(n, threads, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("threads=%d: index %d hit %d times", threads, i, h)
+			}
+		}
+	}
+}
+
+func TestForRangeBlocksAreContiguousAndOrdered(t *testing.T) {
+	var mu int32
+	bounds := make(map[int]int)
+	ForRange(10, 3, func(lo, hi int) {
+		// Serialise map access.
+		for !atomic.CompareAndSwapInt32(&mu, 0, 1) {
+		}
+		bounds[lo] = hi
+		atomic.StoreInt32(&mu, 0)
+	})
+	covered := 0
+	for covered < 10 {
+		hi, ok := bounds[covered]
+		if !ok {
+			t.Fatalf("no block starting at %d (blocks %v)", covered, bounds)
+		}
+		covered = hi
+	}
+	if covered != 10 {
+		t.Fatalf("blocks overrun: %v", bounds)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" {
+		t.Fatal("schedule names wrong")
+	}
+	if Schedule(42).String() != "unknown" {
+		t.Fatal("unknown schedule must stringify as unknown")
+	}
+}
+
+func TestForThreadsGreaterThanN(t *testing.T) {
+	for i, h := range coverage(3, 50, Static) {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times with threads>n", i, h)
+		}
+	}
+}

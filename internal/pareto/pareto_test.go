@@ -1,0 +1,204 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func allCurves(t *testing.T) []*Curve {
+	t.Helper()
+	var cs []*Curve
+	for _, m := range []string{"vgg16", "resnet18", "mobilenet"} {
+		for _, get := range []func(string) (*Curve, error){WeightPruningCurve, ChannelPruningCurve, QuantisationCurve} {
+			c, err := get(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs = append(cs, c)
+		}
+	}
+	return cs
+}
+
+func TestCurvesValidate(t *testing.T) {
+	for _, c := range allCurves(t) {
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestInterpolationExactAtAnchors(t *testing.T) {
+	c, _ := WeightPruningCurve("vgg16")
+	for _, p := range c.Points {
+		if got := c.At(p.X); math.Abs(got-p.Accuracy) > 1e-9 {
+			t.Fatalf("At(%v) = %v, want anchor %v", p.X, got, p.Accuracy)
+		}
+	}
+}
+
+func TestInterpolationClampsOutside(t *testing.T) {
+	c, _ := WeightPruningCurve("resnet18")
+	if c.At(-1) != c.Points[0].Accuracy {
+		t.Fatal("left clamp failed")
+	}
+	if c.At(2) != c.Points[len(c.Points)-1].Accuracy {
+		t.Fatal("right clamp failed")
+	}
+}
+
+func TestBaselineAccuraciesMatchPaper(t *testing.T) {
+	// §V-A: 92.20 / 94.32 / 90.47.
+	for model, want := range Baselines {
+		wp, _ := WeightPruningCurve(model)
+		if got := wp.At(0); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%s baseline %v, want %v", model, got, want)
+		}
+	}
+}
+
+// TestFig3aShape pins the paper's key Fig. 3a finding: at 80% sparsity
+// VGG-16 and ResNet-18 hold accuracy while MobileNet has lost several
+// points.
+func TestFig3aShape(t *testing.T) {
+	vgg, _ := WeightPruningCurve("vgg16")
+	res, _ := WeightPruningCurve("resnet18")
+	mob, _ := WeightPruningCurve("mobilenet")
+	if vgg.At(0.80)-vgg.At(0) < -2 {
+		t.Fatalf("VGG-16 should hold accuracy at 80%% sparsity, dropped to %v", vgg.At(0.80))
+	}
+	if res.At(0.80)-res.At(0) < -2 {
+		t.Fatalf("ResNet-18 should hold accuracy at 80%% sparsity, dropped to %v", res.At(0.80))
+	}
+	if mob.At(0)-mob.At(0.80) < 5 {
+		t.Fatalf("MobileNet must lose clearly at 80%% sparsity, only lost %v points", mob.At(0)-mob.At(0.80))
+	}
+}
+
+// TestFig3bShape: the three channel-pruning curves track each other
+// closely ("all three networks perform very similarly", §V-B2).
+func TestFig3bShape(t *testing.T) {
+	vgg, _ := ChannelPruningCurve("vgg16")
+	res, _ := ChannelPruningCurve("resnet18")
+	mob, _ := ChannelPruningCurve("mobilenet")
+	for _, x := range []float64{0.3, 0.6, 0.8} {
+		dVGG := vgg.At(0) - vgg.At(x)
+		dRes := res.At(0) - res.At(x)
+		dMob := mob.At(0) - mob.At(x)
+		spread := math.Max(dVGG, math.Max(dRes, dMob)) - math.Min(dVGG, math.Min(dRes, dMob))
+		if spread > 4 {
+			t.Fatalf("channel-pruning degradation should be similar across models at %v; spread %v", x, spread)
+		}
+	}
+}
+
+// TestFig3cShape: MobileNet needs a large TTQ threshold (flat weight
+// distribution), so its accuracy *rises* with threshold while VGG-16
+// falls beyond its optimum.
+func TestFig3cShape(t *testing.T) {
+	mob, _ := QuantisationCurve("mobilenet")
+	if mob.At(0.2) <= mob.At(0.02) {
+		t.Fatal("MobileNet TTQ accuracy must improve with threshold")
+	}
+	vgg, _ := QuantisationCurve("vgg16")
+	if vgg.At(0.2) >= vgg.At(0.09) {
+		t.Fatal("VGG-16 TTQ accuracy must fall beyond its Table III threshold")
+	}
+}
+
+func TestElbowNearTableIII(t *testing.T) {
+	// The elbow-finding procedure should land near the paper's chosen
+	// operating points (they were chosen as "obvious elbows").
+	vgg, _ := WeightPruningCurve("vgg16")
+	e := vgg.Elbow(1.0)
+	if e.X < 0.70 || e.X > 0.88 {
+		t.Fatalf("VGG-16 weight-pruning elbow %v far from Table III's 0.7654", e.X)
+	}
+	res, _ := WeightPruningCurve("resnet18")
+	if e := res.Elbow(1.0); e.X < 0.85 || e.X > 0.93 {
+		t.Fatalf("ResNet-18 elbow %v far from Table III's 0.8892", e.X)
+	}
+}
+
+func TestMaxXAtAccuracyMatchesTableV(t *testing.T) {
+	// Table V fixes 90% accuracy; the inverse lookup should land near
+	// the paper's reported rates.
+	cases := []struct {
+		model string
+		curve func(string) (*Curve, error)
+		want  float64
+		tol   float64
+	}{
+		{"vgg16", WeightPruningCurve, 0.85, 0.04},
+		{"resnet18", WeightPruningCurve, 0.91, 0.03},
+		{"vgg16", ChannelPruningCurve, 0.94, 0.03},
+		{"resnet18", ChannelPruningCurve, 0.94, 0.03},
+		{"mobilenet", ChannelPruningCurve, 0.96, 0.03},
+	}
+	for _, c := range cases {
+		curve, err := c.curve(c.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, ok := curve.MaxXAtAccuracy(90)
+		if !ok {
+			t.Fatalf("%s/%s: 90%% unreachable", c.model, curve.Axis)
+		}
+		if math.Abs(x-c.want) > c.tol {
+			t.Fatalf("%s/%s: 90%%-accuracy point %v, paper reports %v", c.model, curve.Axis, x, c.want)
+		}
+	}
+}
+
+func TestMaxXAtAccuracyUnreachable(t *testing.T) {
+	c, _ := WeightPruningCurve("vgg16")
+	if _, ok := c.MaxXAtAccuracy(99); ok {
+		t.Fatal("99% accuracy must be unreachable for VGG-16")
+	}
+}
+
+func TestTTQSparsityAnchors(t *testing.T) {
+	s, err := TTQSparsityAt("vgg16", 0.09)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.6952) > 1e-6 {
+		t.Fatalf("VGG TTQ sparsity at 0.09 = %v, want 0.6952", s)
+	}
+	s, _ = TTQSparsityAt("mobilenet", 0.20)
+	if math.Abs(s-0.9213) > 1e-6 {
+		t.Fatalf("MobileNet TTQ sparsity at 0.20 = %v, want 0.9213", s)
+	}
+}
+
+func TestTablesCoverAllTechniques(t *testing.T) {
+	for _, model := range []string{"vgg16", "resnet18", "mobilenet"} {
+		for _, get := range []func(string) (map[core.Technique]core.OperatingPoint, error){TableIII, TableV} {
+			pts, err := get(model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tech := range core.Techniques() {
+				if _, ok := pts[tech]; !ok {
+					t.Fatalf("%s: missing operating point for %v", model, tech)
+				}
+			}
+		}
+	}
+	if _, err := TableIII("alexnet"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestSamplesSpanCurve(t *testing.T) {
+	c, _ := ChannelPruningCurve("vgg16")
+	s := c.Samples(11)
+	if len(s) != 11 {
+		t.Fatalf("got %d samples", len(s))
+	}
+	if s[0].X != c.Points[0].X || s[10].X != c.Points[len(c.Points)-1].X {
+		t.Fatal("samples must span the full axis")
+	}
+}

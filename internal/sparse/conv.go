@@ -1,0 +1,110 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ConvParams describes the geometry of a sparse direct convolution.
+type ConvParams struct {
+	InC, OutC   int // channel counts
+	KH, KW      int // kernel extent
+	Stride, Pad int
+	Groups      int // 1 for standard conv, InC for depthwise
+}
+
+// OutSize returns the spatial output extent for an input of h×w.
+func (p ConvParams) OutSize(h, w int) (int, int) {
+	oh := (h+2*p.Pad-p.KH)/p.Stride + 1
+	ow := (w+2*p.Pad-p.KW)/p.Stride + 1
+	return oh, ow
+}
+
+// Conv2D performs a direct convolution with CSR-stored filters, the
+// execution path of weight-pruned and quantised models in the paper.
+//
+// The filter matrix must be (OutC) rows × (InC/Groups · KH · KW) columns,
+// i.e. each row is one output channel's flattened filter. For each stored
+// non-zero the kernel streams over all output positions, so the cost is
+// proportional to nnz·OH·OW — but every access to the input goes through
+// the column-index indirection, which is precisely the locality penalty
+// that makes CSR execution slower than dense at moderate sparsity
+// (paper Fig. 1 and Fig. 4).
+func Conv2D(in *tensor.Tensor, filters *CSR, bias []float32, p ConvParams) *tensor.Tensor {
+	if in.Shape().Rank() != 4 {
+		panic(fmt.Sprintf("sparse: Conv2D requires NCHW input, got %v", in.Shape()))
+	}
+	n, c, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
+	if c != p.InC {
+		panic(fmt.Sprintf("sparse: Conv2D input channels %d != params.InC %d", c, p.InC))
+	}
+	if p.Groups <= 0 {
+		panic("sparse: Conv2D requires positive group count")
+	}
+	cPerGroup := p.InC / p.Groups
+	kCols := cPerGroup * p.KH * p.KW
+	if filters.Rows != p.OutC || filters.Cols != kCols {
+		panic(fmt.Sprintf("sparse: filter matrix %dx%d, want %dx%d",
+			filters.Rows, filters.Cols, p.OutC, kCols))
+	}
+	if bias != nil && len(bias) != p.OutC {
+		panic(fmt.Sprintf("sparse: bias length %d, want %d", len(bias), p.OutC))
+	}
+
+	// Explicit padding buffer, as in the paper's C implementation.
+	padded := tensor.Pad2D(in, p.Pad)
+	ph, pw := h+2*p.Pad, w+2*p.Pad
+	oh, ow := p.OutSize(h, w)
+	out := tensor.New(n, p.OutC, oh, ow)
+
+	pd, od := padded.Data(), out.Data()
+	outPerGroup := p.OutC / p.Groups
+
+	for ni := 0; ni < n; ni++ {
+		inBase := ni * c * ph * pw
+		for oc := 0; oc < p.OutC; oc++ {
+			group := oc / outPerGroup
+			dst := od[(ni*p.OutC+oc)*oh*ow : (ni*p.OutC+oc+1)*oh*ow]
+			if bias != nil {
+				b := bias[oc]
+				for i := range dst {
+					dst[i] = b
+				}
+			}
+			for ptr := filters.RowPtr[oc]; ptr < filters.RowPtr[oc+1]; ptr++ {
+				col := int(filters.ColIdx[ptr])
+				v := filters.Vals[ptr]
+				// Decode (local channel, ky, kx) from the flat column.
+				icLocal := col / (p.KH * p.KW)
+				rem := col % (p.KH * p.KW)
+				ky := rem / p.KW
+				kx := rem % p.KW
+				ic := group*cPerGroup + icLocal
+				src := pd[inBase+ic*ph*pw:]
+				for y := 0; y < oh; y++ {
+					srcRow := src[(y*p.Stride+ky)*pw+kx:]
+					dstRow := dst[y*ow : (y+1)*ow]
+					if p.Stride == 1 {
+						for x := range dstRow {
+							dstRow[x] += v * srcRow[x]
+						}
+					} else {
+						for x := range dstRow {
+							dstRow[x] += v * srcRow[x*p.Stride]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConvWorkFLOPs returns the multiply-accumulate count the sparse kernel
+// actually executes (2 flops per stored non-zero per output position).
+// Comparing this against the dense count is how Fig. 1's "expected" curve
+// is produced.
+func ConvWorkFLOPs(filters *CSR, oh, ow int) int64 {
+	return 2 * int64(filters.NNZ()) * int64(oh) * int64(ow)
+}

@@ -1,0 +1,370 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// randomSparseMatrix builds a rows×cols dense matrix with roughly the
+// given zero fraction.
+func randomSparseMatrix(r *tensor.RNG, rows, cols int, sparsity float64) *tensor.Tensor {
+	m := tensor.New(rows, cols)
+	d := m.Data()
+	for i := range d {
+		if r.Float64() >= sparsity {
+			d[i] = float32(r.NormFloat64())
+			if d[i] == 0 { // keep "non-zero" meaning exact
+				d[i] = 1
+			}
+		}
+	}
+	return m
+}
+
+func TestCSRRoundtripExact(t *testing.T) {
+	r := tensor.NewRNG(1)
+	m := randomSparseMatrix(r, 17, 23, 0.7)
+	c := FromDense(m)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if tensor.MaxAbsDiff(m, c.ToDense()) != 0 {
+		t.Fatal("CSR roundtrip must be lossless")
+	}
+}
+
+func TestCSRRoundtripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		rows, cols := 1+r.Intn(20), 1+r.Intn(20)
+		m := randomSparseMatrix(r, rows, cols, r.Float64())
+		c := FromDense(m)
+		return c.Validate() == nil && tensor.MaxAbsDiff(m, c.ToDense()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSREmptyMatrix(t *testing.T) {
+	m := tensor.New(4, 5) // all zeros
+	c := FromDense(m)
+	if c.NNZ() != 0 {
+		t.Fatalf("NNZ = %d, want 0", c.NNZ())
+	}
+	if c.Sparsity() != 1 {
+		t.Fatalf("Sparsity = %v, want 1", c.Sparsity())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRFullMatrix(t *testing.T) {
+	m := tensor.New(3, 3)
+	m.Fill(2)
+	c := FromDense(m)
+	if c.NNZ() != 9 || c.Sparsity() != 0 {
+		t.Fatalf("NNZ=%d sparsity=%v", c.NNZ(), c.Sparsity())
+	}
+}
+
+// TestCSRSmallFilterFootprint pins the paper's central memory
+// observation: a dense 3×3 filter needs 36 bytes, while CSR needs three
+// arrays plus bookkeeping, so even a *fully pruned-to-half* small filter
+// is bigger in CSR than dense (Table IV discussion, §V-D / §VI).
+func TestCSRSmallFilterFootprint(t *testing.T) {
+	m := tensor.New(1, 9) // one 3×3 filter, flattened
+	d := m.Data()
+	for i := 0; i < 5; i++ { // ~44% sparsity: keep 5 of 9 weights
+		d[i] = 1
+	}
+	c := FromDense(m)
+	if c.Bytes() <= c.DenseBytes() {
+		t.Fatalf("CSR bytes %d must exceed dense bytes %d for small low-sparsity filters",
+			c.Bytes(), c.DenseBytes())
+	}
+}
+
+// TestCSRHighSparsityWins verifies the complementary fact: at very high
+// sparsity on large matrices CSR is smaller than dense.
+func TestCSRHighSparsityWins(t *testing.T) {
+	r := tensor.NewRNG(2)
+	m := randomSparseMatrix(r, 512, 512, 0.95)
+	c := FromDense(m)
+	if c.Bytes() >= c.DenseBytes() {
+		t.Fatalf("CSR bytes %d should be below dense %d at 95%% sparsity",
+			c.Bytes(), c.DenseBytes())
+	}
+}
+
+func TestCSRMatVecMatchesDense(t *testing.T) {
+	r := tensor.NewRNG(3)
+	m := randomSparseMatrix(r, 12, 9, 0.5)
+	c := FromDense(m)
+	x := make([]float32, 9)
+	for i := range x {
+		x[i] = float32(r.NormFloat64())
+	}
+	y := make([]float32, 12)
+	c.MatVec(x, y)
+	for i := 0; i < 12; i++ {
+		var want float64
+		for j := 0; j < 9; j++ {
+			want += float64(m.At(i, j)) * float64(x[j])
+		}
+		if math.Abs(float64(y[i])-want) > 1e-4 {
+			t.Fatalf("row %d: got %v, want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestCSRMatMulMatchesNaive(t *testing.T) {
+	r := tensor.NewRNG(4)
+	a := randomSparseMatrix(r, 7, 5, 0.4)
+	b := tensor.New(5, 6)
+	b.FillNormal(r, 0, 1)
+	got := FromDense(a).MatMul(b)
+	want := tensor.New(7, 6)
+	for i := 0; i < 7; i++ {
+		for k := 0; k < 6; k++ {
+			var acc float32
+			for j := 0; j < 5; j++ {
+				acc += a.At(i, j) * b.At(j, k)
+			}
+			want.Set(acc, i, k)
+		}
+	}
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+		t.Fatalf("MatMul differs from naive by %v", d)
+	}
+}
+
+func TestCSRRowNNZ(t *testing.T) {
+	m := tensor.New(2, 4)
+	m.Set(1, 0, 0)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 2)
+	c := FromDense(m)
+	if c.RowNNZ(0) != 2 || c.RowNNZ(1) != 1 {
+		t.Fatalf("RowNNZ = %d,%d want 2,1", c.RowNNZ(0), c.RowNNZ(1))
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	r := tensor.NewRNG(5)
+	c := FromDense(randomSparseMatrix(r, 4, 4, 0.5))
+	if c.NNZ() == 0 {
+		t.Skip("degenerate draw")
+	}
+	c.ColIdx[0] = 99
+	if c.Validate() == nil {
+		t.Fatal("Validate must reject out-of-range column index")
+	}
+}
+
+func TestTernaryRoundtrip(t *testing.T) {
+	m := tensor.New(3, 4)
+	m.Set(0.5, 0, 0)
+	m.Set(-0.3, 0, 2)
+	m.Set(0.5, 1, 1)
+	m.Set(-0.3, 2, 3)
+	tn := TernaryFromDense(m, 0.5, 0.3)
+	back := tn.ToDense()
+	if tensor.MaxAbsDiff(m, back) != 0 {
+		t.Fatal("ternary roundtrip must be lossless for exactly-quantised input")
+	}
+	if tn.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4", tn.NNZ())
+	}
+}
+
+func TestTernaryToCSREquivalence(t *testing.T) {
+	m := tensor.New(5, 5)
+	r := tensor.NewRNG(6)
+	for i := range m.Data() {
+		switch r.Intn(3) {
+		case 0:
+			m.Data()[i] = 0.7
+		case 1:
+			m.Data()[i] = -0.2
+		}
+	}
+	tn := TernaryFromDense(m, 0.7, 0.2)
+	if tensor.MaxAbsDiff(tn.ToCSR().ToDense(), m) > 1e-6 {
+		t.Fatal("Ternary.ToCSR must reproduce the quantised matrix")
+	}
+}
+
+func TestTernaryMatVecMatchesCSR(t *testing.T) {
+	r := tensor.NewRNG(7)
+	m := tensor.New(8, 10)
+	for i := range m.Data() {
+		switch r.Intn(4) {
+		case 0:
+			m.Data()[i] = 1.5
+		case 1:
+			m.Data()[i] = -0.5
+		}
+	}
+	tn := TernaryFromDense(m, 1.5, 0.5)
+	x := make([]float32, 10)
+	for i := range x {
+		x[i] = float32(r.NormFloat64())
+	}
+	y1 := make([]float32, 8)
+	y2 := make([]float32, 8)
+	tn.MatVec(x, y1)
+	tn.ToCSR().MatVec(x, y2)
+	for i := range y1 {
+		if math.Abs(float64(y1[i]-y2[i])) > 1e-4 {
+			t.Fatalf("row %d: ternary %v vs csr %v", i, y1[i], y2[i])
+		}
+	}
+}
+
+// TestTernaryCompactSmallerThanCSR pins the trade-off the paper discusses:
+// bit-level (here byte-level) packing shrinks the quantised format well
+// below its float32 CSR expansion.
+func TestTernaryCompactSmallerThanCSR(t *testing.T) {
+	r := tensor.NewRNG(8)
+	m := tensor.New(64, 576)
+	for i := range m.Data() {
+		if r.Float64() < 0.3 {
+			if r.Float64() < 0.5 {
+				m.Data()[i] = 1
+			} else {
+				m.Data()[i] = -1
+			}
+		}
+	}
+	tn := TernaryFromDense(m, 1, 1)
+	if tn.Bytes() >= tn.CSRBytes() {
+		t.Fatalf("compact ternary %d bytes should be below CSR expansion %d bytes",
+			tn.Bytes(), tn.CSRBytes())
+	}
+}
+
+// naiveConv is the reference dense direct convolution the sparse kernel
+// is validated against.
+func naiveConv(in *tensor.Tensor, w *tensor.Tensor, bias []float32, p ConvParams) *tensor.Tensor {
+	n, _, h, wd := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
+	oh, ow := p.OutSize(h, wd)
+	padded := tensor.Pad2D(in, p.Pad)
+	out := tensor.New(n, p.OutC, oh, ow)
+	cPerGroup := p.InC / p.Groups
+	outPerGroup := p.OutC / p.Groups
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < p.OutC; oc++ {
+			g := oc / outPerGroup
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					var acc float32
+					if bias != nil {
+						acc = bias[oc]
+					}
+					for icl := 0; icl < cPerGroup; icl++ {
+						ic := g*cPerGroup + icl
+						for ky := 0; ky < p.KH; ky++ {
+							for kx := 0; kx < p.KW; kx++ {
+								acc += w.At(oc, icl, ky, kx) * padded.At(ni, ic, y*p.Stride+ky, x*p.Stride+kx)
+							}
+						}
+					}
+					out.Set(acc, ni, oc, y, x)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sparseConvCase(t *testing.T, seed uint64, p ConvParams, n, h, w int, sparsity float64) {
+	t.Helper()
+	r := tensor.NewRNG(seed)
+	in := tensor.New(n, p.InC, h, w)
+	in.FillNormal(r, 0, 1)
+	cPerGroup := p.InC / p.Groups
+	wDense := randomSparseMatrix(r, p.OutC, cPerGroup*p.KH*p.KW, sparsity)
+	bias := make([]float32, p.OutC)
+	for i := range bias {
+		bias[i] = float32(r.NormFloat64())
+	}
+	got := Conv2D(in, FromDense(wDense), bias, p)
+	want := naiveConv(in, wDense.Reshape(p.OutC, cPerGroup, p.KH, p.KW), bias, p)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
+		t.Fatalf("sparse conv differs from dense reference by %v (params %+v)", d, p)
+	}
+}
+
+func TestSparseConvMatchesDense3x3(t *testing.T) {
+	sparseConvCase(t, 10, ConvParams{InC: 3, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, 2, 8, 8, 0.5)
+}
+
+func TestSparseConvMatchesDenseStride2(t *testing.T) {
+	sparseConvCase(t, 11, ConvParams{InC: 4, OutC: 6, KH: 3, KW: 3, Stride: 2, Pad: 1, Groups: 1}, 1, 9, 9, 0.3)
+}
+
+func TestSparseConvMatchesDense1x1(t *testing.T) {
+	sparseConvCase(t, 12, ConvParams{InC: 8, OutC: 4, KH: 1, KW: 1, Stride: 1, Pad: 0, Groups: 1}, 2, 5, 5, 0.6)
+}
+
+func TestSparseConvDepthwise(t *testing.T) {
+	sparseConvCase(t, 13, ConvParams{InC: 6, OutC: 6, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 6}, 1, 7, 7, 0.4)
+}
+
+func TestSparseConvFullyPrunedIsBias(t *testing.T) {
+	p := ConvParams{InC: 2, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}
+	r := tensor.NewRNG(14)
+	in := tensor.New(1, 2, 4, 4)
+	in.FillNormal(r, 0, 1)
+	empty := FromDense(tensor.New(3, 18))
+	bias := []float32{1, 2, 3}
+	out := Conv2D(in, empty, bias, p)
+	for oc := 0; oc < 3; oc++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				if out.At(0, oc, y, x) != bias[oc] {
+					t.Fatalf("fully pruned conv must output bias, got %v at oc=%d", out.At(0, oc, y, x), oc)
+				}
+			}
+		}
+	}
+}
+
+func TestSparseConvProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		p := ConvParams{
+			InC: 1 + r.Intn(4), OutC: 1 + r.Intn(4),
+			KH: 3, KW: 3, Stride: 1 + r.Intn(2), Pad: 1, Groups: 1,
+		}
+		n, h, w := 1, 5+r.Intn(4), 5+r.Intn(4)
+		in := tensor.New(n, p.InC, h, w)
+		in.FillNormal(r, 0, 1)
+		wDense := randomSparseMatrix(r, p.OutC, p.InC*9, r.Float64())
+		got := Conv2D(in, FromDense(wDense), nil, p)
+		want := naiveConv(in, wDense.Reshape(p.OutC, p.InC, 3, 3), nil, p)
+		return tensor.MaxAbsDiff(got, want) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvWorkFLOPsProportionalToNNZ(t *testing.T) {
+	r := tensor.NewRNG(15)
+	dense := randomSparseMatrix(r, 16, 144, 0)
+	half := randomSparseMatrix(r, 16, 144, 0.5)
+	fd := FromDense(dense)
+	fh := FromDense(half)
+	if ConvWorkFLOPs(fd, 32, 32) != 2*int64(fd.NNZ())*32*32 {
+		t.Fatal("FLOP accounting wrong for dense case")
+	}
+	if ConvWorkFLOPs(fh, 32, 32) >= ConvWorkFLOPs(fd, 32, 32) {
+		t.Fatal("pruned filter must execute fewer FLOPs")
+	}
+}

@@ -1,0 +1,42 @@
+package tensor
+
+import "math"
+
+// Weight initialisation schemes. The paper trains its networks with
+// standard Kaiming/Xavier-style initialisation; these helpers mirror
+// that so the mini-model training experiments converge the same way.
+
+// FillUniform fills t with uniform values in [lo, hi).
+func (t *Tensor) FillUniform(r *RNG, lo, hi float32) {
+	span := hi - lo
+	for i := range t.data {
+		t.data[i] = lo + span*r.Float32()
+	}
+}
+
+// FillNormal fills t with N(mean, std²) values.
+func (t *Tensor) FillNormal(r *RNG, mean, std float32) {
+	for i := range t.data {
+		t.data[i] = mean + std*float32(r.NormFloat64())
+	}
+}
+
+// FillHe applies He (Kaiming) normal initialisation appropriate for
+// ReLU networks: N(0, sqrt(2/fanIn)). fanIn must be positive.
+func (t *Tensor) FillHe(r *RNG, fanIn int) {
+	if fanIn <= 0 {
+		panic("tensor: FillHe requires positive fan-in")
+	}
+	std := float32(math.Sqrt(2.0 / float64(fanIn)))
+	t.FillNormal(r, 0, std)
+}
+
+// FillXavier applies Glorot uniform initialisation:
+// U(-sqrt(6/(fanIn+fanOut)), +sqrt(6/(fanIn+fanOut))).
+func (t *Tensor) FillXavier(r *RNG, fanIn, fanOut int) {
+	if fanIn <= 0 || fanOut <= 0 {
+		panic("tensor: FillXavier requires positive fan-in and fan-out")
+	}
+	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	t.FillUniform(r, -limit, limit)
+}

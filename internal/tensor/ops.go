@@ -1,0 +1,170 @@
+package tensor
+
+import "fmt"
+
+// Elementwise and structural operations shared by the layer zoo.
+// All binary ops require exactly matching shapes; broadcasting is
+// deliberately not implemented — the networks in this study never need
+// it, and its absence keeps kernels branch-free.
+
+// Add computes dst = a + b elementwise and returns dst (freshly allocated).
+func Add(a, b *Tensor) *Tensor {
+	checkSame("Add", a, b)
+	out := New(a.shape...)
+	ad, bd, od := a.data, b.data, out.data
+	for i := range od {
+		od[i] = ad[i] + bd[i]
+	}
+	return out
+}
+
+// AddInPlace computes a += b elementwise.
+func AddInPlace(a, b *Tensor) {
+	checkSame("AddInPlace", a, b)
+	ad, bd := a.data, b.data
+	for i := range ad {
+		ad[i] += bd[i]
+	}
+}
+
+// Sub computes a - b elementwise into a new tensor.
+func Sub(a, b *Tensor) *Tensor {
+	checkSame("Sub", a, b)
+	out := New(a.shape...)
+	ad, bd, od := a.data, b.data, out.data
+	for i := range od {
+		od[i] = ad[i] - bd[i]
+	}
+	return out
+}
+
+// Mul computes the Hadamard (elementwise) product into a new tensor.
+func Mul(a, b *Tensor) *Tensor {
+	checkSame("Mul", a, b)
+	out := New(a.shape...)
+	ad, bd, od := a.data, b.data, out.data
+	for i := range od {
+		od[i] = ad[i] * bd[i]
+	}
+	return out
+}
+
+// Scale multiplies every element of t by s, in place.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AXPY computes y += alpha*x, the BLAS level-1 workhorse used by SGD.
+func AXPY(alpha float32, x, y *Tensor) {
+	checkSame("AXPY", x, y)
+	xd, yd := x.data, y.data
+	for i := range yd {
+		yd[i] += alpha * xd[i]
+	}
+}
+
+// Dot returns the inner product of the two tensors' flat data.
+func Dot(a, b *Tensor) float64 {
+	checkSame("Dot", a, b)
+	var acc float64
+	for i, v := range a.data {
+		acc += float64(v) * float64(b.data[i])
+	}
+	return acc
+}
+
+// Pad2D zero-pads the spatial dimensions of an NCHW tensor by p on every
+// side, producing a new (n, c, h+2p, w+2p) tensor. This mirrors the
+// explicit padding buffer the paper's C implementation allocates before
+// each convolution (it contributes to the runtime memory footprint
+// accounted in Table IV).
+func Pad2D(in *Tensor, p int) *Tensor {
+	if p == 0 {
+		return in.Clone()
+	}
+	if in.shape.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Pad2D requires rank-4 NCHW input, got %v", in.shape))
+	}
+	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	out := New(n, c, h+2*p, w+2*p)
+	oh, ow := h+2*p, w+2*p
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			srcBase := (ni*c + ci) * h * w
+			dstBase := (ni*c+ci)*oh*ow + p*ow + p
+			for y := 0; y < h; y++ {
+				copy(out.data[dstBase+y*ow:dstBase+y*ow+w], in.data[srcBase+y*w:srcBase+(y+1)*w])
+			}
+		}
+	}
+	return out
+}
+
+// Crop2D removes p pixels from every spatial side of an NCHW tensor,
+// the inverse of Pad2D (used by conv backward passes).
+func Crop2D(in *Tensor, p int) *Tensor {
+	if p == 0 {
+		return in.Clone()
+	}
+	if in.shape.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Crop2D requires rank-4 NCHW input, got %v", in.shape))
+	}
+	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	if h <= 2*p || w <= 2*p {
+		panic(fmt.Sprintf("tensor: Crop2D padding %d too large for %v", p, in.shape))
+	}
+	nh, nw := h-2*p, w-2*p
+	out := New(n, c, nh, nw)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			srcBase := (ni*c+ci)*h*w + p*w + p
+			dstBase := (ni*c + ci) * nh * nw
+			for y := 0; y < nh; y++ {
+				copy(out.data[dstBase+y*nw:dstBase+(y+1)*nw], in.data[srcBase+y*w:srcBase+y*w+nw])
+			}
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a rank-2 tensor.
+func Transpose2D(in *Tensor) *Tensor {
+	if in.shape.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D requires rank-2 input, got %v", in.shape))
+	}
+	r, c := in.shape[0], in.shape[1]
+	out := New(c, r)
+	for i := 0; i < r; i++ {
+		row := in.data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.data[j*r+i] = v
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// two same-shaped tensors; the equivalence tests between convolution
+// algorithms are written against this.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	checkSame("MaxAbsDiff", a, b)
+	var m float64
+	for i, v := range a.data {
+		d := float64(v) - float64(b.data[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func checkSame(op string, a, b *Tensor) {
+	if !a.shape.Equal(b.shape) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}

@@ -1,0 +1,97 @@
+// Package tensor provides the dense numeric substrate used throughout the
+// Deep Learning Inference Stack: float32 tensors in NCHW layout, shape
+// algebra, deterministic random initialisation and the elementwise
+// primitives the layer zoo in internal/nn is built from.
+//
+// The package is deliberately dependency-free (stdlib only) and keeps all
+// data in a single flat []float32 so that backing buffers can be handed to
+// the GEMM and sparse kernels without copies.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shape describes the extent of each tensor dimension, outermost first.
+// Convolutional activations use NCHW order: (batch, channels, height, width).
+type Shape []int
+
+// NumElements returns the product of all dimensions. The empty shape has
+// one element (a scalar), matching NumPy conventions.
+func (s Shape) NumElements() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s) }
+
+// Clone returns an independent copy of the shape.
+func (s Shape) Clone() Shape {
+	c := make(Shape, len(s))
+	copy(c, s)
+	return c
+}
+
+// Equal reports whether two shapes have identical rank and extents.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether every dimension is strictly positive.
+func (s Shape) Valid() bool {
+	for _, d := range s {
+		if d <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Strides returns the row-major stride of each dimension in elements.
+func (s Shape) Strides() []int {
+	st := make([]int, len(s))
+	acc := 1
+	for i := len(s) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= s[i]
+	}
+	return st
+}
+
+// Index converts a multi-dimensional coordinate into a flat offset.
+// It panics if the coordinate rank does not match the shape rank.
+func (s Shape) Index(coord ...int) int {
+	if len(coord) != len(s) {
+		panic(fmt.Sprintf("tensor: coordinate rank %d does not match shape rank %d", len(coord), len(s)))
+	}
+	idx := 0
+	for i, c := range coord {
+		if c < 0 || c >= s[i] {
+			panic(fmt.Sprintf("tensor: coordinate %d out of range [0,%d) in dim %d", c, s[i], i))
+		}
+		idx = idx*s[i] + c
+	}
+	return idx
+}
+
+// String renders the shape as e.g. "(1, 3, 32, 32)".
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,203 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense float32 array with an NCHW-style row-major layout.
+// The zero value is not usable; construct tensors with New, FromSlice or
+// Zeros. Data is stored flat so kernels (GEMM, CSR products, convolutions)
+// can operate on the backing slice directly via Data().
+type Tensor struct {
+	shape Shape
+	data  []float32
+}
+
+// New allocates a zero-filled tensor of the given shape.
+// It panics when any dimension is non-positive, since a silent empty
+// tensor would only defer the failure into a kernel.
+func New(shape ...int) *Tensor {
+	s := Shape(shape).Clone()
+	if !s.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", s))
+	}
+	return &Tensor{shape: s, data: make([]float32, s.NumElements())}
+}
+
+// FromSlice wraps an existing slice in a tensor of the given shape.
+// The slice is used directly (no copy); it must contain exactly
+// shape.NumElements() values.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	s := Shape(shape).Clone()
+	if !s.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", s))
+	}
+	if len(data) != s.NumElements() {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elements)", len(data), s, s.NumElements()))
+	}
+	return &Tensor{shape: s, data: data}
+}
+
+// Zeros is an alias for New that reads better at call sites that
+// explicitly want a zero-initialised tensor.
+func Zeros(shape ...int) *Tensor { return New(shape...) }
+
+// Shape returns the tensor's shape. Callers must not mutate it.
+func (t *Tensor) Shape() Shape { return t.shape }
+
+// Data exposes the flat backing slice for kernel consumption.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// NumElements returns the total element count.
+func (t *Tensor) NumElements() int { return len(t.data) }
+
+// Bytes returns the storage size of the dense payload in bytes
+// (4 bytes per float32), excluding the Go struct header.
+func (t *Tensor) Bytes() int { return 4 * len(t.data) }
+
+// At reads the element at the given coordinate.
+func (t *Tensor) At(coord ...int) float32 { return t.data[t.shape.Index(coord...)] }
+
+// Set writes the element at the given coordinate.
+func (t *Tensor) Set(v float32, coord ...int) { t.data[t.shape.Index(coord...)] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{shape: t.shape.Clone(), data: make([]float32, len(t.data))}
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view of the same data with a new shape.
+// The element count must be preserved.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	s := Shape(shape).Clone()
+	if s.NumElements() != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
+			t.shape, len(t.data), s, s.NumElements()))
+	}
+	return &Tensor{shape: s, data: t.data}
+}
+
+// CopyFrom copies the contents of src into t. Shapes must match.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if !t.shape.Equal(src.shape) {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %v vs %v", t.shape, src.shape))
+	}
+	copy(t.data, src.data)
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero resets every element to 0. Used to recycle gradient buffers.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Sum returns the sum of all elements in float64 precision.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Std returns the population standard deviation of all elements.
+// Deep-Compression-style pruning thresholds are expressed as multiples
+// of the per-layer standard deviation, so this is a hot helper.
+func (t *Tensor) Std() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	m := t.Mean()
+	var acc float64
+	for _, v := range t.data {
+		d := float64(v) - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(len(t.data)))
+}
+
+// AbsMax returns the maximum absolute element value. TTQ thresholds are
+// expressed as a fraction of this quantity.
+func (t *Tensor) AbsMax() float32 {
+	var m float32
+	for _, v := range t.data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// CountZeros returns the number of exactly-zero elements.
+func (t *Tensor) CountZeros() int {
+	n := 0
+	for _, v := range t.data {
+		if v == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparsity returns the fraction of zero elements in [0,1].
+func (t *Tensor) Sparsity() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return float64(t.CountZeros()) / float64(len(t.data))
+}
+
+// ArgMax returns the index of the largest element (first on ties).
+func (t *Tensor) ArgMax() int {
+	best, bestV := 0, float32(math.Inf(-1))
+	for i, v := range t.data {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// AllFinite reports whether every element is a finite number.
+// Training loops use it as a cheap divergence guard.
+func (t *Tensor) AllFinite() bool {
+	for _, v := range t.data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description (shape plus a few leading values).
+func (t *Tensor) String() string {
+	n := len(t.data)
+	if n > 6 {
+		n = 6
+	}
+	return fmt.Sprintf("Tensor%v%v…", t.shape, t.data[:n])
+}

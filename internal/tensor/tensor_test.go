@@ -1,0 +1,354 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeNumElements(t *testing.T) {
+	cases := []struct {
+		shape Shape
+		want  int
+	}{
+		{Shape{}, 1},
+		{Shape{5}, 5},
+		{Shape{2, 3}, 6},
+		{Shape{1, 3, 32, 32}, 3072},
+	}
+	for _, c := range cases {
+		if got := c.shape.NumElements(); got != c.want {
+			t.Errorf("NumElements(%v) = %d, want %d", c.shape, got, c.want)
+		}
+	}
+}
+
+func TestShapeStridesRowMajor(t *testing.T) {
+	s := Shape{2, 3, 4}
+	st := s.Strides()
+	want := []int{12, 4, 1}
+	for i := range want {
+		if st[i] != want[i] {
+			t.Fatalf("Strides(%v) = %v, want %v", s, st, want)
+		}
+	}
+}
+
+func TestShapeIndexMatchesStrides(t *testing.T) {
+	s := Shape{2, 3, 4}
+	st := s.Strides()
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 4; k++ {
+				want := i*st[0] + j*st[1] + k*st[2]
+				if got := s.Index(i, j, k); got != want {
+					t.Fatalf("Index(%d,%d,%d) = %d, want %d", i, j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestShapeIndexPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range coordinate")
+		}
+	}()
+	Shape{2, 2}.Index(0, 2)
+}
+
+func TestNewPanicsOnInvalidShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero dimension")
+		}
+	}()
+	New(3, 0)
+}
+
+func TestAtSetRoundtrip(t *testing.T) {
+	a := New(2, 3)
+	a.Set(7.5, 1, 2)
+	if got := a.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	if got := a.At(0, 0); got != 0 {
+		t.Fatalf("untouched element = %v, want 0", got)
+	}
+}
+
+func TestFromSliceNoCopy(t *testing.T) {
+	d := []float32{1, 2, 3, 4}
+	a := FromSlice(d, 2, 2)
+	d[0] = 9
+	if a.At(0, 0) != 9 {
+		t.Fatal("FromSlice must wrap the slice without copying")
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestReshapePreservesData(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	if b.At(2, 1) != 6 {
+		t.Fatalf("reshaped element = %v, want 6", b.At(2, 1))
+	}
+	// Views share data.
+	b.Set(42, 0, 0)
+	if a.At(0, 0) != 42 {
+		t.Fatal("Reshape must return a view over the same data")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := a.Clone()
+	b.Set(5, 0)
+	if a.At(0) != 1 {
+		t.Fatal("Clone must not alias the original data")
+	}
+}
+
+func TestSumMeanStd(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 4)
+	if got := a.Sum(); got != 10 {
+		t.Fatalf("Sum = %v, want 10", got)
+	}
+	if got := a.Mean(); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	// Population std of {1,2,3,4} is sqrt(1.25).
+	if got, want := a.Std(), math.Sqrt(1.25); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Std = %v, want %v", got, want)
+	}
+}
+
+func TestSparsityAndCountZeros(t *testing.T) {
+	a := FromSlice([]float32{0, 1, 0, 2}, 4)
+	if got := a.CountZeros(); got != 2 {
+		t.Fatalf("CountZeros = %d, want 2", got)
+	}
+	if got := a.Sparsity(); got != 0.5 {
+		t.Fatalf("Sparsity = %v, want 0.5", got)
+	}
+}
+
+func TestAbsMax(t *testing.T) {
+	a := FromSlice([]float32{-3, 1, 2}, 3)
+	if got := a.AbsMax(); got != 3 {
+		t.Fatalf("AbsMax = %v, want 3", got)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	a := FromSlice([]float32{0.1, 0.9, 0.3}, 3)
+	if got := a.ArgMax(); got != 1 {
+		t.Fatalf("ArgMax = %d, want 1", got)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	if !a.AllFinite() {
+		t.Fatal("finite tensor reported non-finite")
+	}
+	a.Set(float32(math.NaN()), 0)
+	if a.AllFinite() {
+		t.Fatal("NaN tensor reported finite")
+	}
+}
+
+func TestAddSubMul(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{4, 5, 6}, 3)
+	if got := Add(a, b).Data(); got[0] != 5 || got[2] != 9 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a).Data(); got[0] != 3 || got[2] != 3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(a, b).Data(); got[1] != 10 {
+		t.Fatalf("Mul = %v", got)
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	x := FromSlice([]float32{1, 1}, 2)
+	y := FromSlice([]float32{2, 3}, 2)
+	AXPY(0.5, x, y)
+	if y.At(0) != 2.5 || y.At(1) != 3.5 {
+		t.Fatalf("AXPY result = %v", y.Data())
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{4, 5, 6}, 3)
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestPad2DShapeAndContents(t *testing.T) {
+	in := New(1, 1, 2, 2)
+	in.Set(1, 0, 0, 0, 0)
+	in.Set(2, 0, 0, 0, 1)
+	in.Set(3, 0, 0, 1, 0)
+	in.Set(4, 0, 0, 1, 1)
+	out := Pad2D(in, 1)
+	if !out.Shape().Equal(Shape{1, 1, 4, 4}) {
+		t.Fatalf("padded shape = %v", out.Shape())
+	}
+	if out.At(0, 0, 0, 0) != 0 || out.At(0, 0, 3, 3) != 0 {
+		t.Fatal("padding ring must be zero")
+	}
+	if out.At(0, 0, 1, 1) != 1 || out.At(0, 0, 2, 2) != 4 {
+		t.Fatal("interior must be preserved")
+	}
+}
+
+func TestCropInvertsPad(t *testing.T) {
+	r := NewRNG(1)
+	in := New(2, 3, 5, 4)
+	in.FillNormal(r, 0, 1)
+	back := Crop2D(Pad2D(in, 2), 2)
+	if MaxAbsDiff(in, back) != 0 {
+		t.Fatal("Crop2D(Pad2D(x)) must equal x exactly")
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := Transpose2D(a)
+	if !b.Shape().Equal(Shape{3, 2}) {
+		t.Fatalf("transpose shape = %v", b.Shape())
+	}
+	if b.At(2, 0) != 3 || b.At(0, 1) != 4 {
+		t.Fatalf("transpose contents wrong: %v", b.Data())
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		a := New(rows, cols)
+		a.FillNormal(r, 0, 1)
+		return MaxAbsDiff(a, Transpose2D(Transpose2D(a))) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+}
+
+func TestRNGSeedZeroRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("seed 0 must not degenerate")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	n := 20000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestFillHeVariance(t *testing.T) {
+	r := NewRNG(5)
+	a := New(64, 64, 3, 3) // fanIn = 64*9 = 576
+	fanIn := 576
+	a.FillHe(r, fanIn)
+	wantStd := math.Sqrt(2.0 / float64(fanIn))
+	if got := a.Std(); math.Abs(got-wantStd)/wantStd > 0.1 {
+		t.Fatalf("He std = %v, want ~%v", got, wantStd)
+	}
+}
+
+func TestFillXavierRange(t *testing.T) {
+	r := NewRNG(5)
+	a := New(100, 100)
+	a.FillXavier(r, 100, 100)
+	limit := float32(math.Sqrt(6.0 / 200.0))
+	for _, v := range a.Data() {
+		if v < -limit || v >= limit {
+			t.Fatalf("Xavier value %v outside ±%v", v, limit)
+		}
+	}
+}
+
+func TestAddCommutes(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(64)
+		a, b := New(n), New(n)
+		a.FillNormal(r, 0, 1)
+		b.FillNormal(r, 0, 1)
+		return MaxAbsDiff(Add(a, b), Add(b, a)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMismatchedShapesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	Add(New(2), New(3))
+}

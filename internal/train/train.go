@@ -1,0 +1,235 @@
+// Package train implements the optimisation machinery of the study:
+// SGD with momentum and weight decay, the paper's stepped learning-rate
+// schedule, mini-batch training loops, evaluation, and the fine-tuning
+// entry points every compression technique relies on.
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// SGD is a stochastic-gradient-descent optimiser with classical momentum
+// and decoupled L2 weight decay. Pruning masks attached to parameters
+// are honoured: gradients and post-step weights are masked so pruned
+// connections stay exactly zero, as Deep Compression's retraining
+// requires.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*nn.Param]*tensor.Tensor
+}
+
+// NewSGD constructs the optimiser with the paper's defaults (momentum
+// 0.9, small weight decay).
+func NewSGD(lr float64) *SGD {
+	return &SGD{LR: lr, Momentum: 0.9, WeightDecay: 5e-4, velocity: map[*nn.Param]*tensor.Tensor{}}
+}
+
+// Step applies one update to every parameter from its accumulated
+// gradient, then re-applies pruning masks.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		p.MaskGrad()
+		g := p.Grad
+		if s.WeightDecay != 0 && p.Decay {
+			tensor.AXPY(float32(s.WeightDecay), p.W, g)
+		}
+		v, ok := s.velocity[p]
+		if !ok || !v.Shape().Equal(p.W.Shape()) {
+			// A fresh parameter, or one resized by channel-pruning
+			// surgery mid-training: restart its momentum.
+			v = tensor.New(p.W.Shape()...)
+			s.velocity[p] = v
+		}
+		// v = momentum·v + g ; w -= lr·v
+		v.Scale(float32(s.Momentum))
+		tensor.AXPY(1, g, v)
+		tensor.AXPY(float32(-s.LR), v, p.W)
+		p.ApplyMask()
+	}
+}
+
+// Schedule is the stepped learning-rate policy of §IV-A: start at base
+// and divide by 10 every stepEvery epochs.
+type Schedule struct {
+	Base      float64
+	StepEvery int
+	Factor    float64
+}
+
+// DefaultSchedule mirrors the paper: 0.1, ÷10 every 50 epochs.
+func DefaultSchedule() Schedule { return Schedule{Base: 0.1, StepEvery: 50, Factor: 10} }
+
+// At returns the learning rate for a (zero-based) epoch.
+func (s Schedule) At(epoch int) float64 {
+	if s.StepEvery <= 0 {
+		return s.Base
+	}
+	lr := s.Base
+	for e := s.StepEvery; e <= epoch; e += s.StepEvery {
+		lr /= s.Factor
+	}
+	return lr
+}
+
+// Config controls a training run.
+type Config struct {
+	Epochs    int
+	BatchSize int
+	Schedule  Schedule
+	// AugmentPad enables pad-and-crop augmentation with this padding
+	// (the paper uses 2).
+	AugmentPad int
+	// Threads is the worker count used for the compute kernels.
+	Threads int
+	// Seed drives batch shuffling and augmentation.
+	Seed uint64
+	// Verbose prints per-epoch progress.
+	Verbose bool
+	// OnStep, when non-nil, is invoked after every optimiser step with
+	// the global step index — the hook Fisher channel pruning uses to
+	// remove one channel every N steps.
+	OnStep func(step int)
+}
+
+// DefaultConfig returns a configuration suited to the mini-model
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		Epochs:     6,
+		BatchSize:  32,
+		Schedule:   Schedule{Base: 0.05, StepEvery: 4, Factor: 10},
+		AugmentPad: 2,
+		Threads:    1,
+		Seed:       99,
+	}
+}
+
+// Result summarises a training run.
+type Result struct {
+	FinalLoss     float64
+	TrainAccuracy float64
+	TestAccuracy  float64
+	Steps         int
+}
+
+// Run trains the network on the dataset with SGD + cross-entropy and
+// returns the final metrics. It is also the fine-tuning engine: calling
+// it on a compressed network with masks installed performs the
+// "retrain to recover accuracy" phase of all three techniques.
+func Run(net *nn.Network, train, test *data.Dataset, cfg Config) Result {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	ctx := nn.Inference()
+	ctx.Training = true
+	ctx.Threads = cfg.Threads
+
+	opt := NewSGD(cfg.Schedule.Base)
+	r := tensor.NewRNG(cfg.Seed)
+	augRNG := r.Split()
+
+	step := 0
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = cfg.Schedule.At(epoch)
+		perm := r.Perm(train.Len())
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < len(perm); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			idx := perm[start:end]
+			images, labels := batchAugmented(train, idx, cfg.AugmentPad, augRNG)
+
+			net.ZeroGrads()
+			out := net.Forward(&ctx, images)
+			loss, grad := SoftmaxCE(out, labels)
+			net.Backward(&ctx, grad)
+			opt.Step(net.Params())
+
+			epochLoss += loss
+			batches++
+			step++
+			if cfg.OnStep != nil {
+				cfg.OnStep(step)
+			}
+		}
+		lastLoss = epochLoss / float64(batches)
+		if cfg.Verbose {
+			fmt.Printf("epoch %2d  lr %.4f  loss %.4f\n", epoch+1, opt.LR, lastLoss)
+		}
+	}
+	res := Result{
+		FinalLoss: lastLoss,
+		Steps:     step,
+	}
+	res.TrainAccuracy = Evaluate(net, train, cfg.Threads)
+	if test != nil {
+		res.TestAccuracy = Evaluate(net, test, cfg.Threads)
+	}
+	return res
+}
+
+// SoftmaxCE is re-exported so callers need not import nn for the loss.
+func SoftmaxCE(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	return nn.SoftmaxCrossEntropy(logits, labels)
+}
+
+// batchAugmented assembles a batch, applying pad-and-crop augmentation
+// per image when enabled.
+func batchAugmented(d *data.Dataset, idx []int, pad int, r *tensor.RNG) (*tensor.Tensor, []int) {
+	if pad == 0 {
+		return d.Batch(idx)
+	}
+	n := len(idx)
+	out := tensor.New(n, d.C, d.H, d.W)
+	labels := make([]int, n)
+	per := d.C * d.H * d.W
+	for i, id := range idx {
+		img := data.Augment(d.Images[id], pad, r)
+		copy(out.Data()[i*per:(i+1)*per], img.Data())
+		labels[i] = d.Labels[id]
+	}
+	return out, labels
+}
+
+// Evaluate returns top-1 accuracy of the network on a dataset.
+func Evaluate(net *nn.Network, d *data.Dataset, threads int) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	ctx := nn.Inference()
+	ctx.Threads = threads
+	correct := 0
+	const batch = 64
+	for start := 0; start < d.Len(); start += batch {
+		end := start + batch
+		if end > d.Len() {
+			end = d.Len()
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		images, labels := d.Batch(idx)
+		out := net.Forward(&ctx, images)
+		for i, p := range nn.Predictions(out) {
+			if p == labels[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}

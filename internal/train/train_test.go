@@ -1,0 +1,191 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+func tinyNet(r *tensor.RNG, size int) *nn.Network {
+	net := nn.NewNetwork("tiny", tensor.Shape{3, size, size}, data.NumClasses)
+	net.Add(
+		nn.NewConv2D("c1", sparse.ConvParams{InC: 3, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r),
+		nn.NewBatchNorm("bn1", 8),
+		nn.NewReLU("r1"),
+		nn.NewMaxPool2D("p1", 2),
+		nn.NewConv2D("c2", sparse.ConvParams{InC: 8, OutC: 16, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1}, r),
+		nn.NewReLU("r2"),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewFlatten("fl"),
+		nn.NewLinear("fc", 16, data.NumClasses, r),
+	)
+	return net
+}
+
+func TestScheduleSteps(t *testing.T) {
+	s := DefaultSchedule()
+	if s.At(0) != 0.1 || s.At(49) != 0.1 {
+		t.Fatalf("epochs 0-49 should use base LR, got %v/%v", s.At(0), s.At(49))
+	}
+	if math.Abs(s.At(50)-0.01) > 1e-12 {
+		t.Fatalf("epoch 50 LR = %v, want 0.01", s.At(50))
+	}
+	if math.Abs(s.At(120)-0.001) > 1e-12 {
+		t.Fatalf("epoch 120 LR = %v, want 0.001", s.At(120))
+	}
+}
+
+func TestScheduleNoStep(t *testing.T) {
+	s := Schedule{Base: 0.5, StepEvery: 0}
+	if s.At(1000) != 0.5 {
+		t.Fatal("StepEvery=0 must hold the base LR")
+	}
+}
+
+func TestSGDStepMovesAgainstGradient(t *testing.T) {
+	p := nn.NewParam("w", 2)
+	copy(p.W.Data(), []float32{1, -1})
+	copy(p.Grad.Data(), []float32{1, -1})
+	opt := NewSGD(0.1)
+	opt.WeightDecay = 0
+	opt.Step([]*nn.Param{p})
+	if p.W.Data()[0] >= 1 || p.W.Data()[1] <= -1 {
+		t.Fatalf("weights moved wrong way: %v", p.W.Data())
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := nn.NewParam("w", 1)
+	opt := NewSGD(1)
+	opt.Momentum = 0.5
+	opt.WeightDecay = 0
+	// Two identical steps with grad 1: first Δ=-1, second Δ=-(0.5+1)=-1.5.
+	copy(p.Grad.Data(), []float32{1})
+	opt.Step([]*nn.Param{p})
+	w1 := p.W.Data()[0]
+	copy(p.Grad.Data(), []float32{1})
+	opt.Step([]*nn.Param{p})
+	w2 := p.W.Data()[0]
+	if math.Abs(float64(w1)-(-1)) > 1e-6 {
+		t.Fatalf("first step w=%v, want -1", w1)
+	}
+	if math.Abs(float64(w2)-(-2.5)) > 1e-6 {
+		t.Fatalf("second step w=%v, want -2.5 (momentum)", w2)
+	}
+}
+
+func TestSGDRespectsMask(t *testing.T) {
+	p := nn.NewParam("w", 2)
+	copy(p.W.Data(), []float32{0, 1})
+	p.Mask = tensor.FromSlice([]float32{0, 1}, 2)
+	copy(p.Grad.Data(), []float32{5, 5})
+	opt := NewSGD(0.1)
+	opt.Step([]*nn.Param{p})
+	if p.W.Data()[0] != 0 {
+		t.Fatalf("masked weight resurrected: %v", p.W.Data()[0])
+	}
+	if p.W.Data()[1] == 1 {
+		t.Fatal("unmasked weight should have moved")
+	}
+}
+
+func TestSGDWeightDecayShrinksWeights(t *testing.T) {
+	p := nn.NewParam("w", 1)
+	copy(p.W.Data(), []float32{10})
+	opt := NewSGD(0.1)
+	opt.Momentum = 0
+	opt.WeightDecay = 0.1
+	opt.Step([]*nn.Param{p}) // grad = 0, decay pulls toward zero
+	if w := p.W.Data()[0]; w >= 10 || w <= 0 {
+		t.Fatalf("decay step w=%v, want slightly below 10", w)
+	}
+	// Decay must skip parameters flagged Decay=false.
+	q := nn.NewParam("b", 1)
+	q.Decay = false
+	copy(q.W.Data(), []float32{10})
+	opt.Step([]*nn.Param{q})
+	if q.W.Data()[0] != 10 {
+		t.Fatalf("no-decay param moved: %v", q.W.Data()[0])
+	}
+}
+
+func TestTrainingLearnsSyntheticTask(t *testing.T) {
+	trainSet, testSet := data.Generate(data.Config{Train: 300, Test: 100, Size: 8, Noise: 0.15, Seed: 11})
+	r := tensor.NewRNG(1)
+	net := tinyNet(r, 8)
+	cfg := Config{
+		Epochs:    8,
+		BatchSize: 32,
+		Schedule:  Schedule{Base: 0.05, StepEvery: 6, Factor: 10},
+		Seed:      5,
+	}
+	res := Run(net, trainSet, testSet, cfg)
+	// Chance is 10%; the tiny net should comfortably exceed 40%.
+	if res.TestAccuracy < 0.4 {
+		t.Fatalf("test accuracy %.2f; network failed to learn synthetic task (loss %.3f)",
+			res.TestAccuracy, res.FinalLoss)
+	}
+	if res.Steps != 8*((300+31)/32) {
+		t.Fatalf("step count %d unexpected", res.Steps)
+	}
+}
+
+func TestTrainingWithAugmentation(t *testing.T) {
+	trainSet, _ := data.Generate(data.Config{Train: 64, Test: 10, Size: 8, Noise: 0.1, Seed: 12})
+	r := tensor.NewRNG(2)
+	net := tinyNet(r, 8)
+	cfg := Config{Epochs: 1, BatchSize: 16, Schedule: Schedule{Base: 0.01}, AugmentPad: 2, Seed: 6}
+	res := Run(net, trainSet, nil, cfg)
+	if res.Steps != 4 {
+		t.Fatalf("steps = %d, want 4", res.Steps)
+	}
+	if math.IsNaN(res.FinalLoss) {
+		t.Fatal("training diverged with augmentation")
+	}
+}
+
+func TestOnStepHookFires(t *testing.T) {
+	trainSet, _ := data.Generate(data.Config{Train: 32, Test: 4, Size: 8, Noise: 0.1, Seed: 13})
+	r := tensor.NewRNG(3)
+	net := tinyNet(r, 8)
+	var steps []int
+	cfg := Config{Epochs: 2, BatchSize: 16, Schedule: Schedule{Base: 0.01}, Seed: 7,
+		OnStep: func(s int) { steps = append(steps, s) }}
+	Run(net, trainSet, nil, cfg)
+	if len(steps) != 4 || steps[0] != 1 || steps[3] != 4 {
+		t.Fatalf("OnStep sequence %v, want [1 2 3 4]", steps)
+	}
+}
+
+func TestEvaluateKnownPredictions(t *testing.T) {
+	// A network with all-zero weights predicts class 0 for everything,
+	// so accuracy equals the class-0 fraction.
+	trainSet, _ := data.Generate(data.Config{Train: 50, Test: 10, Size: 8, Noise: 0.1, Seed: 14})
+	net := tinyNet(tensor.NewRNG(4), 8)
+	for _, p := range net.Params() {
+		p.W.Zero()
+	}
+	acc := Evaluate(net, trainSet, 1)
+	want := 5.0 / 50.0 // balanced labels: five class-0 samples
+	if math.Abs(acc-want) > 1e-9 {
+		t.Fatalf("Evaluate = %v, want %v", acc, want)
+	}
+}
+
+func TestMiniModelTrainsAboveChance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mini-model training skipped in -short mode")
+	}
+	trainSet, testSet := data.Generate(data.Config{Train: 400, Test: 100, Size: 32, Noise: 0.2, Seed: 15})
+	net := models.MiniVGG(tensor.NewRNG(5))
+	cfg := Config{Epochs: 2, BatchSize: 32, Schedule: Schedule{Base: 0.02}, Seed: 8}
+	res := Run(net, trainSet, testSet, cfg)
+	if res.TestAccuracy < 0.2 {
+		t.Fatalf("mini-vgg accuracy %.2f after 2 epochs; expected above chance", res.TestAccuracy)
+	}
+}
