@@ -10,9 +10,12 @@ package dlis
 // Regenerate the full text artifacts with: go run ./cmd/dlis-bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/blas"
 	"repro/internal/compress/channel"
@@ -24,6 +27,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/pareto"
+	"repro/internal/serve"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
 )
@@ -417,6 +421,52 @@ func BenchmarkWinogradAblation(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServeThroughput drives the batched serving subsystem
+// (internal/serve, DESIGN.md §6) with a closed loop of concurrent
+// clients over a mini model. ns/op is the per-request cost at the
+// server; the custom metric is aggregate requests per second. Compare
+// against BenchmarkFig4HostExecution's mini-vgg/plain single-image
+// wall time for the batching overhead/gain.
+func BenchmarkServeThroughput(b *testing.B) {
+	srv, err := serve.New(serve.Config{
+		Stacks: []serve.StackSpec{{Name: "m", Stack: core.Config{
+			Model: "mini-vgg", Technique: core.Plain,
+			Backend: core.OMP, Threads: 1, Platform: "odroid-xu4", Seed: 1,
+		}}},
+		Replicas: 2, MaxBatch: 4, MaxDelay: time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	const clients = 8
+	imgs := make([]*tensor.Tensor, clients)
+	for c := range imgs {
+		imgs[c] = tensor.New(3, 32, 32)
+		imgs[c].FillNormal(tensor.NewRNG(uint64(2*c+1)), 0, 1)
+	}
+	ctx := context.Background()
+	var budget atomic.Int64
+	budget.Store(int64(b.N))
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for budget.Add(-1) >= 0 {
+				if _, err := srv.Infer(ctx, "m", imgs[c]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/s")
 }
 
 // BenchmarkDeepCompressionStorage measures the prune→ternary→Huffman

@@ -1,0 +1,285 @@
+// Command dlis-serve runs the batched inference server under a
+// closed-loop load generator and reports a throughput/latency table per
+// stack configuration, next to the single-instance sequential baseline
+// the repository could already measure before the serving subsystem
+// existed.
+//
+// Usage:
+//
+//	dlis-serve -model resnet18 -replicas 4 -batch 8
+//	dlis-serve -model resnet18,mobilenet -technique channel-pruning
+//	dlis-serve -model mini-vgg -requests 512 -clients 64
+//
+// Each comma-separated model gets its own pool (routing key
+// "<model>/<technique>"). The load generator runs -clients concurrent
+// closed-loop clients per pool — each submits one request, waits for
+// its result, and immediately submits the next — until -requests
+// requests per pool have completed. The table reports, per pool:
+//
+//	throughput  completed requests per second through the server
+//	p50/p99     end-to-end request latency percentiles
+//	occupancy   mean requests per executed batch (>1 ⇒ batching engaged)
+//	baseline    sequential single-image req/s on ONE instance (no
+//	            batching, no concurrency): the pre-serving repo's ceiling
+//	speedup     throughput / baseline
+//
+// The compression operating point for non-plain techniques is the
+// paper's Table III baseline for that model.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	dlis "repro"
+)
+
+func main() {
+	models := flag.String("model", "resnet18", "comma-separated models to serve (full-size or mini-*)")
+	technique := flag.String("technique", "plain", "compression technique: plain, weight-pruning, channel-pruning, quantisation")
+	replicas := flag.Int("replicas", 4, "replica workers per pool")
+	batch := flag.Int("batch", 8, "max dynamic batch size")
+	delay := flag.Duration("delay", 2*time.Millisecond, "max batching delay for a non-full batch")
+	clients := flag.Int("clients", 0, "closed-loop clients per pool (default 2*replicas*batch)")
+	requests := flag.Int("requests", 0, "requests per pool (default 4*replicas*batch, min 64)")
+	baselineN := flag.Int("baseline-images", 8, "images for the sequential baseline measurement")
+	threads := flag.Int("threads", 1, "engine threads per worker (stack layer 4)")
+	platform := flag.String("platform", "odroid-xu4", "modelled platform of the stack configuration")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	memlimitMB := flag.Int("memlimit-mb", 0, "soft heap limit in MB; 0 sizes it from the replica footprints, -1 disables")
+	flag.Parse()
+
+	// Two full waves of batches per pool keep the queue deep enough that
+	// workers always find a full batch waiting — occupancy stays near
+	// -batch instead of sagging at batch boundaries.
+	if *clients <= 0 {
+		*clients = 2 * *replicas * *batch
+	}
+	if *requests <= 0 {
+		*requests = 4 * *replicas * *batch
+		if *requests < 64 {
+			*requests = 64
+		}
+	}
+	if *baselineN < 2 {
+		fatal(fmt.Errorf("-baseline-images must be ≥ 2 (one before and one after the load run), got %d", *baselineN))
+	}
+
+	tech, err := parseTechnique(*technique)
+	if err != nil {
+		fatal(err)
+	}
+
+	var stacks []dlis.ServerStack
+	for _, model := range strings.Split(*models, ",") {
+		model = strings.TrimSpace(model)
+		if model == "" {
+			continue
+		}
+		cfg := dlis.StackConfig{
+			Model: model, Technique: tech,
+			Backend: dlis.OMP, Threads: *threads, Platform: *platform, Seed: *seed,
+		}
+		if tech != dlis.Plain {
+			pts, err := dlis.TableIII(model)
+			if err != nil {
+				fatal(fmt.Errorf("%s: no Table III operating point: %w", model, err))
+			}
+			cfg.Point = pts[tech]
+		}
+		stacks = append(stacks, dlis.ServerStack{Stack: cfg})
+	}
+	if len(stacks) == 0 {
+		fatal(fmt.Errorf("no models given"))
+	}
+
+	// Sequential baseline: one instance, one image at a time — the only
+	// serving shape the repository had before internal/serve. Half the
+	// baseline images are timed before the load run and half after, so
+	// slow drift in the host's effective speed (shared vCPU) cancels in
+	// the reported speedup instead of biasing it either way.
+	fmt.Printf("dlis-serve: %d pool(s) × %d replicas, batch ≤ %d (window %v), %d clients, %d requests/pool\n\n",
+		len(stacks), *replicas, *batch, *delay, *clients, *requests)
+	probes := make(map[string]*baselineProbe, len(stacks))
+	for _, spec := range stacks {
+		name := spec.Key()
+		fmt.Printf("measuring sequential baseline for %s (%d of %d images)...\n", name, *baselineN/2+*baselineN%2, *baselineN)
+		probe, err := newBaselineProbe(spec.Stack, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		probes[name] = probe
+		pre := probe.measure(*baselineN/2 + *baselineN%2)
+		fmt.Printf("  %v/image\n", pre.Round(time.Microsecond))
+	}
+
+	cfg := dlis.DefaultServerConfig()
+	cfg.Stacks = stacks
+	cfg.Replicas, cfg.MaxBatch, cfg.MaxDelay = *replicas, *batch, *delay
+	fmt.Printf("\nstarting server (%d replica instance(s) per pool)...\n", *replicas)
+	srv, err := dlis.NewServer(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Cap the heap like a production serving process would: the replica
+	// weights are permanently live, so without a limit the collector
+	// lets the heap balloon to several times the live set and every
+	// activation allocation lands on cold, newly-faulted pages. A soft
+	// limit keeps activation buffers recycling through warm memory.
+	if *memlimitMB >= 0 {
+		limit := int64(*memlimitMB) << 20
+		if limit == 0 {
+			var replicaBytes float64
+			for _, st := range srv.AllStats() {
+				replicaBytes += float64(st.Replicas) * st.ReplicaMemoryMB * 1e6
+			}
+			limit = 2 * int64(replicaBytes)
+			if min := int64(1) << 30; limit < min {
+				limit = min
+			}
+		}
+		debug.SetMemoryLimit(limit)
+		fmt.Printf("soft heap limit %d MB\n", limit>>20)
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var clientErrs atomic.Int64
+	start := time.Now()
+	for _, name := range srv.Stacks() {
+		var budget atomic.Int64
+		budget.Store(int64(*requests))
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(name string, c int, budget *atomic.Int64) {
+				defer wg.Done()
+				hw := probes[name].hw
+				img := dlis.NewImage(1, hw[0], hw[1], uint64(c)+*seed)
+				for budget.Add(-1) >= 0 {
+					if _, err := srv.Infer(ctx, name, img); err != nil {
+						clientErrs.Add(1)
+						fmt.Fprintf(os.Stderr, "dlis-serve: %s client %d: %v\n", name, c, err)
+						return
+					}
+				}
+			}(name, c, &budget)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	srv.Close()
+	fmt.Printf("\nload run complete in %v\n", wall.Round(time.Millisecond))
+
+	baseline := make(map[string]float64, len(stacks))
+	for _, name := range srv.Stacks() {
+		fmt.Printf("measuring sequential baseline for %s (remaining %d images)...\n", name, *baselineN/2)
+		probes[name].measure(*baselineN / 2)
+		perImage := probes[name].perImage()
+		baseline[name] = 1 / perImage.Seconds()
+		fmt.Printf("  %v/image → %.2f req/s overall\n", perImage.Round(time.Microsecond), baseline[name])
+	}
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "stack\treplicas\tbatch\trequests\tthroughput\tp50\tp99\toccupancy\tqueue\tmem/replica\tbaseline\tspeedup")
+	for _, name := range srv.Stacks() {
+		st, err := srv.Stats(name)
+		if err != nil {
+			fatal(err)
+		}
+		base := baseline[name]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2f req/s\t%v\t%v\t%.2f\t%d\t%.1f MB\t%.2f req/s\t%.2f×\n",
+			name, st.Replicas, *batch, st.Completed, st.Throughput,
+			st.Latency.P50.Round(time.Microsecond), st.Latency.P99.Round(time.Microsecond),
+			st.MeanBatchOccupancy, st.QueueDepth, st.ReplicaMemoryMB, base, st.Throughput/base)
+	}
+	tw.Flush()
+
+	if n := clientErrs.Load(); n > 0 {
+		fmt.Printf("\nwarning: %d client(s) aborted on error — the table reflects only the requests that actually completed, not the configured -requests\n", n)
+	}
+	for _, name := range srv.Stacks() {
+		st, _ := srv.Stats(name)
+		if st.MeanBatchOccupancy <= 1 && *clients > 1 {
+			fmt.Printf("\nwarning: %s batch occupancy %.2f ≤ 1 — batching never engaged; raise -clients or -delay\n",
+				name, st.MeanBatchOccupancy)
+		}
+	}
+}
+
+// baselineProbe times sequential single-image inference on one
+// dedicated instance, accumulating across measurement rounds.
+type baselineProbe struct {
+	inst  *dlis.Instance
+	img   *dlis.Tensor
+	hw    [2]int // input height/width of the stack
+	total time.Duration
+	n     int
+}
+
+// newBaselineProbe instantiates the stack and runs one warm-up image.
+func newBaselineProbe(cfg dlis.StackConfig, seed uint64) (*baselineProbe, error) {
+	inst, err := dlis.Instantiate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	shape := inst.Net.InputShape // CHW
+	p := &baselineProbe{inst: inst, hw: [2]int{shape[1], shape[2]}}
+	p.img = dlis.NewImage(1, p.hw[0], p.hw[1], seed)
+	p.inst.Run(p.img) // warm-up
+	return p, nil
+}
+
+// measure times n more sequential single-image inferences and returns
+// this round's per-image mean.
+func (p *baselineProbe) measure(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		p.inst.Run(p.img)
+	}
+	round := time.Since(start)
+	p.total += round
+	p.n += n
+	return round / time.Duration(n)
+}
+
+// perImage is the mean over every measured image so far.
+func (p *baselineProbe) perImage() time.Duration {
+	if p.n == 0 {
+		return 0
+	}
+	return p.total / time.Duration(p.n)
+}
+
+// parseTechnique maps the CLI spelling to the stack-layer-2 constant.
+func parseTechnique(s string) (dlis.Technique, error) {
+	switch strings.ToLower(s) {
+	case "plain", "none":
+		return dlis.Plain, nil
+	case "weight-pruning", "weight", "wp":
+		return dlis.WeightPruned, nil
+	case "channel-pruning", "channel", "cp":
+		return dlis.ChannelPruned, nil
+	case "quantisation", "quantization", "ttq", "quant":
+		return dlis.Quantised, nil
+	default:
+		return dlis.Plain, fmt.Errorf("unknown technique %q", s)
+	}
+}
+
+// fatal prints the error and exits non-zero.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlis-serve:", err)
+	os.Exit(1)
+}

@@ -34,9 +34,11 @@ import (
 	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/hw"
+	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/pareto"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/train"
 )
@@ -154,3 +156,38 @@ type ExperimentOptions = experiments.Options
 
 // DefaultExperimentOptions returns the fast calibrated configuration.
 func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// Re-exported serving types (see internal/serve and DESIGN.md §6): the
+// batched inference server that replicates stack configurations behind
+// a dynamic batcher.
+type (
+	// Server is the batched inference server; construct with NewServer.
+	Server = serve.Server
+	// ServerConfig configures a Server: the hosted stacks plus the
+	// Replicas / MaxBatch / MaxDelay / QueueCap tuning knobs.
+	ServerConfig = serve.Config
+	// ServerStack names one hosted stack configuration.
+	ServerStack = serve.StackSpec
+	// ServeResult is the outcome of one single-image request.
+	ServeResult = serve.Result
+	// ServeFuture is the pending result of a submitted request.
+	ServeFuture = serve.Future
+	// ServeStats is a point-in-time pool statistics snapshot
+	// (throughput, p50/p99 latency, batch occupancy, queue depth).
+	ServeStats = serve.Stats
+	// ServeLatencySummary is the latency breakdown inside ServeStats.
+	ServeLatencySummary = metrics.LatencySummary
+)
+
+// ErrServerClosed is returned by Submit and Infer after Close.
+var ErrServerClosed = serve.ErrClosed
+
+// NewServer instantiates every configured stack (Replicas independent
+// replicas each, see Instance.Replicate) and starts serving. Callers
+// submit with Server.Submit or Server.Infer and must Close for a
+// graceful drain. See cmd/dlis-serve for a load-generating client.
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// DefaultServerConfig returns the serving defaults used for zero
+// ServerConfig fields (1 replica, batches of up to 8, a 2ms window).
+func DefaultServerConfig() ServerConfig { return serve.DefaultConfig() }

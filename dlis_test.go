@@ -2,8 +2,11 @@ package dlis
 
 import (
 	"bytes"
+	"context"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestBuildModelPublicAPI(t *testing.T) {
@@ -159,6 +162,56 @@ func TestConcurrentInferenceIsSafe(t *testing.T) {
 		if !out.AllFinite() {
 			t.Fatal("concurrent inference produced non-finite output")
 		}
+	}
+}
+
+func TestServerPublicAPI(t *testing.T) {
+	// The serving subsystem end to end through the facade: two stacks
+	// side by side, concurrent clients, statistics, graceful close.
+	cfg := DefaultServerConfig()
+	cfg.Stacks = []ServerStack{
+		{Stack: StackConfig{Model: "mini-resnet", Technique: Plain,
+			Backend: OMP, Threads: 1, Platform: "odroid-xu4", Seed: 1}},
+		{Name: "mobile-wp", Stack: StackConfig{Model: "mini-mobilenet", Technique: WeightPruned,
+			Point:   OperatingPoint{Sparsity: 0.5},
+			Backend: OMP, Threads: 1, Platform: "odroid-xu4", Seed: 1}},
+	}
+	cfg.Replicas, cfg.MaxBatch, cfg.MaxDelay = 2, 4, time.Millisecond
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			img := NewImage(1, 32, 32, uint64(c+1))
+			for _, stack := range []string{"mini-resnet/plain", "mobile-wp"} {
+				res, err := srv.Infer(ctx, stack, img)
+				if err != nil {
+					t.Errorf("%s: %v", stack, err)
+					return
+				}
+				if !res.Output.AllFinite() || res.Output.NumElements() != 10 {
+					t.Errorf("%s: implausible logits %v", stack, res.Output)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	srv.Close()
+	for stack, st := range srv.AllStats() {
+		if st.Completed != 6 || st.Failed != 0 {
+			t.Fatalf("%s: %d completed / %d failed, want 6/0", stack, st.Completed, st.Failed)
+		}
+		if st.Latency.P99 <= 0 || st.ReplicaMemoryMB <= 0 {
+			t.Fatalf("%s: empty stats %+v", stack, st)
+		}
+	}
+	if _, err := srv.Infer(ctx, "mobile-wp", NewImage(1, 32, 32, 1)); err != ErrServerClosed {
+		t.Fatalf("infer after close: %v, want ErrServerClosed", err)
 	}
 }
 

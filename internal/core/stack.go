@@ -213,6 +213,18 @@ func Instantiate(cfg Config) (*Instance, error) {
 	return &Instance{Config: cfg, Net: net, Platform: platform}, nil
 }
 
+// Replicate builds an independent Instance from the same configuration:
+// identical architecture and (deterministically seeded) weights, but
+// entirely separate parameter storage. A frozen instance is re-entrant
+// for inference today (kernels allocate their im2col/padding scratch
+// per call), but the serving layer deliberately gives each concurrent
+// worker its own replica anyway: workers must stay correct when the
+// engine later reuses per-network scratch buffers or lazy caches (as
+// Conv2D already does for its CSR view during training), and a replica
+// is the unit that future sharding can move onto another process or
+// machine (see internal/serve).
+func (in *Instance) Replicate() (*Instance, error) { return Instantiate(in.Config) }
+
 // RunResult is one real host execution.
 type RunResult struct {
 	Output  *tensor.Tensor
@@ -220,7 +232,10 @@ type RunResult struct {
 }
 
 // Run executes a real inference on the host engine with the configured
-// algorithm and thread count, returning the logits and wall time.
+// algorithm and thread count, returning the logits and wall time. The
+// input may carry any batch size N (shape N×C×H×W); the output then
+// holds one logit row per image, which is how the serving layer's
+// dynamic batcher amortises per-request overhead (see internal/serve).
 func (in *Instance) Run(input *tensor.Tensor) RunResult {
 	ctx := nn.Inference()
 	ctx.Threads = in.Config.Threads

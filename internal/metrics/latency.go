@@ -1,0 +1,120 @@
+// Latency accounting for the serving subsystem (internal/serve): a
+// thread-safe recorder over a sliding window of request latencies, and a
+// point-in-time summary with the percentiles the serving literature
+// reports (p50 / p90 / p99). The window is a fixed-size ring so a
+// long-lived server holds bounded memory no matter how many requests it
+// has served; percentiles therefore describe the most recent
+// window-size requests while Count and Mean cover the full lifetime.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultLatencyWindow is the ring size used when NewLatencyRecorder is
+// given a non-positive window: large enough for stable p99 estimates,
+// small enough to snapshot cheaply.
+const DefaultLatencyWindow = 4096
+
+// LatencyRecorder accumulates request latencies from concurrent
+// observers. The zero value is not usable; construct with
+// NewLatencyRecorder.
+type LatencyRecorder struct {
+	mu     sync.Mutex
+	window []time.Duration
+	filled int // number of valid entries in window
+	next   int // ring write cursor
+
+	count    uint64
+	sum      time.Duration
+	min, max time.Duration
+}
+
+// NewLatencyRecorder returns a recorder keeping the last window samples
+// for percentile estimation (DefaultLatencyWindow when window <= 0).
+func NewLatencyRecorder(window int) *LatencyRecorder {
+	if window <= 0 {
+		window = DefaultLatencyWindow
+	}
+	return &LatencyRecorder{window: make([]time.Duration, window)}
+}
+
+// Observe records one request latency. Safe for concurrent use.
+func (r *LatencyRecorder) Observe(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.window[r.next] = d
+	r.next = (r.next + 1) % len(r.window)
+	if r.filled < len(r.window) {
+		r.filled++
+	}
+	if r.count == 0 || d < r.min {
+		r.min = d
+	}
+	if d > r.max {
+		r.max = d
+	}
+	r.count++
+	r.sum += d
+}
+
+// Summary returns a consistent point-in-time view of the recorded
+// latencies. Only the window copy happens under the recorder's lock;
+// the O(n log n) percentile sort runs outside it so snapshots never
+// stall concurrent Observe calls on the serving hot path.
+func (r *LatencyRecorder) Summary() LatencySummary {
+	r.mu.Lock()
+	s := LatencySummary{Count: r.count, Min: r.min, Max: r.max}
+	if r.count > 0 {
+		s.Mean = r.sum / time.Duration(r.count)
+	}
+	sorted := make([]time.Duration, r.filled)
+	copy(sorted, r.window[:r.filled])
+	r.mu.Unlock()
+
+	if len(sorted) == 0 {
+		return s
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.P50 = quantile(sorted, 0.50)
+	s.P90 = quantile(sorted, 0.90)
+	s.P99 = quantile(sorted, 0.99)
+	return s
+}
+
+// quantile returns the nearest-rank q-quantile of an ascending slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)-1) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// LatencySummary is a snapshot of a LatencyRecorder. Count, Mean, Min
+// and Max cover every observation since construction; the percentiles
+// cover the recorder's sliding window.
+type LatencySummary struct {
+	// Count is the number of latencies observed over the recorder's
+	// lifetime.
+	Count uint64
+	// Mean is the lifetime arithmetic mean.
+	Mean time.Duration
+	// Min and Max are the lifetime extremes.
+	Min, Max time.Duration
+	// P50, P90 and P99 are nearest-rank percentiles over the window.
+	P50, P90, P99 time.Duration
+}
+
+// String renders the summary for serving tables.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P90.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyRecorderSummary(t *testing.T) {
+	r := NewLatencyRecorder(8)
+	for i := 1; i <= 100; i++ {
+		r.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summary()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Min != 1*time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v, want 1ms/100ms", s.Min, s.Max)
+	}
+	if want := 50500 * time.Microsecond; s.Mean != want {
+		t.Fatalf("mean = %v, want %v", s.Mean, want)
+	}
+	// The window holds only the last 8 observations (93ms..100ms).
+	if s.P50 < 93*time.Millisecond || s.P50 > 100*time.Millisecond {
+		t.Fatalf("windowed p50 = %v, want within [93ms,100ms]", s.P50)
+	}
+	if s.P99 < s.P50 {
+		t.Fatalf("p99 %v < p50 %v", s.P99, s.P50)
+	}
+}
+
+func TestLatencyRecorderPercentileOrder(t *testing.T) {
+	r := NewLatencyRecorder(0) // default window
+	for i := 1; i <= 1000; i++ {
+		r.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := r.Summary()
+	if !(s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("percentiles out of order: %v", s)
+	}
+	if s.P50 < 450*time.Microsecond || s.P50 > 550*time.Microsecond {
+		t.Fatalf("p50 = %v, want ≈500µs", s.P50)
+	}
+}
+
+func TestLatencyRecorderEmpty(t *testing.T) {
+	s := NewLatencyRecorder(16).Summary()
+	if s.Count != 0 || s.Mean != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary not zero: %v", s)
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	r := NewLatencyRecorder(64)
+	var wg sync.WaitGroup
+	const workers, per = 8, 250
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Observe(time.Duration(w*per+i+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := r.Summary(); s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+}

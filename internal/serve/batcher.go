@@ -1,0 +1,55 @@
+package serve
+
+import "time"
+
+// batchLoop is the pool's dynamic batcher: it opens a batch on the
+// first queued request and flushes to the workers when either MaxBatch
+// requests have coalesced or MaxDelay has elapsed since the batch was
+// opened — whichever comes first. Size-triggered flushes never wait on
+// the timer, so a saturated queue streams full batches back to back,
+// while a lone request under light load pays at most MaxDelay of extra
+// latency.
+//
+// When the queue channel closes (graceful shutdown), the loop first
+// drains every remaining request — Go delivers buffered values before
+// reporting closure — flushes the final partial batch, and then closes
+// the batch channel so the workers exit.
+func (p *pool) batchLoop() {
+	defer p.wg.Done()
+	defer close(p.batches)
+	// One timer serves the whole loop (Reset is safe without draining
+	// since Go 1.23); MaxBatch == 1 never waits, so it needs no timer.
+	var timer *time.Timer
+	for {
+		first, ok := <-p.queue
+		if !ok {
+			return
+		}
+		batch := append(make([]*request, 0, p.cfg.MaxBatch), first)
+		if p.cfg.MaxBatch > 1 {
+			if timer == nil {
+				timer = time.NewTimer(p.cfg.MaxDelay)
+			} else {
+				timer.Reset(p.cfg.MaxDelay)
+			}
+			open := true
+			for open && len(batch) < p.cfg.MaxBatch {
+				select {
+				case r, ok := <-p.queue:
+					if !ok {
+						// Shutdown: the queue is closed and empty. Flush
+						// what we have and exit after dispatch.
+						timer.Stop()
+						p.batches <- batch
+						return
+					}
+					batch = append(batch, r)
+				case <-timer.C:
+					open = false
+				}
+			}
+			timer.Stop()
+		}
+		p.batches <- batch
+	}
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// Result is the outcome of one single-image request.
+type Result struct {
+	// Output is the request's logit row, shape 1×classes. Nil when Err
+	// is set.
+	Output *tensor.Tensor
+	// Class is the argmax of Output — the predicted label.
+	Class int
+	// BatchSize is the occupancy of the batch that carried this
+	// request, i.e. how many requests shared its forward pass.
+	BatchSize int
+	// Latency is the end-to-end time from enqueue to resolution
+	// (queueing + batching delay + execution).
+	Latency time.Duration
+	// Compute is the wall time of the batched forward pass the request
+	// rode in (shared across its BatchSize requests).
+	Compute time.Duration
+	// Err reports an execution failure (e.g. an engine panic); the
+	// other fields are meaningless when it is non-nil.
+	Err error
+}
+
+// Future is the pending result of a submitted request. Exactly one
+// Result is ever delivered per Future.
+type Future struct {
+	ch chan Result
+}
+
+// newFuture allocates a resolved-exactly-once future. The channel is
+// buffered so workers never block on delivery.
+func newFuture() *Future { return &Future{ch: make(chan Result, 1)} }
+
+// resolve delivers the result; callers guarantee exactly one call.
+func (f *Future) resolve(r Result) { f.ch <- r }
+
+// Wait blocks until the result is available or ctx is done. The result
+// is consumed by the first successful Wait: later calls find nothing to
+// receive and block until their ctx fires, then return ctx.Err() — so
+// re-waiting on a consumed Future needs a ctx with a deadline.
+func (f *Future) Wait(ctx context.Context) (Result, error) {
+	select {
+	case r := <-f.ch:
+		if r.Err != nil {
+			return r, r.Err
+		}
+		return r, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Done returns a channel that delivers the result, for callers who want
+// to select across many futures.
+func (f *Future) Done() <-chan Result { return f.ch }

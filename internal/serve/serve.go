@@ -1,0 +1,201 @@
+// Package serve is the batched inference serving subsystem: it turns
+// the single-shot stack configurations of internal/core into a
+// production-shaped server that accepts concurrent single-image
+// requests, coalesces them with a dynamic batcher, and executes the
+// batches on a pool of replica workers.
+//
+// Architecture (one pool per stack configuration):
+//
+//		Submit ──► queue ──► batcher ──► batches ──► worker[0..R-1] ──► futures
+//
+//	  - Submit validates and enqueues a request, returning a Future.
+//	  - The batcher coalesces queued requests into batches, flushing when
+//	    MaxBatch requests have accumulated or MaxDelay has elapsed since
+//	    the batch was opened — whichever comes first.
+//	  - Each worker owns a private core.Instance replica (isolation that
+//	    stays correct if the engine ever reuses per-network scratch —
+//	    im2col columns, padding buffers, lazy CSR views — across calls,
+//	    and the unit future sharding can move off-process), assembles the
+//	    batch into one N×C×H×W tensor, runs a single batched forward
+//	    pass, and resolves each request's Future with its logit row.
+//
+// A Server hosts any number of pools side by side ("resnet18 channel
+// pruned" next to "mobilenet quantised"), routed by stack name. Close
+// performs a graceful shutdown: new submissions are refused, queued
+// requests are drained — including a final partial batch — and workers
+// exit only when every accepted request has been answered.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// ErrClosed is returned by Submit and Infer after Close has begun.
+var ErrClosed = errors.New("serve: server closed")
+
+// StackSpec names one stack configuration the server should host.
+type StackSpec struct {
+	// Name is the routing key clients submit against. Empty defaults to
+	// "<model>/<technique>" (e.g. "resnet18/channel-pruning").
+	Name string
+	// Stack is the full five-layer configuration to instantiate.
+	Stack core.Config
+}
+
+// Key returns the effective routing name clients submit against:
+// Name when set, "<model>/<technique>" otherwise.
+func (s StackSpec) Key() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return s.Stack.Model + "/" + s.Stack.Technique.String()
+}
+
+// Config configures a Server. The zero value of every tuning field is
+// replaced by the DefaultConfig value; Stacks must be non-empty.
+type Config struct {
+	// Stacks lists the stack configurations to host, one pool each.
+	Stacks []StackSpec
+	// Replicas is the number of workers (and core.Instance replicas)
+	// per pool.
+	Replicas int
+	// MaxBatch is the batch size that triggers an immediate flush.
+	MaxBatch int
+	// MaxDelay bounds how long an open batch may wait for company; a
+	// lone request is never delayed longer than this.
+	MaxDelay time.Duration
+	// QueueCap is the per-pool request queue capacity; submitters block
+	// (or honour their context) when it is full. Defaults to
+	// Replicas × MaxBatch × 4.
+	QueueCap int
+}
+
+// DefaultConfig returns the serving defaults used for zero Config
+// fields: 1 replica, batches of up to 8, a 2ms batching window.
+func DefaultConfig() Config {
+	return Config{Replicas: 1, MaxBatch: 8, MaxDelay: 2 * time.Millisecond}
+}
+
+// withDefaults resolves zero tuning fields to their defaults.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Replicas < 1 {
+		c.Replicas = d.Replicas
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = d.MaxBatch
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = d.MaxDelay
+	}
+	if c.QueueCap < 1 {
+		c.QueueCap = c.Replicas * c.MaxBatch * 4
+	}
+	return c
+}
+
+// Server routes single-image inference requests to per-stack pools of
+// batching replica workers. Construct with New; all methods are safe
+// for concurrent use.
+type Server struct {
+	cfg   Config
+	pools map[string]*pool
+	names []string // pool names in Config order, for deterministic listings
+}
+
+// New instantiates every configured stack (Replicas independent
+// replicas each) and starts the batcher and worker goroutines. It
+// returns an error if no stacks are configured, a stack fails
+// validation, or two stacks share a routing name.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Stacks) == 0 {
+		return nil, errors.New("serve: no stacks configured")
+	}
+	s := &Server{cfg: cfg, pools: make(map[string]*pool, len(cfg.Stacks))}
+	for _, spec := range cfg.Stacks {
+		name := spec.Key()
+		if _, dup := s.pools[name]; dup {
+			s.Close()
+			return nil, fmt.Errorf("serve: duplicate stack name %q", name)
+		}
+		p, err := newPool(name, spec.Stack, cfg)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("serve: stack %q: %w", name, err)
+		}
+		s.pools[name] = p
+		s.names = append(s.names, name)
+	}
+	return s, nil
+}
+
+// Stacks lists the hosted routing names in configuration order.
+func (s *Server) Stacks() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Submit enqueues one single-image request for the named stack and
+// returns immediately with a Future. The image must be C×H×W or
+// 1×C×H×W matching the stack's input shape. Submit blocks only when
+// the pool queue is full, honouring ctx while it waits.
+//
+// The server does not copy the image at submit time: the caller must
+// not mutate it until the Future resolves, or the batch may execute
+// over the mutated data.
+func (s *Server) Submit(ctx context.Context, stack string, img *tensor.Tensor) (*Future, error) {
+	p, ok := s.pools[stack]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown stack %q (hosted: %v)", stack, s.names)
+	}
+	return p.submit(ctx, img)
+}
+
+// Infer is the blocking convenience wrapper: Submit then Wait. After a
+// successful Infer the request has resolved, so the image is safe to
+// reuse. If Infer returns a context error the accepted request may
+// still be queued or executing — the image remains off-limits exactly
+// as for Submit.
+func (s *Server) Infer(ctx context.Context, stack string, img *tensor.Tensor) (Result, error) {
+	f, err := s.Submit(ctx, stack, img)
+	if err != nil {
+		return Result{}, err
+	}
+	return f.Wait(ctx)
+}
+
+// Stats snapshots the named pool's serving statistics.
+func (s *Server) Stats(stack string) (Stats, error) {
+	p, ok := s.pools[stack]
+	if !ok {
+		return Stats{}, fmt.Errorf("serve: unknown stack %q", stack)
+	}
+	return p.snapshot(), nil
+}
+
+// AllStats snapshots every pool, keyed by routing name.
+func (s *Server) AllStats() map[string]Stats {
+	out := make(map[string]Stats, len(s.pools))
+	for name, p := range s.pools {
+		out[name] = p.snapshot()
+	}
+	return out
+}
+
+// Close gracefully shuts the server down: it refuses new submissions,
+// flushes and executes every request already accepted (including a
+// final partial batch per pool), and returns once all workers have
+// exited. Close is idempotent.
+func (s *Server) Close() {
+	for _, name := range s.names {
+		s.pools[name].close()
+	}
+}

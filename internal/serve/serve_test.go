@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// miniStack is a fast host-executable configuration for tests.
+func miniStack(model string) core.Config {
+	return core.Config{
+		Model: model, Technique: core.Plain,
+		Backend: core.OMP, Threads: 1, Platform: "odroid-xu4", Seed: 1,
+	}
+}
+
+// testImage builds a distinct CHW input for the mini models. The seed
+// is mapped injectively to an odd RNG seed (2s+1) — a plain s|1 would
+// collapse even/odd pairs to identical images, and the concurrency test
+// below relies on every client having a genuinely distinct input.
+func testImage(seed uint64) *tensor.Tensor {
+	img := tensor.New(3, 32, 32)
+	img.FillNormal(tensor.NewRNG(2*seed+1), 0, 1)
+	return img
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestFlushOnSize checks the size trigger: with an effectively infinite
+// MaxDelay, exactly MaxBatch requests must ride one forward pass.
+func TestFlushOnSize(t *testing.T) {
+	const maxBatch = 4
+	s := newTestServer(t, Config{
+		Stacks:   []StackSpec{{Stack: miniStack("mini-mobilenet")}},
+		Replicas: 1, MaxBatch: maxBatch, MaxDelay: time.Hour,
+	})
+	ctx := context.Background()
+	var futs []*Future
+	for i := 0; i < maxBatch; i++ {
+		f, err := s.Submit(ctx, "mini-mobilenet/plain", testImage(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	for i, f := range futs {
+		res, err := f.Wait(ctx)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if res.BatchSize != maxBatch {
+			t.Fatalf("request %d rode a batch of %d, want %d (size flush)", i, res.BatchSize, maxBatch)
+		}
+	}
+	st, err := s.Stats("mini-mobilenet/plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Batches != 1 || st.Completed != maxBatch {
+		t.Fatalf("stats = %+v, want 1 batch of %d", st, maxBatch)
+	}
+	if st.MeanBatchOccupancy != maxBatch {
+		t.Fatalf("occupancy = %.2f, want %d", st.MeanBatchOccupancy, maxBatch)
+	}
+}
+
+// TestFlushOnDeadline checks the delay trigger: with MaxBatch far above
+// the offered load, a request must still be answered after ≈MaxDelay.
+func TestFlushOnDeadline(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	s := newTestServer(t, Config{
+		Stacks:   []StackSpec{{Stack: miniStack("mini-mobilenet")}},
+		Replicas: 1, MaxBatch: 64, MaxDelay: delay,
+	})
+	ctx := context.Background()
+	start := time.Now()
+	res, err := s.Infer(ctx, "mini-mobilenet/plain", testImage(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BatchSize >= 64 {
+		t.Fatalf("lone request reported full batch %d", res.BatchSize)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("answered in %v, before the %v batching window elapsed", elapsed, delay)
+	}
+	if res.Latency < delay {
+		t.Fatalf("latency %v below the batching window %v", res.Latency, delay)
+	}
+}
+
+// TestConcurrentSubmittersGetOwnResults drives many concurrent clients
+// with distinct inputs and checks every client gets the logits a solo
+// (unbatched, single-instance) run produces for *its* image — i.e.
+// batch assembly and row splitting never cross wires.
+func TestConcurrentSubmittersGetOwnResults(t *testing.T) {
+	const clients = 12
+	stack := miniStack("mini-vgg")
+
+	solo, err := core.Instantiate(stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*tensor.Tensor, clients)
+	for i := range want {
+		img := testImage(uint64(100 + i))
+		want[i] = solo.Run(img.Reshape(1, 3, 32, 32)).Output.Clone()
+	}
+
+	s := newTestServer(t, Config{
+		Stacks:   []StackSpec{{Name: "vgg", Stack: stack}},
+		Replicas: 2, MaxBatch: 4, MaxDelay: time.Millisecond,
+	})
+	ctx := context.Background()
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Infer(ctx, "vgg", testImage(uint64(100+i)))
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", i, err)
+				return
+			}
+			if d := tensor.MaxAbsDiff(res.Output, want[i]); d > 1e-5 {
+				errs <- fmt.Errorf("client %d: batched logits diverge from solo run by %g", i, d)
+				return
+			}
+			if res.Class != want[i].ArgMax() {
+				errs <- fmt.Errorf("client %d: class %d, want %d", i, res.Class, want[i].ArgMax())
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestGracefulShutdownDrains leaves a partial batch waiting on an
+// effectively infinite MaxDelay and calls Close: every accepted request
+// must still be answered (the drain flushes the partial batch), and
+// submissions after Close must be refused.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s, err := New(Config{
+		Stacks:   []StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}},
+		Replicas: 1, MaxBatch: 4, MaxDelay: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const n = 6 // one full batch of 4 + a partial batch of 2 stuck on the timer
+	var futs []*Future
+	for i := 0; i < n; i++ {
+		f, err := s.Submit(ctx, "m", testImage(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	s.Close()
+	for i, f := range futs {
+		waitCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		res, err := f.Wait(waitCtx)
+		cancel()
+		if err != nil {
+			t.Fatalf("request %d not drained: %v", i, err)
+		}
+		if res.Output == nil {
+			t.Fatalf("request %d drained without output", i)
+		}
+	}
+	if _, err := s.Submit(ctx, "m", testImage(9)); err != ErrClosed {
+		t.Fatalf("submit after close: err = %v, want ErrClosed", err)
+	}
+	if _, err := s.Infer(ctx, "m", testImage(9)); err != ErrClosed {
+		t.Fatalf("infer after close: err = %v, want ErrClosed", err)
+	}
+	st, err := s.Stats("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != n || st.QueueDepth != 0 {
+		t.Fatalf("after drain: %+v, want %d completed and empty queue", st, n)
+	}
+	s.Close() // idempotent
+}
+
+// TestMultiStackRouting hosts two stacks side by side and checks
+// requests route to the right network (different class counts would
+// surface as different logit widths).
+func TestMultiStackRouting(t *testing.T) {
+	s := newTestServer(t, Config{
+		Stacks: []StackSpec{
+			{Stack: miniStack("mini-vgg")},
+			{Stack: miniStack("mini-mobilenet")},
+		},
+		Replicas: 1, MaxBatch: 2, MaxDelay: time.Millisecond,
+	})
+	if got := s.Stacks(); len(got) != 2 || got[0] != "mini-vgg/plain" || got[1] != "mini-mobilenet/plain" {
+		t.Fatalf("stacks = %v", got)
+	}
+	ctx := context.Background()
+	for _, name := range s.Stacks() {
+		res, err := s.Infer(ctx, name, testImage(7))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Output.NumElements() != 10 {
+			t.Fatalf("%s: %d logits, want 10", name, res.Output.NumElements())
+		}
+	}
+	if _, err := s.Infer(ctx, "nope", testImage(7)); err == nil {
+		t.Fatal("unknown stack accepted")
+	}
+}
+
+// TestSubmitValidation rejects malformed inputs and configs.
+func TestSubmitValidation(t *testing.T) {
+	s := newTestServer(t, Config{Stacks: []StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}}})
+	ctx := context.Background()
+	if _, err := s.Submit(ctx, "m", tensor.New(3, 16, 16)); err == nil {
+		t.Error("wrong image shape accepted")
+	}
+	if _, err := s.Submit(ctx, "m", nil); err == nil {
+		t.Error("nil image accepted")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty stack list accepted")
+	}
+	dup := Config{Stacks: []StackSpec{
+		{Name: "x", Stack: miniStack("mini-vgg")},
+		{Name: "x", Stack: miniStack("mini-mobilenet")},
+	}}
+	if _, err := New(dup); err == nil {
+		t.Error("duplicate stack names accepted")
+	}
+	bad := miniStack("mini-vgg")
+	bad.Threads = 0
+	if _, err := New(Config{Stacks: []StackSpec{{Stack: bad}}}); err == nil {
+		t.Error("invalid stack config accepted")
+	}
+}
+
+// TestStatsUnderLoad drives a short closed loop and sanity-checks the
+// aggregate statistics: everything completes, occupancy exceeds 1 under
+// concurrency, throughput and latency are populated.
+func TestStatsUnderLoad(t *testing.T) {
+	s := newTestServer(t, Config{
+		Stacks:   []StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}},
+		Replicas: 2, MaxBatch: 4, MaxDelay: 2 * time.Millisecond,
+	})
+	ctx := context.Background()
+	const clients, perClient = 8, 5
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			img := testImage(uint64(c))
+			for i := 0; i < perClient; i++ {
+				if _, err := s.Infer(ctx, "m", img); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	st, err := s.Stats("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != clients*perClient || st.Failed != 0 {
+		t.Fatalf("completed/failed = %d/%d, want %d/0", st.Completed, st.Failed, clients*perClient)
+	}
+	if st.MeanBatchOccupancy <= 1 {
+		t.Fatalf("occupancy = %.2f, want > 1 under %d concurrent clients", st.MeanBatchOccupancy, clients)
+	}
+	if st.Throughput <= 0 {
+		t.Fatalf("throughput = %.2f, want > 0", st.Throughput)
+	}
+	if st.Latency.Count != clients*perClient || st.Latency.P99 < st.Latency.P50 || st.Latency.P50 <= 0 {
+		t.Fatalf("latency summary implausible: %v", st.Latency)
+	}
+	if st.ReplicaMemoryMB <= 0 {
+		t.Fatalf("replica memory = %.2f, want > 0", st.ReplicaMemoryMB)
+	}
+	all := s.AllStats()
+	if len(all) != 1 || all["m"].Completed != st.Completed {
+		t.Fatalf("AllStats = %v", all)
+	}
+}
+
+// TestWaitContextCancel honours the caller's context on the result
+// side: a lone request pinned by an hour-long batching window must not
+// trap its waiter. The request itself is still answered by the drain at
+// Close, so the pool shuts down cleanly afterwards.
+func TestWaitContextCancel(t *testing.T) {
+	s := newTestServer(t, Config{
+		Stacks:   []StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}},
+		Replicas: 1, MaxBatch: 64, MaxDelay: time.Hour,
+	})
+	f, err := s.Submit(context.Background(), "m", testImage(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := f.Wait(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("wait on pinned request: err = %v, want DeadlineExceeded", err)
+	}
+}

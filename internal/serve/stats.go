@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Stats is a point-in-time snapshot of one pool's serving behaviour.
+type Stats struct {
+	// Stack is the pool's routing name ("resnet18/channel-pruning").
+	Stack string
+	// Replicas is the number of workers (= core.Instance replicas).
+	Replicas int
+	// Completed counts successfully answered requests; Failed counts
+	// requests resolved with an error.
+	Completed, Failed uint64
+	// Batches is the number of forward passes executed.
+	Batches uint64
+	// MeanBatchOccupancy is Completed+Failed over Batches — how many
+	// requests the average forward pass carried. 1.0 means batching
+	// never coalesced anything.
+	MeanBatchOccupancy float64
+	// Throughput is completed requests per second, measured from the
+	// first enqueue to the latest resolution.
+	Throughput float64
+	// Latency summarises end-to-end request latency (queueing +
+	// batching delay + execution); percentiles are over the recorder's
+	// sliding window.
+	Latency metrics.LatencySummary
+	// QueueDepth is the number of requests currently queued and not yet
+	// handed to a batch.
+	QueueDepth int
+	// ReplicaMemoryMB is the modelled per-replica runtime footprint at
+	// MaxBatch (weights in execution format + activations + padding),
+	// from the internal/metrics accounting. Total serving footprint is
+	// roughly Replicas × this.
+	ReplicaMemoryMB float64
+}
+
+// String renders the snapshot as one table-ish line.
+func (st Stats) String() string {
+	return fmt.Sprintf("%s: replicas=%d completed=%d batches=%d occ=%.2f %.2f req/s [%s] queue=%d mem=%.1fMB/replica",
+		st.Stack, st.Replicas, st.Completed, st.Batches, st.MeanBatchOccupancy,
+		st.Throughput, st.Latency, st.QueueDepth, st.ReplicaMemoryMB)
+}
+
+// snapshot assembles the pool's current statistics.
+func (p *pool) snapshot() Stats {
+	st := Stats{
+		Stack:           p.name,
+		Replicas:        len(p.insts),
+		Completed:       p.completed.Load(),
+		Failed:          p.failed.Load(),
+		Batches:         p.batchesDone.Load(),
+		Latency:         p.lat.Summary(),
+		QueueDepth:      len(p.queue),
+		ReplicaMemoryMB: p.replicaMB,
+	}
+	if st.Batches > 0 {
+		st.MeanBatchOccupancy = float64(st.Completed+st.Failed) / float64(st.Batches)
+	}
+	first, last := p.firstEnqueue.Load(), p.lastDone.Load()
+	if st.Completed > 0 && last > first {
+		st.Throughput = float64(st.Completed) / (time.Duration(last - first)).Seconds()
+	}
+	return st
+}

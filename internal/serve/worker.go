@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// request is one queued single-image inference.
+type request struct {
+	img *tensor.Tensor // flat C*H*W payload, already validated
+	enq time.Time
+	fut *Future
+}
+
+// pool serves one stack configuration: a request queue, a batcher, and
+// Replicas workers each owning a private core.Instance.
+type pool struct {
+	name  string
+	cfg   Config
+	insts []*core.Instance
+
+	queue   chan *request
+	batches chan []*request
+
+	mu      sync.Mutex // guards closed against concurrent submit/close
+	closed  bool
+	subs    sync.WaitGroup // in-flight submitters; close() waits on it before closing queue
+	wg      sync.WaitGroup // batcher + workers
+	drained chan struct{}  // closed once the shutdown drain has fully completed
+
+	// Serving statistics (see stats.go).
+	completed    atomic.Uint64
+	failed       atomic.Uint64
+	batchesDone  atomic.Uint64
+	firstEnqueue atomic.Int64 // enqueue ns of the first served request, 0 = none yet
+	lastDone     atomic.Int64 // ns since epoch of the latest resolution
+	lat          *metrics.LatencyRecorder
+
+	// Geometry, cached from the instantiated network.
+	chw       tensor.Shape // per-image input shape
+	imgLen    int          // elements per image
+	replicaMB float64      // per-replica footprint at MaxBatch
+}
+
+// newPool instantiates the stack Replicas times and starts the batcher
+// and worker goroutines.
+func newPool(name string, stack core.Config, cfg Config) (*pool, error) {
+	proto, err := core.Instantiate(stack)
+	if err != nil {
+		return nil, err
+	}
+	insts := []*core.Instance{proto}
+	for i := 1; i < cfg.Replicas; i++ {
+		rep, err := proto.Replicate()
+		if err != nil {
+			return nil, fmt.Errorf("replica %d: %w", i, err)
+		}
+		insts = append(insts, rep)
+	}
+	p := &pool{
+		name:      name,
+		cfg:       cfg,
+		insts:     insts,
+		queue:     make(chan *request, cfg.QueueCap),
+		batches:   make(chan []*request),
+		drained:   make(chan struct{}),
+		lat:       metrics.NewLatencyRecorder(0),
+		chw:       proto.Net.InputShape.Clone(),
+		imgLen:    proto.Net.InputShape.NumElements(),
+		replicaMB: metrics.Measure(proto.Net, cfg.MaxBatch, proto.Config.Format()).MB(),
+	}
+	p.wg.Add(1)
+	go p.batchLoop()
+	for _, inst := range insts {
+		p.wg.Add(1)
+		go p.workerLoop(inst)
+	}
+	return p, nil
+}
+
+// submit validates the image and enqueues it, blocking (under ctx) when
+// the queue is full.
+func (p *pool) submit(ctx context.Context, img *tensor.Tensor) (*Future, error) {
+	if err := p.checkShape(img); err != nil {
+		return nil, err
+	}
+	r := &request{img: img, enq: time.Now(), fut: newFuture()}
+
+	// Registering in subs under the same lock as the closed check lets
+	// close() order itself after every admitted submitter: it flips
+	// closed, waits for subs to drain, and only then closes the queue
+	// channel — so no send below can hit a closed channel. Senders
+	// blocked on a full queue make progress because the batcher keeps
+	// consuming until the channel is closed.
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.subs.Add(1)
+	p.mu.Unlock()
+	defer p.subs.Done()
+
+	select {
+	case p.queue <- r:
+		return r.fut, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// checkShape accepts C×H×W or 1×C×H×W matching the stack's input.
+func (p *pool) checkShape(img *tensor.Tensor) error {
+	if img == nil {
+		return fmt.Errorf("serve: %s: nil image", p.name)
+	}
+	s := img.Shape()
+	if s.Rank() == 4 && s[0] == 1 {
+		s = s[1:]
+	}
+	if !s.Equal(p.chw) {
+		return fmt.Errorf("serve: %s: image shape %v does not match input %v", p.name, img.Shape(), p.chw)
+	}
+	return nil
+}
+
+// workerLoop executes batches on this worker's private replica until
+// the batch channel closes. The assembly buffer is per-worker and
+// reused across batches (partial batches wrap a prefix of it), so
+// steady-state serving allocates no input tensors.
+func (p *pool) workerLoop(inst *core.Instance) {
+	defer p.wg.Done()
+	buf := tensor.New(p.cfg.MaxBatch, p.chw[0], p.chw[1], p.chw[2])
+	for batch := range p.batches {
+		p.runBatch(inst, buf, batch)
+	}
+}
+
+// runBatch assembles the batch tensor, runs one batched forward pass,
+// and resolves every request's future with its logit row. An engine
+// panic or malformed output fails the batch's requests rather than the
+// server; every future is resolved exactly once either way.
+func (p *pool) runBatch(inst *core.Instance, buf *tensor.Tensor, batch []*request) {
+	n := len(batch)
+	flat := buf.Data()
+	for i, r := range batch {
+		copy(flat[i*p.imgLen:(i+1)*p.imgLen], r.img.Data())
+	}
+	// A partial batch is a prefix view of the worker's buffer — no copy,
+	// no allocation.
+	in := tensor.FromSlice(flat[:n*p.imgLen], n, p.chw[0], p.chw[1], p.chw[2])
+
+	res, err := p.runGuarded(inst, in)
+	if err == nil && (res.Output.NumElements() == 0 || res.Output.NumElements()%n != 0) {
+		err = fmt.Errorf("serve: %s: engine returned %d outputs for a batch of %d",
+			p.name, res.Output.NumElements(), n)
+	}
+	done := time.Now()
+	// The throughput epoch is the earliest enqueue time over every
+	// served request (batch[0] is the oldest in its batch, but with
+	// multiple replicas a later-enqueued batch may finish first, so
+	// take an atomic minimum). Stamping here, before the completion
+	// counters, means any snapshot that observes completed work also
+	// observes a non-zero epoch.
+	enq := batch[0].enq.UnixNano()
+	for {
+		cur := p.firstEnqueue.Load()
+		if cur != 0 && cur <= enq {
+			break
+		}
+		if p.firstEnqueue.CompareAndSwap(cur, enq) {
+			break
+		}
+	}
+	// Symmetrically, lastDone is an atomic maximum: a preempted worker
+	// must not drag the window end backwards past a faster sibling.
+	dn := done.UnixNano()
+	for {
+		cur := p.lastDone.Load()
+		if cur >= dn {
+			break
+		}
+		if p.lastDone.CompareAndSwap(cur, dn) {
+			break
+		}
+	}
+	if err != nil {
+		// Request counters precede the batch counter so a concurrent
+		// snapshot never sees a batch whose requests aren't counted yet
+		// (which would transiently deflate MeanBatchOccupancy).
+		p.failed.Add(uint64(n))
+		p.batchesDone.Add(1)
+		for _, r := range batch {
+			r.fut.resolve(Result{BatchSize: n, Err: err})
+		}
+		return
+	}
+
+	classes := res.Output.NumElements() / n
+	out := res.Output.Data()
+	p.completed.Add(uint64(n))
+	p.batchesDone.Add(1)
+	for i, r := range batch {
+		row := tensor.New(1, classes)
+		copy(row.Data(), out[i*classes:(i+1)*classes])
+		lat := done.Sub(r.enq)
+		p.lat.Observe(lat)
+		r.fut.resolve(Result{
+			Output:    row,
+			Class:     row.ArgMax(),
+			BatchSize: n,
+			Latency:   lat,
+			Compute:   res.Elapsed,
+		})
+	}
+}
+
+// runGuarded executes the forward pass, converting an engine panic into
+// an error so the recover cannot fire after result bookkeeping began.
+func (p *pool) runGuarded(inst *core.Instance, in *tensor.Tensor) (res core.RunResult, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("serve: %s: engine panic: %v", p.name, rec)
+		}
+	}()
+	return inst.Run(in), nil
+}
+
+// close refuses new submissions, waits out in-flight submitters, lets
+// the batcher drain the queue (flushing a final partial batch), and
+// waits for the workers to finish every accepted request. Concurrent
+// callers all block until the drain has completed — losing the race to
+// initiate shutdown still means winning the guarantee it provides.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.drained
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.subs.Wait()
+	close(p.queue)
+	p.wg.Wait()
+	close(p.drained)
+}
