@@ -94,6 +94,7 @@ func BenchmarkFig1ExpectedVsObserved(b *testing.B) {
 				in.FillNormal(tensor.NewRNG(2), 0, 1)
 				ctx := nn.Inference()
 				ctx.Algo = algo
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					_ = net.Forward(&ctx, in)
@@ -232,6 +233,7 @@ func BenchmarkFig4HostExecution(b *testing.B) {
 			in.FillNormal(tensor.NewRNG(7), 0, 1)
 			ctx := nn.Inference()
 			ctx.Algo = v.algo
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_ = net.Forward(&ctx, in)
@@ -363,6 +365,7 @@ func BenchmarkCSRPenaltyAblation(b *testing.B) {
 				in.FillNormal(r, 0, 1)
 				ctx := nn.Inference()
 				ctx.Algo = algo
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					_ = conv.Forward(&ctx, in)
@@ -415,6 +418,7 @@ func BenchmarkWinogradAblation(b *testing.B) {
 			in.FillNormal(r, 0, 1)
 			ctx := nn.Inference()
 			ctx.Algo = algo
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_ = conv.Forward(&ctx, in)
@@ -450,6 +454,7 @@ func BenchmarkServeThroughput(b *testing.B) {
 	ctx := context.Background()
 	var budget atomic.Int64
 	budget.Store(int64(b.N))
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -467,6 +472,41 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 	wg.Wait()
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/s")
+}
+
+// BenchmarkPlanInference compares the compiled-plan hot path against
+// the eager allocating Forward on the same network and batch —
+// allocs/op is the headline: the plan rows must report 0 B/op after
+// warm-up, the eager rows the full per-inference churn.
+func BenchmarkPlanInference(b *testing.B) {
+	for _, batch := range []int{1, 8} {
+		net, err := models.ByName("mini-vgg", tensor.NewRNG(13))
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := tensor.New(batch, 3, 32, 32)
+		in.FillNormal(tensor.NewRNG(14), 0, 1)
+		b.Run(fmt.Sprintf("eager/batch=%d", batch), func(b *testing.B) {
+			ctx := nn.Inference()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = net.Forward(&ctx, in)
+			}
+		})
+		b.Run(fmt.Sprintf("plan/batch=%d", batch), func(b *testing.B) {
+			plan, err := nn.Compile(net, nn.Inference(), in.Shape())
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan.Execute(in) // warm-up outside the timer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = plan.Execute(in)
+			}
+		})
+	}
 }
 
 // BenchmarkDeepCompressionStorage measures the prune→ternary→Huffman

@@ -52,6 +52,7 @@ func main() {
 	requests := flag.Int("requests", 0, "requests per pool (default 4*replicas*batch, min 64)")
 	baselineN := flag.Int("baseline-images", 8, "images for the sequential baseline measurement")
 	threads := flag.Int("threads", 1, "engine threads per worker (stack layer 4)")
+	auto := flag.Bool("auto", false, "per-layer algorithm selection: plan compilation times direct/im2col/Winograd/sparse per conv geometry and bakes the winner in")
 	platform := flag.String("platform", "odroid-xu4", "modelled platform of the stack configuration")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	memlimitMB := flag.Int("memlimit-mb", 0, "soft heap limit in MB; 0 sizes it from the replica footprints, -1 disables")
@@ -87,6 +88,7 @@ func main() {
 		cfg := dlis.StackConfig{
 			Model: model, Technique: tech,
 			Backend: dlis.OMP, Threads: *threads, Platform: *platform, Seed: *seed,
+			AutoAlgo: *auto,
 		}
 		if tech != dlis.Plain {
 			pts, err := dlis.TableIII(model)

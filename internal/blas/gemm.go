@@ -72,13 +72,32 @@ func (t Tiling) String() string { return fmt.Sprintf("MC=%d KC=%d NC=%d", t.MC, 
 
 // GEMMBlocked computes C = A·B with three-level cache blocking.
 func GEMMBlocked(a, b *tensor.Tensor, tile Tiling) *tensor.Tensor {
+	m, _, n := checkGEMM(a, b)
+	out := tensor.New(m, n)
+	GEMMInto(out, a, b, tile)
+	return out
+}
+
+// checkGEMMDst validates the destination of a destination-passing GEMM.
+func checkGEMMDst(dst, a, b *tensor.Tensor, tile Tiling) (int, int, int) {
 	if !tile.Valid() {
 		panic(fmt.Sprintf("blas: invalid tiling %+v", tile))
 	}
 	m, k, n := checkGEMM(a, b)
-	out := tensor.New(m, n)
-	gemmBlockedInto(a.Data(), b.Data(), out.Data(), 0, m, k, n, tile)
-	return out
+	if dst.Shape().Rank() != 2 || dst.Shape()[0] != m || dst.Shape()[1] != n {
+		panic(fmt.Sprintf("blas: GEMM destination %v, want (%d, %d)", dst.Shape(), m, n))
+	}
+	return m, k, n
+}
+
+// GEMMInto computes dst = A·B with the blocked kernel, overwriting dst
+// (which must be m×n). It performs no allocation, so a compiled plan
+// can reuse one product buffer across every inference.
+func GEMMInto(dst, a, b *tensor.Tensor, tile Tiling) {
+	m, k, n := checkGEMMDst(dst, a, b, tile)
+	od := dst.Data()
+	clear(od)
+	gemmBlockedInto(a.Data(), b.Data(), od, 0, m, k, n, tile)
 }
 
 // gemmBlockedInto runs the blocked kernel over rows [mLo,mHi) of A/C.
@@ -109,16 +128,22 @@ func gemmBlockedInto(ad, bd, od []float32, mLo, mHi, k, n int, tile Tiling) {
 // GEMMParallel computes C = A·B splitting the M dimension across
 // threads with static scheduling (rows of C are independent).
 func GEMMParallel(a, b *tensor.Tensor, tile Tiling, threads int) *tensor.Tensor {
-	if !tile.Valid() {
-		panic(fmt.Sprintf("blas: invalid tiling %+v", tile))
-	}
-	m, k, n := checkGEMM(a, b)
+	m, _, n := checkGEMM(a, b)
 	out := tensor.New(m, n)
-	ad, bd, od := a.Data(), b.Data(), out.Data()
+	GEMMParallelInto(out, a, b, tile, threads)
+	return out
+}
+
+// GEMMParallelInto is the destination-passing GEMMParallel: dst = A·B
+// split across threads, overwriting dst without allocating (beyond the
+// fork/join of the worker goroutines themselves when threads > 1).
+func GEMMParallelInto(dst, a, b *tensor.Tensor, tile Tiling, threads int) {
+	m, k, n := checkGEMMDst(dst, a, b, tile)
+	ad, bd, od := a.Data(), b.Data(), dst.Data()
 	parallel.ForRange(m, threads, func(lo, hi int) {
+		clear(od[lo*n : hi*n])
 		gemmBlockedInto(ad, bd, od, lo, hi, k, n, tile)
 	})
-	return out
 }
 
 // GEMMFLOPs returns the multiply-accumulate work of an (m×k)·(k×n)

@@ -40,36 +40,52 @@ func (p Im2colParams) ColBytes() int {
 // becomes a column containing its receptive field. Out-of-bounds taps
 // contribute zeros (implicit padding).
 func Im2col(in *tensor.Tensor, p Im2colParams) *tensor.Tensor {
+	rows, cols := p.ColShape()
+	out := tensor.New(rows, cols)
+	Im2colInto(out, in, p)
+	return out
+}
+
+// Im2colInto writes the column matrix into dst, which must be the
+// (C·KH·KW, OH·OW) tensor ColShape describes. Padding taps are written
+// as explicit zeros rather than skipped, so a reused destination buffer
+// (a compiled plan's column scratch) never leaks a previous image's
+// values. No allocation is performed.
+func Im2colInto(dst, in *tensor.Tensor, p Im2colParams) {
 	if in.NumElements() != p.C*p.H*p.W {
 		panic(fmt.Sprintf("blas: Im2col input has %d elements, want %d", in.NumElements(), p.C*p.H*p.W))
 	}
-	oh, ow := p.OutSize()
 	rows, cols := p.ColShape()
-	out := tensor.New(rows, cols)
-	id, od := in.Data(), out.Data()
+	if dst.Shape().Rank() != 2 || dst.Shape()[0] != rows || dst.Shape()[1] != cols {
+		panic(fmt.Sprintf("blas: Im2col destination %v, want (%d, %d)", dst.Shape(), rows, cols))
+	}
+	oh, ow := p.OutSize()
+	id, od := in.Data(), dst.Data()
 	for c := 0; c < p.C; c++ {
 		for ky := 0; ky < p.KH; ky++ {
 			for kx := 0; kx < p.KW; kx++ {
 				row := (c*p.KH+ky)*p.KW + kx
-				dst := od[row*cols : (row+1)*cols]
+				out := od[row*cols : (row+1)*cols]
 				for y := 0; y < oh; y++ {
 					sy := y*p.Stride + ky - p.Pad
+					line := out[y*ow : (y+1)*ow]
 					if sy < 0 || sy >= p.H {
-						continue // leave zeros
+						clear(line)
+						continue
 					}
 					srcRow := id[(c*p.H+sy)*p.W:]
 					for x := 0; x < ow; x++ {
 						sx := x*p.Stride + kx - p.Pad
 						if sx < 0 || sx >= p.W {
-							continue
+							line[x] = 0
+						} else {
+							line[x] = srcRow[sx]
 						}
-						dst[y*ow+x] = srcRow[sx]
 					}
 				}
 			}
 		}
 	}
-	return out
 }
 
 // Col2im scatters a column matrix back into an image, accumulating

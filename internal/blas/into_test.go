@@ -1,0 +1,147 @@
+package blas
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// dirty fills a tensor with a sentinel so reuse bugs (stale values
+// surviving an Into call) are caught, mimicking a plan's second
+// inference over the same scratch.
+func dirty(t *tensor.Tensor) { t.Fill(-123.25) }
+
+func TestGEMMIntoMatchesNaiveOnDirtyDst(t *testing.T) {
+	r := tensor.NewRNG(21)
+	a := tensor.New(7, 13)
+	b := tensor.New(13, 9)
+	a.FillNormal(r, 0, 1)
+	b.FillNormal(r, 0, 1)
+	want := GEMMNaive(a, b)
+	dst := tensor.New(7, 9)
+	for i := 0; i < 2; i++ {
+		dirty(dst)
+		GEMMInto(dst, a, b, DefaultTiling())
+		if d := tensor.MaxAbsDiff(want, dst); d > 1e-4 {
+			t.Fatalf("pass %d: GEMMInto differs from naive by %v", i, d)
+		}
+	}
+}
+
+func TestGEMMParallelIntoMatchesNaive(t *testing.T) {
+	r := tensor.NewRNG(22)
+	a := tensor.New(33, 17)
+	b := tensor.New(17, 21)
+	a.FillNormal(r, 0, 1)
+	b.FillNormal(r, 0, 1)
+	want := GEMMNaive(a, b)
+	dst := tensor.New(33, 21)
+	for _, threads := range []int{1, 2, 4} {
+		dirty(dst)
+		GEMMParallelInto(dst, a, b, DefaultTiling(), threads)
+		if d := tensor.MaxAbsDiff(want, dst); d > 1e-4 {
+			t.Fatalf("threads=%d: GEMMParallelInto differs from naive by %v", threads, d)
+		}
+	}
+}
+
+func TestGEMMIntoRejectsBadDst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mis-shaped destination")
+		}
+	}()
+	GEMMInto(tensor.New(2, 2), tensor.New(2, 3), tensor.New(3, 4), DefaultTiling())
+}
+
+func TestIm2colIntoMatchesIm2colOnDirtyDst(t *testing.T) {
+	r := tensor.NewRNG(23)
+	p := Im2colParams{C: 3, H: 6, W: 5, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	in := tensor.New(3, 6, 5)
+	in.FillNormal(r, 0, 1)
+	want := Im2col(in, p)
+	rows, cols := p.ColShape()
+	dst := tensor.New(rows, cols)
+	for i := 0; i < 2; i++ {
+		// Padding taps must be re-zeroed on reuse, not inherited.
+		dirty(dst)
+		Im2colInto(dst, in, p)
+		if d := tensor.MaxAbsDiff(want, dst); d != 0 {
+			t.Fatalf("pass %d: Im2colInto differs by %v", i, d)
+		}
+	}
+}
+
+func TestWinogradIntoMatchesDirectOnReusedScratch(t *testing.T) {
+	r := tensor.NewRNG(24)
+	const n, c, outC, h, w = 2, 3, 4, 7, 6
+	in := tensor.New(n, c, h, w)
+	in.FillNormal(r, 0, 1)
+	weights := tensor.New(outC, c, 3, 3)
+	weights.FillNormal(r, 0, 0.5)
+	bias := make([]float32, outC)
+	for i := range bias {
+		bias[i] = float32(r.NormFloat64())
+	}
+	s := NewWinogradScratch(nil, n, c, h, w, outC)
+	out := tensor.New(n, outC, h, w)
+	want := directConv3x3(in, weights, bias)
+	for i := 0; i < 3; i++ {
+		// Vary the input between reuses so stale tiles would show.
+		if i > 0 {
+			in.Scale(-0.5)
+			want = directConv3x3(in, weights, bias)
+		}
+		dirty(out)
+		WinogradConv2DInto(out, in, weights, bias, s)
+		if d := tensor.MaxAbsDiff(want, out); d > 1e-3 {
+			t.Fatalf("pass %d: WinogradConv2DInto differs by %v", i, d)
+		}
+	}
+}
+
+func TestWinogradScratchFromArena(t *testing.T) {
+	a := tensor.NewArena()
+	s := NewWinogradScratch(a, 1, 2, 4, 4, 3)
+	if a.Floats() != WinogradScratchFloats(1, 2, 4, 4, 3) {
+		t.Fatalf("arena holds %d floats, accounting says %d",
+			a.Floats(), WinogradScratchFloats(1, 2, 4, 4, 3))
+	}
+	in := tensor.New(1, 2, 4, 4)
+	in.FillNormal(tensor.NewRNG(25), 0, 1)
+	w := tensor.New(3, 2, 3, 3)
+	w.FillNormal(tensor.NewRNG(26), 0, 0.5)
+	out := tensor.New(1, 3, 4, 4)
+	WinogradConv2DInto(out, in, w, nil, s)
+	want := directConv3x3(in, w, nil)
+	if d := tensor.MaxAbsDiff(want, out); d > 1e-3 {
+		t.Fatalf("arena-scratch winograd differs by %v", d)
+	}
+}
+
+func TestAlgoTunerPicksFastest(t *testing.T) {
+	tuner := &AlgoTuner{}
+	best, times := tuner.Pick([]func(){
+		func() { time.Sleep(20 * time.Millisecond) },
+		func() {},
+	})
+	if best != 1 {
+		t.Fatalf("picked candidate %d (times %v), want the no-op", best, times)
+	}
+	if len(times) != 2 {
+		t.Fatalf("got %d times, want 2", len(times))
+	}
+}
+
+func TestAlgoTunerRepeatsAndWarmup(t *testing.T) {
+	runs := 0
+	tuner := &AlgoTuner{Warmup: 2, Repeats: 3}
+	best, _ := tuner.Pick([]func(){func() { runs++ }})
+	if best != 0 {
+		t.Fatalf("single candidate must win, got %d", best)
+	}
+	if runs != 5 {
+		t.Fatalf("candidate ran %d times, want warmup+repeats = 5", runs)
+	}
+}

@@ -71,3 +71,50 @@ func (a *AutoTuner) Tune(m, k, n int) (Tiling, []TuneResult) {
 	}
 	return best, results
 }
+
+// AlgoTuner generalises the CLTune-style search from GEMM tilings to
+// whole kernel implementations: given one closure per candidate
+// algorithm (direct, im2col+GEMM, Winograd, CSR-sparse for a specific
+// conv geometry), Pick times each and returns the fastest. The plan
+// compiler uses it to bake a per-layer algorithm choice into compiled
+// execution plans (nn.Auto) — the paper's observation that no single
+// algorithm wins across a network's layer geometries (§IV-D), turned
+// into a compile-time decision.
+type AlgoTuner struct {
+	// Warmup runs are executed untimed before measurement (cache and
+	// page-fault priming). Default 0: plan compilation favours cheap
+	// selection over precision, and the candidates' cost ratios are
+	// usually far larger than the warm-up effect.
+	Warmup int
+	// Repeats timed runs are summed per candidate. Values < 1 mean 1.
+	Repeats int
+}
+
+// Pick times every candidate and returns the index of the fastest plus
+// the per-candidate elapsed times. It panics on an empty candidate set.
+func (t *AlgoTuner) Pick(candidates []func()) (int, []time.Duration) {
+	if len(candidates) == 0 {
+		panic("blas: AlgoTuner.Pick with no candidates")
+	}
+	repeats := t.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	times := make([]time.Duration, len(candidates))
+	best, bestTime := 0, time.Duration(1<<62-1)
+	for i, run := range candidates {
+		for wu := 0; wu < t.Warmup; wu++ {
+			run()
+		}
+		start := time.Now()
+		for rep := 0; rep < repeats; rep++ {
+			run()
+		}
+		times[i] = time.Since(start)
+		if times[i] < bestTime {
+			bestTime = times[i]
+			best = i
+		}
+	}
+	return best, times
+}

@@ -23,7 +23,8 @@ import (
 
 // winogradFilter transforms one 3×3 filter g into the 4×4 domain:
 // U = G·g·Gᵀ, with G = [[1,0,0],[½,½,½],[½,-½,½],[0,0,1]].
-func winogradFilter(g []float32, u *[16]float32) {
+// u must have length 16.
+func winogradFilter(g []float32, u []float32) {
 	// t = G·g (4×3)
 	var t [12]float32
 	for c := 0; c < 3; c++ {
@@ -44,8 +45,9 @@ func winogradFilter(g []float32, u *[16]float32) {
 }
 
 // winogradInput transforms one 4×4 input tile d: V = Bᵀ·d·B, with
-// Bᵀ = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]].
-func winogradInput(d *[16]float32, v *[16]float32) {
+// Bᵀ = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]]. d and v must have
+// length 16.
+func winogradInput(d, v []float32) {
 	var t [16]float32
 	for c := 0; c < 4; c++ {
 		d0, d1, d2, d3 := d[0*4+c], d[1*4+c], d[2*4+c], d[3*4+c]
@@ -64,8 +66,8 @@ func winogradInput(d *[16]float32, v *[16]float32) {
 }
 
 // winogradOutput maps the 4×4 element-product m back to the 2×2 output:
-// Y = Aᵀ·m·A, with Aᵀ = [[1,1,1,0],[0,1,-1,-1]].
-func winogradOutput(m *[16]float32, y *[4]float32) {
+// Y = Aᵀ·m·A, with Aᵀ = [[1,1,1,0],[0,1,-1,-1]]. m must have length 16.
+func winogradOutput(m []float32, y *[4]float32) {
 	var t [8]float32
 	for c := 0; c < 4; c++ {
 		m0, m1, m2, m3 := m[0*4+c], m[1*4+c], m[2*4+c], m[3*4+c]
@@ -79,12 +81,76 @@ func winogradOutput(m *[16]float32, y *[4]float32) {
 	}
 }
 
+// WinogradScratch holds the working buffers of the tiled kernel so a
+// compiled plan (or any caller with a fixed geometry) can reuse them
+// across inferences: the transformed filters U, the per-tile input
+// transforms V, and the zero-padded input. Construct with
+// NewWinogradScratch; the buffers are owned by the kernel — callers
+// must not write to them.
+type WinogradScratch struct {
+	n, c, h, w, outC int
+	u                []float32 // outC·inC 4×4 filter transforms
+	v                []float32 // inC 4×4 input-tile transforms
+	padded           []float32 // (n, c, ph, pw) zero-padded input
+}
+
+// winogradPadded returns the padded extent covering every 4×4 tile
+// read: the last tile starts at 2·(tiles-1) and reads 4 rows/cols, so
+// for odd extents one extra zero row/column beyond the usual pad=1
+// ring is needed.
+func winogradPadded(h, w int) (int, int) {
+	return 2*((h+1)/2) + 2, 2*((w+1)/2) + 2
+}
+
+// WinogradScratchFloats returns the scratch working-set size in floats
+// for the given geometry (plans account it before allocating).
+func WinogradScratchFloats(n, c, h, w, outC int) int {
+	ph, pw := winogradPadded(h, w)
+	return outC*c*16 + c*16 + n*c*ph*pw
+}
+
+// NewWinogradScratch sizes scratch for an (n, c, h, w) input convolved
+// to outC output channels. When arena is non-nil the buffers are carved
+// from it (the compiled-plan path); otherwise they are heap-allocated.
+func NewWinogradScratch(arena *tensor.Arena, n, c, h, w, outC int) *WinogradScratch {
+	alloc := func(n int) []float32 {
+		if arena != nil {
+			return arena.AllocSlice(n)
+		}
+		return make([]float32, n)
+	}
+	ph, pw := winogradPadded(h, w)
+	return &WinogradScratch{
+		n: n, c: c, h: h, w: w, outC: outC,
+		u:      alloc(outC * c * 16),
+		v:      alloc(c * 16),
+		padded: alloc(n * c * ph * pw),
+	}
+}
+
 // WinogradConv2D computes a stride-1 3×3 convolution over an NCHW input
 // with pad=1 using F(2×2, 3×3) tiles. Weights are (OutC, InC, 3, 3);
 // bias may be nil. The output spatial extent equals the input extent
 // (same-padding); odd extents are handled by edge tiles that read the
 // zero-padded border.
 func WinogradConv2D(in, weights *tensor.Tensor, bias []float32) *tensor.Tensor {
+	n, _, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
+	ws := weights.Shape()
+	if ws.Rank() != 4 {
+		panic(fmt.Sprintf("blas: WinogradConv2D requires (OutC, InC, 3, 3) weights, got %v", ws))
+	}
+	out := tensor.New(n, ws[0], h, w)
+	WinogradConv2DInto(out, in, weights, bias,
+		NewWinogradScratch(nil, n, in.Shape()[1], h, w, ws[0]))
+	return out
+}
+
+// WinogradConv2DInto is the destination-passing WinogradConv2D: it
+// writes into out (which must be n×OutC×h×w) using the caller's
+// scratch, performing no allocation. The filter transform runs on every
+// call — it is cheap relative to the tile loop and keeps the plan
+// correct if weights are updated between inferences.
+func WinogradConv2DInto(out, in, weights *tensor.Tensor, bias []float32, s *WinogradScratch) {
 	if in.Shape().Rank() != 4 {
 		panic(fmt.Sprintf("blas: WinogradConv2D requires NCHW input, got %v", in.Shape()))
 	}
@@ -100,22 +166,30 @@ func WinogradConv2D(in, weights *tensor.Tensor, bias []float32) *tensor.Tensor {
 	if bias != nil && len(bias) != outC {
 		panic(fmt.Sprintf("blas: bias length %d, want %d", len(bias), outC))
 	}
+	if s == nil {
+		panic("blas: WinogradConv2DInto requires scratch (see NewWinogradScratch)")
+	}
+	if s.n != n || s.c != c || s.h != h || s.w != w || s.outC != outC {
+		panic(fmt.Sprintf("blas: Winograd scratch sized for (%d,%d,%d,%d)→%d, input (%d,%d,%d,%d)→%d",
+			s.n, s.c, s.h, s.w, s.outC, n, c, h, w, outC))
+	}
+	if !out.Shape().Equal(tensor.Shape{n, outC, h, w}) {
+		panic(fmt.Sprintf("blas: Winograd destination %v, want %v", out.Shape(), tensor.Shape{n, outC, h, w}))
+	}
 
 	// Pre-transform every filter: U[oc][ic] is 4×4.
-	ut := make([][16]float32, outC*inC)
+	ut := s.u
 	wd := weights.Data()
 	for f := 0; f < outC*inC; f++ {
-		winogradFilter(wd[f*9:(f+1)*9], &ut[f])
+		winogradFilter(wd[f*9:(f+1)*9], ut[f*16:(f+1)*16])
 	}
 
 	tilesY := (h + 1) / 2
 	tilesX := (w + 1) / 2
-	// The padded buffer must cover every 4×4 tile read: the last tile
-	// starts at 2·(tiles-1) and reads 4 rows/cols, so for odd extents
-	// one extra zero row/column beyond the usual pad=1 ring is needed.
-	ph, pw := 2*tilesY+2, 2*tilesX+2
-	padded := tensor.New(n, c, ph, pw)
-	pd := padded.Data()
+	ph, pw := winogradPadded(h, w)
+	// The scratch border stays zero across calls (only the interior is
+	// rewritten), exactly like a plan's padding buffer.
+	pd := s.padded
 	id := in.Data()
 	for nc := 0; nc < n*c; nc++ {
 		src := id[nc*h*w:]
@@ -124,14 +198,13 @@ func WinogradConv2D(in, weights *tensor.Tensor, bias []float32) *tensor.Tensor {
 			copy(dst[row*pw:row*pw+w], src[row*w:(row+1)*w])
 		}
 	}
-	out := tensor.New(n, outC, h, w)
 	od := out.Data()
 
 	var d, m [16]float32
 	var y [4]float32
 	// V-tiles are reused across output channels: transform per (ic,
 	// tile) once, then accumulate products for every oc.
-	vt := make([][16]float32, inC)
+	vt := s.v
 
 	for ni := 0; ni < n; ni++ {
 		for ty := 0; ty < tilesY; ty++ {
@@ -147,20 +220,20 @@ func WinogradConv2D(in, weights *tensor.Tensor, bias []float32) *tensor.Tensor {
 						d[r*4+2] = pd[row+2]
 						d[r*4+3] = pd[row+3]
 					}
-					winogradInput(&d, &vt[ic])
+					winogradInput(d[:], vt[ic*16:(ic+1)*16])
 				}
 				for oc := 0; oc < outC; oc++ {
 					for i := range m {
 						m[i] = 0
 					}
 					for ic := 0; ic < inC; ic++ {
-						u := &ut[oc*inC+ic]
-						vv := &vt[ic]
+						u := ut[(oc*inC+ic)*16 : (oc*inC+ic+1)*16]
+						vv := vt[ic*16 : (ic+1)*16]
 						for i := 0; i < 16; i++ {
 							m[i] += u[i] * vv[i]
 						}
 					}
-					winogradOutput(&m, &y)
+					winogradOutput(m[:], &y)
 					b := float32(0)
 					if bias != nil {
 						b = bias[oc]
@@ -183,7 +256,6 @@ func WinogradConv2D(in, weights *tensor.Tensor, bias []float32) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // WinogradMultiplies returns the element-domain multiply count of the

@@ -126,8 +126,8 @@ func TestWinogradFilterTransformKnown(t *testing.T) {
 	for i := range g {
 		g[i] = 1
 	}
-	var u [16]float32
-	winogradFilter(g, &u)
+	u := make([]float32, 16)
+	winogradFilter(g, u)
 	if u[0] != 1 { // (G·g·Gᵀ)[0,0] = g[0,0]
 		t.Fatalf("u[0,0] = %v, want 1", u[0])
 	}

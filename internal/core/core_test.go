@@ -364,3 +364,100 @@ func TestTechniqueBackendStrings(t *testing.T) {
 		t.Fatal("backend names wrong")
 	}
 }
+
+func TestPlanForCachesPerBatchSize(t *testing.T) {
+	inst, err := core.Instantiate(core.Config{Model: "mini-mobilenet", Technique: core.Plain,
+		Backend: core.OMP, Threads: 1, Platform: "intel-i7", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := inst.PlanFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1b, _ := inst.PlanFor(1); p1b != p1 {
+		t.Fatal("PlanFor must return the cached plan for a repeated batch size")
+	}
+	p4, err := inst.PlanFor(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 == p1 {
+		t.Fatal("different batch sizes must compile different plans")
+	}
+	if !p4.Input().Shape().Equal(tensor.Shape{4, 3, 32, 32}) {
+		t.Fatalf("batch-4 plan input shape %v", p4.Input().Shape())
+	}
+	inst.InvalidatePlans()
+	if p1c, _ := inst.PlanFor(1); p1c == p1 {
+		t.Fatal("InvalidatePlans must drop cached plans")
+	}
+	if _, err := inst.PlanFor(0); err == nil {
+		t.Fatal("PlanFor(0) must fail")
+	}
+}
+
+func TestRunMatchesEagerForward(t *testing.T) {
+	for _, tech := range []core.Technique{core.Plain, core.WeightPruned} {
+		pts, err := pareto.TableIII("vgg16")
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := core.Instantiate(core.Config{Model: "mini-vgg", Technique: tech, Point: pts[tech],
+			Backend: core.OMP, Threads: 1, Platform: "intel-i7", Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := tensor.New(2, 3, 32, 32)
+		in.FillNormal(tensor.NewRNG(7), 0, 1)
+		// Run executes the compiled plan; compare with a direct eager
+		// forward on the same network.
+		got := inst.Run(in).Output
+		ctx := nn.Inference()
+		ctx.Algo = inst.Config.Algo()
+		want := inst.Net.Forward(&ctx, in)
+		if d := tensor.MaxAbsDiff(got, want); d != 0 {
+			t.Fatalf("%v: planned Run differs from eager forward by %v", tech, d)
+		}
+	}
+}
+
+func TestAutoAlgoConfig(t *testing.T) {
+	cfg := core.Config{Model: "mini-vgg", Technique: core.Plain,
+		Backend: core.OMP, Threads: 1, Platform: "intel-i7", Seed: 1, AutoAlgo: true}
+	if got := cfg.Algo(); got != nn.Auto {
+		t.Fatalf("AutoAlgo config maps to %v, want auto", got)
+	}
+	bad := cfg
+	bad.Backend = core.OCL
+	if err := bad.Validate(); err == nil {
+		t.Fatal("AutoAlgo must be rejected on GPU backends")
+	}
+	inst, err := core.Instantiate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := inst.PlanFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := plan.Algos()
+	if len(algos) == 0 {
+		t.Fatal("auto plan recorded no per-layer choices")
+	}
+	for _, pa := range algos {
+		if pa.Algo == nn.Auto {
+			t.Fatalf("layer %q left unresolved in auto plan", pa.Layer)
+		}
+	}
+	// Outputs must agree with the direct reference regardless of the
+	// per-layer winners.
+	in := tensor.New(1, 3, 32, 32)
+	in.FillNormal(tensor.NewRNG(9), 0, 1)
+	got := inst.Run(in).Output
+	ctx := nn.Inference()
+	want := inst.Net.Forward(&ctx, in)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
+		t.Fatalf("auto Run differs from direct reference by %v", d)
+	}
+}

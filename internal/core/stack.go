@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/compress/channel"
@@ -121,6 +122,12 @@ type Config struct {
 	Platform string
 	// Seed drives deterministic weight initialisation.
 	Seed uint64
+	// AutoAlgo compiles execution plans with per-layer algorithm
+	// selection (nn.Auto): plan compilation times direct, im2col+GEMM,
+	// Winograd and CSR-sparse on every conv geometry and bakes the
+	// winner in, instead of deriving one global algorithm from the
+	// technique and backend. OMP backend only.
+	AutoAlgo bool
 }
 
 // Validate rejects inconsistent configurations.
@@ -145,11 +152,18 @@ func (c *Config) Validate() error {
 	if c.Backend != OMP && c.Technique != Plain {
 		return fmt.Errorf("core: the GPU backends are evaluated on plain models only (§V-F)")
 	}
+	if c.AutoAlgo && c.Backend != OMP {
+		return fmt.Errorf("core: per-layer algorithm selection (AutoAlgo) applies to the OMP backend only")
+	}
 	return nil
 }
 
-// Algo returns the convolution algorithm implied by technique+backend.
+// Algo returns the convolution algorithm implied by technique+backend,
+// or nn.Auto when per-layer selection is requested.
 func (c *Config) Algo() nn.Algo {
+	if c.AutoAlgo {
+		return nn.Auto
+	}
 	if c.Backend == CLBlast {
 		return nn.Im2colGEMM
 	}
@@ -171,11 +185,33 @@ func (c *Config) Format() metrics.Format {
 	}
 }
 
-// Instance is a fully-built stack configuration ready to run.
+// baseAlgo is the technique/backend-derived algorithm with AutoAlgo
+// ignored — what the cost model projects, since the modelled platforms
+// predate per-layer selection.
+func (c *Config) baseAlgo() nn.Algo {
+	d := *c
+	d.AutoAlgo = false
+	return d.Algo()
+}
+
+// Instance is a fully-built stack configuration ready to run. Run
+// executes through compiled plans cached per batch size (see PlanFor).
+// Run stays safe for concurrent use — calls serialize on the instance
+// and return private logit copies — but serialized means no parallel
+// throughput: concurrent serving gives each worker its own replica
+// (see Replicate and internal/serve), which also unlocks the
+// zero-allocation PlanFor fast path.
 type Instance struct {
 	Config   Config
 	Net      *nn.Network
 	Platform *hw.Platform
+
+	// plans caches compiled execution plans keyed by batch size (the
+	// per-image shape is fixed by the network). planMu guards the map;
+	// runMu serializes Run's executions over the shared plan buffers.
+	planMu sync.Mutex
+	plans  map[int]*nn.Plan
+	runMu  sync.Mutex
 }
 
 // Instantiate builds the network at the configured operating point:
@@ -210,19 +246,18 @@ func Instantiate(cfg Config) (*Instance, error) {
 	}
 	net.Freeze()
 	platform, _ := hw.ByName(cfg.Platform)
-	return &Instance{Config: cfg, Net: net, Platform: platform}, nil
+	return &Instance{Config: cfg, Net: net, Platform: platform, plans: make(map[int]*nn.Plan)}, nil
 }
 
 // Replicate builds an independent Instance from the same configuration:
 // identical architecture and (deterministically seeded) weights, but
-// entirely separate parameter storage. A frozen instance is re-entrant
-// for inference today (kernels allocate their im2col/padding scratch
-// per call), but the serving layer deliberately gives each concurrent
-// worker its own replica anyway: workers must stay correct when the
-// engine later reuses per-network scratch buffers or lazy caches (as
-// Conv2D already does for its CSR view during training), and a replica
-// is the unit that future sharding can move onto another process or
-// machine (see internal/serve).
+// entirely separate parameter storage — including separate compiled
+// plans and their arenas. That isolation is now load-bearing: an
+// instance executes over shared plan buffers (activation slabs,
+// padding and im2col scratch), so Run calls serialize and a single
+// shared Instance yields no parallelism. Each serving worker owns a
+// replica — the unit of concurrency, and the unit future sharding can
+// move onto another process or machine (see internal/serve).
 func (in *Instance) Replicate() (*Instance, error) { return Instantiate(in.Config) }
 
 // RunResult is one real host execution.
@@ -231,12 +266,70 @@ type RunResult struct {
 	Elapsed time.Duration
 }
 
+// PlanFor returns the compiled execution plan for the given batch
+// size, compiling and caching it on first use. The first call per
+// batch size pays the compile (shape walk, arena allocation, and — for
+// AutoAlgo configurations — per-geometry kernel timing); every later
+// call is a map lookup, and executing the cached plan performs zero
+// steady-state heap allocations. Safe for concurrent lookup; the
+// returned plan itself is single-owner (one replica = one worker).
+func (in *Instance) PlanFor(batch int) (*nn.Plan, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("core: plan batch %d must be ≥ 1", batch)
+	}
+	in.planMu.Lock()
+	defer in.planMu.Unlock()
+	if p, ok := in.plans[batch]; ok {
+		return p, nil
+	}
+	ctx := nn.Inference()
+	ctx.Threads = in.Config.Threads
+	ctx.Algo = in.Config.Algo()
+	shape := tensor.Shape{batch, in.Net.InputShape[0], in.Net.InputShape[1], in.Net.InputShape[2]}
+	p, err := nn.Compile(in.Net, ctx, shape)
+	if err != nil {
+		return nil, err
+	}
+	in.plans[batch] = p
+	return p, nil
+}
+
+// InvalidatePlans drops every cached plan. Call it after structural
+// changes to the network (pruning surgery, re-freezing CSR views);
+// plain in-place weight updates do not require it, since plans hold
+// views into the live weights.
+func (in *Instance) InvalidatePlans() {
+	in.planMu.Lock()
+	defer in.planMu.Unlock()
+	in.plans = make(map[int]*nn.Plan)
+}
+
 // Run executes a real inference on the host engine with the configured
 // algorithm and thread count, returning the logits and wall time. The
 // input may carry any batch size N (shape N×C×H×W); the output then
 // holds one logit row per image, which is how the serving layer's
 // dynamic batcher amortises per-request overhead (see internal/serve).
+//
+// Batched NCHW inputs matching the network's image shape execute
+// through the cached plan for their batch size; other input shapes
+// fall back to the eager Forward path. Run is safe for concurrent use:
+// executions serialize on the instance (plan buffers are shared) and
+// the returned logits are a private copy, so results from concurrent
+// calls stay independent. The only steady-state allocation is that
+// logit copy; allocation-free serving drives PlanFor's plans directly,
+// one replica per worker (see internal/serve).
 func (in *Instance) Run(input *tensor.Tensor) RunResult {
+	s := input.Shape()
+	if s.Rank() == 4 && s[1] == in.Net.InputShape[0] && s[2] == in.Net.InputShape[1] && s[3] == in.Net.InputShape[2] {
+		if plan, err := in.PlanFor(s[0]); err == nil {
+			in.runMu.Lock()
+			start := time.Now()
+			out := plan.Execute(input).Clone()
+			elapsed := time.Since(start)
+			in.runMu.Unlock()
+			return RunResult{Output: out, Elapsed: elapsed}
+		}
+	}
 	ctx := nn.Inference()
 	ctx.Threads = in.Config.Threads
 	ctx.Algo = in.Config.Algo()
@@ -254,7 +347,10 @@ func (in *Instance) Simulate() float64 {
 	case CLBlast:
 		return SimulateGPUCLBlast(in.Net, in.Platform.GPU)
 	default:
-		work := Workload(in.Net, 1, in.Config.Algo(), in.Config.Format())
+		// The cost model projects the technique-derived algorithm;
+		// AutoAlgo is a host-engine compile-time decision the modelled
+		// platforms know nothing about.
+		work := Workload(in.Net, 1, in.Config.baseAlgo(), in.Config.Format())
 		return in.Platform.NetworkTime(work, in.Config.Threads)
 	}
 }

@@ -36,6 +36,25 @@ func (r *ReLU) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// PlanStep implements PlanLayer. Rectification is elementwise, so in
+// and out may alias.
+func (r *ReLU) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
+	if in.NumElements() != out.NumElements() {
+		panic(fmt.Sprintf("nn: relu %q plan buffers disagree: %v vs %v",
+			r.LayerName, in.Shape(), out.Shape()))
+	}
+	id, od := in.Data(), out.Data()
+	return func() {
+		for i, v := range id {
+			if v > 0 {
+				od[i] = v
+			} else {
+				od[i] = 0
+			}
+		}
+	}
+}
+
 // Backward implements Layer: gradients pass only where the input was
 // positive.
 func (r *ReLU) Backward(ctx *Context, gradOut *tensor.Tensor) *tensor.Tensor {
@@ -86,6 +105,14 @@ func (f *Flatten) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	if ctx.Training {
 		f.lastShape = in.Shape().Clone()
 	}
+	return in.Reshape(n, in.NumElements()/n)
+}
+
+// PlanReshape implements the plan compiler's reshaper fast path: a
+// flatten is pure shape bookkeeping, so the plan routes the input view
+// through without a step (and without flipping activation slabs).
+func (f *Flatten) PlanReshape(in *tensor.Tensor) *tensor.Tensor {
+	n := in.Shape()[0]
 	return in.Reshape(n, in.NumElements()/n)
 }
 

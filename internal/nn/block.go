@@ -103,6 +103,51 @@ func (b *ResidualBlock) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor 
 	return out
 }
 
+// PlanStep implements PlanLayer by composing the sub-layers' steps
+// over the plan's shared block-scratch pair (blocks execute
+// sequentially, so every block reuses the same two buffers). The block
+// input stays untouched in its activation slab until both the main
+// branch's first conv and the skip path have read it; the main branch
+// ping-pongs between the two scratch buffers; the projection shortcut
+// normalises in place (the inference batch-norm is elementwise); and
+// the final add+ReLU fuses into the write to the block's output slab.
+func (b *ResidualBlock) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
+	bufA, bufB := pc.blockScratch(out.Shape())
+	r1 := b.Conv1.PlanStep(pc, in, bufA)
+	r2 := b.BN1.PlanStep(pc, bufA, bufB)
+	r3 := b.Relu1.PlanStep(pc, bufB, bufA)
+	r4 := b.Conv2.PlanStep(pc, bufA, bufB)
+	r5 := b.BN2.PlanStep(pc, bufB, bufA) // main branch result: bufA
+
+	skip := in
+	var s1, s2 func()
+	if b.SkipConv != nil {
+		s1 = b.SkipConv.PlanStep(pc, in, bufB)
+		s2 = b.SkipBN.PlanStep(pc, bufB, bufB)
+		skip = bufB
+	}
+	md, sd, od := bufA.Data(), skip.Data(), out.Data()
+	return func() {
+		r1()
+		r2()
+		r3()
+		r4()
+		r5()
+		if s1 != nil {
+			s1()
+			s2()
+		}
+		for i := range od {
+			v := md[i] + sd[i]
+			if v > 0 {
+				od[i] = v
+			} else {
+				od[i] = 0
+			}
+		}
+	}
+}
+
 // Backward implements Layer.
 func (b *ResidualBlock) Backward(ctx *Context, gradOut *tensor.Tensor) *tensor.Tensor {
 	if b.lastSum == nil {

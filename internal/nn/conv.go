@@ -134,16 +134,26 @@ func (c *Conv2D) forwardDirect(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	g := c.Geom
 	n, _, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
 	padded := tensor.Pad2D(in, g.Pad)
-	ph, pw := h+2*g.Pad, w+2*g.Pad
 	oh, ow := g.OutSize(h, w)
 	out := tensor.New(n, g.OutC, oh, ow)
+	parallel.For(n*g.OutC, ctx.Threads, ctx.Sched, c.directBody(padded, out))
+	return out
+}
 
+// directBody builds the per-(image, output-channel) kernel body of the
+// direct algorithm over a pre-padded input. It closes over the buffers'
+// backing slices, so the plan path builds it once at compile time and
+// replays it allocation-free.
+func (c *Conv2D) directBody(padded, out *tensor.Tensor) func(job int) {
+	g := c.Geom
+	ph, pw := padded.Shape()[2], padded.Shape()[3]
+	oh, ow := out.Shape()[2], out.Shape()[3]
 	cpg := g.InC / g.Groups
 	opg := g.OutC / g.Groups
 	wd, pd, od, bias := c.W.W.Data(), padded.Data(), out.Data(), c.B.W.Data()
 	kArea := g.KH * g.KW
 
-	parallel.For(n*g.OutC, ctx.Threads, ctx.Sched, func(job int) {
+	return func(job int) {
 		ni, oc := job/g.OutC, job%g.OutC
 		group := oc / opg
 		dst := od[(ni*g.OutC+oc)*oh*ow : (ni*g.OutC+oc+1)*oh*ow]
@@ -178,24 +188,31 @@ func (c *Conv2D) forwardDirect(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 		}
-	})
-	return out
+	}
+}
+
+// winogradOK reports whether the geometry supports the F(2×2,3×3)
+// transform: 3×3, stride 1, pad 1, ungrouped.
+func (c *Conv2D) winogradOK() bool {
+	g := c.Geom
+	return g.KH == 3 && g.KW == 3 && g.Stride == 1 && g.Pad == 1 && g.Groups == 1
 }
 
 // forwardWinograd uses the F(2×2,3×3) transform when the geometry
-// supports it (3×3, stride 1, pad 1, ungrouped) and falls back to the
-// direct kernel otherwise, so whole networks can run under the Winograd
-// algorithm without per-layer configuration.
+// supports it and falls back to the direct kernel otherwise, so whole
+// networks can run under the Winograd algorithm without per-layer
+// configuration.
 func (c *Conv2D) forwardWinograd(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
-	g := c.Geom
-	if g.KH != 3 || g.KW != 3 || g.Stride != 1 || g.Pad != 1 || g.Groups != 1 {
+	if !c.winogradOK() {
 		return c.forwardDirect(ctx, in)
 	}
 	return blas.WinogradConv2D(in, c.W.W, c.B.W.Data())
 }
 
-// forwardGEMM lowers the convolution through im2col and a (possibly
-// parallel) GEMM, per group and image.
+// forwardGEMM lowers the convolution through im2col and GEMM. The
+// outer (image × group) loop is parallelised so multi-image batches
+// from the serve batcher scale across threads; a lone image/group
+// instead parallelises inside the GEMM.
 func (c *Conv2D) forwardGEMM(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	g := c.Geom
 	n, _, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
@@ -207,30 +224,189 @@ func (c *Conv2D) forwardGEMM(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	p := blas.Im2colParams{C: cpg, H: h, W: w, KH: g.KH, KW: g.KW, Stride: g.Stride, Pad: g.Pad}
 	flatW := c.W.W.Reshape(g.OutC, cpg*kArea)
 	bias := c.B.W.Data()
+	jobs := n * g.Groups
 
-	for ni := 0; ni < n; ni++ {
-		for grp := 0; grp < g.Groups; grp++ {
-			// Slice this group's input channels as a (cpg,h,w) view.
-			base := (ni*g.InC + grp*cpg) * h * w
-			sub := tensor.FromSlice(in.Data()[base:base+cpg*h*w], cpg, h, w)
-			cols := blas.Im2col(sub, p)
-			// This group's filters: rows [grp*opg, (grp+1)*opg).
-			wBase := grp * opg * cpg * kArea
-			wSub := tensor.FromSlice(flatW.Data()[wBase:wBase+opg*cpg*kArea], opg, cpg*kArea)
-			prod := blas.GEMMParallel(wSub, cols, blas.DefaultTiling(), ctx.Threads)
-			// Scatter into the output with bias.
-			for ol := 0; ol < opg; ol++ {
-				oc := grp*opg + ol
-				dst := out.Data()[(ni*g.OutC+oc)*oh*ow : (ni*g.OutC+oc+1)*oh*ow]
-				src := prod.Data()[ol*oh*ow : (ol+1)*oh*ow]
-				b := bias[oc]
-				for i := range dst {
-					dst[i] = src[i] + b
-				}
+	parallel.For(jobs, ctx.Threads, ctx.Sched, func(job int) {
+		ni, grp := job/g.Groups, job%g.Groups
+		// Slice this group's input channels as a (cpg,h,w) view.
+		base := (ni*g.InC + grp*cpg) * h * w
+		sub := tensor.FromSlice(in.Data()[base:base+cpg*h*w], cpg, h, w)
+		cols := blas.Im2col(sub, p)
+		// This group's filters: rows [grp*opg, (grp+1)*opg).
+		wBase := grp * opg * cpg * kArea
+		wSub := tensor.FromSlice(flatW.Data()[wBase:wBase+opg*cpg*kArea], opg, cpg*kArea)
+		// With several jobs in flight the outer loop owns the threads;
+		// a single job hands them to the GEMM instead.
+		var prod *tensor.Tensor
+		if jobs > 1 {
+			prod = blas.GEMMBlocked(wSub, cols, blas.DefaultTiling())
+		} else {
+			prod = blas.GEMMParallel(wSub, cols, blas.DefaultTiling(), ctx.Threads)
+		}
+		// Scatter into the output with bias.
+		for ol := 0; ol < opg; ol++ {
+			oc := grp*opg + ol
+			dst := out.Data()[(ni*g.OutC+oc)*oh*ow : (ni*g.OutC+oc+1)*oh*ow]
+			src := prod.Data()[ol*oh*ow : (ol+1)*oh*ow]
+			b := bias[oc]
+			for i := range dst {
+				dst[i] = src[i] + b
+			}
+		}
+	})
+	return out
+}
+
+// PlanStep implements PlanLayer: it resolves the layer's algorithm
+// (timing candidates under Auto), reserves exactly the scratch that
+// algorithm needs from the plan arena, and returns an allocation-free
+// closure over the reserved buffers.
+func (c *Conv2D) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
+	checkRank4(c.LayerName, in)
+	if in.Shape()[1] != c.Geom.InC {
+		panic(fmt.Sprintf("nn: conv %q expects %d input channels, got %v",
+			c.LayerName, c.Geom.InC, in.Shape()))
+	}
+	algo := pc.convAlgo(c, in)
+	pc.plan.algos = append(pc.plan.algos, PlanAlgo{Layer: c.LayerName, Algo: algo})
+	switch algo {
+	case SparseDirect:
+		return c.planSparse(pc, in, out)
+	case Im2colGEMM:
+		return c.planGEMM(pc, in, out)
+	case Winograd:
+		return c.planWinograd(pc, in, out)
+	default:
+		return c.planDirect(pc, in, out)
+	}
+}
+
+// padPlan reserves the padded-input scratch for pad > 0 geometries.
+// Pad-0 layers read the input directly — no scratch slot, no copy.
+func (c *Conv2D) padPlan(pc *PlanCompiler, in *tensor.Tensor) (src, scratch *tensor.Tensor) {
+	g := c.Geom
+	if g.Pad == 0 {
+		return in, nil
+	}
+	n, h, w := in.Shape()[0], in.Shape()[2], in.Shape()[3]
+	scratch = pc.Scratch(n, g.InC, h+2*g.Pad, w+2*g.Pad)
+	return scratch, scratch
+}
+
+// planDirect compiles the dense nested-loop algorithm.
+func (c *Conv2D) planDirect(pc *PlanCompiler, in, out *tensor.Tensor) func() {
+	g := c.Geom
+	src, padScratch := c.padPlan(pc, in)
+	body := c.directBody(src, out)
+	jobs := in.Shape()[0] * g.OutC
+	threads, sched := pc.ctx.Threads, pc.ctx.Sched
+	return func() {
+		if padScratch != nil {
+			tensor.Pad2DInto(padScratch, in, g.Pad)
+		}
+		parallel.For(jobs, threads, sched, body)
+	}
+}
+
+// planWinograd compiles the F(2×2,3×3) algorithm; the compiler only
+// selects it for eligible geometries.
+func (c *Conv2D) planWinograd(pc *PlanCompiler, in, out *tensor.Tensor) func() {
+	n, h, w := in.Shape()[0], in.Shape()[2], in.Shape()[3]
+	scratch := blas.NewWinogradScratch(pc.Arena(), n, c.Geom.InC, h, w, c.Geom.OutC)
+	weights, bias := c.W.W, c.B.W.Data()
+	return func() {
+		blas.WinogradConv2DInto(out, in, weights, bias, scratch)
+	}
+}
+
+// planSparse compiles CSR-sparse direct execution over the frozen
+// weights. The CSR view is captured at compile time — recompile after
+// re-freezing.
+func (c *Conv2D) planSparse(pc *PlanCompiler, in, out *tensor.Tensor) func() {
+	csr := c.CSR()
+	_, padScratch := c.padPlan(pc, in)
+	bias := c.B.W.Data()
+	geom := c.Geom
+	return func() {
+		sparse.Conv2DInto(out, in, csr, bias, geom, padScratch)
+	}
+}
+
+// planGEMM compiles the im2col+GEMM lowering with per-worker column
+// and product scratch: worker w, and only worker w, uses scratch slot
+// w (parallel.ForWorker's contract), so the outer image×group loop
+// scales without synchronisation or allocation.
+func (c *Conv2D) planGEMM(pc *PlanCompiler, in, out *tensor.Tensor) func() {
+	g := c.Geom
+	n, h, w := in.Shape()[0], in.Shape()[2], in.Shape()[3]
+	oh, ow := g.OutSize(h, w)
+	cpg := g.InC / g.Groups
+	opg := g.OutC / g.Groups
+	kArea := g.KH * g.KW
+	p := blas.Im2colParams{C: cpg, H: h, W: w, KH: g.KH, KW: g.KW, Stride: g.Stride, Pad: g.Pad}
+	jobs := n * g.Groups
+	workers := pc.ctx.Threads
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	colRows, colCols := p.ColShape()
+	cols := make([]*tensor.Tensor, workers)
+	prod := make([]*tensor.Tensor, workers)
+	for i := range cols {
+		cols[i] = pc.Scratch(colRows, colCols)
+		prod[i] = pc.Scratch(opg, oh*ow)
+	}
+	// Per-job input views and per-group weight views, fixed at compile
+	// time (the plan's input buffer and the weights never move).
+	flatW := c.W.W.Reshape(g.OutC, cpg*kArea)
+	inSub := make([]*tensor.Tensor, jobs)
+	wSub := make([]*tensor.Tensor, g.Groups)
+	for job := 0; job < jobs; job++ {
+		ni, grp := job/g.Groups, job%g.Groups
+		base := (ni*g.InC + grp*cpg) * h * w
+		inSub[job] = tensor.FromSlice(in.Data()[base:base+cpg*h*w], cpg, h, w)
+	}
+	for grp := 0; grp < g.Groups; grp++ {
+		wBase := grp * opg * cpg * kArea
+		wSub[grp] = tensor.FromSlice(flatW.Data()[wBase:wBase+opg*cpg*kArea], opg, cpg*kArea)
+	}
+	od := out.Data()
+	bias := c.B.W.Data()
+	tile := blas.DefaultTiling()
+	threads, sched := pc.ctx.Threads, pc.ctx.Sched
+
+	// Mirror the eager path's thread hand-off: several jobs in flight
+	// own the threads at the outer loop; a single job hands them to the
+	// GEMM instead, so batch-1 plans don't regress to one thread.
+	gemm := func(worker, grp int) {
+		blas.GEMMInto(prod[worker], wSub[grp], cols[worker], tile)
+	}
+	if jobs == 1 && threads > 1 {
+		gemm = func(worker, grp int) {
+			blas.GEMMParallelInto(prod[worker], wSub[grp], cols[worker], tile, threads)
+		}
+	}
+	body := func(worker, job int) {
+		ni, grp := job/g.Groups, job%g.Groups
+		blas.Im2colInto(cols[worker], inSub[job], p)
+		gemm(worker, grp)
+		pd := prod[worker].Data()
+		for ol := 0; ol < opg; ol++ {
+			oc := grp*opg + ol
+			dst := od[(ni*g.OutC+oc)*oh*ow : (ni*g.OutC+oc+1)*oh*ow]
+			src := pd[ol*oh*ow : (ol+1)*oh*ow]
+			b := bias[oc]
+			for i := range dst {
+				dst[i] = src[i] + b
 			}
 		}
 	}
-	return out
+	return func() {
+		parallel.ForWorker(jobs, threads, sched, body)
+	}
 }
 
 // Backward implements Layer using direct-loop gradient kernels that

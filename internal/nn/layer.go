@@ -31,6 +31,13 @@ const (
 	// transformations" extension); unsupported geometries fall back to
 	// the direct kernel.
 	Winograd
+	// Auto defers the choice to the plan compiler, which times every
+	// candidate algorithm on each conv geometry and bakes the winner
+	// into the compiled plan (see Compile) — the per-layer scheduling
+	// the paper's CLTune/CLBlast evaluation motivates (§IV-D). Only
+	// compiled plans resolve Auto; the eager Forward path treats it as
+	// Direct.
+	Auto
 )
 
 // String names the algorithm for experiment output.
@@ -44,6 +51,8 @@ func (a Algo) String() string {
 		return "sparse-csr"
 	case Winograd:
 		return "winograd"
+	case Auto:
+		return "auto"
 	default:
 		return "unknown"
 	}

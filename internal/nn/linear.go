@@ -106,6 +106,54 @@ func (l *Linear) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// PlanStep implements PlanLayer. Under SparseDirect the frozen CSR
+// view executes row-by-row; under Auto the layer goes sparse when at
+// least half its weights are zero (fully-connected layers are where
+// CSR wins earliest — paper Fig. 1) and dense otherwise.
+func (l *Linear) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
+	x := l.flatten(in)
+	n := x.Shape()[0]
+	bias := l.B.W.Data()
+	xd, od := x.Data(), out.Data()
+
+	algo := pc.ctx.Algo
+	if algo == Auto {
+		if l.W.W.Sparsity() >= 0.5 {
+			algo = SparseDirect
+		} else {
+			algo = Direct
+		}
+	}
+	if algo == SparseDirect {
+		csr := l.CSR()
+		return func() {
+			for ni := 0; ni < n; ni++ {
+				row := od[ni*l.Out : (ni+1)*l.Out]
+				csr.MatVec(xd[ni*l.In:(ni+1)*l.In], row)
+				for i := range row {
+					row[i] += bias[i]
+				}
+			}
+		}
+	}
+
+	wd := l.W.W.Data()
+	threads, sched := pc.ctx.Threads, pc.ctx.Sched
+	body := func(job int) {
+		ni, o := job/l.Out, job%l.Out
+		wrow := wd[o*l.In : (o+1)*l.In]
+		xrow := xd[ni*l.In : (ni+1)*l.In]
+		acc := bias[o]
+		for i, wv := range wrow {
+			acc += wv * xrow[i]
+		}
+		od[ni*l.Out+o] = acc
+	}
+	return func() {
+		parallel.For(n*l.Out, threads, sched, body)
+	}
+}
+
 // Backward implements Layer.
 func (l *Linear) Backward(ctx *Context, gradOut *tensor.Tensor) *tensor.Tensor {
 	if l.lastIn == nil {

@@ -129,6 +129,38 @@ func (b *BatchNorm) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// PlanStep implements PlanLayer: the inference path folded into a
+// per-channel scale+shift. Running statistics are read on every
+// execution (not baked in at compile time), so checkpoint loads and
+// fine-tuning between inferences stay visible. The transform is
+// elementwise, so in and out may alias (the residual block's in-place
+// skip normalisation relies on this).
+func (b *BatchNorm) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
+	checkRank4(b.LayerName, in)
+	n, c, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
+	if c != b.C {
+		panic(fmt.Sprintf("nn: batchnorm %q expects %d channels, got %d", b.LayerName, b.C, c))
+	}
+	id, od := in.Data(), out.Data()
+	gamma, beta := b.Gamma.W.Data(), b.Beta.W.Data()
+	mean, variance := b.RunningMean, b.RunningVar
+	eps := float64(b.Eps)
+	hw := h * w
+	return func() {
+		for ci := 0; ci < c; ci++ {
+			inv := float32(1 / math.Sqrt(float64(variance[ci])+eps))
+			scale := gamma[ci] * inv
+			shift := beta[ci] - scale*mean[ci]
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * hw
+				for i := 0; i < hw; i++ {
+					od[base+i] = scale*id[base+i] + shift
+				}
+			}
+		}
+	}
+}
+
 // Backward implements Layer with the standard batch-norm gradient.
 func (b *BatchNorm) Backward(ctx *Context, gradOut *tensor.Tensor) *tensor.Tensor {
 	if b.lastIn == nil || b.xhat == nil {

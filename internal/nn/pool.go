@@ -77,6 +77,38 @@ func (m *MaxPool2D) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// PlanStep implements PlanLayer (inference only: no argmax recording).
+func (m *MaxPool2D) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
+	checkRank4(m.LayerName, in)
+	n, c, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
+	if h%m.K != 0 || w%m.K != 0 {
+		panic(fmt.Sprintf("nn: maxpool %q input %v not divisible by window %d", m.LayerName, in.Shape(), m.K))
+	}
+	oh, ow := h/m.K, w/m.K
+	id, od := in.Data(), out.Data()
+	k := m.K
+	return func() {
+		for nc := 0; nc < n*c; nc++ {
+			src := id[nc*h*w:]
+			dst := od[nc*oh*ow:]
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					best := float32(math.Inf(-1))
+					for ky := 0; ky < k; ky++ {
+						row := (y*k + ky) * w
+						for kx := 0; kx < k; kx++ {
+							if v := src[row+x*k+kx]; v > best {
+								best = v
+							}
+						}
+					}
+					dst[y*ow+x] = best
+				}
+			}
+		}
+	}
+}
+
 // Backward implements Layer: gradients route to the argmax positions.
 func (m *MaxPool2D) Backward(ctx *Context, gradOut *tensor.Tensor) *tensor.Tensor {
 	if m.lastIn == nil || m.argmax == nil {
@@ -141,6 +173,25 @@ func (g *GlobalAvgPool) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor 
 		od[nc] = acc / hw
 	}
 	return out
+}
+
+// PlanStep implements PlanLayer.
+func (g *GlobalAvgPool) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
+	checkRank4(g.LayerName, in)
+	n, c, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
+	id, od := in.Data(), out.Data()
+	hw := h * w
+	fhw := float32(hw)
+	return func() {
+		for nc := 0; nc < n*c; nc++ {
+			var acc float32
+			src := id[nc*hw : (nc+1)*hw]
+			for _, v := range src {
+				acc += v
+			}
+			od[nc] = acc / fhw
+		}
+	}
 }
 
 // Backward implements Layer: the gradient spreads uniformly.

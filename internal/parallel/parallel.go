@@ -107,6 +107,73 @@ func For(n, threads int, sched Schedule, body func(i int)) {
 	wg.Wait()
 }
 
+// ForWorker is like For but passes the worker index alongside the
+// iteration index, letting callers drive per-worker scratch buffers
+// (im2col columns, GEMM products) without any synchronisation: worker
+// w, and only worker w, ever touches scratch slot w. Worker indices lie
+// in [0, min(threads, n)). With threads <= 1 every iteration runs on
+// worker 0 with no goroutine (and no allocation) overhead.
+func ForWorker(n, threads int, sched Schedule, body func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if threads <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			body(0, i)
+		}
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	switch sched {
+	case Static:
+		base := n / threads
+		rem := n % threads
+		start := 0
+		for t := 0; t < threads; t++ {
+			size := base
+			if t < rem {
+				size++
+			}
+			w, lo, hi := t, start, start+size
+			start = hi
+			go func() {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					body(w, i)
+				}
+			}()
+		}
+	case Dynamic:
+		var next int64
+		for t := 0; t < threads; t++ {
+			w := t
+			go func() {
+				defer wg.Done()
+				for {
+					lo := int(atomic.AddInt64(&next, DefaultChunk)) - DefaultChunk
+					if lo >= n {
+						return
+					}
+					hi := lo + DefaultChunk
+					if hi > n {
+						hi = n
+					}
+					for i := lo; i < hi; i++ {
+						body(w, i)
+					}
+				}
+			}()
+		}
+	default:
+		panic("parallel: unknown schedule")
+	}
+	wg.Wait()
+}
+
 // ForRange is like For but hands each worker a half-open [lo,hi) block,
 // avoiding per-index closure calls for cache-friendly inner loops.
 // Only static scheduling is meaningful here.

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -116,5 +117,69 @@ func TestForThreadsGreaterThanN(t *testing.T) {
 		if h != 1 {
 			t.Fatalf("index %d hit %d times with threads>n", i, h)
 		}
+	}
+}
+
+func TestForWorkerCoversAllIndices(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 9} {
+		for _, sched := range []Schedule{Static, Dynamic} {
+			const n = 50
+			var mu sync.Mutex
+			seen := make([]int, n)
+			maxWorker := 0
+			ForWorker(n, threads, sched, func(w, i int) {
+				mu.Lock()
+				seen[i]++
+				if w > maxWorker {
+					maxWorker = w
+				}
+				mu.Unlock()
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("threads=%d sched=%v: index %d visited %d times", threads, sched, i, c)
+				}
+			}
+			limit := threads
+			if limit > n {
+				limit = n
+			}
+			if maxWorker >= limit {
+				t.Fatalf("threads=%d: worker id %d out of range [0,%d)", threads, maxWorker, limit)
+			}
+		}
+	}
+}
+
+func TestForWorkerSerialIsWorkerZero(t *testing.T) {
+	ForWorker(5, 1, Dynamic, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("serial path reported worker %d", w)
+		}
+	})
+}
+
+func TestForWorkerScratchIsolation(t *testing.T) {
+	// The contract per-worker scratch relies on: worker w is the only
+	// goroutine touching slot w.
+	const n, threads = 200, 4
+	scratch := make([][]int, threads)
+	for w := range scratch {
+		scratch[w] = make([]int, 1)
+	}
+	var total atomic.Int64
+	ForWorker(n, threads, Dynamic, func(w, i int) {
+		scratch[w][0]++ // racy if two workers shared a slot
+		total.Add(1)
+	})
+	if total.Load() != n {
+		t.Fatalf("ran %d iterations, want %d", total.Load(), n)
+	}
+	sum := 0
+	for _, s := range scratch {
+		sum += s[0]
+	}
+	if sum != n {
+		t.Fatalf("scratch counters sum to %d, want %d", sum, n)
 	}
 }

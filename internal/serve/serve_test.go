@@ -327,3 +327,68 @@ func TestWaitContextCancel(t *testing.T) {
 		t.Fatalf("wait on pinned request: err = %v, want DeadlineExceeded", err)
 	}
 }
+
+// TestVaryingBatchSizesThroughPlans drives request counts that force
+// full and partial batches (and therefore several per-size compiled
+// plans on the same replica), checking every result against a solo
+// reference instance.
+func TestVaryingBatchSizesThroughPlans(t *testing.T) {
+	s := newTestServer(t, Config{
+		Stacks:   []StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}},
+		Replicas: 1, MaxBatch: 4, MaxDelay: time.Millisecond,
+	})
+	ref, err := core.Instantiate(miniStack("mini-mobilenet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// 1, then 3, then 7 requests: batch sizes 1..4 all occur.
+	for round, count := range []int{1, 3, 7} {
+		futs := make([]*Future, count)
+		imgs := make([]*tensor.Tensor, count)
+		for i := range futs {
+			imgs[i] = testImage(uint64(round*100 + i))
+			f, err := s.Submit(ctx, "m", imgs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			futs[i] = f
+		}
+		for i, f := range futs {
+			res, err := f.Wait(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref.Run(imgs[i].Reshape(1, 3, 32, 32)).Output
+			if d := tensor.MaxAbsDiff(res.Output.Reshape(want.Shape()...), want); d != 0 {
+				t.Fatalf("round %d request %d: served logits differ from solo reference by %v", round, i, d)
+			}
+		}
+	}
+}
+
+// TestServeAutoAlgo runs the server over a per-layer auto-selected
+// stack: compilation happens on the worker, requests still resolve
+// with correct logits.
+func TestServeAutoAlgo(t *testing.T) {
+	stack := miniStack("mini-vgg")
+	stack.AutoAlgo = true
+	s := newTestServer(t, Config{
+		Stacks:   []StackSpec{{Name: "auto", Stack: stack}},
+		Replicas: 1, MaxBatch: 2, MaxDelay: time.Millisecond,
+	})
+	ref, err := core.Instantiate(miniStack("mini-vgg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	img := testImage(7)
+	res, err := s.Infer(ctx, "auto", img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Run(img.Reshape(1, 3, 32, 32)).Output
+	if d := tensor.MaxAbsDiff(res.Output.Reshape(want.Shape()...), want); d > 1e-3 {
+		t.Fatalf("auto-served logits differ from direct reference by %v", d)
+	}
+}

@@ -132,32 +132,31 @@ func (p *pool) checkShape(img *tensor.Tensor) error {
 }
 
 // workerLoop executes batches on this worker's private replica until
-// the batch channel closes. The assembly buffer is per-worker and
-// reused across batches (partial batches wrap a prefix of it), so
-// steady-state serving allocates no input tensors.
+// the batch channel closes. The replica's compiled plans are the
+// scratch-reuse this loop was designed around: batches assemble
+// directly into the plan's input arena, and steady-state serving
+// performs zero engine-side heap allocations. The full-batch plan is
+// compiled up front so the first requests don't pay compilation (and,
+// under AutoAlgo, per-geometry kernel timing) on the request path;
+// partial-batch plans compile lazily on first occurrence of each size.
 func (p *pool) workerLoop(inst *core.Instance) {
 	defer p.wg.Done()
-	buf := tensor.New(p.cfg.MaxBatch, p.chw[0], p.chw[1], p.chw[2])
+	// A compile error here is not fatal: runBatch re-attempts per batch
+	// and fails those requests with the error instead.
+	_, _ = inst.PlanFor(p.cfg.MaxBatch)
 	for batch := range p.batches {
-		p.runBatch(inst, buf, batch)
+		p.runBatch(inst, batch)
 	}
 }
 
-// runBatch assembles the batch tensor, runs one batched forward pass,
-// and resolves every request's future with its logit row. An engine
-// panic or malformed output fails the batch's requests rather than the
-// server; every future is resolved exactly once either way.
-func (p *pool) runBatch(inst *core.Instance, buf *tensor.Tensor, batch []*request) {
+// runBatch assembles the batch into the plan's input arena, runs one
+// batched plan execution, and resolves every request's future with its
+// logit row. An engine panic or malformed output fails the batch's
+// requests rather than the server; every future is resolved exactly
+// once either way.
+func (p *pool) runBatch(inst *core.Instance, batch []*request) {
 	n := len(batch)
-	flat := buf.Data()
-	for i, r := range batch {
-		copy(flat[i*p.imgLen:(i+1)*p.imgLen], r.img.Data())
-	}
-	// A partial batch is a prefix view of the worker's buffer — no copy,
-	// no allocation.
-	in := tensor.FromSlice(flat[:n*p.imgLen], n, p.chw[0], p.chw[1], p.chw[2])
-
-	res, err := p.runGuarded(inst, in)
+	res, err := p.runGuarded(inst, batch)
 	if err == nil && (res.Output.NumElements() == 0 || res.Output.NumElements()%n != 0) {
 		err = fmt.Errorf("serve: %s: engine returned %d outputs for a batch of %d",
 			p.name, res.Output.NumElements(), n)
@@ -222,15 +221,30 @@ func (p *pool) runBatch(inst *core.Instance, buf *tensor.Tensor, batch []*reques
 	}
 }
 
-// runGuarded executes the forward pass, converting an engine panic into
-// an error so the recover cannot fire after result bookkeeping began.
-func (p *pool) runGuarded(inst *core.Instance, in *tensor.Tensor) (res core.RunResult, err error) {
+// runGuarded fetches (or compiles) the batch-size plan, assembles the
+// requests into its input buffer, and executes it, converting an
+// engine panic into an error so the recover cannot fire after result
+// bookkeeping began.
+func (p *pool) runGuarded(inst *core.Instance, batch []*request) (res core.RunResult, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = fmt.Errorf("serve: %s: engine panic: %v", p.name, rec)
 		}
 	}()
-	return inst.Run(in), nil
+	plan, err := inst.PlanFor(len(batch))
+	if err != nil {
+		return core.RunResult{}, fmt.Errorf("serve: %s: compiling batch-%d plan: %w", p.name, len(batch), err)
+	}
+	// Assemble straight into the plan's arena — the batch tensor is
+	// engine-owned memory, so steady-state serving copies each image
+	// exactly once and allocates nothing.
+	flat := plan.Input().Data()
+	for i, r := range batch {
+		copy(flat[i*p.imgLen:(i+1)*p.imgLen], r.img.Data())
+	}
+	start := time.Now()
+	out := plan.Run()
+	return core.RunResult{Output: out, Elapsed: time.Since(start)}, nil
 }
 
 // close refuses new submissions, waits out in-flight submitters, lets

@@ -32,6 +32,22 @@ func (p ConvParams) OutSize(h, w int) (int, int) {
 // that makes CSR execution slower than dense at moderate sparsity
 // (paper Fig. 1 and Fig. 4).
 func Conv2D(in *tensor.Tensor, filters *CSR, bias []float32, p ConvParams) *tensor.Tensor {
+	n, _, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
+	oh, ow := p.OutSize(h, w)
+	out := tensor.New(n, p.OutC, oh, ow)
+	var padded *tensor.Tensor
+	if p.Pad > 0 {
+		padded = tensor.New(n, in.Shape()[1], h+2*p.Pad, w+2*p.Pad)
+	}
+	Conv2DInto(out, in, filters, bias, p, padded)
+	return out
+}
+
+// Conv2DInto is the destination-passing Conv2D: it writes into out
+// (n × OutC × OH × OW) without allocating. padded is the caller's
+// padding scratch, shaped (n, InC, H+2·Pad, W+2·Pad); it must be nil
+// exactly when p.Pad == 0 (pad-0 geometries read the input directly).
+func Conv2DInto(out, in *tensor.Tensor, filters *CSR, bias []float32, p ConvParams, padded *tensor.Tensor) {
 	if in.Shape().Rank() != 4 {
 		panic(fmt.Sprintf("sparse: Conv2D requires NCHW input, got %v", in.Shape()))
 	}
@@ -51,12 +67,23 @@ func Conv2D(in *tensor.Tensor, filters *CSR, bias []float32, p ConvParams) *tens
 	if bias != nil && len(bias) != p.OutC {
 		panic(fmt.Sprintf("sparse: bias length %d, want %d", len(bias), p.OutC))
 	}
-
-	// Explicit padding buffer, as in the paper's C implementation.
-	padded := tensor.Pad2D(in, p.Pad)
-	ph, pw := h+2*p.Pad, w+2*p.Pad
 	oh, ow := p.OutSize(h, w)
-	out := tensor.New(n, p.OutC, oh, ow)
+	if !out.Shape().Equal(tensor.Shape{n, p.OutC, oh, ow}) {
+		panic(fmt.Sprintf("sparse: Conv2D destination %v, want %v",
+			out.Shape(), tensor.Shape{n, p.OutC, oh, ow}))
+	}
+
+	// Explicit padding buffer, as in the paper's C implementation —
+	// except for pad-0 geometries, which stream the input directly.
+	if p.Pad == 0 {
+		if padded != nil {
+			panic("sparse: Conv2DInto with pad 0 takes no padding scratch")
+		}
+		padded = in
+	} else {
+		tensor.Pad2DInto(padded, in, p.Pad)
+	}
+	ph, pw := h+2*p.Pad, w+2*p.Pad
 
 	pd, od := padded.Data(), out.Data()
 	outPerGroup := p.OutC / p.Groups
@@ -66,11 +93,12 @@ func Conv2D(in *tensor.Tensor, filters *CSR, bias []float32, p ConvParams) *tens
 		for oc := 0; oc < p.OutC; oc++ {
 			group := oc / outPerGroup
 			dst := od[(ni*p.OutC+oc)*oh*ow : (ni*p.OutC+oc+1)*oh*ow]
+			b := float32(0)
 			if bias != nil {
-				b := bias[oc]
-				for i := range dst {
-					dst[i] = b
-				}
+				b = bias[oc]
+			}
+			for i := range dst {
+				dst[i] = b
 			}
 			for ptr := filters.RowPtr[oc]; ptr < filters.RowPtr[oc+1]; ptr++ {
 				col := int(filters.ColIdx[ptr])
@@ -98,7 +126,6 @@ func Conv2D(in *tensor.Tensor, filters *CSR, bias []float32, p ConvParams) *tens
 			}
 		}
 	}
-	return out
 }
 
 // ConvWorkFLOPs returns the multiply-accumulate count the sparse kernel

@@ -1,0 +1,64 @@
+package tensor
+
+import "fmt"
+
+// Arena is a bump allocator for the buffers of a compiled execution
+// plan. Every Alloc carves a zeroed region out of a large slab (growing
+// by whole slabs when the current one is exhausted), so a plan's entire
+// working set — activations, padded inputs, im2col columns, Winograd
+// tiles, GEMM products — amounts to a handful of large allocations made
+// once at compile time. Buffers are never individually freed: the arena
+// lives exactly as long as the plan that owns it, and steady-state plan
+// execution touches only memory the arena already handed out.
+//
+// An Arena is not safe for concurrent use; plans compile on one
+// goroutine.
+type Arena struct {
+	slabs [][]float32
+	cur   []float32 // unallocated tail of the newest slab
+	total int       // floats handed out
+}
+
+// arenaChunk is the minimum slab size in floats (1 MiB). Requests
+// larger than a chunk get a dedicated slab of exactly their size.
+const arenaChunk = 1 << 18
+
+// NewArena returns an empty arena; the first Alloc creates a slab.
+func NewArena() *Arena { return &Arena{} }
+
+// AllocSlice carves a zeroed n-float buffer out of the arena.
+func (a *Arena) AllocSlice(n int) []float32 {
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: arena allocation of %d floats", n))
+	}
+	if n > len(a.cur) {
+		size := n
+		if size < arenaChunk {
+			size = arenaChunk
+		}
+		slab := make([]float32, size)
+		a.slabs = append(a.slabs, slab)
+		a.cur = slab
+	}
+	buf := a.cur[:n:n]
+	a.cur = a.cur[n:]
+	a.total += n
+	return buf
+}
+
+// Alloc carves a zeroed tensor of the given shape out of the arena.
+func (a *Arena) Alloc(shape ...int) *Tensor {
+	s := Shape(shape).Clone()
+	if !s.Valid() {
+		panic(fmt.Sprintf("tensor: arena alloc with invalid shape %v", s))
+	}
+	return FromSlice(a.AllocSlice(s.NumElements()), shape...)
+}
+
+// Floats returns the number of floats handed out so far.
+func (a *Arena) Floats() int { return a.total }
+
+// Bytes returns the size of the handed-out buffers in bytes. Slab
+// slack (the unallocated tail) is excluded: it measures the plan's
+// working set, not the allocator's overhead.
+func (a *Arena) Bytes() int { return 4 * a.total }

@@ -1,0 +1,91 @@
+package tensor
+
+import "testing"
+
+func TestArenaAllocShapesAndZeroing(t *testing.T) {
+	a := NewArena()
+	x := a.Alloc(2, 3)
+	y := a.Alloc(4)
+	if !x.Shape().Equal(Shape{2, 3}) || !y.Shape().Equal(Shape{4}) {
+		t.Fatalf("arena shapes %v, %v", x.Shape(), y.Shape())
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatal("arena buffers must start zeroed")
+		}
+	}
+	if a.Floats() != 10 || a.Bytes() != 40 {
+		t.Fatalf("accounting: %d floats, %d bytes", a.Floats(), a.Bytes())
+	}
+}
+
+func TestArenaBuffersAreDisjoint(t *testing.T) {
+	a := NewArena()
+	x := a.AllocSlice(8)
+	y := a.AllocSlice(8)
+	for i := range x {
+		x[i] = 1
+	}
+	for _, v := range y {
+		if v != 0 {
+			t.Fatal("arena buffers overlap")
+		}
+	}
+	// Appending to a carved buffer must not bleed into its neighbour.
+	_ = append(x, 7)
+	if y[0] != 0 {
+		t.Fatal("append to one arena buffer corrupted the next")
+	}
+}
+
+func TestArenaLargeRequestGetsOwnSlab(t *testing.T) {
+	a := NewArena()
+	big := a.AllocSlice(arenaChunk * 2)
+	if len(big) != arenaChunk*2 {
+		t.Fatalf("large request length %d", len(big))
+	}
+	// A subsequent small request still succeeds.
+	small := a.AllocSlice(16)
+	if len(small) != 16 {
+		t.Fatalf("small request length %d", len(small))
+	}
+}
+
+func TestPad2DZeroPadReturnsInput(t *testing.T) {
+	in := New(1, 2, 3, 3)
+	in.Fill(5)
+	if out := Pad2D(in, 0); out != in {
+		t.Fatal("Pad2D with pad 0 must return the input unchanged")
+	}
+}
+
+func TestPad2DIntoMatchesPad2D(t *testing.T) {
+	r := NewRNG(42)
+	in := New(2, 3, 5, 4)
+	in.FillNormal(r, 0, 1)
+	want := Pad2D(in, 2)
+	dst := New(2, 3, 9, 8)
+	// Dirty the destination to prove the border is re-zeroed.
+	dst.Fill(7)
+	Pad2DInto(dst, in, 2)
+	if d := MaxAbsDiff(want, dst); d != 0 {
+		t.Fatalf("Pad2DInto differs from Pad2D by %g", d)
+	}
+	// Second call over the now-dirty interior must still be exact.
+	in.Scale(-3)
+	want = Pad2D(in, 2)
+	Pad2DInto(dst, in, 2)
+	if d := MaxAbsDiff(want, dst); d != 0 {
+		t.Fatalf("reused Pad2DInto differs by %g", d)
+	}
+}
+
+func TestPad2DIntoZeroPadCopies(t *testing.T) {
+	in := New(1, 1, 2, 2)
+	in.Fill(3)
+	dst := New(1, 1, 2, 2)
+	Pad2DInto(dst, in, 0)
+	if d := MaxAbsDiff(in, dst); d != 0 {
+		t.Fatalf("pad-0 Pad2DInto differs by %g", d)
+	}
+}

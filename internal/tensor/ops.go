@@ -79,27 +79,56 @@ func Dot(a, b *Tensor) float64 {
 // side, producing a new (n, c, h+2p, w+2p) tensor. This mirrors the
 // explicit padding buffer the paper's C implementation allocates before
 // each convolution (it contributes to the runtime memory footprint
-// accounted in Table IV).
+// accounted in Table IV). A pad of 0 returns the input unchanged — no
+// copy — since every kernel in the stack only reads its padded buffer.
 func Pad2D(in *Tensor, p int) *Tensor {
 	if p == 0 {
-		return in.Clone()
+		return in
 	}
 	if in.shape.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: Pad2D requires rank-4 NCHW input, got %v", in.shape))
 	}
 	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
 	out := New(n, c, h+2*p, w+2*p)
+	Pad2DInto(out, in, p)
+	return out
+}
+
+// Pad2DInto writes the zero-padded input into dst, which must have
+// shape (n, c, h+2p, w+2p). Only the border is re-zeroed — the interior
+// is fully overwritten — so repeated calls over a reused destination
+// buffer (a compiled plan's padding scratch) do the minimum work. A pad
+// of 0 degenerates to a straight copy.
+func Pad2DInto(dst, in *Tensor, p int) {
+	if p == 0 {
+		dst.CopyFrom(in)
+		return
+	}
+	if in.shape.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Pad2DInto requires rank-4 NCHW input, got %v", in.shape))
+	}
+	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
 	oh, ow := h+2*p, w+2*p
-	for ni := 0; ni < n; ni++ {
-		for ci := 0; ci < c; ci++ {
-			srcBase := (ni*c + ci) * h * w
-			dstBase := (ni*c+ci)*oh*ow + p*ow + p
-			for y := 0; y < h; y++ {
-				copy(out.data[dstBase+y*ow:dstBase+y*ow+w], in.data[srcBase+y*w:srcBase+(y+1)*w])
-			}
+	// Compared field-wise (not via a Shape literal) so the steady-state
+	// path of a compiled plan stays allocation-free.
+	if dst.shape.Rank() != 4 || dst.shape[0] != n || dst.shape[1] != c || dst.shape[2] != oh || dst.shape[3] != ow {
+		panic(fmt.Sprintf("tensor: Pad2DInto destination %v, want %v", dst.shape, Shape{n, c, oh, ow}))
+	}
+	for nc := 0; nc < n*c; nc++ {
+		plane := dst.data[nc*oh*ow : (nc+1)*oh*ow]
+		// Top and bottom border rows.
+		for y := 0; y < p; y++ {
+			clear(plane[y*ow : (y+1)*ow])
+			clear(plane[(oh-1-y)*ow : (oh-y)*ow])
+		}
+		srcBase := nc * h * w
+		for y := 0; y < h; y++ {
+			row := plane[(p+y)*ow : (p+y+1)*ow]
+			clear(row[:p])
+			copy(row[p:p+w], in.data[srcBase+y*w:srcBase+(y+1)*w])
+			clear(row[p+w:])
 		}
 	}
-	return out
 }
 
 // Crop2D removes p pixels from every spatial side of an NCHW tensor,
