@@ -9,6 +9,8 @@
 //	dlis-serve -model resnet18 -replicas 4 -batch 8
 //	dlis-serve -model resnet18,mobilenet -technique channel-pruning
 //	dlis-serve -model mini-vgg -requests 512 -clients 64
+//	dlis-serve -model resnet18 -variants plain,weight-pruning,quantisation \
+//	           -slo acc=90,lat=500ms,prio=1
 //
 // Each comma-separated model gets its own pool (routing key
 // "<model>/<technique>"). The load generator runs -clients concurrent
@@ -25,14 +27,24 @@
 //
 // The compression operating point for non-plain techniques is the
 // paper's Table III baseline for that model.
+//
+// With -variants, each model becomes one SLO-routed *endpoint* fronting
+// the listed compressed variants (Table III operating points, Pareto
+// accuracies). Clients submit against the endpoint name under the -slo
+// objective; admission is bounded, so saturated variants shed with a
+// RetryAfter hint and clients back off and retry. The report then
+// breaks traffic down per variant — served versus shed — instead of
+// the baseline/speedup columns.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -56,6 +68,9 @@ func main() {
 	platform := flag.String("platform", "odroid-xu4", "modelled platform of the stack configuration")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	memlimitMB := flag.Int("memlimit-mb", 0, "soft heap limit in MB; 0 sizes it from the replica footprints, -1 disables")
+	variants := flag.String("variants", "", "comma-separated techniques to host as one SLO-routed endpoint per model (e.g. plain,weight-pruning,quantisation); empty serves one pool per model")
+	sloSpec := flag.String("slo", "", "request SLO for -variants mode: acc=<min top-1 %>,lat=<max latency>,prio=<class>, any subset (e.g. acc=90,lat=500ms,prio=1)")
+	queueCap := flag.Int("queuecap", 0, "per-pool admission queue capacity (0 = replicas*batch*4); routed traffic beyond it is shed with a RetryAfter hint")
 	flag.Parse()
 
 	// Two full waves of batches per pool keep the queue deep enough that
@@ -79,17 +94,45 @@ func main() {
 		fatal(err)
 	}
 
-	var stacks []dlis.ServerStack
+	var modelList []string
 	for _, model := range strings.Split(*models, ",") {
-		model = strings.TrimSpace(model)
-		if model == "" {
-			continue
+		if model = strings.TrimSpace(model); model != "" {
+			modelList = append(modelList, model)
 		}
-		cfg := dlis.StackConfig{
-			Model: model, Technique: tech,
-			Backend: dlis.OMP, Threads: *threads, Platform: *platform, Seed: *seed,
-			AutoAlgo: *auto,
+	}
+	if len(modelList) == 0 {
+		fatal(fmt.Errorf("no models given"))
+	}
+
+	srvCfg := dlis.DefaultServerConfig()
+	srvCfg.Replicas, srvCfg.MaxBatch, srvCfg.MaxDelay, srvCfg.QueueCap = *replicas, *batch, *delay, *queueCap
+	baseCfg := dlis.StackConfig{
+		Backend: dlis.OMP, Threads: *threads, Platform: *platform, Seed: *seed,
+		AutoAlgo: *auto,
+	}
+
+	if *variants != "" {
+		techs, err := parseTechniques(*variants)
+		if err != nil {
+			fatal(err)
 		}
+		slo, err := parseSLO(*sloSpec)
+		if err != nil {
+			fatal(err)
+		}
+		runEndpoints(endpointRun{
+			models: modelList, techs: techs, slo: slo,
+			cfg: srvCfg, base: baseCfg,
+			clients: *clients, requests: *requests,
+			seed: *seed, memlimitMB: *memlimitMB,
+		})
+		return
+	}
+
+	var stacks []dlis.ServerStack
+	for _, model := range modelList {
+		cfg := baseCfg
+		cfg.Model, cfg.Technique = model, tech
 		if tech != dlis.Plain {
 			pts, err := dlis.TableIII(model)
 			if err != nil {
@@ -98,9 +141,6 @@ func main() {
 			cfg.Point = pts[tech]
 		}
 		stacks = append(stacks, dlis.ServerStack{Stack: cfg})
-	}
-	if len(stacks) == 0 {
-		fatal(fmt.Errorf("no models given"))
 	}
 
 	// Sequential baseline: one instance, one image at a time — the only
@@ -123,35 +163,13 @@ func main() {
 		fmt.Printf("  %v/image\n", pre.Round(time.Microsecond))
 	}
 
-	cfg := dlis.DefaultServerConfig()
-	cfg.Stacks = stacks
-	cfg.Replicas, cfg.MaxBatch, cfg.MaxDelay = *replicas, *batch, *delay
+	srvCfg.Stacks = stacks
 	fmt.Printf("\nstarting server (%d replica instance(s) per pool)...\n", *replicas)
-	srv, err := dlis.NewServer(cfg)
+	srv, err := dlis.NewServer(srvCfg)
 	if err != nil {
 		fatal(err)
 	}
-
-	// Cap the heap like a production serving process would: the replica
-	// weights are permanently live, so without a limit the collector
-	// lets the heap balloon to several times the live set and every
-	// activation allocation lands on cold, newly-faulted pages. A soft
-	// limit keeps activation buffers recycling through warm memory.
-	if *memlimitMB >= 0 {
-		limit := int64(*memlimitMB) << 20
-		if limit == 0 {
-			var replicaBytes float64
-			for _, st := range srv.AllStats() {
-				replicaBytes += float64(st.Replicas) * st.ReplicaMemoryMB * 1e6
-			}
-			limit = 2 * int64(replicaBytes)
-			if min := int64(1) << 30; limit < min {
-				limit = min
-			}
-		}
-		debug.SetMemoryLimit(limit)
-		fmt.Printf("soft heap limit %d MB\n", limit>>20)
-	}
+	applyMemLimit(srv, *memlimitMB)
 
 	ctx := context.Background()
 	var wg sync.WaitGroup
@@ -262,6 +280,220 @@ func (p *baselineProbe) perImage() time.Duration {
 		return 0
 	}
 	return p.total / time.Duration(p.n)
+}
+
+// endpointRun bundles the -variants mode parameters.
+type endpointRun struct {
+	models     []string
+	techs      []dlis.Technique
+	slo        dlis.SLO
+	cfg        dlis.ServerConfig
+	base       dlis.StackConfig // Model filled per endpoint
+	clients    int
+	requests   int
+	seed       uint64
+	memlimitMB int
+}
+
+// runEndpoints serves each model as one SLO-routed endpoint over the
+// requested variants, drives the closed-loop load (clients back off on
+// ErrServerOverloaded by the RetryAfter hint and retry), and reports
+// served-versus-shed traffic per variant.
+func runEndpoints(r endpointRun) {
+	for _, m := range r.models {
+		base := r.base
+		base.Model = m
+		r.cfg.Endpoints = append(r.cfg.Endpoints, dlis.NewEndpoint(m, base, r.techs...))
+	}
+	// Mirror the server's own default so the banner states the cap the
+	// shed counts below were actually produced under.
+	effectiveCap := r.cfg.QueueCap
+	if effectiveCap < 1 {
+		effectiveCap = r.cfg.Replicas * r.cfg.MaxBatch * 4
+	}
+	fmt.Printf("dlis-serve: %d endpoint(s) × %d variants × %d replicas, batch ≤ %d (window %v), queue cap %d\n",
+		len(r.models), len(r.techs), r.cfg.Replicas, r.cfg.MaxBatch, r.cfg.MaxDelay, effectiveCap)
+	fmt.Printf("SLO: min accuracy %.1f%%, max latency %v, priority %d; %d clients, %d requests/endpoint\n\n",
+		r.slo.MinAccuracy, r.slo.MaxLatency, r.slo.Priority, r.clients, r.requests)
+
+	fmt.Printf("starting server (%d replica instance(s) per variant pool)...\n", r.cfg.Replicas)
+	srv, err := dlis.NewServer(r.cfg)
+	if err != nil {
+		fatal(err)
+	}
+	applyMemLimit(srv, r.memlimitMB)
+
+	// Input geometry per endpoint, from the already-instantiated pools.
+	shapes := make(map[string][2]int, len(r.models))
+	for _, name := range srv.Endpoints() {
+		chw, err := srv.InputShape(name)
+		if err != nil {
+			fatal(err)
+		}
+		shapes[name] = [2]int{chw[1], chw[2]}
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var clientErrs atomic.Int64
+	start := time.Now()
+	for _, name := range srv.Endpoints() {
+		var budget atomic.Int64
+		budget.Store(int64(r.requests))
+		for c := 0; c < r.clients; c++ {
+			wg.Add(1)
+			go func(name string, c int, budget *atomic.Int64) {
+				defer wg.Done()
+				hw := shapes[name]
+				img := dlis.NewImage(1, hw[0], hw[1], uint64(c)+r.seed)
+				for budget.Add(-1) >= 0 {
+					for {
+						_, err := srv.RouteInfer(ctx, name, img, r.slo)
+						if err == nil {
+							break
+						}
+						if errors.Is(err, dlis.ErrServerOverloaded) {
+							// Shed: honour the hint (bounded so one slow
+							// variant cannot idle the client for seconds).
+							retry := time.Millisecond
+							var ov *dlis.OverloadedError
+							if errors.As(err, &ov) && ov.RetryAfter > retry {
+								retry = ov.RetryAfter
+							}
+							if max := 50 * time.Millisecond; retry > max {
+								retry = max
+							}
+							time.Sleep(retry)
+							continue
+						}
+						clientErrs.Add(1)
+						fmt.Fprintf(os.Stderr, "dlis-serve: %s client %d: %v\n", name, c, err)
+						return
+					}
+				}
+			}(name, c, &budget)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	srv.Close()
+	fmt.Printf("\nload run complete in %v\n\n", wall.Round(time.Millisecond))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "variant\taccuracy\tmodelled\tserved\tshed\tthroughput\tp50\tp99\toccupancy\tmem/replica")
+	for _, name := range srv.Endpoints() {
+		st, err := srv.EndpointStats(name)
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range st.Variants {
+			acc := "n/a"
+			if v.Accuracy > 0 {
+				acc = fmt.Sprintf("%.1f%%", v.Accuracy)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3fs\t%d\t%d\t%.2f req/s\t%v\t%v\t%.2f\t%.1f MB\n",
+				v.Name, acc, v.ModelledSeconds, v.Routed, v.Shed,
+				v.Pool.Throughput,
+				v.Pool.Latency.P50.Round(time.Microsecond), v.Pool.Latency.P99.Round(time.Microsecond),
+				v.Pool.MeanBatchOccupancy, v.Pool.ReplicaMemoryMB)
+		}
+		fmt.Fprintf(tw, "%s TOTAL\t\t\t%d\t%d\t\t\t\t\t\n", st.Endpoint, st.Routed, st.Shed)
+	}
+	tw.Flush()
+	if n := clientErrs.Load(); n > 0 {
+		fmt.Printf("\nwarning: %d client(s) aborted on error — served counts reflect only completed requests\n", n)
+	}
+}
+
+// applyMemLimit caps the heap like a production serving process would:
+// the replica weights are permanently live, so without a limit the
+// collector lets the heap balloon to several times the live set and
+// every activation allocation lands on cold, newly-faulted pages. A
+// soft limit keeps activation buffers recycling through warm memory.
+func applyMemLimit(srv *dlis.Server, memlimitMB int) {
+	if memlimitMB < 0 {
+		return
+	}
+	limit := int64(memlimitMB) << 20
+	if limit == 0 {
+		var replicaBytes float64
+		for _, st := range srv.AllStats() {
+			replicaBytes += float64(st.Replicas) * st.ReplicaMemoryMB * 1e6
+		}
+		limit = 2 * int64(replicaBytes)
+		if min := int64(1) << 30; limit < min {
+			limit = min
+		}
+	}
+	debug.SetMemoryLimit(limit)
+	fmt.Printf("soft heap limit %d MB\n", limit>>20)
+}
+
+// parseTechniques parses the -variants list.
+func parseTechniques(s string) ([]dlis.Technique, error) {
+	var techs []dlis.Technique
+	seen := map[dlis.Technique]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		t, err := parseTechnique(part)
+		if err != nil {
+			return nil, err
+		}
+		if seen[t] {
+			return nil, fmt.Errorf("duplicate variant %q", t)
+		}
+		seen[t] = true
+		techs = append(techs, t)
+	}
+	if len(techs) == 0 {
+		return nil, fmt.Errorf("-variants given but empty")
+	}
+	return techs, nil
+}
+
+// parseSLO parses "acc=90,lat=500ms,prio=1" (any subset, empty ok).
+func parseSLO(s string) (dlis.SLO, error) {
+	var slo dlis.SLO
+	if strings.TrimSpace(s) == "" {
+		return slo, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return slo, fmt.Errorf("malformed -slo term %q (want key=value)", part)
+		}
+		val = strings.TrimSpace(val)
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "acc", "accuracy", "minaccuracy":
+			a, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return slo, fmt.Errorf("bad accuracy %q: %w", val, err)
+			}
+			slo.MinAccuracy = a
+		case "lat", "latency", "maxlatency":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return slo, fmt.Errorf("bad latency %q: %w", val, err)
+			}
+			slo.MaxLatency = d
+		case "prio", "priority":
+			p, err := strconv.Atoi(val)
+			if err != nil {
+				return slo, fmt.Errorf("bad priority %q: %w", val, err)
+			}
+			slo.Priority = p
+		default:
+			return slo, fmt.Errorf("unknown -slo key %q (want acc/lat/prio)", key)
+		}
+	}
+	return slo, nil
 }
 
 // parseTechnique maps the CLI spelling to the stack-layer-2 constant.

@@ -177,10 +177,53 @@ type (
 	ServeStats = serve.Stats
 	// ServeLatencySummary is the latency breakdown inside ServeStats.
 	ServeLatencySummary = metrics.LatencySummary
+	// SLO is a request's service-level objective for routed endpoints:
+	// MinAccuracy (modelled top-1 %), MaxLatency (live estimate bound)
+	// and Priority (≥1 may spill to costlier variants under load).
+	SLO = serve.SLO
+	// ServerEndpoint is one SLO-routed logical endpoint fronting a set
+	// of compressed variants of the same model.
+	ServerEndpoint = serve.EndpointSpec
+	// ServerVariant is one endpoint member: a stack spec plus its
+	// modelled accuracy.
+	ServerVariant = serve.Variant
+	// EndpointStats aggregates an endpoint's routed/shed traffic per
+	// variant.
+	EndpointStats = serve.EndpointStats
+	// VariantStats is one endpoint member's routed-traffic snapshot.
+	VariantStats = serve.VariantStats
+	// OverloadedError is the typed admission rejection, carrying a
+	// RetryAfter hint; match it with errors.Is(err, ErrServerOverloaded).
+	OverloadedError = serve.OverloadedError
 )
 
 // ErrServerClosed is returned by Submit and Infer after Close.
 var ErrServerClosed = serve.ErrClosed
+
+// ErrServerOverloaded is the errors.Is sentinel for admission
+// rejections: every candidate variant's bounded queue was full, so the
+// request was shed instead of blocking unboundedly.
+var ErrServerOverloaded = serve.ErrOverloaded
+
+// ErrNoVariant is the errors.Is sentinel for SLOs no hosted variant can
+// satisfy even when idle: MinAccuracy above every variant's accuracy,
+// or MaxLatency below every candidate's observed batch time. Not
+// retryable, unlike ErrServerOverloaded.
+var ErrNoVariant = serve.ErrNoVariant
+
+// NewEndpoint builds an SLO-routed endpoint spec over base.Model: one
+// variant per technique at its Table III (Pareto-elbow) operating
+// point, accuracies from the calibrated Fig. 3 curves. Host it via
+// ServerConfig.Endpoints and submit with Server.Route / RouteInfer.
+func NewEndpoint(name string, base StackConfig, techs ...Technique) ServerEndpoint {
+	return serve.Endpoint(name, base, techs...)
+}
+
+// NewEndpointAt is NewEndpoint with explicit operating points (e.g.
+// TableV's fixed-90%-accuracy points).
+func NewEndpointAt(name string, base StackConfig, points map[Technique]OperatingPoint, techs ...Technique) ServerEndpoint {
+	return serve.EndpointAt(name, base, points, techs...)
+}
 
 // NewServer instantiates every configured stack (Replicas independent
 // replicas each, see Instance.Replicate) and starts serving. Callers

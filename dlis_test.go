@@ -239,3 +239,54 @@ func TestDeterministicInstantiation(t *testing.T) {
 		}
 	}
 }
+
+func TestEndpointPublicAPI(t *testing.T) {
+	// SLO-routed multi-variant serving end to end through the facade:
+	// one endpoint over three compressed variants of one mini model,
+	// routed requests, per-variant statistics, typed overload handling.
+	base := StackConfig{Model: "mini-vgg", Technique: Plain,
+		Backend: OMP, Threads: 1, Platform: "odroid-xu4", Seed: 1}
+	cfg := DefaultServerConfig()
+	cfg.Endpoints = []ServerEndpoint{NewEndpoint("vgg", base, Plain, WeightPruned, Quantised)}
+	cfg.Replicas, cfg.MaxBatch, cfg.MaxDelay = 1, 2, time.Millisecond
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	if got := srv.Endpoints(); len(got) != 1 || got[0] != "vgg" {
+		t.Fatalf("endpoints = %v", got)
+	}
+	res, err := srv.RouteInfer(ctx, "vgg", NewImage(1, 32, 32, 3), SLO{MinAccuracy: 90, Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mini models have no Pareto curves: the router must have fallen
+	// back to the plain variant rather than guessed.
+	if res.Stack != "vgg/plain" {
+		t.Fatalf("served by %q, want the plain fallback", res.Stack)
+	}
+	if !res.Output.AllFinite() || res.Output.NumElements() != 10 {
+		t.Fatalf("implausible logits %v", res.Output)
+	}
+	st, err := srv.EndpointStats("vgg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Variants) != 3 || st.Routed != 1 {
+		t.Fatalf("endpoint stats = %+v, want 3 variants / 1 routed", st)
+	}
+	var sawPlain bool
+	for _, v := range st.Variants {
+		if v.Name == "vgg/plain" {
+			sawPlain = v.Routed == 1
+		}
+	}
+	if !sawPlain {
+		t.Fatal("routed request not attributed to the plain variant")
+	}
+	if all := srv.AllStats(); all["vgg/plain"].Routed != 1 {
+		t.Fatalf("AllStats missing routed traffic: %+v", all["vgg/plain"])
+	}
+}

@@ -257,6 +257,9 @@ func UniformShrink(net *nn.Network, rate float64) float64 {
 			s.Remove(s.Channels() - 1)
 		}
 	}
+	// Surgery replaced weight tensors and changed layer geometry: any
+	// compiled plan over this network is now structurally stale.
+	net.MarkMutated()
 	return 1 - float64(ConvParams(net))/float64(before)
 }
 

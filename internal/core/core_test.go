@@ -3,6 +3,8 @@ package core_test
 import (
 	"testing"
 
+	"repro/internal/compress/prune"
+	"repro/internal/compress/quant"
 	"repro/internal/core"
 
 	"repro/internal/hw"
@@ -459,5 +461,47 @@ func TestAutoAlgoConfig(t *testing.T) {
 	want := inst.Net.Forward(&ctx, in)
 	if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
 		t.Fatalf("auto Run differs from direct reference by %v", d)
+	}
+}
+
+// TestPlanInvalidationAfterTransform is the stale-plan regression test:
+// a compression transform applied to a *live* instance (quantisation or
+// pruning re-freezing every CSR view) must invalidate the cached plans
+// automatically — no manual InvalidatePlans call — so the next
+// plan-backed Run serves logits of the transformed network, not of the
+// CSR views the old plan captured.
+func TestPlanInvalidationAfterTransform(t *testing.T) {
+	inst, err := core.Instantiate(core.Config{Model: "mini-vgg", Technique: core.WeightPruned,
+		Point:   core.OperatingPoint{Sparsity: 0.5},
+		Backend: core.OMP, Threads: 1, Platform: "intel-i7", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(1, 3, 32, 32)
+	in.FillNormal(tensor.NewRNG(7), 0, 1)
+	before := inst.Run(in).Output.Clone() // compiles and caches the batch-1 plan
+
+	// Surgery on the live instance: ternarise the (pruned) weights. The
+	// transform rewrites every weight tensor and re-freezes the CSR
+	// views the cached plan executes through.
+	quant.Quantize(inst.Net, 0.1)
+
+	after := inst.Run(in).Output.Clone()
+	ctx := nn.Inference()
+	ctx.Algo = inst.Config.Algo()
+	want := inst.Net.Forward(&ctx, in)
+	if d := tensor.MaxAbsDiff(after, want); d != 0 {
+		t.Fatalf("post-quantise Run differs from eager forward by %v — a stale plan was served", d)
+	}
+	if tensor.MaxAbsDiff(after, before) == 0 {
+		t.Fatal("quantisation left the logits unchanged; the regression test is vacuous")
+	}
+
+	// A second transform through the pruning path must invalidate again.
+	prune.NetworkToSparsity(inst.Net, 0.95)
+	again := inst.Run(in).Output
+	want2 := inst.Net.Forward(&ctx, in)
+	if d := tensor.MaxAbsDiff(again, want2); d != 0 {
+		t.Fatalf("post-prune Run differs from eager forward by %v — a stale plan was served", d)
 	}
 }

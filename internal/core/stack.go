@@ -207,11 +207,17 @@ type Instance struct {
 	Platform *hw.Platform
 
 	// plans caches compiled execution plans keyed by batch size (the
-	// per-image shape is fixed by the network). planMu guards the map;
-	// runMu serializes Run's executions over the shared plan buffers.
-	planMu sync.Mutex
-	plans  map[int]*nn.Plan
-	runMu  sync.Mutex
+	// per-image shape is fixed by the network). planMu guards the map
+	// and plansVersion; runMu serializes Run's executions over the
+	// shared plan buffers. plansVersion is the Net.Version the cached
+	// plans were compiled against: PlanFor drops the cache whenever the
+	// network has structurally mutated since (pruning surgery,
+	// re-frozen CSR views), so a technique transform applied to a live
+	// instance can never leave it serving stale plans.
+	planMu       sync.Mutex
+	plans        map[int]*nn.Plan
+	plansVersion uint64
+	runMu        sync.Mutex
 }
 
 // Instantiate builds the network at the configured operating point:
@@ -246,7 +252,20 @@ func Instantiate(cfg Config) (*Instance, error) {
 	}
 	net.Freeze()
 	platform, _ := hw.ByName(cfg.Platform)
-	return &Instance{Config: cfg, Net: net, Platform: platform, plans: make(map[int]*nn.Plan)}, nil
+	return &Instance{
+		Config: cfg, Net: net, Platform: platform,
+		plans: make(map[int]*nn.Plan), plansVersion: net.Version(),
+	}, nil
+}
+
+// WithTechnique returns a copy of the configuration re-pointed at a
+// different compression technique and operating point — the variant
+// instantiation helper the multi-variant serving layer uses to derive
+// one stack per technique from a shared base (model, backend, threads,
+// platform, seed).
+func (c Config) WithTechnique(t Technique, pt OperatingPoint) Config {
+	c.Technique, c.Point = t, pt
+	return c
 }
 
 // Replicate builds an independent Instance from the same configuration:
@@ -279,6 +298,13 @@ func (in *Instance) PlanFor(batch int) (*nn.Plan, error) {
 	}
 	in.planMu.Lock()
 	defer in.planMu.Unlock()
+	if v := in.Net.Version(); v != in.plansVersion {
+		// The network structurally mutated since these plans were
+		// compiled (technique transform, re-freeze): drop them all so no
+		// execution path can serve stale structure.
+		in.plans = make(map[int]*nn.Plan)
+		in.plansVersion = v
+	}
 	if p, ok := in.plans[batch]; ok {
 		return p, nil
 	}
@@ -294,14 +320,17 @@ func (in *Instance) PlanFor(batch int) (*nn.Plan, error) {
 	return p, nil
 }
 
-// InvalidatePlans drops every cached plan. Call it after structural
-// changes to the network (pruning surgery, re-freezing CSR views);
-// plain in-place weight updates do not require it, since plans hold
-// views into the live weights.
+// InvalidatePlans drops every cached plan. Structural changes that go
+// through nn.Network.Freeze / MarkMutated (the compression transforms
+// do) are detected automatically by PlanFor, so most callers never
+// need this; it remains for bespoke surgery that bypasses the version
+// counter. Plain in-place weight updates never require invalidation,
+// since plans hold views into the live weights.
 func (in *Instance) InvalidatePlans() {
 	in.planMu.Lock()
 	defer in.planMu.Unlock()
 	in.plans = make(map[int]*nn.Plan)
+	in.plansVersion = in.Net.Version()
 }
 
 // Run executes a real inference on the host engine with the configured

@@ -25,8 +25,9 @@ const DefaultLatencyWindow = 4096
 type LatencyRecorder struct {
 	mu     sync.Mutex
 	window []time.Duration
-	filled int // number of valid entries in window
-	next   int // ring write cursor
+	times  []int64 // observation wall clock (ns), parallel ring to window
+	filled int     // number of valid entries in window
+	next   int     // ring write cursor
 
 	count    uint64
 	sum      time.Duration
@@ -39,14 +40,20 @@ func NewLatencyRecorder(window int) *LatencyRecorder {
 	if window <= 0 {
 		window = DefaultLatencyWindow
 	}
-	return &LatencyRecorder{window: make([]time.Duration, window)}
+	return &LatencyRecorder{
+		window: make([]time.Duration, window),
+		times:  make([]int64, window),
+	}
 }
 
-// Observe records one request latency. Safe for concurrent use.
+// Observe records one request latency, stamped with the current wall
+// clock for the windowed-rate estimate. Safe for concurrent use.
 func (r *LatencyRecorder) Observe(d time.Duration) {
+	now := time.Now().UnixNano()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.window[r.next] = d
+	r.times[r.next] = now
 	r.next = (r.next + 1) % len(r.window)
 	if r.filled < len(r.window) {
 		r.filled++
@@ -73,6 +80,28 @@ func (r *LatencyRecorder) Summary() LatencySummary {
 	}
 	sorted := make([]time.Duration, r.filled)
 	copy(sorted, r.window[:r.filled])
+	// Windowed observation rate: observations per second across the span
+	// the window's samples were recorded over (first to last stamp, not
+	// to now — trailing idle must not dilute a steady-state figure).
+	// Once the ring wraps, idle gaps age out of the window entirely
+	// instead of deflating the rate forever, which is exactly the
+	// property lifetime counters lack. Timestamps are scanned for the
+	// extremes because concurrent observers may commit slightly out of
+	// ring order.
+	if r.filled >= 2 {
+		lo, hi := r.times[0], r.times[0]
+		for _, t := range r.times[:r.filled] {
+			if t < lo {
+				lo = t
+			}
+			if t > hi {
+				hi = t
+			}
+		}
+		if span := time.Duration(hi - lo); span > 0 {
+			s.WindowRate = float64(r.filled-1) / span.Seconds()
+		}
+	}
 	r.mu.Unlock()
 
 	if len(sorted) == 0 {
@@ -110,6 +139,11 @@ type LatencySummary struct {
 	Min, Max time.Duration
 	// P50, P90 and P99 are nearest-rank percentiles over the window.
 	P50, P90, P99 time.Duration
+	// WindowRate is the steady-state observation rate (per second) over
+	// the sliding window: window size − 1 divided by the span between
+	// the window's first and last observation stamps. Zero until two
+	// observations have landed (or when they share a stamp).
+	WindowRate float64
 }
 
 // String renders the summary for serving tables.

@@ -69,3 +69,44 @@ func TestLatencyRecorderConcurrent(t *testing.T) {
 		t.Fatalf("count = %d, want %d", s.Count, workers*per)
 	}
 }
+
+// TestWindowRateIsSteadyState checks the windowed observation rate: it
+// must reflect the span the window's samples actually cover, and an
+// idle gap must age out of it once the ring wraps — the property the
+// lifetime rate (count over total elapsed) lacks.
+func TestWindowRateIsSteadyState(t *testing.T) {
+	r := NewLatencyRecorder(4)
+	if s := r.Summary(); s.WindowRate != 0 {
+		t.Fatalf("empty recorder WindowRate = %v, want 0", s.WindowRate)
+	}
+	r.Observe(time.Millisecond)
+	if s := r.Summary(); s.WindowRate != 0 {
+		t.Fatalf("single-sample WindowRate = %v, want 0 (undefined)", s.WindowRate)
+	}
+
+	// First burst, then an idle gap much longer than the burst.
+	tick := 2 * time.Millisecond
+	for i := 0; i < 3; i++ {
+		time.Sleep(tick)
+		r.Observe(time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	// Second burst fills the 4-slot ring entirely with post-gap samples:
+	// the rate must be that of the recent ticks, not diluted by the gap.
+	for i := 0; i < 4; i++ {
+		time.Sleep(tick)
+		r.Observe(time.Millisecond)
+	}
+	s := r.Summary()
+	// 3 intervals of ≥2ms each: at most ~500/s; sleeps overshoot, so
+	// just require it to be far above the gap-diluted figure (~8
+	// observations over >200ms ≈ 37/s) and positive.
+	if s.WindowRate <= 0 {
+		t.Fatalf("WindowRate = %v after ring wrap, want > 0", s.WindowRate)
+	}
+	lifetime := float64(s.Count-1) / (200*time.Millisecond + 14*tick).Seconds()
+	if s.WindowRate < 2*lifetime {
+		t.Fatalf("WindowRate %.1f/s not above gap-diluted lifetime bound %.1f/s", s.WindowRate, lifetime)
+	}
+}

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 )
@@ -17,6 +18,11 @@ type Network struct {
 	InputShape tensor.Shape
 	// Classes is the output dimensionality.
 	Classes int
+
+	// version counts structural mutations (see MarkMutated); compiled
+	// plans record the version they were built against so stale plans
+	// can be detected instead of silently serving old structure.
+	version atomic.Uint64
 }
 
 // NewNetwork constructs an empty network.
@@ -91,7 +97,9 @@ func (n *Network) Linears() []*Linear {
 }
 
 // Freeze builds CSR views for every conv and linear layer so sparse
-// execution pays no conversion cost at inference time.
+// execution pays no conversion cost at inference time. Re-freezing
+// replaces the CSR objects, so it counts as a structural mutation:
+// compiled plans that captured the old views are stale afterwards.
 func (n *Network) Freeze() {
 	for _, c := range n.Convs() {
 		c.Freeze()
@@ -99,7 +107,21 @@ func (n *Network) Freeze() {
 	for _, l := range n.Linears() {
 		l.Freeze()
 	}
+	n.MarkMutated()
 }
+
+// MarkMutated records a structural mutation — layer surgery, mask
+// changes followed by a re-freeze, anything that invalidates compiled
+// plans' captured buffers and CSR views. Plain in-place weight updates
+// do not need it (plans hold views into the live weights). Freeze and
+// the compression transforms call it; callers performing bespoke
+// surgery should too.
+func (n *Network) MarkMutated() { n.version.Add(1) }
+
+// Version returns the structural mutation counter. Consumers caching
+// derived artefacts (compiled plans) compare it against the version
+// they compiled at and rebuild on mismatch.
+func (n *Network) Version() uint64 { return n.version.Load() }
 
 // Describe walks the network at the given batch size, returning per-layer
 // stats and the aggregate.

@@ -240,6 +240,40 @@ func TableV(model string) (map[core.Technique]core.OperatingPoint, error) {
 	return p, nil
 }
 
+// AccuracyAt returns the modelled top-1 accuracy (percent) of a model
+// compressed with the given technique at the given operating point,
+// evaluated on the calibrated Fig. 3 curves (the §V-A baseline for
+// Plain). ok is false when the model has no curve data — the mini
+// training models, for instance — in which case callers such as the
+// serving router fall back to the plain variant rather than guessing.
+func AccuracyAt(model string, tech core.Technique, pt core.OperatingPoint) (float64, bool) {
+	switch tech {
+	case core.Plain:
+		a, ok := Baselines[model]
+		return a, ok
+	case core.WeightPruned:
+		c, err := WeightPruningCurve(model)
+		if err != nil {
+			return 0, false
+		}
+		return c.At(pt.Sparsity), true
+	case core.ChannelPruned:
+		c, err := ChannelPruningCurve(model)
+		if err != nil {
+			return 0, false
+		}
+		return c.At(pt.CompressionRate), true
+	case core.Quantised:
+		c, err := QuantisationCurve(model)
+		if err != nil {
+			return 0, false
+		}
+		return c.At(pt.TTQThreshold), true
+	default:
+		return 0, false
+	}
+}
+
 // Samples returns n evenly spaced (x, accuracy) samples of a curve, for
 // the figure emitters.
 func (c *Curve) Samples(n int) []Point {

@@ -202,3 +202,41 @@ func TestSamplesSpanCurve(t *testing.T) {
 		t.Fatal("samples must span the full axis")
 	}
 }
+
+// TestAccuracyAt checks the router-facing accuracy lookup: it matches
+// the underlying curves at known operating points, reports the §V-A
+// baseline for Plain, and declines models without curve data.
+func TestAccuracyAt(t *testing.T) {
+	if a, ok := AccuracyAt("resnet18", core.Plain, core.OperatingPoint{}); !ok || a != 94.32 {
+		t.Fatalf("plain resnet18 = %.2f/%v, want 94.32/true", a, ok)
+	}
+	c, err := WeightPruningCurve("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := core.OperatingPoint{Sparsity: 0.8892}
+	if a, ok := AccuracyAt("resnet18", core.WeightPruned, pt); !ok || a != c.At(pt.Sparsity) {
+		t.Fatalf("weight-pruned resnet18 = %.2f/%v, want curve value %.2f", a, ok, c.At(pt.Sparsity))
+	}
+	q, err := QuantisationCurve("mobilenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qpt := core.OperatingPoint{TTQThreshold: 0.20}
+	if a, ok := AccuracyAt("mobilenet", core.Quantised, qpt); !ok || a != q.At(qpt.TTQThreshold) {
+		t.Fatalf("quantised mobilenet = %.2f/%v, want %.2f", a, ok, q.At(qpt.TTQThreshold))
+	}
+	ch, err := ChannelPruningCurve("vgg16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpt := core.OperatingPoint{CompressionRate: 0.8848}
+	if a, ok := AccuracyAt("vgg16", core.ChannelPruned, cpt); !ok || a != ch.At(cpt.CompressionRate) {
+		t.Fatalf("channel-pruned vgg16 = %.2f/%v, want %.2f", a, ok, ch.At(cpt.CompressionRate))
+	}
+	for _, tech := range core.Techniques() {
+		if _, ok := AccuracyAt("mini-vgg", tech, core.OperatingPoint{}); ok {
+			t.Fatalf("mini-vgg %v reported curve data, want unknown", tech)
+		}
+	}
+}

@@ -12,6 +12,9 @@ type Result struct {
 	// Output is the request's logit row, shape 1×classes. Nil when Err
 	// is set.
 	Output *tensor.Tensor
+	// Stack is the routing name of the pool that executed the request —
+	// for SLO-routed traffic, the variant the router actually chose.
+	Stack string
 	// Class is the argmax of Output — the predicted label.
 	Class int
 	// BatchSize is the occupancy of the batch that carried this

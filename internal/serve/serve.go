@@ -20,10 +20,16 @@
 //	    pass, and resolves each request's Future with its logit row.
 //
 // A Server hosts any number of pools side by side ("resnet18 channel
-// pruned" next to "mobilenet quantised"), routed by stack name. Close
-// performs a graceful shutdown: new submissions are refused, queued
-// requests are drained — including a final partial batch — and workers
-// exit only when every accepted request has been answered.
+// pruned" next to "mobilenet quantised"), routed by stack name. On top
+// of the pools sit SLO-routed endpoints (see router.go): one logical
+// name fronts several compressed variants of the same model, each
+// request may carry a MinAccuracy / MaxLatency / Priority objective,
+// and the router places it on the cheapest variant that satisfies it —
+// with bounded, load-shedding admission (ErrOverloaded + RetryAfter)
+// instead of unbounded blocking. Close performs a graceful shutdown:
+// new submissions are refused, queued requests are drained — including
+// a final partial batch — and workers exit only when every accepted
+// request has been answered.
 package serve
 
 import (
@@ -58,10 +64,16 @@ func (s StackSpec) Key() string {
 }
 
 // Config configures a Server. The zero value of every tuning field is
-// replaced by the DefaultConfig value; Stacks must be non-empty.
+// replaced by the DefaultConfig value; at least one stack or endpoint
+// must be configured.
 type Config struct {
 	// Stacks lists the stack configurations to host, one pool each.
 	Stacks []StackSpec
+	// Endpoints lists the SLO-routed multi-variant endpoints to host:
+	// each variant gets its own pool (hosted alongside Stacks), and the
+	// endpoint name routes across them via Route/RouteInfer. Build
+	// specs by hand or with Endpoint/EndpointAt.
+	Endpoints []EndpointSpec
 	// Replicas is the number of workers (and core.Instance replicas)
 	// per pool.
 	Replicas int
@@ -70,10 +82,17 @@ type Config struct {
 	// MaxDelay bounds how long an open batch may wait for company; a
 	// lone request is never delayed longer than this.
 	MaxDelay time.Duration
-	// QueueCap is the per-pool request queue capacity; submitters block
-	// (or honour their context) when it is full. Defaults to
+	// QueueCap is the per-pool request queue capacity. Direct submitters
+	// block (or honour their context) when it is full; SLO-routed
+	// traffic is admission-controlled against it instead — the
+	// inclusive queue depth (channel + open batch) is capped here and
+	// overflow sheds with ErrOverloaded. Defaults to
 	// Replicas × MaxBatch × 4.
 	QueueCap int
+	// LatencyWindow is the sliding-window size (in samples) behind the
+	// latency percentiles and the windowed Throughput figure; 0 uses
+	// metrics.DefaultLatencyWindow.
+	LatencyWindow int
 }
 
 // DefaultConfig returns the serving defaults used for zero Config
@@ -107,33 +126,79 @@ type Server struct {
 	cfg   Config
 	pools map[string]*pool
 	names []string // pool names in Config order, for deterministic listings
+
+	endpoints     map[string]*endpoint // SLO routers, keyed by endpoint name
+	endpointNames []string             // endpoint names in Config order
+	variants      map[string]*variant  // pool name → endpoint variant, for stats folding
 }
 
-// New instantiates every configured stack (Replicas independent
-// replicas each) and starts the batcher and worker goroutines. It
-// returns an error if no stacks are configured, a stack fails
-// validation, or two stacks share a routing name.
+// New instantiates every configured stack and endpoint variant
+// (Replicas independent replicas each) and starts the batcher and
+// worker goroutines. It returns an error if nothing is configured, a
+// stack fails validation, or two stacks / endpoints share a routing
+// name.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	if len(cfg.Stacks) == 0 {
-		return nil, errors.New("serve: no stacks configured")
+	if len(cfg.Stacks) == 0 && len(cfg.Endpoints) == 0 {
+		return nil, errors.New("serve: no stacks or endpoints configured")
 	}
-	s := &Server{cfg: cfg, pools: make(map[string]*pool, len(cfg.Stacks))}
+	s := &Server{
+		cfg:       cfg,
+		pools:     make(map[string]*pool, len(cfg.Stacks)),
+		endpoints: make(map[string]*endpoint, len(cfg.Endpoints)),
+		variants:  make(map[string]*variant),
+	}
 	for _, spec := range cfg.Stacks {
-		name := spec.Key()
-		if _, dup := s.pools[name]; dup {
+		if _, err := s.addPool(spec); err != nil {
 			s.Close()
-			return nil, fmt.Errorf("serve: duplicate stack name %q", name)
+			return nil, err
 		}
-		p, err := newPool(name, spec.Stack, cfg)
-		if err != nil {
+	}
+	for _, eps := range cfg.Endpoints {
+		if eps.Name == "" || len(eps.Variants) == 0 {
 			s.Close()
-			return nil, fmt.Errorf("serve: stack %q: %w", name, err)
+			return nil, fmt.Errorf("serve: endpoint %q needs a name and at least one variant", eps.Name)
 		}
-		s.pools[name] = p
-		s.names = append(s.names, name)
+		if _, dup := s.endpoints[eps.Name]; dup {
+			s.Close()
+			return nil, fmt.Errorf("serve: duplicate endpoint name %q", eps.Name)
+		}
+		var vars []*variant
+		for _, vs := range eps.Variants {
+			p, err := s.addPool(vs.Spec)
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			v := &variant{name: vs.Spec.Key(), accuracy: vs.Accuracy, pool: p}
+			s.variants[v.name] = v
+			vars = append(vars, v)
+		}
+		s.endpoints[eps.Name] = newEndpoint(eps, vars)
+		s.endpointNames = append(s.endpointNames, eps.Name)
+	}
+	for name := range s.endpoints {
+		if _, clash := s.pools[name]; clash {
+			s.Close()
+			return nil, fmt.Errorf("serve: endpoint name %q collides with a pool name", name)
+		}
 	}
 	return s, nil
+}
+
+// addPool instantiates and registers one pool under its routing key.
+func (s *Server) addPool(spec StackSpec) (*pool, error) {
+	name := spec.Key()
+	if _, dup := s.pools[name]; dup {
+		return nil, fmt.Errorf("serve: duplicate stack name %q", name)
+	}
+	p, err := newPool(name, spec.Stack, s.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: stack %q: %w", name, err)
+	}
+	s.pools[name] = p
+	s.names = append(s.names, name)
+	return p, nil
 }
 
 // Stacks lists the hosted routing names in configuration order.
@@ -141,6 +206,19 @@ func (s *Server) Stacks() []string {
 	out := make([]string, len(s.names))
 	copy(out, s.names)
 	return out
+}
+
+// InputShape returns the per-image C×H×W input shape a hosted pool or
+// endpoint expects (an endpoint's variants all share their model's
+// shape), so clients can size images without rebuilding the model.
+func (s *Server) InputShape(name string) (tensor.Shape, error) {
+	if p, ok := s.pools[name]; ok {
+		return p.chw.Clone(), nil
+	}
+	if ep, ok := s.endpoints[name]; ok {
+		return ep.variants[0].pool.chw.Clone(), nil
+	}
+	return nil, fmt.Errorf("serve: unknown stack or endpoint %q", name)
 }
 
 // Submit enqueues one single-image request for the named stack and
@@ -151,9 +229,16 @@ func (s *Server) Stacks() []string {
 // The server does not copy the image at submit time: the caller must
 // not mutate it until the Future resolves, or the batch may execute
 // over the mutated data.
+//
+// An endpoint name is accepted too: the request is routed with a zero
+// SLO (cheapest variant), which means bounded admission — a saturated
+// endpoint sheds with ErrOverloaded instead of blocking.
 func (s *Server) Submit(ctx context.Context, stack string, img *tensor.Tensor) (*Future, error) {
 	p, ok := s.pools[stack]
 	if !ok {
+		if ep, isEndpoint := s.endpoints[stack]; isEndpoint {
+			return ep.route(img, SLO{})
+		}
 		return nil, fmt.Errorf("serve: unknown stack %q (hosted: %v)", stack, s.names)
 	}
 	return p.submit(ctx, img)
@@ -172,8 +257,13 @@ func (s *Server) Infer(ctx context.Context, stack string, img *tensor.Tensor) (R
 	return f.Wait(ctx)
 }
 
-// Stats snapshots the named pool's serving statistics.
+// Stats snapshots the named pool's serving statistics. For pools
+// backing an endpoint variant the snapshot includes the routed/shed
+// counters.
 func (s *Server) Stats(stack string) (Stats, error) {
+	if v, ok := s.variants[stack]; ok {
+		return v.stats().Pool, nil
+	}
 	p, ok := s.pools[stack]
 	if !ok {
 		return Stats{}, fmt.Errorf("serve: unknown stack %q", stack)
@@ -181,10 +271,16 @@ func (s *Server) Stats(stack string) (Stats, error) {
 	return p.snapshot(), nil
 }
 
-// AllStats snapshots every pool, keyed by routing name.
+// AllStats snapshots every pool, keyed by routing name; pools backing
+// endpoint variants carry their routed/shed traffic counters, so the
+// aggregate view breaks SLO-routed traffic down per variant.
 func (s *Server) AllStats() map[string]Stats {
 	out := make(map[string]Stats, len(s.pools))
 	for name, p := range s.pools {
+		if v, ok := s.variants[name]; ok {
+			out[name] = v.stats().Pool
+			continue
+		}
 		out[name] = p.snapshot()
 	}
 	return out

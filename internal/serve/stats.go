@@ -22,16 +22,37 @@ type Stats struct {
 	// requests the average forward pass carried. 1.0 means batching
 	// never coalesced anything.
 	MeanBatchOccupancy float64
-	// Throughput is completed requests per second, measured from the
-	// first enqueue to the latest resolution.
+	// Throughput is the steady-state completion rate: completed
+	// requests per second over the latency recorder's sliding window
+	// (first to last completion stamp in the window), so an idle gap
+	// ages out of the figure instead of deflating it forever. Until the
+	// window holds two spaced completions it falls back to the lifetime
+	// rate.
 	Throughput float64
+	// LifetimeThroughput is Completed divided by the span from the
+	// first enqueue to the latest resolution — the whole-life average,
+	// which any idle period dilutes permanently. Kept alongside the
+	// windowed figure for capacity accounting.
+	LifetimeThroughput float64
+	// MeanBatchLatency is the observed mean wall time of one batched
+	// forward pass — the unit the admission controller's RetryAfter
+	// hints are denominated in.
+	MeanBatchLatency time.Duration
 	// Latency summarises end-to-end request latency (queueing +
 	// batching delay + execution); percentiles are over the recorder's
 	// sliding window.
 	Latency metrics.LatencySummary
-	// QueueDepth is the number of requests currently queued and not yet
-	// handed to a batch.
+	// QueueDepth is the number of admitted requests not yet executing:
+	// queued in the channel plus those already coalescing in the
+	// batcher's open batch. Depth-based admission and RetryAfter hints
+	// are computed over this inclusive count.
 	QueueDepth int
+	// Routed and Shed count SLO-routed traffic when this pool backs an
+	// endpoint variant (see Router): requests the router placed here,
+	// and requests it had to refuse with ErrOverloaded while this pool
+	// was their preferred variant. Both stay zero for directly
+	// addressed pools.
+	Routed, Shed uint64
 	// ReplicaMemoryMB is the modelled per-replica runtime footprint at
 	// MaxBatch (weights in execution format + activations + padding),
 	// from the internal/metrics accounting. Total serving footprint is
@@ -49,21 +70,29 @@ func (st Stats) String() string {
 // snapshot assembles the pool's current statistics.
 func (p *pool) snapshot() Stats {
 	st := Stats{
-		Stack:           p.name,
-		Replicas:        len(p.insts),
-		Completed:       p.completed.Load(),
-		Failed:          p.failed.Load(),
-		Batches:         p.batchesDone.Load(),
-		Latency:         p.lat.Summary(),
-		QueueDepth:      len(p.queue),
-		ReplicaMemoryMB: p.replicaMB,
+		Stack:            p.name,
+		Replicas:         len(p.insts),
+		Completed:        p.completed.Load(),
+		Failed:           p.failed.Load(),
+		Batches:          p.batchesDone.Load(),
+		MeanBatchLatency: p.meanBatchTime(),
+		Latency:          p.lat.Summary(),
+		QueueDepth:       int(p.pending.Load()),
+		ReplicaMemoryMB:  p.replicaMB,
 	}
 	if st.Batches > 0 {
 		st.MeanBatchOccupancy = float64(st.Completed+st.Failed) / float64(st.Batches)
 	}
 	first, last := p.firstEnqueue.Load(), p.lastDone.Load()
 	if st.Completed > 0 && last > first {
-		st.Throughput = float64(st.Completed) / (time.Duration(last - first)).Seconds()
+		st.LifetimeThroughput = float64(st.Completed) / (time.Duration(last - first)).Seconds()
+	}
+	st.Throughput = st.Latency.WindowRate
+	if st.Throughput == 0 {
+		// Fewer than two spaced completions in the window (e.g. one
+		// batch resolved at a single stamp): the lifetime figure is the
+		// best available estimate.
+		st.Throughput = st.LifetimeThroughput
 	}
 	return st
 }

@@ -39,14 +39,18 @@ type pool struct {
 	completed    atomic.Uint64
 	failed       atomic.Uint64
 	batchesDone  atomic.Uint64
-	firstEnqueue atomic.Int64 // enqueue ns of the first served request, 0 = none yet
-	lastDone     atomic.Int64 // ns since epoch of the latest resolution
+	batchesTimed atomic.Uint64 // successful batches behind batchNanos
+	batchNanos   atomic.Int64  // summed wall time of successful forward passes
+	pending      atomic.Int64  // admitted requests not yet executing (queued + coalescing)
+	firstEnqueue atomic.Int64  // enqueue ns of the first served request, 0 = none yet
+	lastDone     atomic.Int64  // ns since epoch of the latest resolution
 	lat          *metrics.LatencyRecorder
 
-	// Geometry, cached from the instantiated network.
-	chw       tensor.Shape // per-image input shape
-	imgLen    int          // elements per image
-	replicaMB float64      // per-replica footprint at MaxBatch
+	// Geometry and cost, cached from the instantiated network.
+	chw          tensor.Shape // per-image input shape
+	imgLen       int          // elements per image
+	replicaMB    float64      // per-replica footprint at MaxBatch
+	modelSeconds float64      // modelled single-image time (static cost rank)
 }
 
 // newPool instantiates the stack Replicas times and starts the batcher
@@ -65,16 +69,17 @@ func newPool(name string, stack core.Config, cfg Config) (*pool, error) {
 		insts = append(insts, rep)
 	}
 	p := &pool{
-		name:      name,
-		cfg:       cfg,
-		insts:     insts,
-		queue:     make(chan *request, cfg.QueueCap),
-		batches:   make(chan []*request),
-		drained:   make(chan struct{}),
-		lat:       metrics.NewLatencyRecorder(0),
-		chw:       proto.Net.InputShape.Clone(),
-		imgLen:    proto.Net.InputShape.NumElements(),
-		replicaMB: metrics.Measure(proto.Net, cfg.MaxBatch, proto.Config.Format()).MB(),
+		name:         name,
+		cfg:          cfg,
+		insts:        insts,
+		queue:        make(chan *request, cfg.QueueCap),
+		batches:      make(chan []*request),
+		drained:      make(chan struct{}),
+		lat:          metrics.NewLatencyRecorder(cfg.LatencyWindow),
+		chw:          proto.Net.InputShape.Clone(),
+		imgLen:       proto.Net.InputShape.NumElements(),
+		replicaMB:    metrics.Measure(proto.Net, cfg.MaxBatch, proto.Config.Format()).MB(),
+		modelSeconds: proto.Simulate(),
 	}
 	p.wg.Add(1)
 	go p.batchLoop()
@@ -108,12 +113,116 @@ func (p *pool) submit(ctx context.Context, img *tensor.Tensor) (*Future, error) 
 	p.mu.Unlock()
 	defer p.subs.Done()
 
+	// pending is raised before the send (and lowered again on a context
+	// abort) so it always bounds the true in-flight count from above: a
+	// batch that executes between send and a late increment would
+	// otherwise drive the counter transiently negative.
+	p.pending.Add(1)
 	select {
 	case p.queue <- r:
 		return r.fut, nil
 	case <-ctx.Done():
+		p.pending.Add(-1)
 		return nil, ctx.Err()
 	}
+}
+
+// trySubmit is the admission-controlled variant of submit the router
+// uses: it never blocks on a full pool. Load beyond the queue capacity
+// — counting both the queue channel and requests already coalescing in
+// the batcher's open batch — is refused with an *OverloadedError whose
+// RetryAfter estimates the current backlog's drain time, so callers
+// shed (or spill to another variant) instead of piling up unboundedly.
+func (p *pool) trySubmit(img *tensor.Tensor) (*Future, error) {
+	if err := p.checkShape(img); err != nil {
+		return nil, err
+	}
+	r := &request{img: img, enq: time.Now(), fut: newFuture()}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.subs.Add(1)
+	p.mu.Unlock()
+	defer p.subs.Done()
+
+	// The pending gate bounds admitted-but-unexecuted load at QueueCap
+	// even though up to MaxBatch of it has already left the channel for
+	// the batcher's open batch; the non-blocking send is the backstop
+	// for a gated admit racing a full channel.
+	if p.pending.Add(1) > int64(p.cfg.QueueCap) {
+		p.pending.Add(-1)
+		return nil, p.overloaded()
+	}
+	select {
+	case p.queue <- r:
+		return r.fut, nil
+	default:
+		p.pending.Add(-1)
+		return nil, p.overloaded()
+	}
+}
+
+// overloaded builds the typed admission error: RetryAfter is the
+// estimated time for the pool's workers to drain the current backlog
+// (pending requests over MaxBatch-sized waves across the replicas, at
+// the observed mean batch wall time), floored at one millisecond.
+func (p *pool) overloaded() *OverloadedError {
+	d := p.drainEstimate()
+	if d < time.Millisecond {
+		// Cold pool (no mean yet) or empty backlog: still hint a
+		// non-zero backoff.
+		d = time.Millisecond
+	}
+	return &OverloadedError{Stack: p.name, RetryAfter: d}
+}
+
+// drainEstimate returns the projected time to execute everything
+// currently admitted and waiting — zero when the backlog is empty or
+// the pool has no observed batch time yet.
+func (p *pool) drainEstimate() time.Duration {
+	return p.waveTime(p.pending.Load())
+}
+
+// waveTime projects how long n requests take to execute: MaxBatch-sized
+// waves across the replicas at the observed mean batch wall time (0
+// until the first batch completes). Waves execute sequentially on each
+// worker, so the projection is whole turns — a lone request still pays
+// one full batch time no matter how many replicas are idle.
+func (p *pool) waveTime(n int64) time.Duration {
+	mean := p.meanBatchTime()
+	if mean <= 0 || n <= 0 {
+		return 0
+	}
+	waves := (n + int64(p.cfg.MaxBatch) - 1) / int64(p.cfg.MaxBatch)
+	turns := (waves + int64(len(p.insts)) - 1) / int64(len(p.insts))
+	return mean * time.Duration(turns)
+}
+
+// meanBatchTime is the observed mean wall time of one successful
+// batched forward pass (0 until the first one completes). Failed
+// batches are excluded from both numerator and denominator — an engine
+// panic resolves in microseconds and would otherwise drag admission
+// estimates far below real capacity.
+func (p *pool) meanBatchTime() time.Duration {
+	b := p.batchesTimed.Load()
+	if b == 0 {
+		return 0
+	}
+	return time.Duration(p.batchNanos.Load() / int64(b))
+}
+
+// estimatedLatency projects the end-to-end latency a newly admitted
+// request would see: the waves needed to execute the backlog plus the
+// request itself (an idle pool therefore projects one batch, not two).
+// ok is false until the pool has executed at least one batch.
+func (p *pool) estimatedLatency() (time.Duration, bool) {
+	if p.meanBatchTime() <= 0 {
+		return 0, false
+	}
+	return p.waveTime(p.pending.Load() + 1), true
 }
 
 // checkShape accepts C×H×W or 1×C×H×W matching the stack's input.
@@ -156,6 +265,9 @@ func (p *pool) workerLoop(inst *core.Instance) {
 // once either way.
 func (p *pool) runBatch(inst *core.Instance, batch []*request) {
 	n := len(batch)
+	// These requests are now executing, not waiting: admission depth and
+	// RetryAfter estimates stop counting them.
+	p.pending.Add(-int64(n))
 	res, err := p.runGuarded(inst, batch)
 	if err == nil && (res.Output.NumElements() == 0 || res.Output.NumElements()%n != 0) {
 		err = fmt.Errorf("serve: %s: engine returned %d outputs for a batch of %d",
@@ -197,7 +309,7 @@ func (p *pool) runBatch(inst *core.Instance, batch []*request) {
 		p.failed.Add(uint64(n))
 		p.batchesDone.Add(1)
 		for _, r := range batch {
-			r.fut.resolve(Result{BatchSize: n, Err: err})
+			r.fut.resolve(Result{Stack: p.name, BatchSize: n, Err: err})
 		}
 		return
 	}
@@ -205,6 +317,8 @@ func (p *pool) runBatch(inst *core.Instance, batch []*request) {
 	classes := res.Output.NumElements() / n
 	out := res.Output.Data()
 	p.completed.Add(uint64(n))
+	p.batchNanos.Add(int64(res.Elapsed))
+	p.batchesTimed.Add(1)
 	p.batchesDone.Add(1)
 	for i, r := range batch {
 		row := tensor.New(1, classes)
@@ -213,6 +327,7 @@ func (p *pool) runBatch(inst *core.Instance, batch []*request) {
 		p.lat.Observe(lat)
 		r.fut.resolve(Result{
 			Output:    row,
+			Stack:     p.name,
 			Class:     row.ArgMax(),
 			BatchSize: n,
 			Latency:   lat,
