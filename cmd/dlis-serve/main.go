@@ -1,8 +1,8 @@
-// Command dlis-serve runs the batched inference server under a
-// closed-loop load generator and reports a throughput/latency table per
-// stack configuration, next to the single-instance sequential baseline
-// the repository could already measure before the serving subsystem
-// existed.
+// Command dlis-serve runs the batched inference server — in process,
+// as an HTTP server, or as a remote load generator — and reports a
+// throughput/latency table per stack configuration through the
+// transport-agnostic dlis.Client API, so the same closed-loop run
+// works identically over either transport.
 //
 // Usage:
 //
@@ -11,30 +11,43 @@
 //	dlis-serve -model mini-vgg -requests 512 -clients 64
 //	dlis-serve -model resnet18 -variants plain,weight-pruning,quantisation \
 //	           -slo acc=90,lat=500ms,prio=1
+//	dlis-serve -model mini-vgg -listen :8080            # HTTP server mode
+//	dlis-serve -connect host:8080 -model mini-vgg/plain # remote load gen
 //
-// Each comma-separated model gets its own pool (routing key
-// "<model>/<technique>"). The load generator runs -clients concurrent
-// closed-loop clients per pool — each submits one request, waits for
-// its result, and immediately submits the next — until -requests
-// requests per pool have completed. The table reports, per pool:
+// In the default (in-process) mode each comma-separated model gets its
+// own pool (routing key "<model>/<technique>") and the load generator
+// drives a LocalClient. With -listen the process only serves: the same
+// pools (or -variants endpoints) are exposed over HTTP at /v1/infer,
+// /v1/models and /v1/stats until SIGINT/SIGTERM drains them. With
+// -connect the process only generates load: -model names the remote
+// routing targets (pools or endpoints — discovered via /v1/models,
+// which also supplies the input geometry), and the report is built
+// from the remote statistics. Either way the load generator runs
+// -clients concurrent closed-loop clients per target — each submits
+// one request, waits for its result, and immediately submits the next
+// — until -requests requests per target have completed. Overloaded
+// responses (HTTP 429 with Retry-After, in-process ErrServerOverloaded
+// with the same hint) make the client back off and retry.
+//
+// The per-pool table reports:
 //
 //	throughput  completed requests per second through the server
 //	p50/p99     end-to-end request latency percentiles
 //	occupancy   mean requests per executed batch (>1 ⇒ batching engaged)
 //	baseline    sequential single-image req/s on ONE instance (no
-//	            batching, no concurrency): the pre-serving repo's ceiling
-//	speedup     throughput / baseline
+//	            batching, no concurrency) — in-process mode only
+//	speedup     throughput / baseline — in-process mode only
 //
 // The compression operating point for non-plain techniques is the
 // paper's Table III baseline for that model.
 //
-// With -variants, each model becomes one SLO-routed *endpoint* fronting
-// the listed compressed variants (Table III operating points, Pareto
-// accuracies). Clients submit against the endpoint name under the -slo
-// objective; admission is bounded, so saturated variants shed with a
-// RetryAfter hint and clients back off and retry. The report then
-// breaks traffic down per variant — served versus shed — instead of
-// the baseline/speedup columns.
+// With -variants, each model becomes one SLO-routed *endpoint*
+// fronting the listed compressed variants (Table III operating points,
+// Pareto accuracies). Clients submit against the endpoint name under
+// the -slo objective; admission is bounded, so saturated variants shed
+// with a RetryAfter hint. The report then breaks traffic down per
+// variant — served versus shed — instead of the baseline/speedup
+// columns.
 package main
 
 import (
@@ -42,12 +55,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -55,23 +71,29 @@ import (
 )
 
 func main() {
-	models := flag.String("model", "resnet18", "comma-separated models to serve (full-size or mini-*)")
+	models := flag.String("model", "resnet18", "comma-separated models to serve (full-size or mini-*); with -connect, the remote routing targets")
 	technique := flag.String("technique", "plain", "compression technique: plain, weight-pruning, channel-pruning, quantisation")
 	replicas := flag.Int("replicas", 4, "replica workers per pool")
 	batch := flag.Int("batch", 8, "max dynamic batch size")
 	delay := flag.Duration("delay", 2*time.Millisecond, "max batching delay for a non-full batch")
-	clients := flag.Int("clients", 0, "closed-loop clients per pool (default 2*replicas*batch)")
-	requests := flag.Int("requests", 0, "requests per pool (default 4*replicas*batch, min 64)")
-	baselineN := flag.Int("baseline-images", 8, "images for the sequential baseline measurement")
+	clients := flag.Int("clients", 0, "closed-loop clients per target (default 2*replicas*batch)")
+	requests := flag.Int("requests", 0, "requests per target (default 4*replicas*batch, min 64)")
+	baselineN := flag.Int("baseline-images", 8, "images for the sequential baseline measurement (in-process mode)")
 	threads := flag.Int("threads", 1, "engine threads per worker (stack layer 4)")
 	auto := flag.Bool("auto", false, "per-layer algorithm selection: plan compilation times direct/im2col/Winograd/sparse per conv geometry and bakes the winner in")
 	platform := flag.String("platform", "odroid-xu4", "modelled platform of the stack configuration")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	memlimitMB := flag.Int("memlimit-mb", 0, "soft heap limit in MB; 0 sizes it from the replica footprints, -1 disables")
 	variants := flag.String("variants", "", "comma-separated techniques to host as one SLO-routed endpoint per model (e.g. plain,weight-pruning,quantisation); empty serves one pool per model")
-	sloSpec := flag.String("slo", "", "request SLO for -variants mode: acc=<min top-1 %>,lat=<max latency>,prio=<class>, any subset (e.g. acc=90,lat=500ms,prio=1)")
+	sloSpec := flag.String("slo", "", "request SLO: acc=<min top-1 %>,lat=<max latency>,prio=<class>, any subset (e.g. acc=90,lat=500ms,prio=1)")
 	queueCap := flag.Int("queuecap", 0, "per-pool admission queue capacity (0 = replicas*batch*4); routed traffic beyond it is shed with a RetryAfter hint")
+	listen := flag.String("listen", "", "serve the configured stacks over HTTP on this address (e.g. :8080) instead of running the load generator")
+	connect := flag.String("connect", "", "drive a remote dlis HTTP server at this address (e.g. host:8080) instead of building one in-process")
 	flag.Parse()
+
+	if *listen != "" && *connect != "" {
+		fatal(errors.New("-listen and -connect are mutually exclusive"))
+	}
 
 	// Two full waves of batches per pool keep the queue deep enough that
 	// workers always find a full batch waiting — occupancy stays near
@@ -85,25 +107,37 @@ func main() {
 			*requests = 64
 		}
 	}
-	if *baselineN < 2 {
-		fatal(fmt.Errorf("-baseline-images must be ≥ 2 (one before and one after the load run), got %d", *baselineN))
+
+	slo, err := parseSLO(*sloSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var targets []string
+	for _, model := range strings.Split(*models, ",") {
+		if model = strings.TrimSpace(model); model != "" {
+			targets = append(targets, model)
+		}
+	}
+	if len(targets) == 0 {
+		fatal(errors.New("no models given"))
+	}
+
+	gen := loadGen{
+		targets: targets, slo: slo,
+		clients: *clients, requests: *requests, seed: *seed,
+	}
+
+	// Remote mode: no server, no baseline — the wire supplies
+	// discovery, geometry and the final statistics.
+	if *connect != "" {
+		runRemote(dlis.NewHTTPClient(*connect), gen)
+		return
 	}
 
 	tech, err := parseTechnique(*technique)
 	if err != nil {
 		fatal(err)
 	}
-
-	var modelList []string
-	for _, model := range strings.Split(*models, ",") {
-		if model = strings.TrimSpace(model); model != "" {
-			modelList = append(modelList, model)
-		}
-	}
-	if len(modelList) == 0 {
-		fatal(fmt.Errorf("no models given"))
-	}
-
 	srvCfg := dlis.DefaultServerConfig()
 	srvCfg.Replicas, srvCfg.MaxBatch, srvCfg.MaxDelay, srvCfg.QueueCap = *replicas, *batch, *delay, *queueCap
 	baseCfg := dlis.StackConfig{
@@ -111,81 +145,226 @@ func main() {
 		AutoAlgo: *auto,
 	}
 
-	if *variants != "" {
+	endpointMode := *variants != ""
+	if endpointMode {
 		techs, err := parseTechniques(*variants)
 		if err != nil {
 			fatal(err)
 		}
-		slo, err := parseSLO(*sloSpec)
-		if err != nil {
-			fatal(err)
+		for _, m := range targets {
+			base := baseCfg
+			base.Model = m
+			srvCfg.Endpoints = append(srvCfg.Endpoints, dlis.NewEndpoint(m, base, techs...))
 		}
-		runEndpoints(endpointRun{
-			models: modelList, techs: techs, slo: slo,
-			cfg: srvCfg, base: baseCfg,
-			clients: *clients, requests: *requests,
-			seed: *seed, memlimitMB: *memlimitMB,
-		})
-		return
-	}
-
-	var stacks []dlis.ServerStack
-	for _, model := range modelList {
-		cfg := baseCfg
-		cfg.Model, cfg.Technique = model, tech
-		if tech != dlis.Plain {
-			pts, err := dlis.TableIII(model)
-			if err != nil {
-				fatal(fmt.Errorf("%s: no Table III operating point: %w", model, err))
+		fmt.Printf("dlis-serve: %d endpoint(s) × %d variants × %d replicas, batch ≤ %d (window %v), queue cap %d\n",
+			len(targets), len(techs), srvCfg.Replicas, srvCfg.MaxBatch, srvCfg.MaxDelay, effectiveQueueCap(srvCfg))
+		fmt.Printf("SLO: min accuracy %.1f%%, max latency %v, priority %d\n",
+			slo.MinAccuracy, slo.MaxLatency, slo.Priority)
+	} else {
+		for i, m := range targets {
+			cfg := baseCfg
+			cfg.Model, cfg.Technique = m, tech
+			if tech != dlis.Plain {
+				pts, err := dlis.TableIII(m)
+				if err != nil {
+					fatal(fmt.Errorf("%s: no Table III operating point: %w", m, err))
+				}
+				cfg.Point = pts[tech]
 			}
-			cfg.Point = pts[tech]
+			spec := dlis.ServerStack{Stack: cfg}
+			srvCfg.Stacks = append(srvCfg.Stacks, spec)
+			targets[i] = spec.Key() // clients address the routing key
 		}
-		stacks = append(stacks, dlis.ServerStack{Stack: cfg})
+		fmt.Printf("dlis-serve: %d pool(s) × %d replicas, batch ≤ %d (window %v)\n",
+			len(targets), srvCfg.Replicas, srvCfg.MaxBatch, srvCfg.MaxDelay)
 	}
 
-	// Sequential baseline: one instance, one image at a time — the only
-	// serving shape the repository had before internal/serve. Half the
-	// baseline images are timed before the load run and half after, so
-	// slow drift in the host's effective speed (shared vCPU) cancels in
-	// the reported speedup instead of biasing it either way.
-	fmt.Printf("dlis-serve: %d pool(s) × %d replicas, batch ≤ %d (window %v), %d clients, %d requests/pool\n\n",
-		len(stacks), *replicas, *batch, *delay, *clients, *requests)
-	probes := make(map[string]*baselineProbe, len(stacks))
-	for _, spec := range stacks {
-		name := spec.Key()
-		fmt.Printf("measuring sequential baseline for %s (%d of %d images)...\n", name, *baselineN/2+*baselineN%2, *baselineN)
-		probe, err := newBaselineProbe(spec.Stack, *seed)
-		if err != nil {
-			fatal(err)
+	// Sequential baseline (in-process load-gen mode only): one
+	// instance, one image at a time — the only serving shape the
+	// repository had before internal/serve. Half the baseline images
+	// are timed before the load run and half after, so slow drift in
+	// the host's effective speed (shared vCPU) cancels in the reported
+	// speedup instead of biasing it either way.
+	var probes map[string]*baselineProbe
+	if *listen == "" && !endpointMode {
+		if *baselineN < 2 {
+			fatal(fmt.Errorf("-baseline-images must be ≥ 2 (one before and one after the load run), got %d", *baselineN))
 		}
-		probes[name] = probe
-		pre := probe.measure(*baselineN/2 + *baselineN%2)
-		fmt.Printf("  %v/image\n", pre.Round(time.Microsecond))
+		probes = make(map[string]*baselineProbe, len(srvCfg.Stacks))
+		for _, spec := range srvCfg.Stacks {
+			name := spec.Key()
+			fmt.Printf("measuring sequential baseline for %s (%d of %d images)...\n", name, *baselineN/2+*baselineN%2, *baselineN)
+			probe, err := newBaselineProbe(spec.Stack, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			probes[name] = probe
+			pre := probe.measure(*baselineN/2 + *baselineN%2)
+			fmt.Printf("  %v/image\n", pre.Round(time.Microsecond))
+		}
 	}
 
-	srvCfg.Stacks = stacks
-	fmt.Printf("\nstarting server (%d replica instance(s) per pool)...\n", *replicas)
+	fmt.Printf("starting server (%d replica instance(s) per pool)...\n", srvCfg.Replicas)
 	srv, err := dlis.NewServer(srvCfg)
 	if err != nil {
 		fatal(err)
 	}
 	applyMemLimit(srv, *memlimitMB)
 
+	if *listen != "" {
+		serveHTTP(srv, *listen)
+		return
+	}
+
+	client := dlis.NewLocalClient(srv)
+	wall, errCount := runLoad(client, gen)
+	srv.Close()
+	fmt.Printf("\nload run complete in %v\n", wall.Round(time.Millisecond))
+
+	baseline := map[string]float64{}
+	for name, probe := range probes {
+		fmt.Printf("measuring sequential baseline for %s (remaining %d images)...\n", name, *baselineN/2)
+		probe.measure(*baselineN / 2)
+		perImage := probe.perImage()
+		baseline[name] = 1 / perImage.Seconds()
+		fmt.Printf("  %v/image → %.2f req/s overall\n", perImage.Round(time.Microsecond), baseline[name])
+	}
+
+	st, err := client.Stats(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	report(st, gen, *batch, baseline, errCount)
+}
+
+// serveHTTP exposes the server's pools and endpoints over the httpapi
+// routes until a termination signal arrives, then drains gracefully.
+func serveHTTP(srv *dlis.Server, addr string) {
+	hs := &http.Server{Addr: addr, Handler: dlis.NewHTTPHandler(srv, 0)}
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	fmt.Printf("serving HTTP on %s (/v1/infer /v1/models /v1/stats); SIGINT drains\n", addr)
+	select {
+	case err := <-done:
+		fatal(err) // listener died before any signal
+	case s := <-sig:
+		fmt.Printf("\n%v: draining...\n", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx) // stop accepting, finish in-flight exchanges
+	srv.Close()          // drain accepted requests
+	fmt.Println("drained")
+}
+
+// runRemote drives a remote server: discovery (with a startup grace
+// period so a just-launched -listen process can finish instantiating),
+// geometry from /v1/models, the shared load loop, and a report built
+// from the remote statistics.
+func runRemote(client *dlis.HTTPClient, gen loadGen) {
 	ctx := context.Background()
+	var ms []dlis.ModelInfo
+	var err error
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		if ms, err = client.Models(ctx); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("remote server unreachable: %w", err))
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	hosted := make(map[string]dlis.ModelInfo, len(ms))
+	var names []string
+	for _, m := range ms {
+		hosted[m.Name] = m
+		names = append(names, m.Name)
+	}
+	for _, t := range gen.targets {
+		if _, ok := hosted[t]; !ok {
+			fatal(fmt.Errorf("remote server does not host %q (hosted: %v)", t, names))
+		}
+	}
+	fmt.Printf("dlis-serve: remote load generator → %d target(s), %d clients, %d requests/target\n",
+		len(gen.targets), gen.clients, gen.requests)
+	wall, errCount := runLoad(client, gen)
+	fmt.Printf("\nload run complete in %v\n", wall.Round(time.Millisecond))
+	st, err := client.Stats(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	report(st, gen, 0, nil, errCount)
+}
+
+// loadGen bundles the closed-loop load parameters shared by every
+// transport.
+type loadGen struct {
+	targets  []string
+	slo      dlis.SLO
+	clients  int
+	requests int
+	seed     uint64
+}
+
+// runLoad drives the closed loop through the transport-agnostic
+// Client: per target, gen.clients concurrent clients each submit one
+// request, wait, and submit the next until the target's budget is
+// spent. Overload rejections back off by the server's RetryAfter hint
+// (bounded so one slow variant cannot idle a client for seconds) and
+// retry; other errors abort that client.
+func runLoad(client dlis.Client, gen loadGen) (time.Duration, int64) {
+	ctx := context.Background()
+	shapes := make(map[string][2]int, len(gen.targets))
+	ms, err := client.Models(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	for _, m := range ms {
+		if len(m.InputShape) == 3 {
+			shapes[m.Name] = [2]int{m.InputShape[1], m.InputShape[2]}
+		}
+	}
+	for _, t := range gen.targets {
+		if _, ok := shapes[t]; !ok {
+			fatal(fmt.Errorf("no input geometry for target %q", t))
+		}
+	}
+
 	var wg sync.WaitGroup
 	var clientErrs atomic.Int64
 	start := time.Now()
-	for _, name := range srv.Stacks() {
+	for _, name := range gen.targets {
 		var budget atomic.Int64
-		budget.Store(int64(*requests))
-		for c := 0; c < *clients; c++ {
+		budget.Store(int64(gen.requests))
+		for c := 0; c < gen.clients; c++ {
 			wg.Add(1)
 			go func(name string, c int, budget *atomic.Int64) {
 				defer wg.Done()
-				hw := probes[name].hw
-				img := dlis.NewImage(1, hw[0], hw[1], uint64(c)+*seed)
+				hw := shapes[name]
+				img := dlis.NewImage(1, hw[0], hw[1], uint64(c)+gen.seed)
+				req := dlis.Request{Target: name, Images: []*dlis.Tensor{img}, SLO: gen.slo}
 				for budget.Add(-1) >= 0 {
-					if _, err := srv.Infer(ctx, name, img); err != nil {
+					for {
+						_, err := client.InferSync(ctx, req)
+						if err == nil {
+							break
+						}
+						if errors.Is(err, dlis.ErrServerOverloaded) {
+							// Shed: honour the hint from either transport
+							// (HTTP carries it as 429 + Retry-After).
+							retry := time.Millisecond
+							var ov *dlis.OverloadedError
+							if errors.As(err, &ov) && ov.RetryAfter > retry {
+								retry = ov.RetryAfter
+							}
+							if max := 50 * time.Millisecond; retry > max {
+								retry = max
+							}
+							time.Sleep(retry)
+							continue
+						}
 						clientErrs.Add(1)
 						fmt.Fprintf(os.Stderr, "dlis-serve: %s client %d: %v\n", name, c, err)
 						return
@@ -195,44 +374,94 @@ func main() {
 		}
 	}
 	wg.Wait()
-	wall := time.Since(start)
-	srv.Close()
-	fmt.Printf("\nload run complete in %v\n", wall.Round(time.Millisecond))
+	return time.Since(start), clientErrs.Load()
+}
 
-	baseline := make(map[string]float64, len(stacks))
-	for _, name := range srv.Stacks() {
-		fmt.Printf("measuring sequential baseline for %s (remaining %d images)...\n", name, *baselineN/2)
-		probes[name].measure(*baselineN / 2)
-		perImage := probes[name].perImage()
-		baseline[name] = 1 / perImage.Seconds()
-		fmt.Printf("  %v/image → %.2f req/s overall\n", perImage.Round(time.Microsecond), baseline[name])
-	}
+// report renders the final table from a ServerStats snapshot — the
+// same structure whichever transport produced it. Targets that are
+// endpoints get the per-variant served/shed table; pool targets get
+// the throughput table, with baseline/speedup columns when the
+// sequential baseline was measured (in-process mode).
+func report(st dlis.ServerStats, gen loadGen, batch int, baseline map[string]float64, errCount int64) {
 	fmt.Println()
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "stack\treplicas\tbatch\trequests\tthroughput\tp50\tp99\toccupancy\tqueue\tmem/replica\tbaseline\tspeedup")
-	for _, name := range srv.Stacks() {
-		st, err := srv.Stats(name)
-		if err != nil {
-			fatal(err)
+	var pools, endpoints []string
+	for _, t := range gen.targets {
+		if _, ok := st.Endpoints[t]; ok {
+			endpoints = append(endpoints, t)
+		} else {
+			pools = append(pools, t)
 		}
-		base := baseline[name]
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2f req/s\t%v\t%v\t%.2f\t%d\t%.1f MB\t%.2f req/s\t%.2f×\n",
-			name, st.Replicas, *batch, st.Completed, st.Throughput,
-			st.Latency.P50.Round(time.Microsecond), st.Latency.P99.Round(time.Microsecond),
-			st.MeanBatchOccupancy, st.QueueDepth, st.ReplicaMemoryMB, base, st.Throughput/base)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if len(pools) > 0 {
+		hdr := "stack\treplicas\tbatch\trequests\tthroughput\tp50\tp99\toccupancy\tqueue\tmem/replica"
+		if baseline != nil {
+			hdr += "\tbaseline\tspeedup"
+		}
+		fmt.Fprintln(tw, hdr)
+		for _, name := range pools {
+			ps, ok := st.Pools[name]
+			if !ok {
+				fatal(fmt.Errorf("no statistics for %q", name))
+			}
+			// The batch column is the load generator's own -batch; a
+			// remote server's setting is not on the wire, so show "-".
+			batchCol := "-"
+			if batch > 0 {
+				batchCol = strconv.Itoa(batch)
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%.2f req/s\t%v\t%v\t%.2f\t%d\t%.1f MB",
+				name, ps.Replicas, batchCol, ps.Completed, ps.Throughput,
+				ps.Latency.P50.Round(time.Microsecond), ps.Latency.P99.Round(time.Microsecond),
+				ps.MeanBatchOccupancy, ps.QueueDepth, ps.ReplicaMemoryMB)
+			if baseline != nil {
+				base := baseline[name]
+				fmt.Fprintf(tw, "\t%.2f req/s\t%.2f×", base, ps.Throughput/base)
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	if len(endpoints) > 0 {
+		fmt.Fprintln(tw, "variant\taccuracy\tmodelled\tserved\tshed\tthroughput\tp50\tp99\toccupancy\tmem/replica")
+		for _, name := range endpoints {
+			es := st.Endpoints[name]
+			for _, v := range es.Variants {
+				acc := "n/a"
+				if v.Accuracy > 0 {
+					acc = fmt.Sprintf("%.1f%%", v.Accuracy)
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%.3fs\t%d\t%d\t%.2f req/s\t%v\t%v\t%.2f\t%.1f MB\n",
+					v.Name, acc, v.ModelledSeconds, v.Routed, v.Shed,
+					v.Pool.Throughput,
+					v.Pool.Latency.P50.Round(time.Microsecond), v.Pool.Latency.P99.Round(time.Microsecond),
+					v.Pool.MeanBatchOccupancy, v.Pool.ReplicaMemoryMB)
+			}
+			fmt.Fprintf(tw, "%s TOTAL\t\t\t%d\t%d\t\t\t\t\t\n", es.Endpoint, es.Routed, es.Shed)
+		}
 	}
 	tw.Flush()
 
-	if n := clientErrs.Load(); n > 0 {
-		fmt.Printf("\nwarning: %d client(s) aborted on error — the table reflects only the requests that actually completed, not the configured -requests\n", n)
+	if errCount > 0 {
+		fmt.Printf("\nwarning: %d client(s) aborted on error — the table reflects only the requests that actually completed, not the configured -requests\n", errCount)
 	}
-	for _, name := range srv.Stacks() {
-		st, _ := srv.Stats(name)
-		if st.MeanBatchOccupancy <= 1 && *clients > 1 {
+	// A single closed-loop client can never coalesce, so only warn when
+	// batching had a chance to engage.
+	for _, name := range pools {
+		if ps := st.Pools[name]; ps.MeanBatchOccupancy <= 1 && gen.clients > 1 {
 			fmt.Printf("\nwarning: %s batch occupancy %.2f ≤ 1 — batching never engaged; raise -clients or -delay\n",
-				name, st.MeanBatchOccupancy)
+				name, ps.MeanBatchOccupancy)
 		}
 	}
+}
+
+// effectiveQueueCap mirrors the server's own default so banners state
+// the cap the shed counts were actually produced under.
+func effectiveQueueCap(cfg dlis.ServerConfig) int {
+	if cfg.QueueCap >= 1 {
+		return cfg.QueueCap
+	}
+	return cfg.Replicas * cfg.MaxBatch * 4
 }
 
 // baselineProbe times sequential single-image inference on one
@@ -280,129 +509,6 @@ func (p *baselineProbe) perImage() time.Duration {
 		return 0
 	}
 	return p.total / time.Duration(p.n)
-}
-
-// endpointRun bundles the -variants mode parameters.
-type endpointRun struct {
-	models     []string
-	techs      []dlis.Technique
-	slo        dlis.SLO
-	cfg        dlis.ServerConfig
-	base       dlis.StackConfig // Model filled per endpoint
-	clients    int
-	requests   int
-	seed       uint64
-	memlimitMB int
-}
-
-// runEndpoints serves each model as one SLO-routed endpoint over the
-// requested variants, drives the closed-loop load (clients back off on
-// ErrServerOverloaded by the RetryAfter hint and retry), and reports
-// served-versus-shed traffic per variant.
-func runEndpoints(r endpointRun) {
-	for _, m := range r.models {
-		base := r.base
-		base.Model = m
-		r.cfg.Endpoints = append(r.cfg.Endpoints, dlis.NewEndpoint(m, base, r.techs...))
-	}
-	// Mirror the server's own default so the banner states the cap the
-	// shed counts below were actually produced under.
-	effectiveCap := r.cfg.QueueCap
-	if effectiveCap < 1 {
-		effectiveCap = r.cfg.Replicas * r.cfg.MaxBatch * 4
-	}
-	fmt.Printf("dlis-serve: %d endpoint(s) × %d variants × %d replicas, batch ≤ %d (window %v), queue cap %d\n",
-		len(r.models), len(r.techs), r.cfg.Replicas, r.cfg.MaxBatch, r.cfg.MaxDelay, effectiveCap)
-	fmt.Printf("SLO: min accuracy %.1f%%, max latency %v, priority %d; %d clients, %d requests/endpoint\n\n",
-		r.slo.MinAccuracy, r.slo.MaxLatency, r.slo.Priority, r.clients, r.requests)
-
-	fmt.Printf("starting server (%d replica instance(s) per variant pool)...\n", r.cfg.Replicas)
-	srv, err := dlis.NewServer(r.cfg)
-	if err != nil {
-		fatal(err)
-	}
-	applyMemLimit(srv, r.memlimitMB)
-
-	// Input geometry per endpoint, from the already-instantiated pools.
-	shapes := make(map[string][2]int, len(r.models))
-	for _, name := range srv.Endpoints() {
-		chw, err := srv.InputShape(name)
-		if err != nil {
-			fatal(err)
-		}
-		shapes[name] = [2]int{chw[1], chw[2]}
-	}
-
-	ctx := context.Background()
-	var wg sync.WaitGroup
-	var clientErrs atomic.Int64
-	start := time.Now()
-	for _, name := range srv.Endpoints() {
-		var budget atomic.Int64
-		budget.Store(int64(r.requests))
-		for c := 0; c < r.clients; c++ {
-			wg.Add(1)
-			go func(name string, c int, budget *atomic.Int64) {
-				defer wg.Done()
-				hw := shapes[name]
-				img := dlis.NewImage(1, hw[0], hw[1], uint64(c)+r.seed)
-				for budget.Add(-1) >= 0 {
-					for {
-						_, err := srv.RouteInfer(ctx, name, img, r.slo)
-						if err == nil {
-							break
-						}
-						if errors.Is(err, dlis.ErrServerOverloaded) {
-							// Shed: honour the hint (bounded so one slow
-							// variant cannot idle the client for seconds).
-							retry := time.Millisecond
-							var ov *dlis.OverloadedError
-							if errors.As(err, &ov) && ov.RetryAfter > retry {
-								retry = ov.RetryAfter
-							}
-							if max := 50 * time.Millisecond; retry > max {
-								retry = max
-							}
-							time.Sleep(retry)
-							continue
-						}
-						clientErrs.Add(1)
-						fmt.Fprintf(os.Stderr, "dlis-serve: %s client %d: %v\n", name, c, err)
-						return
-					}
-				}
-			}(name, c, &budget)
-		}
-	}
-	wg.Wait()
-	wall := time.Since(start)
-	srv.Close()
-	fmt.Printf("\nload run complete in %v\n\n", wall.Round(time.Millisecond))
-
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "variant\taccuracy\tmodelled\tserved\tshed\tthroughput\tp50\tp99\toccupancy\tmem/replica")
-	for _, name := range srv.Endpoints() {
-		st, err := srv.EndpointStats(name)
-		if err != nil {
-			fatal(err)
-		}
-		for _, v := range st.Variants {
-			acc := "n/a"
-			if v.Accuracy > 0 {
-				acc = fmt.Sprintf("%.1f%%", v.Accuracy)
-			}
-			fmt.Fprintf(tw, "%s\t%s\t%.3fs\t%d\t%d\t%.2f req/s\t%v\t%v\t%.2f\t%.1f MB\n",
-				v.Name, acc, v.ModelledSeconds, v.Routed, v.Shed,
-				v.Pool.Throughput,
-				v.Pool.Latency.P50.Round(time.Microsecond), v.Pool.Latency.P99.Round(time.Microsecond),
-				v.Pool.MeanBatchOccupancy, v.Pool.ReplicaMemoryMB)
-		}
-		fmt.Fprintf(tw, "%s TOTAL\t\t\t%d\t%d\t\t\t\t\t\n", st.Endpoint, st.Routed, st.Shed)
-	}
-	tw.Flush()
-	if n := clientErrs.Load(); n > 0 {
-		fmt.Printf("\nwarning: %d client(s) aborted on error — served counts reflect only completed requests\n", n)
-	}
 }
 
 // applyMemLimit caps the heap like a production serving process would:

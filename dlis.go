@@ -39,6 +39,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/pareto"
 	"repro/internal/serve"
+	"repro/internal/serve/httpapi"
 	"repro/internal/tensor"
 	"repro/internal/train"
 )
@@ -226,11 +227,74 @@ func NewEndpointAt(name string, base StackConfig, points map[Technique]Operating
 }
 
 // NewServer instantiates every configured stack (Replicas independent
-// replicas each, see Instance.Replicate) and starts serving. Callers
-// submit with Server.Submit or Server.Infer and must Close for a
-// graceful drain. See cmd/dlis-serve for a load-generating client.
+// replicas each, see Instance.Replicate) and starts serving. Wrap the
+// server in NewLocalClient (or expose it with NewHTTPHandler) and
+// submit through the Client interface; Close performs a graceful
+// drain. See cmd/dlis-serve for a load-generating client.
 func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
 
-// DefaultServerConfig returns the serving defaults used for zero
-// ServerConfig fields (1 replica, batches of up to 8, a 2ms window).
+// DefaultServerConfig returns the fully resolved serving defaults used
+// for zero ServerConfig fields (1 replica, batches of up to 8, a 2ms
+// window, queue capacity Replicas × MaxBatch × 4, the default latency
+// window) — the value advertises exactly what a zero-configured server
+// runs with.
 func DefaultServerConfig() ServerConfig { return serve.DefaultConfig() }
+
+// Transport-agnostic client surface (see DESIGN.md §8): one
+// Request/Response pair over every transport. Client is satisfied by
+// LocalClient (in-process, wrapping a Server) and HTTPClient (the same
+// types over the httpapi wire format), so serving code is written once
+// against Client and pointed at either deployment. The legacy
+// Server.Submit / Infer / Route / RouteInfer methods remain as
+// deprecated shims over this path.
+type (
+	// Client is the transport-agnostic serving API: Infer/InferSync
+	// with a Request, InferBatch for multi-image convenience, plus
+	// Stats, Models and Close.
+	Client = serve.Client
+	// Request is one inference request: Target (pool or endpoint
+	// routing name), Images (one or more C×H×W inputs) and an optional
+	// SLO. A zero SLO means direct routing, so the old Submit and Route
+	// collapse into one call.
+	Request = serve.Request
+	// Response holds one ServeResult per request image, in order.
+	Response = serve.Response
+	// ResponseFuture is the pending Response of an accepted Request;
+	// Wait is idempotent.
+	ResponseFuture = serve.ResponseFuture
+	// ModelInfo describes one routing target (name, kind, input shape,
+	// endpoint variants) as reported by Client.Models.
+	ModelInfo = serve.ModelInfo
+	// ServerStats is the whole-server snapshot Client.Stats returns:
+	// every pool plus every endpoint's per-variant breakdown.
+	ServerStats = serve.ServerStats
+	// LocalClient is the in-process Client over a Server.
+	LocalClient = serve.LocalClient
+	// HTTPClient is the remote Client: the same Request/Response types
+	// round-tripped over HTTP, with typed errors reconstructed so
+	// errors.Is(err, ErrServerOverloaded) etc. hold across the wire.
+	HTTPClient = httpapi.Client
+	// HTTPHandler exposes a Server over HTTP (/v1/infer, /v1/models,
+	// /v1/stats); it is an http.Handler for any mux or server.
+	HTTPHandler = httpapi.Handler
+)
+
+// ErrUnknownTarget is the errors.Is sentinel for requests naming a
+// routing target the server does not host (HTTP 404 over the wire).
+var ErrUnknownTarget = serve.ErrUnknownTarget
+
+// NewLocalClient wraps a running server in the transport-agnostic
+// Client interface. The client owns the server's shutdown: Close
+// drains it gracefully.
+func NewLocalClient(srv *Server) *LocalClient { return serve.NewLocalClient(srv) }
+
+// NewHTTPClient targets a dlis HTTP server at base (e.g.
+// "http://host:8080"); per-call deadlines come from the ctx.
+func NewHTTPClient(base string) *HTTPClient { return httpapi.NewClient(base) }
+
+// NewHTTPHandler exposes srv over HTTP. maxBodyBytes bounds request
+// bodies (0 = the 64 MiB default); the caller owns the listener
+// lifecycle. See cmd/dlis-serve -listen for a ready-made server mode.
+func NewHTTPHandler(srv *Server, maxBodyBytes int64) *HTTPHandler {
+	return httpapi.NewHandler(srv, maxBodyBytes)
+}

@@ -3,6 +3,8 @@ package dlis
 import (
 	"bytes"
 	"context"
+	"errors"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -288,5 +290,87 @@ func TestEndpointPublicAPI(t *testing.T) {
 	}
 	if all := srv.AllStats(); all["vgg/plain"].Routed != 1 {
 		t.Fatalf("AllStats missing routed traffic: %+v", all["vgg/plain"])
+	}
+}
+
+func TestClientPublicAPI(t *testing.T) {
+	// The transport-agnostic Client surface end to end through the
+	// facade: the same Request answered by a LocalClient and by an
+	// HTTPClient over a loopback listener, with identical logits and
+	// with the typed sentinels surviving the wire under errors.Is.
+	base := StackConfig{Model: "mini-vgg", Technique: Plain,
+		Backend: OMP, Threads: 1, Platform: "odroid-xu4", Seed: 1}
+	cfg := DefaultServerConfig()
+	cfg.Endpoints = []ServerEndpoint{NewEndpoint("vgg", base, Plain, WeightPruned)}
+	cfg.Replicas, cfg.MaxBatch, cfg.MaxDelay = 1, 2, time.Millisecond
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := NewLocalClient(srv)
+	defer local.Close() // owns the server shutdown
+	ts := httptest.NewServer(NewHTTPHandler(srv, 0))
+	defer ts.Close()
+	remote := NewHTTPClient(ts.URL)
+	defer remote.Close()
+
+	ctx := context.Background()
+	img := NewImage(1, 32, 32, 3)
+	req := Request{Target: "vgg", Images: []*Tensor{img}, SLO: SLO{MinAccuracy: 90, Priority: 1}}
+	want, err := local.InferSync(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := remote.InferSync(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, gf := want.First(), got.First()
+	if wf.Stack != gf.Stack || wf.Class != gf.Class {
+		t.Fatalf("transports disagree: local %s/%d, remote %s/%d", wf.Stack, wf.Class, gf.Stack, gf.Class)
+	}
+	for i, v := range wf.Output.Data() {
+		if v != gf.Output.Data()[i] {
+			t.Fatal("remote logits differ from local logits")
+		}
+	}
+
+	// Discovery parity: both transports list the same targets.
+	lm, err := local.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := remote.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lm) != len(rm) || lm[0].Name != rm[0].Name || lm[0].Kind != rm[0].Kind {
+		t.Fatalf("Models disagree: local %+v, remote %+v", lm, rm)
+	}
+
+	// The acceptance contract: typed sentinels hold for HTTPClient
+	// errors exactly as for local ones.
+	for name, c := range map[string]Client{"local": local, "remote": remote} {
+		if _, err := c.InferSync(ctx, Request{Target: "gone", Images: []*Tensor{img}}); !errors.Is(err, ErrUnknownTarget) {
+			t.Fatalf("%s unknown target: err = %v, want ErrUnknownTarget", name, err)
+		}
+	}
+	// Give every variant pool an observed batch time, then demand a
+	// deadline no batch can make: the latency gate must answer
+	// ErrNoVariant — across the wire too.
+	for _, m := range lm {
+		if m.Kind == "stack" {
+			if _, err := remote.InferBatch(ctx, m.Name, []*Tensor{img}); err != nil {
+				t.Fatalf("warming %s: %v", m.Name, err)
+			}
+		}
+	}
+	impossible := Request{Target: "vgg", Images: []*Tensor{img}, SLO: SLO{MaxLatency: time.Nanosecond, Priority: 1}}
+	if _, err := remote.InferSync(ctx, impossible); !errors.Is(err, ErrNoVariant) {
+		t.Fatalf("impossible deadline over HTTP: err = %v, want ErrNoVariant", err)
+	}
+	srv.Close()
+	if _, err := remote.InferSync(ctx, req); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("closed server over HTTP: err = %v, want ErrServerClosed", err)
 	}
 }

@@ -1,8 +1,10 @@
-// Quickstart: build ResNet-18, classify a synthetic image, and inspect
-// the network through the public dlis API.
+// Quickstart: build ResNet-18, classify a synthetic image, inspect the
+// network, and serve batched inference through the transport-agnostic
+// client API — all through the public dlis surface.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,4 +45,34 @@ func main() {
 	// runtime memory footprint.
 	fmt.Printf("simulated i7 (4 threads): %.3f s\n", inst.Simulate())
 	fmt.Printf("runtime memory:           %.1f MB\n", inst.MemoryMB())
+
+	// Serve the same stack behind the batched inference server and
+	// submit through the transport-agnostic Client API. One
+	// Request{Target, Images, SLO} shape covers direct pools, SLO
+	// routing and multi-image batches — and the identical call works
+	// over HTTP by swapping NewLocalClient for NewHTTPClient.
+	cfg := dlis.DefaultServerConfig()
+	cfg.Stacks = []dlis.ServerStack{{Name: "mini", Stack: dlis.StackConfig{
+		Model: "mini-vgg", Technique: dlis.Plain,
+		Backend: dlis.OMP, Threads: 1, Platform: "odroid-xu4", Seed: 42,
+	}}}
+	srv, err := dlis.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := dlis.NewLocalClient(srv)
+	defer client.Close() // graceful drain
+
+	ctx := context.Background()
+	resp, err := client.InferSync(ctx, dlis.Request{
+		Target: "mini",
+		Images: []*dlis.Tensor{dlis.NewImage(1, 32, 32, 7), dlis.NewImage(1, 32, 32, 8)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range resp.Results {
+		fmt.Printf("served image %d: class %d (batch of %d, %v end to end)\n",
+			i, r.Class, r.BatchSize, r.Latency)
+	}
 }

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Transport-agnostic client surface.
+//
+// The four historical entry points (Submit / Infer / Route /
+// RouteInfer) were in-process methods with positional arguments — fine
+// for a library, unusable over a wire. This file redesigns the client
+// side of the serving subsystem around one Request/Response pair and a
+// Client interface with exactly two implementations today: LocalClient
+// (this file, a direct wrapper over Server) and httpapi.Client (the
+// same types round-tripped over HTTP). Everything a caller can say is
+// in the Request value, so adding a transport never changes the API
+// again:
+//
+//	Request{Target, Images, SLO} ──► Client.Infer ──► *ResponseFuture ──► Response{Results}
+//
+// Target is any hosted routing name — a pool ("resnet18/plain") or an
+// SLO-routed endpoint ("resnet18"). A zero SLO on a pool target is the
+// old blocking Submit; any SLO on an endpoint target is the old Route;
+// a non-zero SLO on a pool target gets bounded admission against that
+// single pool. One call subsumes all four legacy methods.
+
+// ErrUnknownTarget is the errors.Is sentinel for requests naming a
+// routing target the server does not host. Transports map it to their
+// not-found shape (HTTP 404) and reconstruct it client-side.
+var ErrUnknownTarget = errors.New("serve: unknown target")
+
+// Request is one transport-agnostic inference request.
+type Request struct {
+	// Target is the routing name: a hosted pool or endpoint.
+	Target string
+	// Images holds one or more C×H×W (or 1×C×H×W) input images. A
+	// multi-image request is enqueued as one burst so the batcher can
+	// coalesce it into as few forward passes as MaxBatch allows, and —
+	// on an endpoint target — is routed as one unit to one variant.
+	Images []*tensor.Tensor
+	// SLO is the request's objective. The zero value means direct
+	// routing: a pool target enqueues blockingly (the old Submit), an
+	// endpoint target rides its cheapest variant. A non-zero SLO gets
+	// SLO routing on endpoints and bounded admission on pools.
+	SLO SLO
+}
+
+// Response is the outcome of one Request: one Result per image, in
+// request order.
+type Response struct {
+	Results []Result
+}
+
+// First returns the first result — the whole result for the common
+// single-image request. It returns the zero Result for an empty
+// response.
+func (r *Response) First() Result {
+	if len(r.Results) == 0 {
+		return Result{}
+	}
+	return r.Results[0]
+}
+
+// Err returns the first per-image execution error in the response, nil
+// when every image was answered successfully.
+func (r *Response) Err() error {
+	for _, res := range r.Results {
+		if res.Err != nil {
+			return res.Err
+		}
+	}
+	return nil
+}
+
+// ResponseFuture is the pending Response of an accepted Request. Like
+// Future it resolves once and stays resolved: Wait is idempotent.
+type ResponseFuture struct {
+	// Local mode: per-image futures to aggregate on Wait.
+	futs []*Future
+	// Resolved mode (remote transports): done closes once resp/err are
+	// written by the resolve hook.
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// NewResponseFuture returns an unresolved future plus the function that
+// delivers its outcome (exactly once) — the hook remote transports use
+// to adapt an asynchronous round trip into the same future shape the
+// in-process path returns.
+func NewResponseFuture() (*ResponseFuture, func(*Response, error)) {
+	rf := &ResponseFuture{done: make(chan struct{})}
+	return rf, func(resp *Response, err error) {
+		rf.resp, rf.err = resp, err
+		close(rf.done)
+	}
+}
+
+// Wait blocks until every image in the request has resolved or ctx is
+// done. On success the Response holds one Result per image in request
+// order; the returned error is then the first per-image execution
+// error (nil when all succeeded), mirroring the legacy Infer contract
+// — the Response stays non-nil either way so callers can inspect the
+// surviving results. A ctx abort returns (nil, ctx.Err()) without
+// cancelling the accepted request; Wait may be called again.
+func (rf *ResponseFuture) Wait(ctx context.Context) (*Response, error) {
+	if rf.done != nil {
+		select {
+		case <-rf.done:
+			return rf.resp, rf.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	resp := &Response{Results: make([]Result, len(rf.futs))}
+	for i, f := range rf.futs {
+		// Per-image failures surface through Result.Err, not the Wait
+		// error: keep aggregating so the response is complete.
+		r, err := f.Wait(ctx)
+		if err != nil && r.Err == nil {
+			return nil, err // ctx abort
+		}
+		resp.Results[i] = r
+	}
+	return resp, resp.Err()
+}
+
+// ModelInfo describes one routing target a server hosts, as reported
+// by Client.Models — enough for a remote caller to size inputs and
+// pick targets without any local model code.
+type ModelInfo struct {
+	// Name is the routing key requests target.
+	Name string `json:"name"`
+	// Kind is "stack" for a directly addressed pool, "endpoint" for an
+	// SLO-routed multi-variant endpoint.
+	Kind string `json:"kind"`
+	// InputShape is the per-image C×H×W shape the target expects.
+	InputShape []int `json:"input_shape"`
+	// Technique is the pool's compression technique (stacks only).
+	Technique string `json:"technique,omitempty"`
+	// Variants lists the variant pool names behind an endpoint,
+	// cheapest first (endpoints only).
+	Variants []string `json:"variants,omitempty"`
+}
+
+// ServerStats is the whole-server statistics snapshot Client.Stats
+// returns: every pool keyed by routing name, and every endpoint's
+// per-variant routed/shed breakdown.
+type ServerStats struct {
+	Pools     map[string]Stats         `json:"pools"`
+	Endpoints map[string]EndpointStats `json:"endpoints,omitempty"`
+}
+
+// Client is the transport-agnostic serving API: the same interface is
+// satisfied in-process (LocalClient) and over HTTP (httpapi.Client),
+// so callers — including the dlis-serve load generator — are written
+// once and pointed at either.
+type Client interface {
+	// Infer submits one Request and returns immediately with its
+	// pending Response. Submit-time errors (unknown target, shape
+	// mismatch, admission rejection) are returned here by in-process
+	// implementations; remote transports may defer them to Wait.
+	Infer(ctx context.Context, req Request) (*ResponseFuture, error)
+	// InferSync is Infer followed by Wait on the same ctx.
+	InferSync(ctx context.Context, req Request) (*Response, error)
+	// InferBatch is the multi-image convenience: one direct (zero-SLO)
+	// request carrying imgs, answered synchronously.
+	InferBatch(ctx context.Context, target string, imgs []*tensor.Tensor) (*Response, error)
+	// Stats snapshots the server's serving statistics.
+	Stats(ctx context.Context) (ServerStats, error)
+	// Models lists the hosted routing targets.
+	Models(ctx context.Context) ([]ModelInfo, error)
+	// Close releases the client; LocalClient shuts its server down.
+	Close() error
+}
+
+// Do is the unified submission path behind every Client: it resolves
+// the target, applies SLO routing or direct enqueueing, and fans a
+// multi-image request out to per-image futures coalescing in the
+// batcher. The legacy Submit/Infer/Route/RouteInfer methods are shims
+// over this.
+func (s *Server) Do(ctx context.Context, req Request) (*ResponseFuture, error) {
+	futs, err := s.submitRequest(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return &ResponseFuture{futs: futs}, nil
+}
+
+// submitRequest validates and places one Request, returning the
+// per-image futures.
+func (s *Server) submitRequest(ctx context.Context, req Request) ([]*Future, error) {
+	if len(req.Images) == 0 {
+		return nil, fmt.Errorf("serve: request for %q carries no images", req.Target)
+	}
+	if ep, ok := s.endpoints[req.Target]; ok {
+		return ep.routeMany(req.Images, req.SLO)
+	}
+	p, ok := s.pools[req.Target]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (hosted: %v %v)", ErrUnknownTarget, req.Target, s.names, s.endpointNames)
+	}
+	if req.SLO == (SLO{}) {
+		return p.submitMany(ctx, req.Images)
+	}
+	// A non-zero SLO on a direct pool target means bounded admission on
+	// that single pool. MinAccuracy needs the router's per-variant curve
+	// data, so it requires an endpoint target.
+	if req.SLO.MinAccuracy > 0 {
+		return nil, fmt.Errorf("serve: target %q is a pool; SLO.MinAccuracy requires an endpoint target", req.Target)
+	}
+	if req.SLO.MaxLatency > 0 {
+		if est, ok := p.estimatedLatency(len(req.Images)); ok && est > req.SLO.MaxLatency {
+			if p.meanBatchTime() > req.SLO.MaxLatency {
+				return nil, fmt.Errorf("%w: pool %q cannot execute a batch within %v",
+					ErrNoVariant, req.Target, req.SLO.MaxLatency)
+			}
+			return nil, p.overloaded() // floors the RetryAfter hint
+		}
+	}
+	return p.trySubmitMany(req.Images)
+}
+
+// Models lists every hosted routing target: endpoints first (the names
+// clients are meant to use), then the pools — including the variant
+// pools behind each endpoint, which stay individually addressable.
+func (s *Server) Models() []ModelInfo {
+	out := make([]ModelInfo, 0, len(s.endpointNames)+len(s.names))
+	for _, name := range s.endpointNames {
+		ep := s.endpoints[name]
+		info := ModelInfo{
+			Name:       name,
+			Kind:       "endpoint",
+			InputShape: ep.variants[0].pool.chw.Clone(),
+		}
+		for _, v := range ep.variants {
+			info.Variants = append(info.Variants, v.name)
+		}
+		out = append(out, info)
+	}
+	for _, name := range s.names {
+		p := s.pools[name]
+		out = append(out, ModelInfo{
+			Name:       name,
+			Kind:       "stack",
+			InputShape: p.chw.Clone(),
+			Technique:  p.insts[0].Config.Technique.String(),
+		})
+	}
+	return out
+}
+
+// Snapshot assembles the whole-server statistics view Client.Stats
+// serves: AllStats for the pools plus every endpoint's per-variant
+// breakdown.
+func (s *Server) Snapshot() ServerStats {
+	st := ServerStats{Pools: s.AllStats()}
+	if len(s.endpointNames) > 0 {
+		st.Endpoints = make(map[string]EndpointStats, len(s.endpointNames))
+		for _, name := range s.endpointNames {
+			st.Endpoints[name] = s.endpoints[name].snapshot()
+		}
+	}
+	return st
+}
+
+// LocalClient is the in-process Client: a thin wrapper that gives a
+// *Server the same surface remote transports present, so code written
+// against Client runs unchanged in either deployment.
+type LocalClient struct {
+	srv *Server
+}
+
+// NewLocalClient wraps a running server. The client assumes ownership
+// for Close: closing the client gracefully drains the server.
+func NewLocalClient(srv *Server) *LocalClient { return &LocalClient{srv: srv} }
+
+// Server exposes the wrapped server, for callers that need
+// local-only facilities (InputShape, per-pool Stats) next to the
+// portable interface.
+func (c *LocalClient) Server() *Server { return c.srv }
+
+// Infer submits the request on the in-process path.
+func (c *LocalClient) Infer(ctx context.Context, req Request) (*ResponseFuture, error) {
+	return c.srv.Do(ctx, req)
+}
+
+// InferSync is Infer followed by Wait.
+func (c *LocalClient) InferSync(ctx context.Context, req Request) (*Response, error) {
+	rf, err := c.srv.Do(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return rf.Wait(ctx)
+}
+
+// InferBatch answers one direct multi-image request synchronously.
+func (c *LocalClient) InferBatch(ctx context.Context, target string, imgs []*tensor.Tensor) (*Response, error) {
+	return c.InferSync(ctx, Request{Target: target, Images: imgs})
+}
+
+// Stats snapshots the wrapped server.
+func (c *LocalClient) Stats(ctx context.Context) (ServerStats, error) {
+	return c.srv.Snapshot(), nil
+}
+
+// Models lists the wrapped server's routing targets.
+func (c *LocalClient) Models(ctx context.Context) ([]ModelInfo, error) {
+	return c.srv.Models(), nil
+}
+
+// Close gracefully drains and shuts down the wrapped server.
+func (c *LocalClient) Close() error {
+	c.srv.Close()
+	return nil
+}
+
+var _ Client = (*LocalClient)(nil)

@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// TestClientInferBatchCoalesces proves the multi-image request path is
+// one enqueue burst: with a batching window far beyond the test and
+// MaxBatch equal to the image count, all images of one InferBatch must
+// ride a single forward pass — and come back in request order with the
+// logits a solo instance produces for each.
+func TestClientInferBatchCoalesces(t *testing.T) {
+	const n = 4
+	stack := miniStack("mini-mobilenet")
+	s := newTestServer(t, Config{
+		Stacks:   []StackSpec{{Name: "m", Stack: stack}},
+		Replicas: 1, MaxBatch: n, MaxDelay: time.Hour,
+	})
+	solo, err := core.Instantiate(stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewLocalClient(s)
+	imgs := make([]*tensor.Tensor, n)
+	for i := range imgs {
+		imgs[i] = testImage(uint64(200 + i))
+	}
+	resp, err := c.InferBatch(context.Background(), "m", imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != n {
+		t.Fatalf("%d results for %d images", len(resp.Results), n)
+	}
+	for i, res := range resp.Results {
+		if res.BatchSize != n {
+			t.Fatalf("image %d rode a batch of %d, want %d — the group did not coalesce", i, res.BatchSize, n)
+		}
+		want := solo.Run(imgs[i].Reshape(1, 3, 32, 32)).Output
+		if d := tensor.MaxAbsDiff(res.Output.Reshape(want.Shape()...), want); d != 0 {
+			t.Fatalf("image %d: batched logits differ from solo reference by %v", i, d)
+		}
+	}
+}
+
+// TestClientUnifiedRouting drives the one Request surface across every
+// target kind: a pool with zero SLO (old Submit), an endpoint with
+// zero SLO (cheapest variant), an endpoint with MinAccuracy (old
+// Route), and an unknown target (typed sentinel).
+func TestClientUnifiedRouting(t *testing.T) {
+	s := newTestServer(t, Config{
+		Endpoints: []EndpointSpec{variantEndpoint()},
+		Replicas:  1, MaxBatch: 2, MaxDelay: time.Millisecond,
+	})
+	c := NewLocalClient(s)
+	ctx := context.Background()
+
+	// Pool target, zero SLO: direct enqueue on the named variant pool.
+	resp, err := c.InferSync(ctx, Request{Target: "vgg/plain", Images: []*tensor.Tensor{testImage(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.First().Stack != "vgg/plain" {
+		t.Fatalf("pool target served by %q", resp.First().Stack)
+	}
+
+	// Endpoint target, zero SLO: cheapest variant.
+	order := cheapestOf(t, s, "vgg")
+	resp, err = c.InferSync(ctx, Request{Target: "vgg", Images: []*tensor.Tensor{testImage(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.First().Stack != order[0] {
+		t.Fatalf("zero-SLO endpoint request served by %q, want cheapest %q", resp.First().Stack, order[0])
+	}
+
+	// Endpoint target with MinAccuracy: only the plain variant reaches
+	// 93% in the hand-labelled endpoint.
+	resp, err = c.InferSync(ctx, Request{Target: "vgg", Images: []*tensor.Tensor{testImage(3)}, SLO: SLO{MinAccuracy: 93}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.First().Stack != "vgg/plain" {
+		t.Fatalf("MinAccuracy 93%% served by %q, want vgg/plain", resp.First().Stack)
+	}
+	if _, err = c.InferSync(ctx, Request{Target: "vgg", Images: []*tensor.Tensor{testImage(4)}, SLO: SLO{MinAccuracy: 99}}); !errors.Is(err, ErrNoVariant) {
+		t.Fatalf("unsatisfiable SLO err = %v, want ErrNoVariant", err)
+	}
+
+	// MinAccuracy needs the router's curve data: a bare pool target
+	// must refuse it rather than guess.
+	if _, err = c.InferSync(ctx, Request{Target: "vgg/plain", Images: []*tensor.Tensor{testImage(5)}, SLO: SLO{MinAccuracy: 90}}); err == nil {
+		t.Fatal("MinAccuracy on a pool target accepted")
+	}
+
+	// Unknown target: the typed sentinel every transport maps.
+	if _, err = c.InferSync(ctx, Request{Target: "nope", Images: []*tensor.Tensor{testImage(6)}}); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("unknown target err = %v, want ErrUnknownTarget", err)
+	}
+	// An empty request is a validation error, not a crash.
+	if _, err = c.InferSync(ctx, Request{Target: "vgg"}); err == nil {
+		t.Fatal("empty request accepted")
+	}
+}
+
+// TestClientModelsAndStats checks the discovery surface LocalClient
+// shares with the HTTP transport: endpoints listed first with their
+// variants, pools with technique and input shape, and the stats
+// snapshot carrying both pool and endpoint views.
+func TestClientModelsAndStats(t *testing.T) {
+	s := newTestServer(t, Config{
+		Stacks:    []StackSpec{{Name: "solo", Stack: miniStack("mini-mobilenet")}},
+		Endpoints: []EndpointSpec{variantEndpoint()},
+		Replicas:  1, MaxBatch: 2, MaxDelay: time.Millisecond,
+	})
+	c := NewLocalClient(s)
+	ctx := context.Background()
+	ms, err := c.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 { // 1 endpoint + solo + 3 variant pools
+		t.Fatalf("Models listed %d targets, want 5: %+v", len(ms), ms)
+	}
+	if ms[0].Name != "vgg" || ms[0].Kind != "endpoint" || len(ms[0].Variants) != 3 {
+		t.Fatalf("endpoint entry = %+v", ms[0])
+	}
+	for _, m := range ms {
+		if len(m.InputShape) != 3 || m.InputShape[0] != 3 {
+			t.Fatalf("%s: input shape %v", m.Name, m.InputShape)
+		}
+	}
+
+	if _, err := c.InferSync(ctx, Request{Target: "vgg", Images: []*tensor.Tensor{testImage(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Pools) != 4 {
+		t.Fatalf("stats cover %d pools, want 4", len(st.Pools))
+	}
+	ep, ok := st.Endpoints["vgg"]
+	if !ok || ep.Routed != 1 || len(ep.Variants) != 3 {
+		t.Fatalf("endpoint stats = %+v", st.Endpoints)
+	}
+}
+
+// TestFutureRewait pins the re-wait semantics satellite: a consumed
+// future must answer again — a second Wait, a Wait retried after a ctx
+// abort, and a post-resolution Done/Result all observe the cached
+// Result instead of blocking forever.
+func TestFutureRewait(t *testing.T) {
+	s := newTestServer(t, Config{
+		Stacks:   []StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}},
+		Replicas: 1, MaxBatch: 1, MaxDelay: time.Millisecond,
+	})
+	ctx := context.Background()
+	f, err := s.Submit(ctx, "m", testImage(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := f.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The regression this satellite fixes: the second Wait used to find
+	// an empty channel and block until its ctx fired.
+	again, err := f.Wait(ctx)
+	if err != nil {
+		t.Fatalf("re-wait on a consumed future: %v", err)
+	}
+	if again.Class != first.Class || again.Output != first.Output {
+		t.Fatalf("re-wait returned a different result: %+v vs %+v", again, first)
+	}
+	// Done is a broadcast, not a consumed value: repeat selects see it.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-f.Done():
+		default:
+			t.Fatalf("Done select %d found an unresolved future", i)
+		}
+	}
+	if got := f.Result(); got.Class != first.Class {
+		t.Fatalf("Result() = %+v, want the delivered result", got)
+	}
+
+	// A waiter that aborted on ctx can come back for the answer.
+	f2, err := s.Submit(ctx, "m", testImage(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := f2.Wait(gone); !errors.Is(err, context.Canceled) {
+		t.Fatalf("wait under cancelled ctx: %v", err)
+	}
+	if _, err := f2.Wait(ctx); err != nil {
+		t.Fatalf("re-wait after ctx abort: %v", err)
+	}
+
+	// The aggregate future inherits the idempotence.
+	rf, err := s.Do(ctx, Request{Target: "m", Images: []*tensor.Tensor{testImage(3)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := rf.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := rf.Wait(ctx)
+	if err != nil || r2.First().Class != r1.First().Class {
+		t.Fatalf("response re-wait = %+v, %v", r2, err)
+	}
+}
+
+// TestSubmitCancelReclaimsQueueSlot pins the pending-depth bookkeeping
+// of the direct submit path: a submission that aborts on ctx while
+// blocked on a full queue must roll its pending increment back and
+// leave the queue slot to others. The pool is assembled raw — no
+// batcher or workers — so the full-queue block is deterministic.
+func TestSubmitCancelReclaimsQueueSlot(t *testing.T) {
+	p := &pool{
+		name:   "raw",
+		cfg:    Config{MaxBatch: 4, QueueCap: 1},
+		queue:  make(chan *request, 1),
+		chw:    tensor.Shape{3, 32, 32},
+		imgLen: 3 * 32 * 32,
+	}
+	ctx := context.Background()
+	if _, err := p.submit(ctx, testImage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.pending.Load(); got != 1 {
+		t.Fatalf("pending after first submit = %d, want 1", got)
+	}
+
+	// The queue is full and nothing consumes it, so this submission can
+	// only leave through its (already cancelled) context.
+	gone, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := p.submit(gone, testImage(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("submit into a full queue under cancelled ctx: err = %v", err)
+	}
+	if got := p.pending.Load(); got != 1 {
+		t.Fatalf("pending after aborted submit = %d, want 1 — the counter leaked", got)
+	}
+	if got := len(p.queue); got != 1 {
+		t.Fatalf("queue holds %d requests, want only the first", got)
+	}
+
+	// The reclaimed capacity is really usable: admission-controlled
+	// submission at the cap boundary still sees exactly one slot taken.
+	if _, err := p.trySubmit(testImage(3)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("trySubmit at cap: err = %v, want ErrOverloaded (cap 1 already held)", err)
+	}
+	if got := p.pending.Load(); got != 1 {
+		t.Fatalf("pending after shed trySubmit = %d, want 1", got)
+	}
+}
+
+// TestDefaultConfigFullyResolved pins the DefaultConfig/withDefaults
+// symmetry satellite: the advertised defaults are the resolved tuning
+// set a zero-configured server actually runs with — no field is left
+// at a zero the server would silently replace.
+func TestDefaultConfigFullyResolved(t *testing.T) {
+	d := DefaultConfig()
+	if d.QueueCap != d.Replicas*d.MaxBatch*4 {
+		t.Fatalf("DefaultConfig QueueCap = %d, want the derived %d", d.QueueCap, d.Replicas*d.MaxBatch*4)
+	}
+	if d.LatencyWindow != metrics.DefaultLatencyWindow {
+		t.Fatalf("DefaultConfig LatencyWindow = %d, want %d", d.LatencyWindow, metrics.DefaultLatencyWindow)
+	}
+	got := d.withDefaults()
+	if got.Replicas != d.Replicas || got.MaxBatch != d.MaxBatch || got.MaxDelay != d.MaxDelay ||
+		got.QueueCap != d.QueueCap || got.LatencyWindow != d.LatencyWindow {
+		t.Fatalf("DefaultConfig is not a fixed point of withDefaults: %+v vs %+v", got, d)
+	}
+	// A partial config derives from its own values, not the defaults.
+	partial := Config{Replicas: 3, MaxBatch: 16}.withDefaults()
+	if partial.QueueCap != 3*16*4 {
+		t.Fatalf("partial config QueueCap = %d, want %d", partial.QueueCap, 3*16*4)
+	}
+}

@@ -1,0 +1,191 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+// Client is the remote serve.Client: it round-trips the same
+// Request/Response types the in-process path uses over the httpapi
+// wire format, and reconstructs the typed admission errors so
+// errors.Is(err, serve.ErrOverloaded) / serve.ErrNoVariant /
+// serve.ErrClosed / serve.ErrUnknownTarget hold across the wire.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a server at base, e.g. "http://host:8080" (a bare
+// "host:8080" gets the http scheme). The zero http.Client underneath
+// has no request timeout — per-call deadlines come from the ctx, which
+// must bound slow calls the same way it does in-process.
+func NewClient(base string) *Client {
+	base = strings.TrimRight(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: base, hc: &http.Client{}}
+}
+
+// remoteError preserves the server-rendered message while unwrapping
+// to the matching in-process sentinel.
+type remoteError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.sentinel }
+
+// Infer submits the request asynchronously: the round trip runs in the
+// background and the returned future resolves with its outcome. Unlike
+// the in-process client, submit-time errors (admission, validation)
+// surface at Wait rather than here — the wire cannot separate
+// acceptance from completion without a second round trip.
+func (c *Client) Infer(ctx context.Context, req serve.Request) (*serve.ResponseFuture, error) {
+	rf, resolve := serve.NewResponseFuture()
+	go func() { resolve(c.InferSync(ctx, req)) }()
+	return rf, nil
+}
+
+// InferSync posts one request frame and decodes the response,
+// reconstructing typed errors from non-200 statuses. Like the
+// in-process path it returns the Response alongside the first
+// per-image execution error, so partial results stay inspectable.
+func (c *Client) InferSync(ctx context.Context, req serve.Request) (*serve.Response, error) {
+	var body bytes.Buffer
+	if err := EncodeRequest(&body, req); err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/infer", &body)
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", FrameContentType)
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: infer round trip: %w", err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, decodeStatusError(hresp)
+	}
+	resp, err := DecodeResponse(hresp.Body, DefaultMaxBodyBytes/4)
+	if err != nil {
+		return nil, err
+	}
+	return resp, resp.Err()
+}
+
+// InferBatch answers one direct multi-image request synchronously.
+func (c *Client) InferBatch(ctx context.Context, target string, imgs []*tensor.Tensor) (*serve.Response, error) {
+	return c.InferSync(ctx, serve.Request{Target: target, Images: imgs})
+}
+
+// Stats fetches the whole-server statistics snapshot.
+func (c *Client) Stats(ctx context.Context) (serve.ServerStats, error) {
+	var st serve.ServerStats
+	return st, c.getJSON(ctx, "/v1/stats", &st)
+}
+
+// Models fetches the hosted routing targets.
+func (c *Client) Models(ctx context.Context) ([]serve.ModelInfo, error) {
+	var ms []serve.ModelInfo
+	return ms, c.getJSON(ctx, "/v1/models", &ms)
+}
+
+// Close releases idle connections. The remote server stays up — a
+// client does not own its lifecycle the way LocalClient owns its
+// in-process server.
+func (c *Client) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// getJSON performs one GET and decodes the JSON body into dst.
+func (c *Client) getJSON(ctx context.Context, path string, dst any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("httpapi: %s round trip: %w", path, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return decodeStatusError(hresp)
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(dst); err != nil {
+		return fmt.Errorf("httpapi: decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+// decodeStatusError rebuilds the typed error a non-200 response
+// encodes. The machine code (not the status) selects the error class,
+// with the status as a fallback for bodies another layer produced
+// (e.g. a proxy's bare 503).
+func decodeStatusError(hresp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(hresp.Body, maxHeaderBytes))
+	var we wireError
+	_ = json.Unmarshal(body, &we)
+	msg := we.Error
+	if msg == "" {
+		// Not a wireError body (a proxy's bare error page, say): keep
+		// the raw text as the message and let the final wrap add the
+		// status exactly once.
+		msg = string(bytes.TrimSpace(body))
+	}
+	if msg == "" {
+		msg = "no error body"
+	}
+	code := we.Code
+	if code == "" {
+		switch hresp.StatusCode {
+		case http.StatusTooManyRequests:
+			code = "overloaded"
+		case http.StatusServiceUnavailable:
+			code = "closed"
+		}
+	}
+	switch code {
+	case "overloaded":
+		return &serve.OverloadedError{Stack: we.Stack, RetryAfter: retryAfter(we, hresp)}
+	case "no_variant":
+		return &remoteError{msg: msg, sentinel: serve.ErrNoVariant}
+	case "closed":
+		return &remoteError{msg: msg, sentinel: serve.ErrClosed}
+	case "unknown_target":
+		return &remoteError{msg: msg, sentinel: serve.ErrUnknownTarget}
+	}
+	return fmt.Errorf("httpapi: server returned %s: %s", hresp.Status, msg)
+}
+
+// retryAfter recovers the overload hint: the millisecond body field
+// when present, else the whole-second Retry-After header, floored at
+// the same 1ms minimum the in-process admission controller uses.
+func retryAfter(we wireError, hresp *http.Response) time.Duration {
+	d := time.Duration(we.RetryAfterMS) * time.Millisecond
+	if d <= 0 {
+		if secs, err := strconv.ParseInt(hresp.Header.Get("Retry-After"), 10, 64); err == nil {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+var _ serve.Client = (*Client)(nil)

@@ -1,0 +1,292 @@
+// Package httpapi exposes a serve.Server over HTTP and implements the
+// matching remote serve.Client, so the one Request/Response surface of
+// the serving subsystem works identically in-process and across a
+// wire.
+//
+// Routes:
+//
+//	POST /v1/infer   one serve.Request in the binary frame format below
+//	GET  /v1/models  JSON []serve.ModelInfo
+//	GET  /v1/stats   JSON serve.ServerStats
+//
+// Typed errors cross the wire as JSON bodies with an HTTP status and a
+// machine code, and the client reconstructs them so errors.Is keeps
+// working remotely:
+//
+//	serve.ErrOverloaded    → 429 + Retry-After  → *serve.OverloadedError
+//	serve.ErrNoVariant     → 422               → wraps serve.ErrNoVariant
+//	serve.ErrClosed        → 503               → wraps serve.ErrClosed
+//	serve.ErrUnknownTarget → 404               → wraps serve.ErrUnknownTarget
+//	anything else          → 400
+//
+// # Wire frames
+//
+// Tensor payloads dominate an inference exchange, so /v1/infer does
+// not base64 them into JSON. Both directions use one binary framing:
+//
+//	magic "DLW1" | uint32 LE header length | header JSON | raw float32 LE payload
+//
+// The request header carries the target, the SLO and one shape per
+// image; the payload is the images' data, concatenated in order. The
+// response header carries one result record per image (routing name,
+// class, batch size, timings, logit row width); the payload is the
+// concatenated logit rows of the successful results. Errored results
+// contribute no payload and carry their error string in the header.
+package httpapi
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+// frameMagic guards both frame directions against content-type mixups.
+const frameMagic = "DLW1"
+
+// maxHeaderBytes bounds the JSON header of a frame; tensor data
+// belongs in the payload, so headers stay small.
+const maxHeaderBytes = 1 << 20
+
+// wireSLO is the request SLO in wire form (durations as nanoseconds).
+type wireSLO struct {
+	MinAccuracy  float64 `json:"min_accuracy,omitempty"`
+	MaxLatencyNS int64   `json:"max_latency_ns,omitempty"`
+	Priority     int     `json:"priority,omitempty"`
+}
+
+// wireImage describes one payload image.
+type wireImage struct {
+	Shape []int `json:"shape"`
+}
+
+// wireRequest is the /v1/infer request header.
+type wireRequest struct {
+	Target string      `json:"target"`
+	SLO    wireSLO     `json:"slo"`
+	Images []wireImage `json:"images"`
+}
+
+// wireResult is one per-image record in the response header.
+type wireResult struct {
+	Stack     string `json:"stack"`
+	Class     int    `json:"class"`
+	BatchSize int    `json:"batch_size"`
+	LatencyNS int64  `json:"latency_ns"`
+	ComputeNS int64  `json:"compute_ns"`
+	// Classes is the logit row width this result contributes to the
+	// payload; 0 for errored results, which contribute nothing.
+	Classes int    `json:"classes"`
+	Err     string `json:"error,omitempty"`
+}
+
+// wireResponse is the /v1/infer response header.
+type wireResponse struct {
+	Results []wireResult `json:"results"`
+}
+
+// wireError is the JSON body of every non-200 response.
+type wireError struct {
+	Error string `json:"error"`
+	// Code is the machine-readable error class: "overloaded",
+	// "no_variant", "closed", "unknown_target" or "bad_request".
+	Code string `json:"code"`
+	// Stack and RetryAfterMS flesh out reconstructed OverloadedErrors
+	// (the Retry-After header only has whole-second resolution).
+	Stack        string `json:"stack,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// writeFrame emits magic, the JSON header and the payload slices.
+func writeFrame(w io.Writer, header any, payload ...[]float32) error {
+	hdr, err := json.Marshal(header)
+	if err != nil {
+		return err
+	}
+	pre := make([]byte, 0, len(frameMagic)+4+len(hdr))
+	pre = append(pre, frameMagic...)
+	pre = binary.LittleEndian.AppendUint32(pre, uint32(len(hdr)))
+	pre = append(pre, hdr...)
+	if _, err := w.Write(pre); err != nil {
+		return err
+	}
+	for _, fs := range payload {
+		b := make([]byte, 4*len(fs))
+		for i, f := range fs {
+			binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(f))
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrameHeader consumes the magic and JSON header, leaving r at the
+// payload.
+func readFrameHeader(r io.Reader, header any) error {
+	var pre [len(frameMagic) + 4]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return fmt.Errorf("httpapi: reading frame preamble: %w", err)
+	}
+	if string(pre[:len(frameMagic)]) != frameMagic {
+		return fmt.Errorf("httpapi: bad frame magic %q", pre[:len(frameMagic)])
+	}
+	n := binary.LittleEndian.Uint32(pre[len(frameMagic):])
+	if n > maxHeaderBytes {
+		return fmt.Errorf("httpapi: frame header of %d bytes exceeds the %d byte cap", n, maxHeaderBytes)
+	}
+	hdr := make([]byte, n)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return fmt.Errorf("httpapi: reading frame header: %w", err)
+	}
+	if err := json.Unmarshal(hdr, header); err != nil {
+		return fmt.Errorf("httpapi: decoding frame header: %w", err)
+	}
+	return nil
+}
+
+// readFloats reads exactly n little-endian float32 values.
+func readFloats(r io.Reader, n int) ([]float32, error) {
+	b := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, fmt.Errorf("httpapi: reading %d-element payload: %w", n, err)
+	}
+	fs := make([]float32, n)
+	for i := range fs {
+		fs[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return fs, nil
+}
+
+// EncodeRequest writes req as one wire frame.
+func EncodeRequest(w io.Writer, req serve.Request) error {
+	hdr := wireRequest{
+		Target: req.Target,
+		SLO: wireSLO{
+			MinAccuracy:  req.SLO.MinAccuracy,
+			MaxLatencyNS: int64(req.SLO.MaxLatency),
+			Priority:     req.SLO.Priority,
+		},
+	}
+	payload := make([][]float32, 0, len(req.Images))
+	for i, img := range req.Images {
+		if img == nil {
+			return fmt.Errorf("httpapi: image %d is nil", i)
+		}
+		hdr.Images = append(hdr.Images, wireImage{Shape: img.Shape().Clone()})
+		payload = append(payload, img.Data())
+	}
+	return writeFrame(w, hdr, payload...)
+}
+
+// DecodeRequest reads one request frame. maxElements bounds the total
+// payload element count before any allocation, so a malicious shape
+// cannot force an oversized buffer regardless of the actual body size.
+func DecodeRequest(r io.Reader, maxElements int) (serve.Request, error) {
+	var hdr wireRequest
+	if err := readFrameHeader(r, &hdr); err != nil {
+		return serve.Request{}, err
+	}
+	req := serve.Request{
+		Target: hdr.Target,
+		SLO: serve.SLO{
+			MinAccuracy: hdr.SLO.MinAccuracy,
+			MaxLatency:  time.Duration(hdr.SLO.MaxLatencyNS),
+			Priority:    hdr.SLO.Priority,
+		},
+	}
+	total := 0
+	for i, im := range hdr.Images {
+		n := 1
+		for _, d := range im.Shape {
+			if d <= 0 {
+				return serve.Request{}, fmt.Errorf("httpapi: image %d has invalid shape %v", i, im.Shape)
+			}
+			if n > maxElements/d { // overflow-safe n*d > maxElements
+				return serve.Request{}, fmt.Errorf("httpapi: image %d shape %v exceeds the %d element cap", i, im.Shape, maxElements)
+			}
+			n *= d
+		}
+		if total += n; total > maxElements {
+			return serve.Request{}, fmt.Errorf("httpapi: request payload of %d+ elements exceeds the %d element cap", total, maxElements)
+		}
+	}
+	for _, im := range hdr.Images {
+		fs, err := readFloats(r, tensor.Shape(im.Shape).NumElements())
+		if err != nil {
+			return serve.Request{}, err
+		}
+		req.Images = append(req.Images, tensor.FromSlice(fs, im.Shape...))
+	}
+	return req, nil
+}
+
+// EncodeResponse writes resp as one wire frame.
+func EncodeResponse(w io.Writer, resp *serve.Response) error {
+	hdr := wireResponse{Results: make([]wireResult, len(resp.Results))}
+	var payload [][]float32
+	for i, res := range resp.Results {
+		wr := wireResult{
+			Stack:     res.Stack,
+			Class:     res.Class,
+			BatchSize: res.BatchSize,
+			LatencyNS: int64(res.Latency),
+			ComputeNS: int64(res.Compute),
+		}
+		if res.Err != nil {
+			wr.Err = res.Err.Error()
+		} else if res.Output != nil {
+			wr.Classes = res.Output.NumElements()
+			payload = append(payload, res.Output.Data())
+		}
+		hdr.Results[i] = wr
+	}
+	return writeFrame(w, hdr, payload...)
+}
+
+// DecodeResponse reads one response frame, reconstructing per-image
+// results (errored records come back with a plain error and no
+// output). maxElements caps the declared payload size, as for
+// DecodeRequest.
+func DecodeResponse(r io.Reader, maxElements int) (*serve.Response, error) {
+	var hdr wireResponse
+	if err := readFrameHeader(r, &hdr); err != nil {
+		return nil, err
+	}
+	total := 0
+	for i, wr := range hdr.Results {
+		if wr.Classes < 0 || wr.Classes > maxElements {
+			return nil, fmt.Errorf("httpapi: result %d declares %d classes", i, wr.Classes)
+		}
+		if total += wr.Classes; total > maxElements {
+			return nil, fmt.Errorf("httpapi: response payload of %d+ elements exceeds the %d element cap", total, maxElements)
+		}
+	}
+	resp := &serve.Response{Results: make([]serve.Result, len(hdr.Results))}
+	for i, wr := range hdr.Results {
+		res := serve.Result{
+			Stack:     wr.Stack,
+			Class:     wr.Class,
+			BatchSize: wr.BatchSize,
+			Latency:   time.Duration(wr.LatencyNS),
+			Compute:   time.Duration(wr.ComputeNS),
+		}
+		if wr.Err != "" {
+			res.Err = fmt.Errorf("httpapi: remote execution: %s", wr.Err)
+		} else if wr.Classes > 0 {
+			fs, err := readFloats(r, wr.Classes)
+			if err != nil {
+				return nil, err
+			}
+			res.Output = tensor.FromSlice(fs, 1, wr.Classes)
+		}
+		resp.Results[i] = res
+	}
+	return resp, nil
+}

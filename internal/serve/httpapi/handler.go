@@ -1,0 +1,135 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// DefaultMaxBodyBytes bounds a /v1/infer request body (and therefore
+// the largest image batch one request may carry): 64 MiB ≈ 1300 full
+// 224×224×3 images — far beyond any sane MaxBatch.
+const DefaultMaxBodyBytes = 64 << 20
+
+// FrameContentType labels the binary frame bodies of /v1/infer.
+const FrameContentType = "application/x-dlis-frame"
+
+// Handler serves a serve.Server over HTTP. Construct with NewHandler;
+// it is an http.Handler, so callers mount it on any mux or server and
+// own the listener lifecycle (TLS, timeouts, graceful shutdown).
+type Handler struct {
+	srv      *serve.Server
+	mux      *http.ServeMux
+	maxBody  int64
+	maxElems int
+}
+
+// NewHandler wraps a running server. maxBodyBytes bounds request
+// bodies; 0 uses DefaultMaxBodyBytes.
+func NewHandler(srv *serve.Server, maxBodyBytes int64) *Handler {
+	if maxBodyBytes <= 0 {
+		maxBodyBytes = DefaultMaxBodyBytes
+	}
+	h := &Handler{
+		srv:      srv,
+		mux:      http.NewServeMux(),
+		maxBody:  maxBodyBytes,
+		maxElems: int(maxBodyBytes / 4),
+	}
+	h.mux.HandleFunc("POST /v1/infer", h.handleInfer)
+	h.mux.HandleFunc("GET /v1/models", h.handleModels)
+	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
+	return h
+}
+
+// ServeHTTP dispatches to the v1 routes.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// handleInfer decodes one request frame, runs it through the unified
+// submission path, and streams the response frame back. Submit-time
+// errors map to typed statuses; per-image execution errors ride inside
+// a 200 frame, exactly as they ride inside an in-process Response.
+func (h *Handler) handleInfer(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeRequest(http.MaxBytesReader(w, r.Body, h.maxBody), h.maxElems)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rf, err := h.srv.Do(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := rf.Wait(r.Context())
+	if resp == nil {
+		// Only a ctx abort leaves the response nil — the client is gone,
+		// but finish the exchange coherently for any middleware.
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", FrameContentType)
+	// Encode errors past this point mean the client disconnected
+	// mid-frame; there is no status left to change.
+	_ = EncodeResponse(w, resp)
+}
+
+// handleModels lists the hosted routing targets as JSON.
+func (h *Handler) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.srv.Models())
+}
+
+// handleStats serves the whole-server statistics snapshot as JSON.
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.srv.Snapshot())
+}
+
+// writeJSON emits v with the JSON content type.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps a submission error to its HTTP shape: a typed
+// status, a machine-readable code, and — for overload — the
+// Retry-After header plus a millisecond-precision hint in the body.
+func writeError(w http.ResponseWriter, err error) {
+	we := wireError{Error: err.Error(), Code: "bad_request"}
+	status := http.StatusBadRequest
+	var ov *serve.OverloadedError
+	switch {
+	case errors.As(err, &ov):
+		status = http.StatusTooManyRequests
+		we.Code = "overloaded"
+		we.Stack = ov.Stack
+		// Ceil to a non-zero millisecond count: truncation would omit a
+		// sub-ms hint from the body and the client would fall back to
+		// the whole-second header — a 1000× inflated backoff.
+		we.RetryAfterMS = int64((ov.RetryAfter + time.Millisecond - 1) / time.Millisecond)
+		if we.RetryAfterMS < 1 {
+			we.RetryAfterMS = 1
+		}
+		// Retry-After is whole seconds; round up so zero never means
+		// "immediately" for a sub-second hint.
+		secs := int64(ov.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	case errors.Is(err, serve.ErrNoVariant):
+		status = http.StatusUnprocessableEntity
+		we.Code = "no_variant"
+	case errors.Is(err, serve.ErrClosed):
+		status = http.StatusServiceUnavailable
+		we.Code = "closed"
+	case errors.Is(err, serve.ErrUnknownTarget):
+		status = http.StatusNotFound
+		we.Code = "unknown_target"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(we)
+}

@@ -210,6 +210,20 @@ func (ep *endpoint) candidates(slo SLO) ([]*variant, error) {
 // route places one request: candidates in cost order, live latency
 // gate, bounded admission, spillover for priority traffic.
 func (ep *endpoint) route(img *tensor.Tensor, slo SLO) (*Future, error) {
+	futs, err := ep.routeMany([]*tensor.Tensor{img}, slo)
+	if err != nil {
+		return nil, err
+	}
+	return futs[0], nil
+}
+
+// routeMany places a group of images as one routing decision: the whole
+// group lands on a single variant (its results are meant to coalesce in
+// one batcher, and a per-image split would let half a request ride a
+// less accurate stack than its SLO asked for). Candidates are tried in
+// cost order with the live latency gate and all-or-nothing bounded
+// admission; spillover applies to the whole group for priority traffic.
+func (ep *endpoint) routeMany(imgs []*tensor.Tensor, slo SLO) ([]*Future, error) {
 	cands, err := ep.candidates(slo)
 	if err != nil {
 		return nil, err
@@ -219,6 +233,7 @@ func (ep *endpoint) route(img *tensor.Tensor, slo SLO) (*Future, error) {
 		// satisfying variant, so overload sheds it there first.
 		cands = cands[:1]
 	}
+	n := uint64(len(imgs))
 	retry := time.Duration(0)
 	minRetry := func(d time.Duration) {
 		if retry == 0 || d < retry {
@@ -232,7 +247,7 @@ func (ep *endpoint) route(img *tensor.Tensor, slo SLO) (*Future, error) {
 	transient := false
 	for _, v := range cands {
 		if slo.MaxLatency > 0 {
-			if est, ok := v.pool.estimatedLatency(); ok && est > slo.MaxLatency {
+			if est, ok := v.pool.estimatedLatency(len(imgs)); ok && est > slo.MaxLatency {
 				if v.pool.meanBatchTime() > slo.MaxLatency {
 					// Even an idle worker's single batch misses the
 					// deadline: retrying can never satisfy this request
@@ -247,11 +262,11 @@ func (ep *endpoint) route(img *tensor.Tensor, slo SLO) (*Future, error) {
 				continue
 			}
 		}
-		f, err := v.pool.trySubmit(img)
+		futs, err := v.pool.trySubmitMany(imgs)
 		if err == nil {
-			v.routed.Add(1)
-			ep.routed.Add(1)
-			return f, nil
+			v.routed.Add(n)
+			ep.routed.Add(n)
+			return futs, nil
 		}
 		var ov *OverloadedError
 		if !errors.As(err, &ov) {
@@ -267,8 +282,8 @@ func (ep *endpoint) route(img *tensor.Tensor, slo SLO) (*Future, error) {
 	if retry == 0 {
 		retry = time.Millisecond
 	}
-	cands[0].shed.Add(1) // the variant that would have served it
-	ep.shed.Add(1)
+	cands[0].shed.Add(n) // the variant that would have served it
+	ep.shed.Add(n)
 	return nil, &OverloadedError{Stack: ep.name, RetryAfter: retry}
 }
 
@@ -333,16 +348,24 @@ func (v *variant) stats() VariantStats {
 // ErrOverloaded) carrying a RetryAfter hint, and an unsatisfiable
 // MinAccuracy returns an error matching ErrNoVariant. The image
 // aliasing contract is the same as Submit's.
+//
+// Deprecated: Route is a shim over the unified request path; use
+// Client.Infer (or Server.Do) with a Request carrying the SLO instead.
 func (s *Server) Route(ctx context.Context, endpoint string, img *tensor.Tensor, slo SLO) (*Future, error) {
-	ep, ok := s.endpoints[endpoint]
-	if !ok {
-		return nil, fmt.Errorf("serve: unknown endpoint %q (hosted: %v)", endpoint, s.endpointNames)
+	if _, ok := s.endpoints[endpoint]; !ok {
+		return nil, fmt.Errorf("%w: unknown endpoint %q (hosted: %v)", ErrUnknownTarget, endpoint, s.endpointNames)
 	}
-	_ = ctx // admission never blocks; ctx kept for interface symmetry
-	return ep.route(img, slo)
+	futs, err := s.submitRequest(ctx, Request{Target: endpoint, Images: []*tensor.Tensor{img}, SLO: slo})
+	if err != nil {
+		return nil, err
+	}
+	return futs[0], nil
 }
 
 // RouteInfer is the blocking convenience wrapper: Route then Wait.
+//
+// Deprecated: RouteInfer is a shim over the unified request path; use
+// Client.InferSync with a Request carrying the SLO instead.
 func (s *Server) RouteInfer(ctx context.Context, endpoint string, img *tensor.Tensor, slo SLO) (Result, error) {
 	f, err := s.Route(ctx, endpoint, img, slo)
 	if err != nil {

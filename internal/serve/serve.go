@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
 
@@ -86,8 +87,11 @@ type Config struct {
 	// block (or honour their context) when it is full; SLO-routed
 	// traffic is admission-controlled against it instead — the
 	// inclusive queue depth (channel + open batch) is capped here and
-	// overflow sheds with ErrOverloaded. Defaults to
-	// Replicas × MaxBatch × 4.
+	// overflow sheds with ErrOverloaded. Any value < 1 derives
+	// Replicas × MaxBatch × 4 at server construction. DefaultConfig
+	// returns the value derived for its own geometry, so after raising
+	// Replicas or MaxBatch on a DefaultConfig, set QueueCap back to 0
+	// (or your own figure) to re-derive.
 	QueueCap int
 	// LatencyWindow is the sliding-window size (in samples) behind the
 	// latency percentiles and the windowed Throughput figure; 0 uses
@@ -95,26 +99,38 @@ type Config struct {
 	LatencyWindow int
 }
 
-// DefaultConfig returns the serving defaults used for zero Config
-// fields: 1 replica, batches of up to 8, a 2ms batching window.
+// DefaultConfig returns the fully resolved serving defaults used for
+// zero Config fields: 1 replica, batches of up to 8, a 2ms batching
+// window, the derived queue capacity (Replicas × MaxBatch × 4) and the
+// default latency window. Every tuning field is non-zero, so printing
+// or reusing the value advertises exactly what a zero-configured
+// server resolves to — DefaultConfig().withDefaults() is the identity.
+// Callers changing Replicas or MaxBatch afterwards should zero
+// QueueCap to re-derive it for the new geometry (see Config.QueueCap).
 func DefaultConfig() Config {
-	return Config{Replicas: 1, MaxBatch: 8, MaxDelay: 2 * time.Millisecond}
+	c := Config{Replicas: 1, MaxBatch: 8, MaxDelay: 2 * time.Millisecond}
+	return c.withDefaults()
 }
 
-// withDefaults resolves zero tuning fields to their defaults.
+// withDefaults resolves zero tuning fields to their defaults. The
+// derived fields (QueueCap) resolve against the already-resolved base
+// fields, so partial configs derive from their own values, not the
+// global defaults.
 func (c Config) withDefaults() Config {
-	d := DefaultConfig()
 	if c.Replicas < 1 {
-		c.Replicas = d.Replicas
+		c.Replicas = 1
 	}
 	if c.MaxBatch < 1 {
-		c.MaxBatch = d.MaxBatch
+		c.MaxBatch = 8
 	}
 	if c.MaxDelay <= 0 {
-		c.MaxDelay = d.MaxDelay
+		c.MaxDelay = 2 * time.Millisecond
 	}
 	if c.QueueCap < 1 {
 		c.QueueCap = c.Replicas * c.MaxBatch * 4
+	}
+	if c.LatencyWindow < 1 {
+		c.LatencyWindow = metrics.DefaultLatencyWindow
 	}
 	return c
 }
@@ -233,15 +249,15 @@ func (s *Server) InputShape(name string) (tensor.Shape, error) {
 // An endpoint name is accepted too: the request is routed with a zero
 // SLO (cheapest variant), which means bounded admission — a saturated
 // endpoint sheds with ErrOverloaded instead of blocking.
+//
+// Deprecated: Submit is a shim over the unified request path; use
+// Client.Infer (or Server.Do) with a Request instead.
 func (s *Server) Submit(ctx context.Context, stack string, img *tensor.Tensor) (*Future, error) {
-	p, ok := s.pools[stack]
-	if !ok {
-		if ep, isEndpoint := s.endpoints[stack]; isEndpoint {
-			return ep.route(img, SLO{})
-		}
-		return nil, fmt.Errorf("serve: unknown stack %q (hosted: %v)", stack, s.names)
+	futs, err := s.submitRequest(ctx, Request{Target: stack, Images: []*tensor.Tensor{img}})
+	if err != nil {
+		return nil, err
 	}
-	return p.submit(ctx, img)
+	return futs[0], nil
 }
 
 // Infer is the blocking convenience wrapper: Submit then Wait. After a
@@ -249,6 +265,9 @@ func (s *Server) Submit(ctx context.Context, stack string, img *tensor.Tensor) (
 // reuse. If Infer returns a context error the accepted request may
 // still be queued or executing — the image remains off-limits exactly
 // as for Submit.
+//
+// Deprecated: Infer is a shim over the unified request path; use
+// Client.InferSync with a Request instead.
 func (s *Server) Infer(ctx context.Context, stack string, img *tensor.Tensor) (Result, error) {
 	f, err := s.Submit(ctx, stack, img)
 	if err != nil {

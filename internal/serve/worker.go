@@ -93,10 +93,26 @@ func newPool(name string, stack core.Config, cfg Config) (*pool, error) {
 // submit validates the image and enqueues it, blocking (under ctx) when
 // the queue is full.
 func (p *pool) submit(ctx context.Context, img *tensor.Tensor) (*Future, error) {
-	if err := p.checkShape(img); err != nil {
+	futs, err := p.submitMany(ctx, []*tensor.Tensor{img})
+	if err != nil {
 		return nil, err
 	}
-	r := &request{img: img, enq: time.Now(), fut: newFuture()}
+	return futs[0], nil
+}
+
+// submitMany validates and enqueues a group of images as consecutive
+// requests — one enqueue burst, one future per image. Back-to-back
+// enqueueing is what lets the batcher coalesce a multi-image request
+// into as few forward passes as MaxBatch allows. Sends block (under
+// ctx) when the queue is full; on a ctx abort the images enqueued so
+// far stay accepted and execute (their futures are simply abandoned),
+// exactly like a single accepted submission whose waiter gives up.
+func (p *pool) submitMany(ctx context.Context, imgs []*tensor.Tensor) ([]*Future, error) {
+	for _, img := range imgs {
+		if err := p.checkShape(img); err != nil {
+			return nil, err
+		}
+	}
 
 	// Registering in subs under the same lock as the closed check lets
 	// close() order itself after every admitted submitter: it flips
@@ -113,18 +129,28 @@ func (p *pool) submit(ctx context.Context, img *tensor.Tensor) (*Future, error) 
 	p.mu.Unlock()
 	defer p.subs.Done()
 
-	// pending is raised before the send (and lowered again on a context
-	// abort) so it always bounds the true in-flight count from above: a
-	// batch that executes between send and a late increment would
-	// otherwise drive the counter transiently negative.
-	p.pending.Add(1)
-	select {
-	case p.queue <- r:
-		return r.fut, nil
-	case <-ctx.Done():
-		p.pending.Add(-1)
-		return nil, ctx.Err()
+	futs := make([]*Future, len(imgs))
+	for i, img := range imgs {
+		r := &request{img: img, enq: time.Now(), fut: newFuture()}
+		// pending is raised before the send (and lowered again on a
+		// context abort) so it always bounds the true in-flight count
+		// from above: a batch that executes between send and a late
+		// increment would otherwise drive the counter transiently
+		// negative.
+		p.pending.Add(1)
+		select {
+		case p.queue <- r:
+			futs[i] = r.fut
+		case <-ctx.Done():
+			p.pending.Add(-1)
+			if i > 0 {
+				return nil, fmt.Errorf("serve: %s: %d of %d images enqueued before abort: %w",
+					p.name, i, len(imgs), ctx.Err())
+			}
+			return nil, ctx.Err()
+		}
 	}
+	return futs, nil
 }
 
 // trySubmit is the admission-controlled variant of submit the router
@@ -134,10 +160,22 @@ func (p *pool) submit(ctx context.Context, img *tensor.Tensor) (*Future, error) 
 // RetryAfter estimates the current backlog's drain time, so callers
 // shed (or spill to another variant) instead of piling up unboundedly.
 func (p *pool) trySubmit(img *tensor.Tensor) (*Future, error) {
-	if err := p.checkShape(img); err != nil {
+	futs, err := p.trySubmitMany([]*tensor.Tensor{img})
+	if err != nil {
 		return nil, err
 	}
-	r := &request{img: img, enq: time.Now(), fut: newFuture()}
+	return futs[0], nil
+}
+
+// trySubmitMany is the admission-controlled group enqueue: the whole
+// group is admitted against QueueCap at once (pending + N ≤ cap) or
+// refused as a unit, so a multi-image request is never half-shed.
+func (p *pool) trySubmitMany(imgs []*tensor.Tensor) ([]*Future, error) {
+	for _, img := range imgs {
+		if err := p.checkShape(img); err != nil {
+			return nil, err
+		}
+	}
 
 	p.mu.Lock()
 	if p.closed {
@@ -152,17 +190,38 @@ func (p *pool) trySubmit(img *tensor.Tensor) (*Future, error) {
 	// even though up to MaxBatch of it has already left the channel for
 	// the batcher's open batch; the non-blocking send is the backstop
 	// for a gated admit racing a full channel.
-	if p.pending.Add(1) > int64(p.cfg.QueueCap) {
-		p.pending.Add(-1)
+	n := int64(len(imgs))
+	if p.pending.Add(n) > int64(p.cfg.QueueCap) {
+		p.pending.Add(-n)
 		return nil, p.overloaded()
 	}
-	select {
-	case p.queue <- r:
-		return r.fut, nil
-	default:
-		p.pending.Add(-1)
-		return nil, p.overloaded()
+	futs := make([]*Future, len(imgs))
+	for i, img := range imgs {
+		r := &request{img: img, enq: time.Now(), fut: newFuture()}
+		select {
+		case p.queue <- r:
+			futs[i] = r.fut
+		default:
+			// Blocking direct submitters raced the gated admission to the
+			// channel slots.
+			if i == 0 {
+				// Nothing sent yet: shed cleanly, rolling the whole
+				// reservation back — admission stays all-or-nothing.
+				p.pending.Add(-n)
+				return nil, p.overloaded()
+			}
+			// Mid-group, the group is already admitted under the cap and
+			// partially enqueued; shedding now would strand executed
+			// images (and let a router re-place the group elsewhere,
+			// duplicating work). Finish with a blocking send instead:
+			// the batcher consumes until the channel closes, and close()
+			// waits on our subs registration before closing it, so the
+			// send always completes.
+			p.queue <- r
+			futs[i] = r.fut
+		}
 	}
+	return futs, nil
 }
 
 // overloaded builds the typed admission error: RetryAfter is the
@@ -215,14 +274,15 @@ func (p *pool) meanBatchTime() time.Duration {
 }
 
 // estimatedLatency projects the end-to-end latency a newly admitted
-// request would see: the waves needed to execute the backlog plus the
-// request itself (an idle pool therefore projects one batch, not two).
-// ok is false until the pool has executed at least one batch.
-func (p *pool) estimatedLatency() (time.Duration, bool) {
+// group of n requests would see: the waves needed to execute the
+// backlog plus the group itself (an idle pool therefore projects one
+// batch for a lone request, not two). ok is false until the pool has
+// executed at least one batch.
+func (p *pool) estimatedLatency(n int) (time.Duration, bool) {
 	if p.meanBatchTime() <= 0 {
 		return 0, false
 	}
-	return p.waveTime(p.pending.Load() + 1), true
+	return p.waveTime(p.pending.Load() + int64(n)), true
 }
 
 // checkShape accepts C×H×W or 1×C×H×W matching the stack's input.
