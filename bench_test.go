@@ -462,8 +462,14 @@ func BenchmarkServeThroughput(b *testing.B) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			req := serve.Request{Target: "m", Images: []*tensor.Tensor{imgs[c]}}
 			for budget.Add(-1) >= 0 {
-				if _, err := srv.Infer(ctx, "m", imgs[c]); err != nil {
+				rf, err := srv.Do(ctx, req)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := rf.Wait(ctx); err != nil {
 					b.Error(err)
 					return
 				}

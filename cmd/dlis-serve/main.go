@@ -13,6 +13,7 @@
 //	           -slo acc=90,lat=500ms,prio=1
 //	dlis-serve -model mini-vgg -listen :8080            # HTTP server mode
 //	dlis-serve -connect host:8080 -model mini-vgg/plain # remote load gen
+//	dlis-serve -cluster host1:8080,host2:8080 -model mini-vgg/plain
 //
 // In the default (in-process) mode each comma-separated model gets its
 // own pool (routing key "<model>/<technique>") and the load generator
@@ -22,7 +23,11 @@
 // -connect the process only generates load: -model names the remote
 // routing targets (pools or endpoints — discovered via /v1/models,
 // which also supplies the input geometry), and the report is built
-// from the remote statistics. Either way the load generator runs
+// from the remote statistics. With -cluster the load generator fronts
+// a whole fleet of -listen backends through one dlis.Cluster client:
+// placement is least-loaded power-of-two-choices over the healthy
+// members, a backend dying mid-run fails over to the survivors, and
+// the report adds a per-member health/traffic table. Either way the load generator runs
 // -clients concurrent closed-loop clients per target — each submits
 // one request, waits for its result, and immediately submits the next
 // — until -requests requests per target have completed. Overloaded
@@ -89,10 +94,17 @@ func main() {
 	queueCap := flag.Int("queuecap", 0, "per-pool admission queue capacity (0 = replicas*batch*4); routed traffic beyond it is shed with a RetryAfter hint")
 	listen := flag.String("listen", "", "serve the configured stacks over HTTP on this address (e.g. :8080) instead of running the load generator")
 	connect := flag.String("connect", "", "drive a remote dlis HTTP server at this address (e.g. host:8080) instead of building one in-process")
+	clusterAddrs := flag.String("cluster", "", "comma-separated dlis HTTP backend addresses (host1:8080,host2:8080,...); run the load generator over the fleet through one cluster client")
 	flag.Parse()
 
-	if *listen != "" && *connect != "" {
-		fatal(errors.New("-listen and -connect are mutually exclusive"))
+	modes := 0
+	for _, m := range []string{*listen, *connect, *clusterAddrs} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fatal(errors.New("-listen, -connect and -cluster are mutually exclusive"))
 	}
 
 	// Two full waves of batches per pool keep the queue deep enough that
@@ -131,6 +143,13 @@ func main() {
 	// discovery, geometry and the final statistics.
 	if *connect != "" {
 		runRemote(dlis.NewHTTPClient(*connect), gen)
+		return
+	}
+
+	// Cluster mode: the same load generator, pointed at a fleet of
+	// HTTP backends through one cluster client.
+	if *clusterAddrs != "" {
+		runCluster(strings.Split(*clusterAddrs, ","), gen)
 		return
 	}
 
@@ -296,6 +315,85 @@ func runRemote(client *dlis.HTTPClient, gen loadGen) {
 		fatal(err)
 	}
 	report(st, gen, 0, nil, errCount)
+}
+
+// runCluster drives a fleet of dlis HTTP backends through one cluster
+// client: every address becomes a member, discovery waits until the
+// fleet advertises every target (backends launched alongside the load
+// generator get a grace period), the shared load loop runs against the
+// cluster, and the report is the merged fleet statistics plus a
+// per-member health/traffic table. A backend dying mid-run is the
+// cluster's problem, not the load generator's: its in-flight requests
+// fail over and its share of the traffic moves to the survivors.
+func runCluster(addrs []string, gen loadGen) {
+	var members []dlis.ClusterMember
+	for _, a := range addrs {
+		if a = strings.TrimSpace(a); a != "" {
+			members = append(members, dlis.ClusterMember{Name: a, Client: dlis.NewHTTPClient(a)})
+		}
+	}
+	if len(members) < 1 {
+		fatal(errors.New("-cluster needs at least one backend address"))
+	}
+	cl, err := dlis.NewCluster(members...)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		ms, err := cl.Models(ctx)
+		hosted := make(map[string]bool, len(ms))
+		for _, m := range ms {
+			hosted[m.Name] = true
+		}
+		missing := ""
+		for _, t := range gen.targets {
+			if !hosted[t] {
+				missing = t
+				break
+			}
+		}
+		if err == nil && missing == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("fleet does not host %q", missing)
+			}
+			fatal(fmt.Errorf("cluster discovery: %w", err))
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	fmt.Printf("dlis-serve: cluster load generator → %d member(s), %d target(s), %d clients, %d requests/target\n",
+		len(members), len(gen.targets), gen.clients, gen.requests)
+	wall, errCount := runLoad(cl, gen)
+	fmt.Printf("\nload run complete in %v\n", wall.Round(time.Millisecond))
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	report(st, gen, 0, nil, errCount)
+	reportMembers(cl.Snapshot())
+	if err := cl.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// reportMembers renders the per-member cluster table: health, the
+// traffic the placement put on each member, and the failure accounting
+// (shed = typed overload refusals, failed = transport failures that
+// failed over, ejections = healthy→ejected transitions).
+func reportMembers(snap dlis.ClusterStats) {
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "member\thealthy\tserved\tshed\tfailed\tejections\ttargets")
+	for _, m := range snap.Members {
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%d\t%d\t%d\t%s\n",
+			m.Member, m.Healthy, m.Served, m.Shed, m.Failed, m.Ejections, strings.Join(m.Targets, ","))
+	}
+	tw.Flush()
+	fmt.Printf("cluster totals: served=%d shed=%d overload-retries=%d failovers=%d\n",
+		snap.Served, snap.Shed, snap.OverloadRetries, snap.Failovers)
 }
 
 // loadGen bundles the closed-loop load parameters shared by every

@@ -39,6 +39,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/pareto"
 	"repro/internal/serve"
+	"repro/internal/serve/cluster"
 	"repro/internal/serve/httpapi"
 	"repro/internal/tensor"
 	"repro/internal/train"
@@ -297,4 +298,38 @@ func NewHTTPClient(base string) *HTTPClient { return httpapi.NewClient(base) }
 // lifecycle. See cmd/dlis-serve -listen for a ready-made server mode.
 func NewHTTPHandler(srv *Server, maxBodyBytes int64) *HTTPHandler {
 	return httpapi.NewHandler(srv, maxBodyBytes)
+}
+
+// Sharded cluster serving tier (see DESIGN.md §9): a Cluster is a
+// Client over a fleet of member backends — any mix of LocalClients and
+// HTTPClients — with a health-checked member table, least-loaded
+// (power-of-two-choices) placement, overload retry on the next-best
+// member, and transport-failure failover. NewCluster(members...) is a
+// drop-in replacement for a single server behind the Client interface.
+type (
+	// Cluster is the fleet-level Client; construct with NewCluster.
+	Cluster = cluster.Cluster
+	// ClusterMember couples one backend Client with its reporting name.
+	ClusterMember = cluster.Member
+	// ClusterConfig tunes health probing (interval, timeout, ejection
+	// backoff); the zero value uses the defaults.
+	ClusterConfig = cluster.Config
+	// ClusterStats is the fleet snapshot Cluster.Snapshot returns:
+	// per-member health, served/shed/failed traffic and ejections, plus
+	// cluster-level retry and failover counters.
+	ClusterStats = cluster.Stats
+	// ClusterMemberStats is one member's entry in ClusterStats.
+	ClusterMemberStats = cluster.MemberStats
+)
+
+// NewCluster assembles a fleet Client over the members with default
+// health checking, probing each member once; members that are down
+// start ejected and are re-admitted automatically when they come up.
+func NewCluster(members ...ClusterMember) (*Cluster, error) {
+	return cluster.New(cluster.Config{}, members...)
+}
+
+// NewClusterWithConfig is NewCluster with explicit health-check tuning.
+func NewClusterWithConfig(cfg ClusterConfig, members ...ClusterMember) (*Cluster, error) {
+	return cluster.New(cfg, members...)
 }

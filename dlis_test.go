@@ -191,11 +191,17 @@ func TestServerPublicAPI(t *testing.T) {
 			defer wg.Done()
 			img := NewImage(1, 32, 32, uint64(c+1))
 			for _, stack := range []string{"mini-resnet/plain", "mobile-wp"} {
-				res, err := srv.Infer(ctx, stack, img)
+				resp, err := srv.Do(ctx, Request{Target: stack, Images: []*Tensor{img}})
 				if err != nil {
 					t.Errorf("%s: %v", stack, err)
 					return
 				}
+				r, err := resp.Wait(ctx)
+				if err != nil {
+					t.Errorf("%s: %v", stack, err)
+					return
+				}
+				res := r.First()
 				if !res.Output.AllFinite() || res.Output.NumElements() != 10 {
 					t.Errorf("%s: implausible logits %v", stack, res.Output)
 				}
@@ -212,7 +218,7 @@ func TestServerPublicAPI(t *testing.T) {
 			t.Fatalf("%s: empty stats %+v", stack, st)
 		}
 	}
-	if _, err := srv.Infer(ctx, "mobile-wp", NewImage(1, 32, 32, 1)); err != ErrServerClosed {
+	if _, err := srv.Do(ctx, Request{Target: "mobile-wp", Images: []*Tensor{NewImage(1, 32, 32, 1)}}); err != ErrServerClosed {
 		t.Fatalf("infer after close: %v, want ErrServerClosed", err)
 	}
 }
@@ -260,10 +266,18 @@ func TestEndpointPublicAPI(t *testing.T) {
 	if got := srv.Endpoints(); len(got) != 1 || got[0] != "vgg" {
 		t.Fatalf("endpoints = %v", got)
 	}
-	res, err := srv.RouteInfer(ctx, "vgg", NewImage(1, 32, 32, 3), SLO{MinAccuracy: 90, Priority: 1})
+	rf, err := srv.Do(ctx, Request{
+		Target: "vgg", Images: []*Tensor{NewImage(1, 32, 32, 3)},
+		SLO: SLO{MinAccuracy: 90, Priority: 1},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	resp, err := rf.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resp.First()
 	// mini models have no Pareto curves: the router must have fallen
 	// back to the plain variant rather than guessed.
 	if res.Stack != "vgg/plain" {
@@ -372,5 +386,71 @@ func TestClientPublicAPI(t *testing.T) {
 	srv.Close()
 	if _, err := remote.InferSync(ctx, req); !errors.Is(err, ErrServerClosed) {
 		t.Fatalf("closed server over HTTP: err = %v, want ErrServerClosed", err)
+	}
+}
+
+func TestClusterPublicAPI(t *testing.T) {
+	// The sharded serving tier through the facade: a Cluster over two
+	// in-process servers is a drop-in Client — requests are answered,
+	// the merged stats fold both members, the snapshot reports health,
+	// and Close drains the fleet.
+	newServer := func() *Server {
+		cfg := DefaultServerConfig()
+		cfg.Stacks = []ServerStack{{Name: "m", Stack: StackConfig{
+			Model: "mini-mobilenet", Technique: Plain,
+			Backend: OMP, Threads: 1, Platform: "odroid-xu4", Seed: 1,
+		}}}
+		cfg.Replicas, cfg.MaxBatch, cfg.MaxDelay = 1, 4, time.Millisecond
+		srv, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	cl, err := NewClusterWithConfig(ClusterConfig{ProbeInterval: 50 * time.Millisecond},
+		ClusterMember{Name: "a", Client: NewLocalClient(newServer())},
+		ClusterMember{Name: "b", Client: NewLocalClient(newServer())},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ Client = cl // the acceptance contract: Cluster is a Client verbatim
+
+	ctx := context.Background()
+	ms, err := cl.Models(ctx)
+	if err != nil || len(ms) != 1 || ms[0].Name != "m" {
+		t.Fatalf("cluster models = %+v, %v", ms, err)
+	}
+	const n = 8
+	for i := 0; i < n; i++ {
+		resp, err := cl.InferSync(ctx, Request{Target: "m", Images: []*Tensor{NewImage(1, 32, 32, uint64(i+1))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := resp.First(); !res.Output.AllFinite() || res.Output.NumElements() != 10 {
+			t.Fatalf("request %d: implausible logits %v", i, res.Output)
+		}
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pools["m"].Completed != n {
+		t.Fatalf("merged completed = %d, want %d", st.Pools["m"].Completed, n)
+	}
+	snap := cl.Snapshot()
+	if len(snap.Members) != 2 || snap.Served != n {
+		t.Fatalf("cluster snapshot = %+v", snap)
+	}
+	for _, m := range snap.Members {
+		if !m.Healthy {
+			t.Fatalf("member %s unhealthy in a loopback cluster", m.Member)
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.InferSync(ctx, Request{Target: "m", Images: []*Tensor{NewImage(1, 32, 32, 1)}}); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("closed cluster: err = %v, want ErrServerClosed", err)
 	}
 }

@@ -164,7 +164,7 @@ func TestFutureRewait(t *testing.T) {
 		Replicas: 1, MaxBatch: 1, MaxDelay: time.Millisecond,
 	})
 	ctx := context.Background()
-	f, err := s.Submit(ctx, "m", testImage(1))
+	f, err := doSubmit(ctx, s, "m", testImage(1), SLO{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestFutureRewait(t *testing.T) {
 	}
 
 	// A waiter that aborted on ctx can come back for the answer.
-	f2, err := s.Submit(ctx, "m", testImage(2))
+	f2, err := doSubmit(ctx, s, "m", testImage(2), SLO{})
 	if err != nil {
 		t.Fatal(err)
 	}

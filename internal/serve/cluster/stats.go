@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// MemberStats is one fleet entry's cluster-side snapshot: its health,
+// the traffic the cluster placed on it, and the backend statistics
+// from its latest successful probe.
+type MemberStats struct {
+	// Member is the configured member name (for HTTP members,
+	// conventionally the address).
+	Member string `json:"member"`
+	// Healthy reports the member table's current verdict.
+	Healthy bool `json:"healthy"`
+	// Targets lists the routing names the member advertises.
+	Targets []string `json:"targets,omitempty"`
+	// Served counts images answered through the cluster; Shed counts
+	// images the member refused with ErrOverloaded; Failed counts
+	// images lost to transport failures (each re-placed elsewhere).
+	Served, Shed, Failed uint64
+	// Ejections counts healthy→ejected transitions (probe failures and
+	// mid-flight deaths both eject).
+	Ejections uint64 `json:"ejections"`
+	// Inflight is the cluster's live request count on the member;
+	// QueueDepth is the backlog from the latest probe. Their sum is the
+	// placement's load key.
+	Inflight, QueueDepth int64
+	// Backend is the member's ServerStats from the latest successful
+	// probe (zero value if the member has never answered one).
+	Backend serve.ServerStats `json:"backend"`
+}
+
+// Stats is the cluster-level snapshot: per-member detail plus the
+// fleet-wide placement counters.
+type Stats struct {
+	// Members holds one entry per configured member, in order.
+	Members []MemberStats `json:"members"`
+	// Served and Shed are the fleet totals the cluster reported to its
+	// callers (shed = surfaced ErrOverloaded after failover).
+	Served, Shed uint64
+	// OverloadRetries counts overload refusals retried on a next-best
+	// member; Failovers counts transport-failure re-placements.
+	OverloadRetries, Failovers uint64
+}
+
+// Snapshot assembles the cluster statistics without touching the
+// members — everything comes from the table and the latest probes.
+func (c *Cluster) Snapshot() Stats {
+	st := Stats{
+		Served:          c.served.Load(),
+		Shed:            c.shed.Load(),
+		OverloadRetries: c.retries.Load(),
+		Failovers:       c.failovers.Load(),
+	}
+	for _, m := range c.members {
+		m.mu.RLock()
+		ms := MemberStats{
+			Member:     m.name,
+			Healthy:    m.healthy.Load(),
+			Targets:    append([]string(nil), m.order...),
+			Served:     m.served.Load(),
+			Shed:       m.shed.Load(),
+			Failed:     m.failed.Load(),
+			Ejections:  m.ejections.Load(),
+			Inflight:   m.inflight.Load(),
+			QueueDepth: m.depth.Load(),
+			Backend:    m.last,
+		}
+		m.mu.RUnlock()
+		st.Members = append(st.Members, ms)
+	}
+	return st
+}
+
+// Stats implements serve.Client: a fresh whole-fleet ServerStats, the
+// same shape a single server reports, with every healthy member's
+// snapshot folded in — pools and endpoint variants merged by routing
+// name. Counters sum exactly; latency percentiles are merged as
+// request-count-weighted means (an approximation: true fleet
+// percentiles would need the raw samples), and the extremes (Min, Max)
+// are exact.
+func (c *Cluster) Stats(ctx context.Context) (serve.ServerStats, error) {
+	if c.closed.Load() {
+		return serve.ServerStats{}, serve.ErrClosed
+	}
+	snaps := make([]serve.ServerStats, len(c.members))
+	ok := make([]bool, len(c.members))
+	var wg sync.WaitGroup
+	for i, m := range c.members {
+		if !m.healthy.Load() {
+			// An ejected member still contributes what it last reported —
+			// its served counters are history — but the instantaneous
+			// fields (rates, queue depth) describe a backend that is no
+			// longer running, so they are zeroed rather than overstating
+			// the fleet's current capacity forever.
+			m.mu.RLock()
+			snaps[i], ok[i] = staleSnapshot(m.last), m.probed
+			m.mu.RUnlock()
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			st, err := m.client.Stats(ctx)
+			if err != nil {
+				m.mu.RLock()
+				snaps[i], ok[i] = staleSnapshot(m.last), m.probed
+				m.mu.RUnlock()
+				return
+			}
+			snaps[i], ok[i] = st, true
+		}(i, m)
+	}
+	wg.Wait()
+	out := serve.ServerStats{Pools: make(map[string]serve.Stats)}
+	for i, snap := range snaps {
+		if !ok[i] {
+			continue
+		}
+		for name, ps := range snap.Pools {
+			out.Pools[name] = mergePool(out.Pools[name], ps)
+		}
+		for name, es := range snap.Endpoints {
+			if out.Endpoints == nil {
+				out.Endpoints = make(map[string]serve.EndpointStats)
+			}
+			out.Endpoints[name] = mergeEndpoint(out.Endpoints[name], es)
+		}
+	}
+	return out, nil
+}
+
+// staleSnapshot copies a dead member's last report with the live-state
+// fields zeroed: completion counters and latency distributions are
+// history and stay, but steady-state rates and queue depth describe
+// only a running backend.
+func staleSnapshot(st serve.ServerStats) serve.ServerStats {
+	out := serve.ServerStats{}
+	if st.Pools != nil {
+		out.Pools = make(map[string]serve.Stats, len(st.Pools))
+		for name, ps := range st.Pools {
+			out.Pools[name] = stalePool(ps)
+		}
+	}
+	if st.Endpoints != nil {
+		out.Endpoints = make(map[string]serve.EndpointStats, len(st.Endpoints))
+		for name, es := range st.Endpoints {
+			// Copy the variants before rewriting their pool snapshots:
+			// the slice aliases the member's retained last report.
+			vars := make([]serve.VariantStats, len(es.Variants))
+			copy(vars, es.Variants)
+			for i := range vars {
+				vars[i].Pool = stalePool(vars[i].Pool)
+			}
+			es.Variants = vars
+			out.Endpoints[name] = es
+		}
+	}
+	return out
+}
+
+func stalePool(ps serve.Stats) serve.Stats {
+	ps.Throughput = 0
+	ps.LifetimeThroughput = 0
+	ps.QueueDepth = 0
+	ps.Latency.WindowRate = 0
+	return ps
+}
+
+// mergePool folds one member's pool snapshot into the fleet view.
+// Counters and rates sum; occupancy is recomputed from the sums; the
+// per-batch and per-request latency figures are weighted means.
+func mergePool(a, b serve.Stats) serve.Stats {
+	if a.Stack == "" {
+		return b
+	}
+	a.MeanBatchLatency = weightedDuration(a.MeanBatchLatency, float64(a.Batches), b.MeanBatchLatency, float64(b.Batches))
+	a.Replicas += b.Replicas
+	a.Completed += b.Completed
+	a.Failed += b.Failed
+	a.Batches += b.Batches
+	a.Routed += b.Routed
+	a.Shed += b.Shed
+	a.QueueDepth += b.QueueDepth
+	a.Throughput += b.Throughput
+	a.LifetimeThroughput += b.LifetimeThroughput
+	a.ReplicaMemoryMB = max(a.ReplicaMemoryMB, b.ReplicaMemoryMB)
+	if a.Batches > 0 {
+		a.MeanBatchOccupancy = float64(a.Completed+a.Failed) / float64(a.Batches)
+	}
+	a.Latency = mergeLatency(a.Latency, b.Latency)
+	return a
+}
+
+// mergeEndpoint folds one member's endpoint snapshot into the fleet
+// view, matching variants by name (order kept from the first member
+// reporting the endpoint; unseen variants appended).
+func mergeEndpoint(a, b serve.EndpointStats) serve.EndpointStats {
+	if a.Endpoint == "" {
+		return b
+	}
+	a.Routed += b.Routed
+	a.Shed += b.Shed
+	byName := make(map[string]int, len(a.Variants))
+	for i, v := range a.Variants {
+		byName[v.Name] = i
+	}
+	for _, v := range b.Variants {
+		i, ok := byName[v.Name]
+		if !ok {
+			a.Variants = append(a.Variants, v)
+			continue
+		}
+		a.Variants[i].Routed += v.Routed
+		a.Variants[i].Shed += v.Shed
+		a.Variants[i].Pool = mergePool(a.Variants[i].Pool, v.Pool)
+	}
+	return a
+}
+
+// mergeLatency folds two latency summaries: counts sum, extremes are
+// exact, the mean and the window percentiles are count-weighted means,
+// and the window rates sum (members observe disjoint request streams).
+func mergeLatency(a, b metrics.LatencySummary) metrics.LatencySummary {
+	wa, wb := float64(a.Count), float64(b.Count)
+	out := metrics.LatencySummary{
+		Count:      a.Count + b.Count,
+		Mean:       weightedDuration(a.Mean, wa, b.Mean, wb),
+		P50:        weightedDuration(a.P50, wa, b.P50, wb),
+		P90:        weightedDuration(a.P90, wa, b.P90, wb),
+		P99:        weightedDuration(a.P99, wa, b.P99, wb),
+		WindowRate: a.WindowRate + b.WindowRate,
+		Min:        a.Min,
+		Max:        a.Max,
+	}
+	if b.Count > 0 && (a.Count == 0 || b.Min < a.Min) {
+		out.Min = b.Min
+	}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	return out
+}
+
+// weightedDuration is the wa:wb weighted mean of two durations, with
+// zero-weight sides dropping out.
+func weightedDuration(a time.Duration, wa float64, b time.Duration, wb float64) time.Duration {
+	if wa+wb <= 0 {
+		return 0
+	}
+	return time.Duration((float64(a)*wa + float64(b)*wb) / (wa + wb))
+}

@@ -1,0 +1,115 @@
+package serve_test
+
+// Compatibility coverage for the deprecated Submit / Infer / Route /
+// RouteInfer shims. First-party code migrated to the unified
+// Request/Client path in PR 4; these tests are the only remaining
+// exercisers, pinning that the shims stay faithful adapters over
+// Server.Do until they are removed. Each use is annotated for
+// staticcheck — deliberate coverage of a deprecated surface, not a
+// stray call site.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+func compatStack(model string) core.Config {
+	return core.Config{
+		Model: model, Technique: core.Plain,
+		Backend: core.OMP, Threads: 1, Platform: "odroid-xu4", Seed: 1,
+	}
+}
+
+func compatImage(seed uint64) *tensor.Tensor {
+	img := tensor.New(3, 32, 32)
+	img.FillNormal(tensor.NewRNG(2*seed+1), 0, 1)
+	return img
+}
+
+// TestDeprecatedSubmitInferShims pins the direct-pool shims against
+// the unified path: same results, same statistics.
+func TestDeprecatedSubmitInferShims(t *testing.T) {
+	s, err := serve.New(serve.Config{
+		Stacks:   []serve.StackSpec{{Name: "m", Stack: compatStack("mini-mobilenet")}},
+		Replicas: 1, MaxBatch: 2, MaxDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+
+	//lint:ignore SA1019 compatibility coverage for the deprecated Submit shim
+	f, err := s.Submit(ctx, "m", compatImage(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stack != "m" || res.Output == nil {
+		t.Fatalf("Submit shim result = %+v", res)
+	}
+
+	//lint:ignore SA1019 compatibility coverage for the deprecated Infer shim
+	res, err = s.Infer(ctx, "m", compatImage(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Do(ctx, serve.Request{Target: "m", Images: []*tensor.Tensor{compatImage(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp, err := want.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != wresp.First().Class {
+		t.Fatalf("Infer shim class %d != unified path class %d on the same image", res.Class, wresp.First().Class)
+	}
+}
+
+// TestDeprecatedRouteShims pins the SLO-routing shims: the same
+// variant selection the unified path makes, and the same typed errors.
+func TestDeprecatedRouteShims(t *testing.T) {
+	s, err := serve.New(serve.Config{
+		Endpoints: []serve.EndpointSpec{serve.Endpoint("vgg", compatStack("mini-vgg"), core.Plain, core.WeightPruned)},
+		Replicas:  1, MaxBatch: 2, MaxDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	slo := serve.SLO{MinAccuracy: 90, Priority: 1}
+
+	//lint:ignore SA1019 compatibility coverage for the deprecated Route shim
+	f, err := s.Route(ctx, "vgg", compatImage(1), slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mini models have no Pareto curves: both paths must fall back to
+	// the plain variant.
+	if res.Stack != "vgg/plain" {
+		t.Fatalf("Route shim served by %q, want the plain fallback", res.Stack)
+	}
+
+	//lint:ignore SA1019 compatibility coverage for the deprecated RouteInfer shim
+	res, err = s.RouteInfer(ctx, "vgg", compatImage(2), slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stack != "vgg/plain" {
+		t.Fatalf("RouteInfer shim served by %q, want the plain fallback", res.Stack)
+	}
+}

@@ -73,7 +73,7 @@ func TestRouteHonoursMinAccuracy(t *testing.T) {
 	ctx := context.Background()
 	order := cheapestOf(t, s, "vgg")
 
-	res, err := s.RouteInfer(ctx, "vgg", testImage(1), SLO{})
+	res, err := doInfer(ctx, s, "vgg", testImage(1), SLO{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestRouteHonoursMinAccuracy(t *testing.T) {
 		t.Fatalf("zero SLO served by %q, want cheapest %q", res.Stack, order[0])
 	}
 
-	res, err = s.RouteInfer(ctx, "vgg", testImage(2), SLO{MinAccuracy: 93})
+	res, err = doInfer(ctx, s, "vgg", testImage(2), SLO{MinAccuracy: 93})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestRouteHonoursMinAccuracy(t *testing.T) {
 	// each case the cheapest variant above the bar must win.
 	for _, minAcc := range []float64{91, 89} {
 		want := cheapestSatisfying(t, s, "vgg", minAcc)
-		res, err = s.RouteInfer(ctx, "vgg", testImage(3), SLO{MinAccuracy: minAcc})
+		res, err = doInfer(ctx, s, "vgg", testImage(3), SLO{MinAccuracy: minAcc})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +102,7 @@ func TestRouteHonoursMinAccuracy(t *testing.T) {
 		}
 	}
 
-	if _, err = s.RouteInfer(ctx, "vgg", testImage(4), SLO{MinAccuracy: 99}); !errors.Is(err, ErrNoVariant) {
+	if _, err = doInfer(ctx, s, "vgg", testImage(4), SLO{MinAccuracy: 99}); !errors.Is(err, ErrNoVariant) {
 		t.Fatalf("MinAccuracy 99%% err = %v, want ErrNoVariant", err)
 	}
 	if errors.Is(err, ErrOverloaded) {
@@ -127,7 +127,7 @@ func TestRouteFallsBackToPlainWithoutCurves(t *testing.T) {
 		Endpoints: []EndpointSpec{ep},
 		Replicas:  1, MaxBatch: 2, MaxDelay: time.Millisecond,
 	})
-	res, err := s.RouteInfer(context.Background(), "vgg", testImage(1), SLO{MinAccuracy: 90})
+	res, err := doInfer(context.Background(), s, "vgg", testImage(1), SLO{MinAccuracy: 90})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,13 +154,13 @@ func TestRouteShedsWhenSaturated(t *testing.T) {
 	ctx := context.Background()
 	var futs []*Future
 	for i := 0; i < capacity; i++ {
-		f, err := s.Route(ctx, "m", testImage(uint64(i)), SLO{})
+		f, err := doSubmit(ctx, s, "m", testImage(uint64(i)), SLO{})
 		if err != nil {
 			t.Fatalf("request %d within capacity refused: %v", i, err)
 		}
 		futs = append(futs, f)
 	}
-	_, err = s.Route(ctx, "m", testImage(99), SLO{})
+	_, err = doSubmit(ctx, s, "m", testImage(99), SLO{})
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("request beyond capacity: err = %v, want ErrOverloaded", err)
 	}
@@ -209,16 +209,16 @@ func TestRoutePrioritySpillsBestEffortSheds(t *testing.T) {
 
 	// Saturate the cheapest variant with best-effort traffic.
 	for i := 0; i < capacity; i++ {
-		if _, err := s.Route(ctx, "vgg", testImage(uint64(i)), SLO{}); err != nil {
+		if _, err := doSubmit(ctx, s, "vgg", testImage(uint64(i)), SLO{}); err != nil {
 			t.Fatalf("filling cheapest variant: %v", err)
 		}
 	}
 	// Best effort: shed, despite free capacity on the other variant.
-	if _, err := s.Route(ctx, "vgg", testImage(10), SLO{}); !errors.Is(err, ErrOverloaded) {
+	if _, err := doSubmit(ctx, s, "vgg", testImage(10), SLO{}); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("best-effort beyond capacity: err = %v, want ErrOverloaded", err)
 	}
 	// Priority: spills to the second-cheapest variant.
-	if _, err := s.Route(ctx, "vgg", testImage(11), SLO{Priority: 1}); err != nil {
+	if _, err := doSubmit(ctx, s, "vgg", testImage(11), SLO{Priority: 1}); err != nil {
 		t.Fatalf("priority request did not spill: %v", err)
 	}
 	st, err := s.EndpointStats("vgg")
@@ -252,13 +252,13 @@ func TestPerVariantStatsRouting(t *testing.T) {
 	const accurate, cheap = 3, 2
 	// 93% is satisfied by the plain variant alone.
 	for i := 0; i < accurate; i++ {
-		if _, err := s.RouteInfer(ctx, "vgg", testImage(uint64(i)), SLO{MinAccuracy: 93}); err != nil {
+		if _, err := doInfer(ctx, s, "vgg", testImage(uint64(i)), SLO{MinAccuracy: 93}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	order := cheapestOf(t, s, "vgg")
 	for i := 0; i < cheap; i++ {
-		if _, err := s.RouteInfer(ctx, "vgg", testImage(uint64(10+i)), SLO{}); err != nil {
+		if _, err := doInfer(ctx, s, "vgg", testImage(uint64(10+i)), SLO{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -300,7 +300,7 @@ func TestPerVariantStatsRouting(t *testing.T) {
 		t.Fatalf("AllStats routed = %d, want %d", all["vgg/plain"].Routed, wantPlain)
 	}
 	// Endpoint names resolve through the plain Submit/Infer path too.
-	if res, err := s.Infer(ctx, "vgg", testImage(42)); err != nil || res.Stack != order[0] {
+	if res, err := doInfer(ctx, s, "vgg", testImage(42), SLO{}); err != nil || res.Stack != order[0] {
 		t.Fatalf("Infer on endpoint name: res.Stack=%q err=%v, want cheapest %q", res.Stack, err, order[0])
 	}
 }
@@ -334,12 +334,12 @@ func TestRouteMaxLatencyGate(t *testing.T) {
 	const budget = 60 * time.Millisecond
 
 	// Best effort: the only candidate it may use is too backlogged — shed.
-	if _, err := s.Route(ctx, "vgg", testImage(1), SLO{MaxLatency: budget}); !errors.Is(err, ErrOverloaded) {
+	if _, err := doSubmit(ctx, s, "vgg", testImage(1), SLO{MaxLatency: budget}); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("latency-gated best effort: err = %v, want ErrOverloaded", err)
 	}
 	// Priority with the same budget spills to the idle costlier variant
 	// (cold pools pass the gate: no live estimate yet).
-	f, err := s.Route(ctx, "vgg", testImage(2), SLO{MaxLatency: budget, Priority: 1})
+	f, err := doSubmit(ctx, s, "vgg", testImage(2), SLO{MaxLatency: budget, Priority: 1})
 	if err != nil {
 		t.Fatalf("latency-gated priority did not spill: %v", err)
 	}
@@ -367,7 +367,7 @@ func TestRouteMaxLatencyGate(t *testing.T) {
 		p.batchNanos.Store(int64(50 * time.Millisecond))
 		p.batchesTimed.Store(1)
 	}
-	_, err = s.Route(ctx, "vgg", testImage(3), SLO{MaxLatency: time.Millisecond, Priority: 1})
+	_, err = doSubmit(ctx, s, "vgg", testImage(3), SLO{MaxLatency: time.Millisecond, Priority: 1})
 	if !errors.Is(err, ErrNoVariant) {
 		t.Fatalf("impossible deadline: err = %v, want ErrNoVariant", err)
 	}
@@ -388,7 +388,7 @@ func TestQueueDepthCountsOpenBatch(t *testing.T) {
 	ctx := context.Background()
 	const n = 3
 	for i := 0; i < n; i++ {
-		if _, err := s.Submit(ctx, "m", testImage(uint64(i))); err != nil {
+		if _, err := doSubmit(ctx, s, "m", testImage(uint64(i)), SLO{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -431,7 +431,7 @@ func TestWindowedThroughputSurvivesIdleGap(t *testing.T) {
 	ctx := context.Background()
 	burst := func(n int) {
 		for i := 0; i < n; i++ {
-			if _, err := s.Infer(ctx, "m", testImage(uint64(i))); err != nil {
+			if _, err := doInfer(ctx, s, "m", testImage(uint64(i)), SLO{}); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -39,6 +39,29 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	return s
 }
 
+// doSubmit places one single-image request through the unified request
+// path — the submission every Client method funnels into — and returns
+// its Future. Tests use it where the legacy Submit/Route shims were
+// exercised before those were reduced to compatibility coverage (see
+// compat_test.go).
+func doSubmit(ctx context.Context, s *Server, target string, img *tensor.Tensor, slo SLO) (*Future, error) {
+	futs, err := s.submitRequest(ctx, Request{Target: target, Images: []*tensor.Tensor{img}, SLO: slo})
+	if err != nil {
+		return nil, err
+	}
+	return futs[0], nil
+}
+
+// doInfer is doSubmit followed by Wait — the blocking single-image
+// convenience the legacy Infer/RouteInfer shims provided.
+func doInfer(ctx context.Context, s *Server, target string, img *tensor.Tensor, slo SLO) (Result, error) {
+	f, err := doSubmit(ctx, s, target, img, slo)
+	if err != nil {
+		return Result{}, err
+	}
+	return f.Wait(ctx)
+}
+
 // TestFlushOnSize checks the size trigger: with an effectively infinite
 // MaxDelay, exactly MaxBatch requests must ride one forward pass.
 func TestFlushOnSize(t *testing.T) {
@@ -50,7 +73,7 @@ func TestFlushOnSize(t *testing.T) {
 	ctx := context.Background()
 	var futs []*Future
 	for i := 0; i < maxBatch; i++ {
-		f, err := s.Submit(ctx, "mini-mobilenet/plain", testImage(uint64(i)))
+		f, err := doSubmit(ctx, s, "mini-mobilenet/plain", testImage(uint64(i)), SLO{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +110,7 @@ func TestFlushOnDeadline(t *testing.T) {
 	})
 	ctx := context.Background()
 	start := time.Now()
-	res, err := s.Infer(ctx, "mini-mobilenet/plain", testImage(1))
+	res, err := doInfer(ctx, s, "mini-mobilenet/plain", testImage(1), SLO{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +154,7 @@ func TestConcurrentSubmittersGetOwnResults(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := s.Infer(ctx, "vgg", testImage(uint64(100+i)))
+			res, err := doInfer(ctx, s, "vgg", testImage(uint64(100+i)), SLO{})
 			if err != nil {
 				errs <- fmt.Errorf("client %d: %w", i, err)
 				return
@@ -168,7 +191,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	const n = 6 // one full batch of 4 + a partial batch of 2 stuck on the timer
 	var futs []*Future
 	for i := 0; i < n; i++ {
-		f, err := s.Submit(ctx, "m", testImage(uint64(i)))
+		f, err := doSubmit(ctx, s, "m", testImage(uint64(i)), SLO{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,10 +209,10 @@ func TestGracefulShutdownDrains(t *testing.T) {
 			t.Fatalf("request %d drained without output", i)
 		}
 	}
-	if _, err := s.Submit(ctx, "m", testImage(9)); err != ErrClosed {
+	if _, err := doSubmit(ctx, s, "m", testImage(9), SLO{}); err != ErrClosed {
 		t.Fatalf("submit after close: err = %v, want ErrClosed", err)
 	}
-	if _, err := s.Infer(ctx, "m", testImage(9)); err != ErrClosed {
+	if _, err := doInfer(ctx, s, "m", testImage(9), SLO{}); err != ErrClosed {
 		t.Fatalf("infer after close: err = %v, want ErrClosed", err)
 	}
 	st, err := s.Stats("m")
@@ -218,7 +241,7 @@ func TestMultiStackRouting(t *testing.T) {
 	}
 	ctx := context.Background()
 	for _, name := range s.Stacks() {
-		res, err := s.Infer(ctx, name, testImage(7))
+		res, err := doInfer(ctx, s, name, testImage(7), SLO{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -226,7 +249,7 @@ func TestMultiStackRouting(t *testing.T) {
 			t.Fatalf("%s: %d logits, want 10", name, res.Output.NumElements())
 		}
 	}
-	if _, err := s.Infer(ctx, "nope", testImage(7)); err == nil {
+	if _, err := doInfer(ctx, s, "nope", testImage(7), SLO{}); err == nil {
 		t.Fatal("unknown stack accepted")
 	}
 }
@@ -235,10 +258,10 @@ func TestMultiStackRouting(t *testing.T) {
 func TestSubmitValidation(t *testing.T) {
 	s := newTestServer(t, Config{Stacks: []StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}}})
 	ctx := context.Background()
-	if _, err := s.Submit(ctx, "m", tensor.New(3, 16, 16)); err == nil {
+	if _, err := doSubmit(ctx, s, "m", tensor.New(3, 16, 16), SLO{}); err == nil {
 		t.Error("wrong image shape accepted")
 	}
-	if _, err := s.Submit(ctx, "m", nil); err == nil {
+	if _, err := doSubmit(ctx, s, "m", nil, SLO{}); err == nil {
 		t.Error("nil image accepted")
 	}
 	if _, err := New(Config{}); err == nil {
@@ -275,7 +298,7 @@ func TestStatsUnderLoad(t *testing.T) {
 			defer wg.Done()
 			img := testImage(uint64(c))
 			for i := 0; i < perClient; i++ {
-				if _, err := s.Infer(ctx, "m", img); err != nil {
+				if _, err := doInfer(ctx, s, "m", img, SLO{}); err != nil {
 					t.Error(err)
 					return
 				}
@@ -317,7 +340,7 @@ func TestWaitContextCancel(t *testing.T) {
 		Stacks:   []StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}},
 		Replicas: 1, MaxBatch: 64, MaxDelay: time.Hour,
 	})
-	f, err := s.Submit(context.Background(), "m", testImage(1))
+	f, err := doSubmit(context.Background(), s, "m", testImage(1), SLO{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +371,7 @@ func TestVaryingBatchSizesThroughPlans(t *testing.T) {
 		imgs := make([]*tensor.Tensor, count)
 		for i := range futs {
 			imgs[i] = testImage(uint64(round*100 + i))
-			f, err := s.Submit(ctx, "m", imgs[i])
+			f, err := doSubmit(ctx, s, "m", imgs[i], SLO{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -383,7 +406,7 @@ func TestServeAutoAlgo(t *testing.T) {
 	}
 	ctx := context.Background()
 	img := testImage(7)
-	res, err := s.Infer(ctx, "auto", img)
+	res, err := doInfer(ctx, s, "auto", img, SLO{})
 	if err != nil {
 		t.Fatal(err)
 	}
