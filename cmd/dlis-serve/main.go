@@ -14,6 +14,19 @@
 //	dlis-serve -model mini-vgg -listen :8080            # HTTP server mode
 //	dlis-serve -connect host:8080 -model mini-vgg/plain # remote load gen
 //	dlis-serve -cluster host1:8080,host2:8080 -model mini-vgg/plain
+//	dlis-serve -config fleet.json                       # declarative topology
+//	dlis-serve -config fleet.json -dryrun               # print resolved topology
+//
+// With -config the whole topology — models, endpoints, pool tuning,
+// server role, cluster membership, load parameters — comes from one
+// JSON fleet file (see dlis.ParseFleetConfig and DESIGN.md §10), so a
+// multi-process deployment is a set of committed files instead of
+// hand-maintained flag strings. Explicitly set flags override the
+// file's values; -dryrun validates, prints the fully resolved topology
+// and exits without instantiating anything. Whichever way the config
+// was assembled, it passes through fleetcfg.Validate, so contradictory
+// mode flags (e.g. -listen with -connect) are typed, field-qualified
+// errors rather than one flag silently winning.
 //
 // In the default (in-process) mode each comma-separated model gets its
 // own pool (routing key "<model>/<technique>") and the load generator
@@ -76,149 +89,83 @@ import (
 )
 
 func main() {
-	models := flag.String("model", "resnet18", "comma-separated models to serve (full-size or mini-*); with -connect, the remote routing targets")
-	technique := flag.String("technique", "plain", "compression technique: plain, weight-pruning, channel-pruning, quantisation")
-	replicas := flag.Int("replicas", 4, "replica workers per pool")
-	batch := flag.Int("batch", 8, "max dynamic batch size")
-	delay := flag.Duration("delay", 2*time.Millisecond, "max batching delay for a non-full batch")
-	clients := flag.Int("clients", 0, "closed-loop clients per target (default 2*replicas*batch)")
-	requests := flag.Int("requests", 0, "requests per target (default 4*replicas*batch, min 64)")
-	baselineN := flag.Int("baseline-images", 8, "images for the sequential baseline measurement (in-process mode)")
-	threads := flag.Int("threads", 1, "engine threads per worker (stack layer 4)")
-	auto := flag.Bool("auto", false, "per-layer algorithm selection: plan compilation times direct/im2col/Winograd/sparse per conv geometry and bakes the winner in")
-	platform := flag.String("platform", "odroid-xu4", "modelled platform of the stack configuration")
-	seed := flag.Uint64("seed", 1, "deterministic seed")
-	memlimitMB := flag.Int("memlimit-mb", 0, "soft heap limit in MB; 0 sizes it from the replica footprints, -1 disables")
-	variants := flag.String("variants", "", "comma-separated techniques to host as one SLO-routed endpoint per model (e.g. plain,weight-pruning,quantisation); empty serves one pool per model")
-	sloSpec := flag.String("slo", "", "request SLO: acc=<min top-1 %>,lat=<max latency>,prio=<class>, any subset (e.g. acc=90,lat=500ms,prio=1)")
-	queueCap := flag.Int("queuecap", 0, "per-pool admission queue capacity (0 = replicas*batch*4); routed traffic beyond it is shed with a RetryAfter hint")
-	listen := flag.String("listen", "", "serve the configured stacks over HTTP on this address (e.g. :8080) instead of running the load generator")
-	connect := flag.String("connect", "", "drive a remote dlis HTTP server at this address (e.g. host:8080) instead of building one in-process")
-	clusterAddrs := flag.String("cluster", "", "comma-separated dlis HTTP backend addresses (host1:8080,host2:8080,...); run the load generator over the fleet through one cluster client")
+	fl := defineFlags(flag.CommandLine)
 	flag.Parse()
 
-	modes := 0
-	for _, m := range []string{*listen, *connect, *clusterAddrs} {
-		if m != "" {
-			modes++
-		}
-	}
-	if modes > 1 {
-		fatal(errors.New("-listen, -connect and -cluster are mutually exclusive"))
-	}
-
-	// Two full waves of batches per pool keep the queue deep enough that
-	// workers always find a full batch waiting — occupancy stays near
-	// -batch instead of sagging at batch boundaries.
-	if *clients <= 0 {
-		*clients = 2 * *replicas * *batch
-	}
-	if *requests <= 0 {
-		*requests = 4 * *replicas * *batch
-		if *requests < 64 {
-			*requests = 64
-		}
-	}
-
-	slo, err := parseSLO(*sloSpec)
+	cfg, err := buildConfig(flag.CommandLine, fl)
 	if err != nil {
 		fatal(err)
 	}
-	var targets []string
-	for _, model := range strings.Split(*models, ",") {
-		if model = strings.TrimSpace(model); model != "" {
-			targets = append(targets, model)
-		}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
 	}
-	if len(targets) == 0 {
-		fatal(errors.New("no models given"))
-	}
-
-	gen := loadGen{
-		targets: targets, slo: slo,
-		clients: *clients, requests: *requests, seed: *seed,
-	}
-
-	// Remote mode: no server, no baseline — the wire supplies
-	// discovery, geometry and the final statistics.
-	if *connect != "" {
-		runRemote(dlis.NewHTTPClient(*connect), gen)
+	rcfg := cfg.Resolve()
+	if fl.dryrun {
+		fmt.Print(rcfg.Topology())
 		return
 	}
 
-	// Cluster mode: the same load generator, pointed at a fleet of
-	// HTTP backends through one cluster client.
-	if *clusterAddrs != "" {
-		runCluster(strings.Split(*clusterAddrs, ","), gen)
+	gen := loadGen{seed: rcfg.Server.Seed}
+	if l := rcfg.Load; l != nil {
+		gen.targets, gen.clients, gen.requests = l.Targets, l.Clients, l.Requests
+		gen.slo = l.SLO.ServeSLO()
+	}
+
+	switch rcfg.Mode() {
+	case dlis.FleetModeConnect:
+		// Remote mode: no server, no baseline — the wire supplies
+		// discovery, geometry and the final statistics.
+		runRemote(dlis.NewHTTPClient(rcfg.Load.Connect), gen)
+		return
+	case dlis.FleetModeCluster:
+		// Cluster mode: the same load generator, pointed at a fleet of
+		// HTTP backends through one cluster client.
+		runCluster(rcfg, gen)
 		return
 	}
 
-	tech, err := parseTechnique(*technique)
+	// Local / listen mode: lower the config to the serve.Config that
+	// hosts it (per-variant pools at their table operating points).
+	srvCfg, err := rcfg.ServerConfig()
 	if err != nil {
 		fatal(err)
 	}
-	srvCfg := dlis.DefaultServerConfig()
-	srvCfg.Replicas, srvCfg.MaxBatch, srvCfg.MaxDelay, srvCfg.QueueCap = *replicas, *batch, *delay, *queueCap
-	baseCfg := dlis.StackConfig{
-		Backend: dlis.OMP, Threads: *threads, Platform: *platform, Seed: *seed,
-		AutoAlgo: *auto,
+	if n := len(srvCfg.Stacks); n > 0 {
+		fmt.Printf("dlis-serve: %d pool(s) × %d replicas, batch ≤ %d (window %v)\n",
+			n, srvCfg.Replicas, srvCfg.MaxBatch, srvCfg.MaxDelay)
 	}
-
-	endpointMode := *variants != ""
-	if endpointMode {
-		techs, err := parseTechniques(*variants)
-		if err != nil {
-			fatal(err)
-		}
-		for _, m := range targets {
-			base := baseCfg
-			base.Model = m
-			srvCfg.Endpoints = append(srvCfg.Endpoints, dlis.NewEndpoint(m, base, techs...))
+	if n := len(srvCfg.Endpoints); n > 0 {
+		vars := 0
+		for _, ep := range srvCfg.Endpoints {
+			vars += len(ep.Variants)
 		}
 		fmt.Printf("dlis-serve: %d endpoint(s) × %d variants × %d replicas, batch ≤ %d (window %v), queue cap %d\n",
-			len(targets), len(techs), srvCfg.Replicas, srvCfg.MaxBatch, srvCfg.MaxDelay, effectiveQueueCap(srvCfg))
+			n, vars, srvCfg.Replicas, srvCfg.MaxBatch, srvCfg.MaxDelay, srvCfg.QueueCap)
 		fmt.Printf("SLO: min accuracy %.1f%%, max latency %v, priority %d\n",
-			slo.MinAccuracy, slo.MaxLatency, slo.Priority)
-	} else {
-		for i, m := range targets {
-			cfg := baseCfg
-			cfg.Model, cfg.Technique = m, tech
-			if tech != dlis.Plain {
-				pts, err := dlis.TableIII(m)
-				if err != nil {
-					fatal(fmt.Errorf("%s: no Table III operating point: %w", m, err))
-				}
-				cfg.Point = pts[tech]
-			}
-			spec := dlis.ServerStack{Stack: cfg}
-			srvCfg.Stacks = append(srvCfg.Stacks, spec)
-			targets[i] = spec.Key() // clients address the routing key
-		}
-		fmt.Printf("dlis-serve: %d pool(s) × %d replicas, batch ≤ %d (window %v)\n",
-			len(targets), srvCfg.Replicas, srvCfg.MaxBatch, srvCfg.MaxDelay)
+			gen.slo.MinAccuracy, gen.slo.MaxLatency, gen.slo.Priority)
 	}
 
-	// Sequential baseline (in-process load-gen mode only): one
-	// instance, one image at a time — the only serving shape the
+	// Sequential baseline (in-process load-gen mode, pool stacks only):
+	// one instance, one image at a time — the only serving shape the
 	// repository had before internal/serve. Half the baseline images
 	// are timed before the load run and half after, so slow drift in
 	// the host's effective speed (shared vCPU) cancels in the reported
 	// speedup instead of biasing it either way.
 	var probes map[string]*baselineProbe
-	if *listen == "" && !endpointMode {
-		if *baselineN < 2 {
-			fatal(fmt.Errorf("-baseline-images must be ≥ 2 (one before and one after the load run), got %d", *baselineN))
+	if rcfg.Mode() == dlis.FleetModeLocal && len(srvCfg.Stacks) > 0 {
+		if fl.baselineN < 2 {
+			fatal(fmt.Errorf("-baseline-images must be ≥ 2 (one before and one after the load run), got %d", fl.baselineN))
 		}
 		probes = make(map[string]*baselineProbe, len(srvCfg.Stacks))
 		for _, spec := range srvCfg.Stacks {
 			name := spec.Key()
-			fmt.Printf("measuring sequential baseline for %s (%d of %d images)...\n", name, *baselineN/2+*baselineN%2, *baselineN)
-			probe, err := newBaselineProbe(spec.Stack, *seed)
+			fmt.Printf("measuring sequential baseline for %s (%d of %d images)...\n", name, fl.baselineN/2+fl.baselineN%2, fl.baselineN)
+			probe, err := newBaselineProbe(spec.Stack, rcfg.Server.Seed)
 			if err != nil {
 				fatal(err)
 			}
 			probes[name] = probe
-			pre := probe.measure(*baselineN/2 + *baselineN%2)
+			pre := probe.measure(fl.baselineN/2 + fl.baselineN%2)
 			fmt.Printf("  %v/image\n", pre.Round(time.Microsecond))
 		}
 	}
@@ -228,10 +175,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	applyMemLimit(srv, *memlimitMB)
+	applyMemLimit(srv, rcfg.Server.MemLimitMB)
 
-	if *listen != "" {
-		serveHTTP(srv, *listen)
+	if rcfg.Mode() == dlis.FleetModeListen {
+		serveHTTP(srv, rcfg.Server.Listen)
 		return
 	}
 
@@ -240,20 +187,23 @@ func main() {
 	srv.Close()
 	fmt.Printf("\nload run complete in %v\n", wall.Round(time.Millisecond))
 
-	baseline := map[string]float64{}
-	for name, probe := range probes {
-		fmt.Printf("measuring sequential baseline for %s (remaining %d images)...\n", name, *baselineN/2)
-		probe.measure(*baselineN / 2)
-		perImage := probe.perImage()
-		baseline[name] = 1 / perImage.Seconds()
-		fmt.Printf("  %v/image → %.2f req/s overall\n", perImage.Round(time.Microsecond), baseline[name])
+	var baseline map[string]float64
+	if len(probes) > 0 {
+		baseline = make(map[string]float64, len(probes))
+		for name, probe := range probes {
+			fmt.Printf("measuring sequential baseline for %s (remaining %d images)...\n", name, fl.baselineN/2)
+			probe.measure(fl.baselineN / 2)
+			perImage := probe.perImage()
+			baseline[name] = 1 / perImage.Seconds()
+			fmt.Printf("  %v/image → %.2f req/s overall\n", perImage.Round(time.Microsecond), baseline[name])
+		}
 	}
 
 	st, err := client.Stats(context.Background())
 	if err != nil {
 		fatal(err)
 	}
-	report(st, gen, *batch, baseline, errCount)
+	report(st, gen, srvCfg.MaxBatch, baseline, errCount)
 }
 
 // serveHTTP exposes the server's pools and endpoints over the httpapi
@@ -325,17 +275,12 @@ func runRemote(client *dlis.HTTPClient, gen loadGen) {
 // per-member health/traffic table. A backend dying mid-run is the
 // cluster's problem, not the load generator's: its in-flight requests
 // fail over and its share of the traffic moves to the survivors.
-func runCluster(addrs []string, gen loadGen) {
+func runCluster(rcfg *dlis.FleetConfig, gen loadGen) {
 	var members []dlis.ClusterMember
-	for _, a := range addrs {
-		if a = strings.TrimSpace(a); a != "" {
-			members = append(members, dlis.ClusterMember{Name: a, Client: dlis.NewHTTPClient(a)})
-		}
+	for _, a := range rcfg.Cluster.Members {
+		members = append(members, dlis.ClusterMember{Name: a, Client: dlis.NewHTTPClient(a)})
 	}
-	if len(members) < 1 {
-		fatal(errors.New("-cluster needs at least one backend address"))
-	}
-	cl, err := dlis.NewCluster(members...)
+	cl, err := dlis.NewClusterWithConfig(rcfg.ClusterConfig(), members...)
 	if err != nil {
 		fatal(err)
 	}
@@ -553,15 +498,6 @@ func report(st dlis.ServerStats, gen loadGen, batch int, baseline map[string]flo
 	}
 }
 
-// effectiveQueueCap mirrors the server's own default so banners state
-// the cap the shed counts were actually produced under.
-func effectiveQueueCap(cfg dlis.ServerConfig) int {
-	if cfg.QueueCap >= 1 {
-		return cfg.QueueCap
-	}
-	return cfg.Replicas * cfg.MaxBatch * 4
-}
-
 // baselineProbe times sequential single-image inference on one
 // dedicated instance, accumulating across measurement rounds.
 type baselineProbe struct {
@@ -631,89 +567,6 @@ func applyMemLimit(srv *dlis.Server, memlimitMB int) {
 	}
 	debug.SetMemoryLimit(limit)
 	fmt.Printf("soft heap limit %d MB\n", limit>>20)
-}
-
-// parseTechniques parses the -variants list.
-func parseTechniques(s string) ([]dlis.Technique, error) {
-	var techs []dlis.Technique
-	seen := map[dlis.Technique]bool{}
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		t, err := parseTechnique(part)
-		if err != nil {
-			return nil, err
-		}
-		if seen[t] {
-			return nil, fmt.Errorf("duplicate variant %q", t)
-		}
-		seen[t] = true
-		techs = append(techs, t)
-	}
-	if len(techs) == 0 {
-		return nil, fmt.Errorf("-variants given but empty")
-	}
-	return techs, nil
-}
-
-// parseSLO parses "acc=90,lat=500ms,prio=1" (any subset, empty ok).
-func parseSLO(s string) (dlis.SLO, error) {
-	var slo dlis.SLO
-	if strings.TrimSpace(s) == "" {
-		return slo, nil
-	}
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		key, val, ok := strings.Cut(part, "=")
-		if !ok {
-			return slo, fmt.Errorf("malformed -slo term %q (want key=value)", part)
-		}
-		val = strings.TrimSpace(val)
-		switch strings.ToLower(strings.TrimSpace(key)) {
-		case "acc", "accuracy", "minaccuracy":
-			a, err := strconv.ParseFloat(val, 64)
-			if err != nil {
-				return slo, fmt.Errorf("bad accuracy %q: %w", val, err)
-			}
-			slo.MinAccuracy = a
-		case "lat", "latency", "maxlatency":
-			d, err := time.ParseDuration(val)
-			if err != nil {
-				return slo, fmt.Errorf("bad latency %q: %w", val, err)
-			}
-			slo.MaxLatency = d
-		case "prio", "priority":
-			p, err := strconv.Atoi(val)
-			if err != nil {
-				return slo, fmt.Errorf("bad priority %q: %w", val, err)
-			}
-			slo.Priority = p
-		default:
-			return slo, fmt.Errorf("unknown -slo key %q (want acc/lat/prio)", key)
-		}
-	}
-	return slo, nil
-}
-
-// parseTechnique maps the CLI spelling to the stack-layer-2 constant.
-func parseTechnique(s string) (dlis.Technique, error) {
-	switch strings.ToLower(s) {
-	case "plain", "none":
-		return dlis.Plain, nil
-	case "weight-pruning", "weight", "wp":
-		return dlis.WeightPruned, nil
-	case "channel-pruning", "channel", "cp":
-		return dlis.ChannelPruned, nil
-	case "quantisation", "quantization", "ttq", "quant":
-		return dlis.Quantised, nil
-	default:
-		return dlis.Plain, fmt.Errorf("unknown technique %q", s)
-	}
 }
 
 // fatal prints the error and exits non-zero.

@@ -40,6 +40,7 @@ import (
 	"repro/internal/pareto"
 	"repro/internal/serve"
 	"repro/internal/serve/cluster"
+	"repro/internal/serve/fleetcfg"
 	"repro/internal/serve/httpapi"
 	"repro/internal/tensor"
 	"repro/internal/train"
@@ -333,3 +334,55 @@ func NewCluster(members ...ClusterMember) (*Cluster, error) {
 func NewClusterWithConfig(cfg ClusterConfig, members ...ClusterMember) (*Cluster, error) {
 	return cluster.New(cfg, members...)
 }
+
+// Declarative fleet configuration (see internal/serve/fleetcfg and
+// DESIGN.md §10): one JSON file describes a whole serving topology —
+// hosted models, SLO-routed endpoints, pool tuning, the server role,
+// cluster membership and the load parameters — with strict parsing,
+// typed field-path-qualified validation, and flag-parity defaults. The
+// lifecycle is ParseFleetConfig → Validate → Resolve → ServerConfig;
+// cmd/dlis-serve -config boots any process role from such a file.
+type (
+	// FleetConfig is the root of a fleet file.
+	FleetConfig = fleetcfg.Config
+	// FleetServer is the server section (listen address, memory limit,
+	// seed).
+	FleetServer = fleetcfg.Server
+	// FleetCluster is the cluster section (member addresses, probe
+	// interval).
+	FleetCluster = fleetcfg.Cluster
+	// FleetPool is the shared pool tuning (replicas, batch, delay,
+	// queue cap).
+	FleetPool = fleetcfg.Pool
+	// FleetModel declares one stack configuration.
+	FleetModel = fleetcfg.Model
+	// FleetEndpoint declares one SLO-routed multi-variant endpoint.
+	FleetEndpoint = fleetcfg.Endpoint
+	// FleetLoad is the closed-loop load-generator section.
+	FleetLoad = fleetcfg.Load
+	// FleetSLO is the request objective the load generator carries.
+	FleetSLO = fleetcfg.SLO
+	// FleetOperatingPoint pins a compression level in a fleet file.
+	FleetOperatingPoint = fleetcfg.OperatingPoint
+	// FleetDuration is the human-writable duration type fleet files use
+	// ("2ms", "1.5s").
+	FleetDuration = fleetcfg.Duration
+	// FleetConfigError is one validation failure, locating the
+	// offending field by its JSON path; match with errors.As.
+	FleetConfigError = fleetcfg.Error
+	// FleetMode is the process role a fleet config resolves to.
+	FleetMode = fleetcfg.Mode
+)
+
+// Fleet process roles, derived by FleetConfig.Mode.
+const (
+	FleetModeLocal   = fleetcfg.ModeLocal
+	FleetModeListen  = fleetcfg.ModeListen
+	FleetModeConnect = fleetcfg.ModeConnect
+	FleetModeCluster = fleetcfg.ModeCluster
+)
+
+// ParseFleetConfig decodes a fleet file strictly (unknown fields and
+// malformed durations are rejected); call Validate on the result
+// before booting anything from it.
+func ParseFleetConfig(data []byte) (*FleetConfig, error) { return fleetcfg.Parse(data) }

@@ -454,3 +454,65 @@ func TestClusterPublicAPI(t *testing.T) {
 		t.Fatalf("closed cluster: err = %v, want ErrServerClosed", err)
 	}
 }
+
+// TestFleetConfigPublicAPI exercises the declarative-config surface
+// end-to-end through the facade: parse a fleet file, validate it with
+// a typed error on the broken variant, resolve defaults, lower it to a
+// ServerConfig and serve one request through it.
+func TestFleetConfigPublicAPI(t *testing.T) {
+	cfg, err := ParseFleetConfig([]byte(`{
+		"pool": {"replicas": 1, "batch": 4},
+		"models": [{"kind": "mini-vgg"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Mode(); got != FleetModeLocal {
+		t.Fatalf("mode = %v, want FleetModeLocal", got)
+	}
+	r := cfg.Resolve()
+	if r.Load == nil || len(r.Load.Targets) != 1 || r.Load.Targets[0] != "mini-vgg/plain" {
+		t.Fatalf("resolved load = %+v, want the derived mini-vgg/plain target", r.Load)
+	}
+	if cfg.Topology() == "" {
+		t.Fatal("Topology must render the resolved fleet")
+	}
+
+	scfg, err := cfg.ServerConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewLocalClient(srv)
+	defer client.Close()
+	res, err := client.InferSync(context.Background(), Request{
+		Target: "mini-vgg/plain", Images: []*Tensor{NewImage(1, 32, 32, 1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 1 {
+		t.Fatalf("results = %+v, want one", res.Results)
+	}
+
+	// A broken config must reject with the typed, field-path error.
+	bad, err := ParseFleetConfig([]byte(`{"models": [{"kind": "alexnet"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ferr *FleetConfigError
+	if err := bad.Validate(); !errors.As(err, &ferr) || ferr.Path != "models[0].kind" {
+		t.Fatalf("validate error = %v, want *FleetConfigError at models[0].kind", err)
+	}
+
+	// Unknown fields must be parse errors, not silently dropped config.
+	if _, err := ParseFleetConfig([]byte(`{"modles": []}`)); err == nil {
+		t.Fatal("ParseFleetConfig accepted an unknown field")
+	}
+}

@@ -5,9 +5,15 @@
 // accuracy, inference time, and memory footprint ... significant
 // performance enhancements can be achieved", including the headline
 // result that a compressed large network beats hand-designed MobileNet.
+//
+// The search result is also emitted as a ready-to-boot fleet config
+// (dlis-serve -config): the winning stack behind an SLO-routed
+// endpoint at the Table V operating points, closing the loop from
+// constraint search to deployable topology.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 
@@ -64,4 +70,41 @@ func main() {
 	fmt.Printf("\nfastest configuration meeting the constraint: %s + %s (%.3f s, %.1f MB)\n",
 		best.cfg.Model, best.cfg.Technique, best.seconds, best.memoryMB)
 	fmt.Println("— a channel-pruned large network, not the hand-designed small one (paper §V-E).")
+
+	// Close the loop: render the winner as a fleet config, prove it
+	// round-trips through the strict parser and validates, and print it
+	// ready to save and boot with `dlis-serve -config deploy.json`.
+	data, err := json.MarshalIndent(fleetFor(best), "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cfg, err := dlis.ParseFleetConfig(data); err != nil {
+		log.Fatal(err)
+	} else if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeployable fleet config (dlis-serve -config deploy.json):\n%s\n", data)
+}
+
+// fleetFor lowers the winning candidate into the declarative fleet
+// schema: one pool hosting the stack at its searched operating point.
+func fleetFor(c candidate) *dlis.FleetConfig {
+	m := dlis.FleetModel{
+		Kind:      c.cfg.Model,
+		Technique: c.cfg.Technique.String(),
+		Threads:   c.cfg.Threads,
+		Platform:  c.cfg.Platform,
+	}
+	if c.cfg.Technique != dlis.Plain {
+		m.Point = &dlis.FleetOperatingPoint{
+			Sparsity:        c.cfg.Point.Sparsity,
+			CompressionRate: c.cfg.Point.CompressionRate,
+			TTQThreshold:    c.cfg.Point.TTQThreshold,
+			TTQSparsity:     c.cfg.Point.TTQSparsity,
+		}
+	}
+	return &dlis.FleetConfig{
+		Server: &dlis.FleetServer{Seed: c.cfg.Seed},
+		Models: []dlis.FleetModel{m},
+	}
 }

@@ -1,0 +1,81 @@
+package fleetcfg
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// coreConfig lowers one model declaration to the five-layer stack
+// config, with the server seed threaded through so every replica
+// initialises deterministically.
+func (m *Model) coreConfig(tech core.Technique, pt core.OperatingPoint, seed uint64) core.Config {
+	return core.Config{
+		Model:     m.Kind,
+		Technique: tech,
+		Point:     pt,
+		Backend:   core.OMP,
+		Threads:   m.Threads,
+		Platform:  m.Platform,
+		Seed:      seed,
+		AutoAlgo:  m.AutoAlgo,
+	}
+}
+
+// ServerConfig validates, resolves and lowers the config to the
+// serve.Config that boots it: one directly addressable pool per
+// unreferenced model, one SLO-routed endpoint (with per-variant pools
+// at the selected table's operating points) per endpoint declaration.
+// The caller owns instantiation — ServerConfig itself never builds a
+// network.
+func (c *Config) ServerConfig() (serve.Config, error) {
+	if err := c.Validate(); err != nil {
+		return serve.Config{}, err
+	}
+	r := c.Resolve()
+	scfg := serve.Config{
+		Replicas: *r.Pool.Replicas,
+		MaxBatch: *r.Pool.Batch,
+		MaxDelay: time.Duration(r.Pool.Delay),
+		QueueCap: *r.Pool.QueueCap,
+	}
+	ref := r.referenced()
+	modelByName := make(map[string]*Model, len(r.Models))
+	for i := range r.Models {
+		modelByName[r.Models[i].Name] = &r.Models[i]
+	}
+	for i := range r.Models {
+		m := &r.Models[i]
+		if ref[m.Name] {
+			continue // endpoint base description, not a pool of its own
+		}
+		tech, err := ParseTechnique(m.Technique)
+		if err != nil {
+			return serve.Config{}, err
+		}
+		scfg.Stacks = append(scfg.Stacks, serve.StackSpec{
+			Name:  m.Name,
+			Stack: m.coreConfig(tech, m.Point.core(), r.Server.Seed),
+		})
+	}
+	for i := range r.Endpoints {
+		e := &r.Endpoints[i]
+		m := modelByName[e.Model]
+		techs := make([]core.Technique, 0, len(e.Variants))
+		for _, v := range e.Variants {
+			t, err := ParseTechnique(v)
+			if err != nil {
+				return serve.Config{}, err
+			}
+			techs = append(techs, t)
+		}
+		base := m.coreConfig(core.Plain, core.OperatingPoint{}, r.Server.Seed)
+		spec := serve.EndpointAt(e.Name, base, e.operatingPoints(m.Kind), techs...)
+		if e.QueueCap != nil {
+			spec.QueueCap = *e.QueueCap
+		}
+		scfg.Endpoints = append(scfg.Endpoints, spec)
+	}
+	return scfg, nil
+}

@@ -1,0 +1,160 @@
+package fleetcfg
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestParseRoundTrip pins the JSON surface: the full-featured fixture
+// must parse into exactly this Config struct — any field rename,
+// retype or silently dropped value breaks the deep-equal.
+func TestParseRoundTrip(t *testing.T) {
+	data, err := os.ReadFile("testdata/fleet-full.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, b, pq, eq := 2, 4, 64, 32
+	want := &Config{
+		Server: &Server{MemLimitMB: 2048, Seed: 42},
+		Pool:   &Pool{Replicas: &r, Batch: &b, Delay: Duration(3 * time.Millisecond), QueueCap: &pq},
+		Models: []Model{
+			{Name: "base", Kind: "resnet18"},
+			{
+				Name: "wp-pool", Kind: "resnet18", Technique: "weight-pruning",
+				Point:   &OperatingPoint{Sparsity: 0.7},
+				Threads: 2, AutoAlgo: true, Platform: "intel-i7",
+			},
+		},
+		Endpoints: []Endpoint{
+			{
+				Name: "resnet", Model: "base",
+				Variants: []string{"plain", "weight-pruning", "quantisation"},
+				Points:   "table3", QueueCap: &eq,
+			},
+		},
+		Load: &Load{
+			Targets: []string{"resnet"}, Clients: 8, Requests: 128,
+			SLO: &SLO{MinAccuracy: 90, MaxLatency: Duration(500 * time.Millisecond), Priority: 1},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed config differs from expected:\n got %+v\nwant %+v", got, want)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("full fixture must validate, got: %v", err)
+	}
+}
+
+// TestParseRejects pins the strictness contract: unknown fields,
+// numeric durations and trailing data are parse errors, not silent
+// acceptance.
+func TestParseRejects(t *testing.T) {
+	for name, data := range map[string]string{
+		"unknown field":      `{"models": [{"kind": "mini-vgg", "flavour": "spicy"}]}`,
+		"numeric duration":   `{"pool": {"delay": 2000000}, "models": [{"kind": "mini-vgg"}]}`,
+		"malformed duration": `{"pool": {"delay": "2 lightyears"}, "models": [{"kind": "mini-vgg"}]}`,
+		"trailing data":      `{"models": [{"kind": "mini-vgg"}]} {"again": true}`,
+		"not json":           `replicas = 4`,
+	} {
+		if _, err := Parse([]byte(data)); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, data)
+		}
+	}
+}
+
+// TestResolveMatchesServeDefaults pins flag/config default parity: a
+// minimal fixture resolves to exactly the tuning serve.DefaultConfig
+// advertises, the derived load shape the CLI has always used, and the
+// derived routing target.
+func TestResolveMatchesServeDefaults(t *testing.T) {
+	data, err := os.ReadFile("testdata/fleet-minimal.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := cfg.Resolve()
+	d := serve.DefaultConfig()
+	if *r.Pool.Replicas != d.Replicas {
+		t.Errorf("resolved replicas = %d, serve default %d", *r.Pool.Replicas, d.Replicas)
+	}
+	if *r.Pool.Batch != d.MaxBatch {
+		t.Errorf("resolved batch = %d, serve default %d", *r.Pool.Batch, d.MaxBatch)
+	}
+	if time.Duration(r.Pool.Delay) != d.MaxDelay {
+		t.Errorf("resolved delay = %v, serve default %v", r.Pool.Delay, d.MaxDelay)
+	}
+	if *r.Pool.QueueCap != d.QueueCap {
+		t.Errorf("resolved queue cap = %d, serve default %d", *r.Pool.QueueCap, d.QueueCap)
+	}
+	if r.Server.Seed != 1 {
+		t.Errorf("resolved seed = %d, want 1", r.Server.Seed)
+	}
+	wantClients := 2 * d.Replicas * d.MaxBatch
+	if r.Load == nil || r.Load.Clients != wantClients {
+		t.Errorf("resolved clients = %+v, want %d", r.Load, wantClients)
+	}
+	wantRequests := 4 * d.Replicas * d.MaxBatch
+	if wantRequests < 64 {
+		wantRequests = 64
+	}
+	if r.Load.Requests != wantRequests {
+		t.Errorf("resolved requests = %d, want %d", r.Load.Requests, wantRequests)
+	}
+	if want := []string{"mini-vgg/plain"}; !reflect.DeepEqual(r.Load.Targets, want) {
+		t.Errorf("resolved targets = %v, want %v", r.Load.Targets, want)
+	}
+	// The lowering must agree with the same serve.Config a zero config
+	// produces, modulo the hosted stack.
+	scfg, err := cfg.ServerConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scfg.Replicas != d.Replicas || scfg.MaxBatch != d.MaxBatch || scfg.MaxDelay != d.MaxDelay || scfg.QueueCap != d.QueueCap {
+		t.Errorf("ServerConfig tuning %+v differs from serve defaults %+v", scfg, d)
+	}
+	if len(scfg.Stacks) != 1 || scfg.Stacks[0].Key() != "mini-vgg/plain" {
+		t.Errorf("ServerConfig stacks = %+v, want one mini-vgg/plain pool", scfg.Stacks)
+	}
+}
+
+// TestDurationMarshalRoundTrip pins the human-writable duration form.
+func TestDurationMarshalRoundTrip(t *testing.T) {
+	d := Duration(1500 * time.Millisecond)
+	b, err := d.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b); got != `"1.5s"` {
+		t.Fatalf("marshal = %s, want \"1.5s\"", got)
+	}
+	var back Duration
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatalf("round trip = %v, want %v", back, d)
+	}
+}
+
+// TestErrorRendering pins the error surface callers match on.
+func TestErrorRendering(t *testing.T) {
+	err := errf("models[1].kind", "unknown model kind %q", "alexnet")
+	if got := err.Error(); !strings.Contains(got, "models[1].kind") || !strings.HasPrefix(got, "fleetcfg: ") {
+		t.Fatalf("error rendering %q must carry the path and package prefix", got)
+	}
+}

@@ -1,0 +1,59 @@
+package fleetcfg
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate the topology golden files")
+
+// TestTopologyGolden pins the -dryrun output byte-for-byte for the two
+// canonical fixtures: a single-node multi-variant endpoint and a
+// 2-member cluster load generator. The rendering is a contract —
+// operators diff it across config changes and CI validates fixtures
+// with it — so accidental drift fails here. Regenerate intentionally
+// with `go test ./internal/serve/fleetcfg -run TestTopologyGolden -update`.
+func TestTopologyGolden(t *testing.T) {
+	for _, name := range []string{"fleet-single", "fleet-cluster"} {
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("testdata", name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := Parse(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("fixture must validate, got: %v", err)
+			}
+			got := cfg.Topology()
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if got != string(want) {
+				t.Fatalf("topology drifted from %s (run with -update if intended):\n got:\n%s\nwant:\n%s",
+					golden, indent(got), indent(string(want)))
+			}
+			// The rendering must also be deterministic call-to-call.
+			if again := cfg.Topology(); again != got {
+				t.Fatal("Topology is not deterministic across calls")
+			}
+		})
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}

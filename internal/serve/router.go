@@ -109,6 +109,10 @@ type EndpointSpec struct {
 	Name string
 	// Variants lists the compressed stacks behind the endpoint.
 	Variants []Variant
+	// QueueCap, when ≥ 1, overrides Config.QueueCap for this endpoint's
+	// variant pools — a per-endpoint admission budget on a server whose
+	// other pools keep the global capacity. 0 inherits Config.QueueCap.
+	QueueCap int
 }
 
 // Endpoint builds an EndpointSpec over base.Model: one variant per

@@ -61,6 +61,34 @@ func cheapestOf(t *testing.T, s *Server, endpoint string) []string {
 	return names
 }
 
+// TestEndpointQueueCapOverride checks that EndpointSpec.QueueCap
+// rebounds the endpoint's variant pools without touching the rest of
+// the server: the variant pools take the override, a plain stack
+// hosted alongside keeps the server-wide capacity, and zero inherits.
+func TestEndpointQueueCapOverride(t *testing.T) {
+	ep := variantEndpoint()
+	ep.QueueCap = 6
+	s := newTestServer(t, Config{
+		Stacks:    []StackSpec{{Name: "solo", Stack: miniStack("mini-vgg")}},
+		Endpoints: []EndpointSpec{ep},
+		QueueCap:  64,
+	})
+	for _, v := range ep.Variants {
+		if got := s.variants[v.Spec.Name].pool.cfg.QueueCap; got != 6 {
+			t.Errorf("variant %s queue cap = %d, want the endpoint override 6", v.Spec.Name, got)
+		}
+	}
+	if got := s.pools["solo"].cfg.QueueCap; got != 64 {
+		t.Errorf("plain stack queue cap = %d, want the server-wide 64", got)
+	}
+
+	inherit := variantEndpoint() // zero QueueCap inherits the server cap
+	s2 := newTestServer(t, Config{Endpoints: []EndpointSpec{inherit}, QueueCap: 64})
+	if got := s2.variants["vgg/plain"].pool.cfg.QueueCap; got != 64 {
+		t.Errorf("uncapped endpoint variant queue cap = %d, want 64", got)
+	}
+}
+
 // TestRouteHonoursMinAccuracy checks SLO-satisfying variant selection:
 // a zero SLO rides the cheapest variant; MinAccuracy above the cheap
 // variant's accuracy forces the accurate one; MinAccuracy above every

@@ -165,7 +165,7 @@ func New(cfg Config) (*Server, error) {
 		variants:  make(map[string]*variant),
 	}
 	for _, spec := range cfg.Stacks {
-		if _, err := s.addPool(spec); err != nil {
+		if _, err := s.addPool(spec, cfg); err != nil {
 			s.Close()
 			return nil, err
 		}
@@ -179,9 +179,15 @@ func New(cfg Config) (*Server, error) {
 			s.Close()
 			return nil, fmt.Errorf("serve: duplicate endpoint name %q", eps.Name)
 		}
+		// A per-endpoint QueueCap bounds this endpoint's variant pools
+		// without touching the rest of the server.
+		pcfg := cfg
+		if eps.QueueCap >= 1 {
+			pcfg.QueueCap = eps.QueueCap
+		}
 		var vars []*variant
 		for _, vs := range eps.Variants {
-			p, err := s.addPool(vs.Spec)
+			p, err := s.addPool(vs.Spec, pcfg)
 			if err != nil {
 				s.Close()
 				return nil, err
@@ -202,13 +208,15 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// addPool instantiates and registers one pool under its routing key.
-func (s *Server) addPool(spec StackSpec) (*pool, error) {
+// addPool instantiates and registers one pool under its routing key,
+// tuned by cfg (the server config, possibly with a per-endpoint
+// QueueCap override).
+func (s *Server) addPool(spec StackSpec, cfg Config) (*pool, error) {
 	name := spec.Key()
 	if _, dup := s.pools[name]; dup {
 		return nil, fmt.Errorf("serve: duplicate stack name %q", name)
 	}
-	p, err := newPool(name, spec.Stack, s.cfg)
+	p, err := newPool(name, spec.Stack, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("serve: stack %q: %w", name, err)
 	}
