@@ -12,6 +12,7 @@ package dlis
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -506,6 +507,26 @@ func BenchmarkPlanInference(b *testing.B) {
 				b.Fatal(err)
 			}
 			plan.Execute(in) // warm-up outside the timer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = plan.Execute(in)
+			}
+		})
+		// The int8 path rides the same /plan/ 0-alloc CI gate: after
+		// compilation a quantised plan must also run allocation-free.
+		b.Run(fmt.Sprintf("plan/int8/batch=%d", batch), func(b *testing.B) {
+			ctx := nn.Inference()
+			ctx.Algo = nn.QuantInt8
+			plan, err := nn.Compile(net, ctx, in.Shape())
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan.Execute(in)
+			// Compiling the quantised plan churns enough garbage that at
+			// -benchtime 1x the deferred GC byproducts (≈48 B) otherwise
+			// land inside the timed window and trip the 0-alloc gate.
+			runtime.GC()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -42,6 +42,7 @@ type flagValues struct {
 	listen     string
 	connect    string
 	cluster    string
+	tunerCache string
 }
 
 // defineFlags registers every flag on fs (a parameter so tests can use
@@ -69,6 +70,7 @@ func defineFlags(fs *flag.FlagSet) *flagValues {
 	fs.StringVar(&v.listen, "listen", "", "serve the configured stacks over HTTP on this address (e.g. :8080) instead of running the load generator")
 	fs.StringVar(&v.connect, "connect", "", "drive a remote dlis HTTP server at this address (e.g. host:8080) instead of building one in-process")
 	fs.StringVar(&v.cluster, "cluster", "", "comma-separated dlis HTTP backend addresses (host1:8080,host2:8080,...); run the load generator over the fleet through one cluster client")
+	fs.StringVar(&v.tunerCache, "tunercache", "", "directory for the persistent algorithm-tuner cache; warm starts load timed per-geometry kernel verdicts instead of re-timing them")
 	return v
 }
 
@@ -113,7 +115,7 @@ func flagConfig(v *flagValues) (*dlis.FleetConfig, error) {
 		return nil, err
 	}
 	cfg := &dlis.FleetConfig{
-		Server: &dlis.FleetServer{Listen: v.listen, MemLimitMB: v.memlimitMB, Seed: v.seed},
+		Server: &dlis.FleetServer{Listen: v.listen, MemLimitMB: v.memlimitMB, Seed: v.seed, TunerCache: v.tunerCache},
 		Pool:   poolFromFlags(v),
 	}
 	if v.cluster != "" {
@@ -131,6 +133,13 @@ func flagConfig(v *flagValues) (*dlis.FleetConfig, error) {
 	cfg.Models, cfg.Endpoints, err = modelSections(targets, v.technique, v.variants)
 	if err != nil {
 		return nil, err
+	}
+	// The engine knobs apply to every hosted model in the flag
+	// interface (a per-model split needs a config file).
+	for i := range cfg.Models {
+		cfg.Models[i].Threads = v.threads
+		cfg.Models[i].AutoAlgo = v.auto
+		cfg.Models[i].Platform = v.platform
 	}
 	if v.listen == "" {
 		// Targets stay empty: Resolve derives every hosted routing name,
@@ -218,6 +227,10 @@ func applyFlagOverrides(cfg *dlis.FleetConfig, v *flagValues, set map[string]boo
 	if set["memlimit-mb"] {
 		ensureServer()
 		cfg.Server.MemLimitMB = v.memlimitMB
+	}
+	if set["tunercache"] {
+		ensureServer()
+		cfg.Server.TunerCache = v.tunerCache
 	}
 	if set["cluster"] {
 		cfg.Cluster = &dlis.FleetCluster{Members: splitList(v.cluster)}

@@ -30,6 +30,7 @@ package dlis
 import (
 	"io"
 
+	"repro/internal/blas"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/experiments"
@@ -386,3 +387,26 @@ const (
 // malformed durations are rejected); call Validate on the result
 // before booting anything from it.
 func ParseFleetConfig(data []byte) (*FleetConfig, error) { return fleetcfg.Parse(data) }
+
+// TunerCache is the persistent algorithm-tuner cache: timed
+// per-geometry kernel verdicts, durable across process starts on the
+// same host (see internal/blas).
+type TunerCache = blas.TunerCache
+
+// OpenTunerCache opens (creating if needed) the tuner cache rooted at
+// dir. Corrupt or stale cache files read as empty; only an unusable
+// directory errors.
+func OpenTunerCache(dir string) (*TunerCache, error) { return blas.OpenTunerCache(dir) }
+
+// SetTunerCache installs the disk cache behind plan compilation's
+// algorithm tuner; install before constructing servers so boot-time
+// plan compiles resolve through it. nil removes it.
+func SetTunerCache(c *TunerCache) { nn.SetTunerCache(c) }
+
+// TunerCounters reports how many per-geometry algorithm selections
+// were timed fresh, served by the in-process memo, and served by the
+// disk cache since process start (or the last ResetTunerCounters).
+func TunerCounters() (timed, memoHits, diskHits uint64) { return nn.TunerCounters() }
+
+// ResetTunerCounters zeroes the tuner counters.
+func ResetTunerCounters() { nn.ResetTunerCounters() }

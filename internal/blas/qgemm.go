@@ -1,0 +1,298 @@
+package blas
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// This file holds the reduced-precision kernels behind nn.QuantInt8 and
+// nn.QuantF16: symmetric per-row int8 storage with i32 accumulation and
+// f32 dequantise-on-output, and IEEE binary16 storage with f32 compute.
+// Both exploit the weight distributions compress/quant produces — TTQ
+// leaves each row ternary {-Wn, 0, +Wp}, so an exact-zero weight skips
+// an entire N-length inner GEMM row, and the 4× (int8) / 2× (f16)
+// storage reduction shrinks the working set the blocked loops stream.
+
+// qNC is the N-dimension block extent shared by the reduced-precision
+// kernels; it bounds the caller-supplied int32 accumulator length.
+const qNC = 512
+
+// QAccLen returns the int32 accumulator length QGEMMInt8Into requires
+// for an n-column product.
+func QAccLen(n int) int { return min(n, qNC) }
+
+// QMatrix is a row-major int8 matrix with one dequantisation scale per
+// row (per output channel when the rows are conv/linear filters):
+// value ≈ float32(Data[i*Cols+j]) * Scales[i].
+type QMatrix struct {
+	Rows, Cols int
+	Data       []int8
+	Scales     []float32
+}
+
+// QuantizeRowsInt8 quantises a rows×cols float32 matrix symmetrically
+// per row: scale = absmax/127, codes round-to-nearest. Exact zeros stay
+// exact zero codes, preserving the sparsity structure TTQ bakes into
+// the weights so the int8 kernel's zero-skip sees it.
+func QuantizeRowsInt8(w []float32, rows, cols int) *QMatrix {
+	if len(w) != rows*cols {
+		panic(fmt.Sprintf("blas: QuantizeRowsInt8 data length %d, want %d×%d", len(w), rows, cols))
+	}
+	q := &QMatrix{
+		Rows:   rows,
+		Cols:   cols,
+		Data:   make([]int8, rows*cols),
+		Scales: make([]float32, rows),
+	}
+	for i := 0; i < rows; i++ {
+		row := w[i*cols : (i+1)*cols]
+		q.Scales[i] = QuantizeInt8(q.Data[i*cols:(i+1)*cols], row)
+	}
+	return q
+}
+
+// RowView returns a view of rows [lo,hi) sharing the receiver's
+// storage; the plan compiler uses it to address one conv group or one
+// parallel row block without copying.
+func (q *QMatrix) RowView(lo, hi int) *QMatrix {
+	if lo < 0 || hi > q.Rows || lo > hi {
+		panic(fmt.Sprintf("blas: QMatrix.RowView [%d,%d) of %d rows", lo, hi, q.Rows))
+	}
+	return &QMatrix{
+		Rows:   hi - lo,
+		Cols:   q.Cols,
+		Data:   q.Data[lo*q.Cols : hi*q.Cols],
+		Scales: q.Scales[lo:hi],
+	}
+}
+
+// QuantizeInt8 quantises src into dst symmetrically (len(dst) must
+// equal len(src)) and returns the scale such that
+// float32(dst[i])*scale ≈ src[i]. An all-zero source returns scale 1 so
+// the caller never divides by zero dequantising. It allocates nothing.
+func QuantizeInt8(dst []int8, src []float32) float32 {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("blas: QuantizeInt8 length mismatch: dst %d, src %d", len(dst), len(src)))
+	}
+	var absmax float32
+	for _, v := range src {
+		if v < 0 {
+			v = -v
+		}
+		if v > absmax {
+			absmax = v
+		}
+	}
+	if absmax == 0 {
+		clear(dst)
+		return 1
+	}
+	scale := absmax / 127
+	inv := 127 / absmax
+	for i, v := range src {
+		q := v * inv
+		if q >= 0 {
+			q += 0.5
+		} else {
+			q -= 0.5
+		}
+		dst[i] = int8(q)
+	}
+	return scale
+}
+
+// QGEMMInt8Into computes dst = dequant(A·B) for an int8 A (with per-row
+// scales) and an int8 B of n columns quantised with the single scale
+// bScale: the product accumulates in int32 and lands in dst as float32
+// scaled by Scales[i]*bScale. acc is caller-supplied int32 scratch of
+// at least QAccLen(n); the kernel allocates nothing, so compiled plans
+// stay 0-alloc. Exact-zero A codes skip the whole inner row — on TTQ
+// ternary weights that is the dominant saving.
+//
+// int32 accumulation is exact while 127·127·k < 2³¹, i.e. k below
+// ~133k — far beyond any layer this stack lowers.
+func QGEMMInt8Into(dst []float32, a *QMatrix, b []int8, n int, bScale float32, acc []int32) {
+	m, k := a.Rows, a.Cols
+	if len(b) != k*n {
+		panic(fmt.Sprintf("blas: QGEMMInt8Into B length %d, want %d×%d", len(b), k, n))
+	}
+	if len(dst) < m*n {
+		panic(fmt.Sprintf("blas: QGEMMInt8Into destination length %d, want %d", len(dst), m*n))
+	}
+	if len(acc) < QAccLen(n) {
+		panic(fmt.Sprintf("blas: QGEMMInt8Into accumulator length %d, want %d", len(acc), QAccLen(n)))
+	}
+	for j0 := 0; j0 < n; j0 += qNC {
+		jMax := min(j0+qNC, n)
+		width := jMax - j0
+		for i := 0; i < m; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			accRow := acc[:width]
+			clear(accRow)
+			for kk, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[kk*n+j0 : kk*n+jMax]
+				avi := int32(av)
+				for j, bv := range brow {
+					accRow[j] += avi * int32(bv)
+				}
+			}
+			scale := a.Scales[i] * bScale
+			out := dst[i*n+j0 : i*n+jMax]
+			for j, v := range accRow {
+				out[j] = float32(v) * scale
+			}
+		}
+	}
+}
+
+// F16Matrix is a row-major matrix stored as IEEE binary16 bit patterns;
+// compute decodes to float32 on the fly (f16-storage/f32-compute).
+type F16Matrix struct {
+	Rows, Cols int
+	Data       []uint16
+}
+
+// QuantizeRowsF16 converts a rows×cols float32 matrix to binary16
+// storage with round-to-nearest-even.
+func QuantizeRowsF16(w []float32, rows, cols int) *F16Matrix {
+	if len(w) != rows*cols {
+		panic(fmt.Sprintf("blas: QuantizeRowsF16 data length %d, want %d×%d", len(w), rows, cols))
+	}
+	m := &F16Matrix{Rows: rows, Cols: cols, Data: make([]uint16, rows*cols)}
+	for i, v := range w {
+		m.Data[i] = F32ToF16(v)
+	}
+	return m
+}
+
+// RowView returns a view of rows [lo,hi) sharing the receiver's storage.
+func (m *F16Matrix) RowView(lo, hi int) *F16Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("blas: F16Matrix.RowView [%d,%d) of %d rows", lo, hi, m.Rows))
+	}
+	return &F16Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// F32ToF16 converts a float32 to the nearest IEEE binary16 bit pattern
+// (round-to-nearest-even, overflow to ±Inf, subnormals flushed through
+// the binary16 subnormal range rather than to zero).
+func F32ToF16(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23) & 0xff
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if mant != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00
+	case exp > 142: // unbiased > 15: overflow to Inf
+		return sign | 0x7c00
+	case exp >= 113: // normal binary16 range (unbiased ≥ -14)
+		// Round the 23-bit mantissa to 10 bits, to nearest even; a
+		// mantissa carry bumps the exponent, which is exactly what the
+		// +=, not |=, below delivers (it can roll into 0x7c00 = Inf).
+		h := sign | uint16(exp-112)<<10 | uint16(mant>>13)
+		round := mant & 0x1fff
+		if round > 0x1000 || (round == 0x1000 && mant&0x2000 != 0) {
+			h++
+		}
+		return h
+	case exp >= 103: // binary16 subnormal range
+		// Implicit leading 1 becomes explicit, then shift into place.
+		mant |= 0x800000
+		shift := uint32(126 - exp)
+		h := sign | uint16(mant>>shift)
+		round := mant & (1<<shift - 1)
+		half := uint32(1) << (shift - 1)
+		if round > half || (round == half && mant>>shift&1 != 0) {
+			h++
+		}
+		return h
+	default: // too small: ±0
+		return sign
+	}
+}
+
+// F16ToF32 decodes an IEEE binary16 bit pattern to float32 (exact for
+// every binary16 value, including subnormals, ±Inf and NaN).
+func F16ToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	mant := uint32(h & 0x3ff)
+
+	switch {
+	case exp == 0x1f: // Inf or NaN
+		return math.Float32frombits(sign | 0x7f800000 | mant<<13)
+	case exp != 0: // normal
+		return math.Float32frombits(sign | (exp+112)<<23 | mant<<13)
+	case mant != 0: // subnormal: renormalise
+		// value = mant·2⁻²⁴; shifting the leading 1 up to bit 10 costs
+		// one exponent step per shift from the smallest normal's 113.
+		e := uint32(113)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		return math.Float32frombits(sign | e<<23 | (mant&0x3ff)<<13)
+	default: // ±0
+		return math.Float32frombits(sign)
+	}
+}
+
+// GEMMF16Into computes dst = A·B for a binary16-stored A and a float32
+// B of n columns, accumulating in float32 and overwriting dst. Like the
+// int8 kernel it skips exact-zero A codes (binary16 preserves TTQ's
+// exact zeros) and allocates nothing.
+func GEMMF16Into(dst []float32, a *F16Matrix, b []float32, n int) {
+	m, k := a.Rows, a.Cols
+	if len(b) != k*n {
+		panic(fmt.Sprintf("blas: GEMMF16Into B length %d, want %d×%d", len(b), k, n))
+	}
+	if len(dst) < m*n {
+		panic(fmt.Sprintf("blas: GEMMF16Into destination length %d, want %d", len(dst), m*n))
+	}
+	for j0 := 0; j0 < n; j0 += qNC {
+		jMax := min(j0+qNC, n)
+		for i := 0; i < m; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			out := dst[i*n+j0 : i*n+jMax]
+			clear(out)
+			for kk, hv := range arow {
+				if hv&0x7fff == 0 {
+					continue
+				}
+				av := F16ToF32(hv)
+				brow := b[kk*n+j0 : kk*n+jMax]
+				for j, bv := range brow {
+					out[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// QuantizeTensorInt8 is the tensor-shaped convenience over
+// QuantizeRowsInt8 for a rank-2 weight matrix.
+func QuantizeTensorInt8(t *tensor.Tensor) *QMatrix {
+	if t.Shape().Rank() != 2 {
+		panic(fmt.Sprintf("blas: QuantizeTensorInt8 requires a rank-2 tensor, got %v", t.Shape()))
+	}
+	return QuantizeRowsInt8(t.Data(), t.Shape()[0], t.Shape()[1])
+}
+
+// QuantizeTensorF16 is the tensor-shaped convenience over
+// QuantizeRowsF16 for a rank-2 weight matrix.
+func QuantizeTensorF16(t *tensor.Tensor) *F16Matrix {
+	if t.Shape().Rank() != 2 {
+		panic(fmt.Sprintf("blas: QuantizeTensorF16 requires a rank-2 tensor, got %v", t.Shape()))
+	}
+	return QuantizeRowsF16(t.Data(), t.Shape()[0], t.Shape()[1])
+}

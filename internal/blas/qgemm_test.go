@@ -1,0 +1,254 @@
+package blas
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestQuantizeInt8RoundTrip(t *testing.T) {
+	r := tensor.NewRNG(21)
+	src := make([]float32, 257)
+	for i := range src {
+		src[i] = float32(r.NormFloat64() * 2)
+	}
+	// Plant exact zeros: the kernel's zero-skip depends on them surviving.
+	src[0], src[100], src[256] = 0, 0, 0
+
+	dst := make([]int8, len(src))
+	scale := QuantizeInt8(dst, src)
+	if scale <= 0 {
+		t.Fatalf("scale = %v, want > 0", scale)
+	}
+	// Symmetric round-to-nearest: every element reconstructs within
+	// half a step.
+	for i, v := range src {
+		got := float32(dst[i]) * scale
+		if d := absDiff(got, v); d > float64(scale)/2+1e-7 {
+			t.Fatalf("elem %d: %v reconstructs as %v (scale %v)", i, v, got, scale)
+		}
+	}
+	if dst[0] != 0 || dst[100] != 0 || dst[256] != 0 {
+		t.Fatal("exact-zero inputs must quantise to exact-zero codes")
+	}
+}
+
+func TestQuantizeInt8AllZero(t *testing.T) {
+	dst := []int8{7, -3, 1}
+	if s := QuantizeInt8(dst, make([]float32, 3)); s != 1 {
+		t.Fatalf("all-zero scale = %v, want 1", s)
+	}
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("dst[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestQuantizeRowsInt8PerRowScales(t *testing.T) {
+	// Two rows with wildly different magnitudes: per-row scaling must
+	// keep the small row's resolution.
+	w := []float32{100, -50, 25, 0.04, -0.02, 0.01}
+	q := QuantizeRowsInt8(w, 2, 3)
+	if q.Data[0] != 127 {
+		t.Fatalf("row 0 absmax code = %d, want 127", q.Data[0])
+	}
+	if q.Data[3] != 127 {
+		t.Fatalf("row 1 absmax code = %d, want 127", q.Data[3])
+	}
+	if q.Scales[0] == q.Scales[1] {
+		t.Fatal("rows of different magnitude must get different scales")
+	}
+}
+
+// TestQGEMMInt8MatchesFloat is the kernel's parity bound: the int8
+// product must match the f32 reference within the quantisation error
+// both operand quantisations introduce.
+func TestQGEMMInt8MatchesFloat(t *testing.T) {
+	r := tensor.NewRNG(22)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 7, 5}, {8, 16, 600}, {17, 33, 1025}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randMat(r, m, k)
+		b := randMat(r, k, n)
+		want := GEMMNaive(a, b)
+
+		qa := QuantizeRowsInt8(a.Data(), m, k)
+		qb := make([]int8, k*n)
+		bScale := QuantizeInt8(qb, b.Data())
+		dst := make([]float32, m*n)
+		acc := make([]int32, QAccLen(n))
+		QGEMMInt8Into(dst, qa, qb, n, bScale, acc)
+
+		// Error budget: each operand contributes up to half a step per
+		// term, k terms per dot product.
+		for i := 0; i < m; i++ {
+			bound := float64(k) * (float64(qa.Scales[i])/2 + float64(bScale)/2 + float64(qa.Scales[i]*bScale)/4)
+			for j := 0; j < n; j++ {
+				if d := absDiff(dst[i*n+j], want.At(i, j)); d > bound+1e-5 {
+					t.Fatalf("dims %v (%d,%d): int8 %v vs f32 %v, diff %v > bound %v",
+						dims, i, j, dst[i*n+j], want.At(i, j), d, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestQGEMMInt8TernaryExact: on ternary weights (TTQ's output) with
+// power-of-two-friendly scales and small integer activations the int8
+// path is exact — zero-skip must not change results.
+func TestQGEMMInt8TernaryExact(t *testing.T) {
+	a := &QMatrix{
+		Rows:   2,
+		Cols:   4,
+		Data:   []int8{127, 0, -127, 0, 0, 0, 0, 127},
+		Scales: []float32{2.0 / 127, 0.5 / 127},
+	}
+	b := make([]int8, 4*3)
+	for i := range b {
+		b[i] = int8(i - 6)
+	}
+	bScale := float32(1)
+	dst := make([]float32, 2*3)
+	QGEMMInt8Into(dst, a, b, 3, bScale, make([]int32, QAccLen(3)))
+	// Row 0: 2·b[0j] - 2·b[2j]; row 1: 0.5·b[3j].
+	for j := 0; j < 3; j++ {
+		want0 := 2 * (float32(b[j]) - float32(b[2*3+j]))
+		want1 := 0.5 * float32(b[3*3+j])
+		if dst[j] != want0 || dst[3+j] != want1 {
+			t.Fatalf("col %d: got (%v, %v), want (%v, %v)", j, dst[j], dst[3+j], want0, want1)
+		}
+	}
+}
+
+func TestQMatrixRowView(t *testing.T) {
+	q := QuantizeRowsInt8([]float32{1, 2, 3, 4, 5, 6}, 3, 2)
+	v := q.RowView(1, 3)
+	if v.Rows != 2 || v.Cols != 2 {
+		t.Fatalf("view shape %d×%d, want 2×2", v.Rows, v.Cols)
+	}
+	if &v.Data[0] != &q.Data[2] || &v.Scales[0] != &q.Scales[1] {
+		t.Fatal("RowView must share the parent's storage")
+	}
+}
+
+func TestQAccLen(t *testing.T) {
+	if QAccLen(3) != 3 {
+		t.Fatalf("QAccLen(3) = %d", QAccLen(3))
+	}
+	if QAccLen(100000) != qNC {
+		t.Fatalf("QAccLen(100000) = %d, want %d", QAccLen(100000), qNC)
+	}
+}
+
+// TestF16RoundTripAllPatterns decodes every one of the 65536 binary16
+// bit patterns and re-encodes it: F32ToF16(F16ToF32(h)) == h must hold
+// for every non-NaN pattern (binary16 values are exactly representable
+// in float32, so the round trip is lossless).
+func TestF16RoundTripAllPatterns(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		h := uint16(i)
+		f := F16ToF32(h)
+		if math.IsNaN(float64(f)) {
+			continue // NaN payloads may canonicalise
+		}
+		if got := F32ToF16(f); got != h {
+			t.Fatalf("pattern %#04x decodes to %v, re-encodes as %#04x", h, f, got)
+		}
+	}
+}
+
+func TestF32ToF16SpecialValues(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want uint16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3c00},
+		{-2, 0xc000},
+		{65504, 0x7bff}, // largest finite binary16
+		{65520, 0x7c00}, // rounds to +Inf
+		{1e30, 0x7c00},  // overflow to +Inf
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+		{5.9604645e-8, 0x0001}, // smallest binary16 subnormal
+		{1e-10, 0x0000},        // underflow to +0
+		{6.097555e-5, 0x03ff},  // largest subnormal
+	}
+	for _, c := range cases {
+		if got := F32ToF16(c.in); got != c.want {
+			t.Fatalf("F32ToF16(%v) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+	if got := F32ToF16(float32(math.NaN())); got&0x7c00 != 0x7c00 || got&0x3ff == 0 {
+		t.Fatalf("F32ToF16(NaN) = %#04x, not a NaN pattern", got)
+	}
+}
+
+func TestF32ToF16RoundToNearestEven(t *testing.T) {
+	// 1 + 1024.5 ulps of binary16: the tie must round to the even
+	// neighbour. 0x3c00 is 1.0; one binary16 ulp at 1.0 is 2^-10.
+	ulp := float32(1.0 / 1024)
+	if got := F32ToF16(1 + 0.5*ulp); got != 0x3c00 {
+		t.Fatalf("tie at 1+ulp/2 rounds to %#04x, want even 0x3c00", got)
+	}
+	if got := F32ToF16(1 + 1.5*ulp); got != 0x3c02 {
+		t.Fatalf("tie at 1+3ulp/2 rounds to %#04x, want even 0x3c02", got)
+	}
+	if got := F32ToF16(1 + 0.75*ulp); got != 0x3c01 {
+		t.Fatalf("1+0.75ulp rounds to %#04x, want 0x3c01", got)
+	}
+}
+
+func TestGEMMF16MatchesFloat(t *testing.T) {
+	r := tensor.NewRNG(23)
+	for _, dims := range [][3]int{{1, 1, 1}, {5, 9, 7}, {8, 16, 600}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randMat(r, m, k)
+		b := randMat(r, k, n)
+		want := GEMMNaive(a, b)
+
+		ha := QuantizeRowsF16(a.Data(), m, k)
+		dst := make([]float32, m*n)
+		GEMMF16Into(dst, ha, b.Data(), n)
+
+		// binary16 has ~3 decimal digits; relative error per term is
+		// 2^-11, accumulated over k terms.
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				bound := float64(k) * (1.0 / 2048) * 4 // generous: |a|,|b| ~ N(0,1)
+				if d := absDiff(dst[i*n+j], want.At(i, j)); d > bound {
+					t.Fatalf("dims %v (%d,%d): f16 %v vs f32 %v, diff %v", dims, i, j, dst[i*n+j], want.At(i, j), d)
+				}
+			}
+		}
+	}
+}
+
+func TestGEMMF16ZeroSkipPreservesZeros(t *testing.T) {
+	// A row that is entirely ±0 in binary16 must produce exact zeros,
+	// exercising the hv&0x7fff==0 skip (including negative zero).
+	a := &F16Matrix{Rows: 1, Cols: 2, Data: []uint16{0x0000, 0x8000}}
+	dst := []float32{42, 42}
+	GEMMF16Into(dst, a, []float32{1, 2, 3, 4}, 2)
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Fatalf("zero row product = %v, want zeros", dst)
+	}
+}
+
+func TestQuantizeTensorConveniences(t *testing.T) {
+	m := tensor.FromSlice([]float32{1, -2, 3, -4}, 2, 2)
+	if q := QuantizeTensorInt8(m); q.Rows != 2 || q.Cols != 2 {
+		t.Fatalf("int8 shape %d×%d", q.Rows, q.Cols)
+	}
+	if h := QuantizeTensorF16(m); h.Rows != 2 || h.Cols != 2 {
+		t.Fatalf("f16 shape %d×%d", h.Rows, h.Cols)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rank-3 tensor must panic")
+		}
+	}()
+	QuantizeTensorInt8(tensor.New(1, 2, 2))
+}

@@ -1,0 +1,126 @@
+package quant
+
+import (
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// These tests cover the execution side of TTQ: a Quantize'd network is
+// flagged for the reduced-precision kernels, its ternary weights
+// survive the int8 storage format, and the int8 plan agrees with the
+// f32 reference on the decisions that matter (top-1).
+
+func TestQuantizeMarksNetworkQuantised(t *testing.T) {
+	net := smallNet(tensor.NewRNG(30))
+	if net.Quantised() {
+		t.Fatal("fresh network must not be flagged quantised")
+	}
+	Quantize(net, 0.05)
+	if !net.Quantised() {
+		t.Fatal("Quantize must flag the network for quantised execution")
+	}
+}
+
+// TestTernaryWeightsSurviveInt8 checks the representational story the
+// int8 kernel depends on: per-row symmetric int8 storage keeps TTQ's
+// exact zeros exactly zero (the zero-skip structure) and reconstructs
+// the two learned magnitudes within half a quantisation step.
+func TestTernaryWeightsSurviveInt8(t *testing.T) {
+	net := smallNet(tensor.NewRNG(31))
+	st := Quantize(net, 0.1)
+	for _, ls := range st.Layers {
+		w := ls.Param.W.Data()
+		rows := ls.Param.W.Shape()[0]
+		cols := len(w) / rows
+		q := blas.QuantizeRowsInt8(w, rows, cols)
+		var zeros, nonzeros int
+		for i, v := range w {
+			if v == 0 {
+				if q.Data[i] != 0 {
+					t.Fatalf("%s[%d]: zero weight got nonzero code %d", ls.Param.Name, i, q.Data[i])
+				}
+				zeros++
+				continue
+			}
+			nonzeros++
+			row := i / cols
+			back := float32(q.Data[i]) * q.Scales[row]
+			if d := back - v; d > q.Scales[row]/2 || d < -q.Scales[row]/2 {
+				t.Fatalf("%s[%d]: %v reconstructs as %v (scale %v)", ls.Param.Name, i, v, back, q.Scales[row])
+			}
+		}
+		if zeros == 0 || nonzeros == 0 {
+			t.Fatalf("%s: degenerate ternary layer (%d zeros, %d nonzeros)", ls.Param.Name, zeros, nonzeros)
+		}
+	}
+}
+
+// TestInt8PlanTopOneAgreement is the accuracy contract for real
+// quantised execution: over a batch of random inputs, the int8 compiled
+// plan must produce the same top-1 class as the f32 direct path on a
+// TTQ-quantised network. Ternary weights lose almost nothing to int8
+// storage, so agreement should be total on well-separated logits.
+func TestInt8PlanTopOneAgreement(t *testing.T) {
+	net := smallNet(tensor.NewRNG(32))
+	Quantize(net, 0.05)
+
+	ctxF32 := nn.Inference()
+	ctxF32.Algo = nn.Direct
+	pf, err := nn.Compile(net, ctxF32, tensor.Shape{1, 3, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxQ := nn.Inference()
+	ctxQ.Algo = nn.QuantInt8
+	pq, err := nn.Compile(net, ctxQ, tensor.Shape{1, 3, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := tensor.NewRNG(33)
+	const samples = 64
+	agree := 0
+	for s := 0; s < samples; s++ {
+		in := tensor.New(1, 3, 8, 8)
+		in.FillNormal(r, 0, 1)
+		a := pf.Execute(in).Clone().ArgMax()
+		b := pq.Execute(in).ArgMax()
+		if a == b {
+			agree++
+		}
+	}
+	// Allow a sliver of disagreement for near-tied logits.
+	if agree < samples*95/100 {
+		t.Fatalf("int8 top-1 agrees on %d/%d samples, want ≥95%%", agree, samples)
+	}
+}
+
+// TestQuantisedAutoPlanRunsInt8: compiled under Auto, a TTQ network's
+// plan must stay numerically close to f32 while actually engaging the
+// quantised candidates (the plan records per-layer choices).
+func TestQuantisedAutoPlanRunsInt8(t *testing.T) {
+	net := smallNet(tensor.NewRNG(34))
+	Quantize(net, 0.05)
+	ctx := nn.Inference()
+	ctx.Algo = nn.Auto
+	p, err := nn.Compile(net, ctx, tensor.Shape{2, 3, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(2, 3, 8, 8)
+	in.FillNormal(tensor.NewRNG(35), 0, 1)
+	ctxRef := nn.Inference()
+	ctxRef.Algo = nn.Direct
+	want := net.Forward(&ctxRef, in)
+	if d := tensor.MaxAbsDiff(p.Execute(in), want); d > 0.15 {
+		t.Fatalf("auto plan on quantised net differs from f32 by %v", d)
+	}
+	for _, pa := range p.Algos() {
+		if pa.Algo == nn.Auto {
+			t.Fatalf("layer %q left unresolved", pa.Layer)
+		}
+	}
+}

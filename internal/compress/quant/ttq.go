@@ -61,6 +61,10 @@ func Quantize(net *nn.Network, t float64) *State {
 		requantize(ls, t, true)
 		st.Layers = append(st.Layers, ls)
 	}
+	// Flag the network so execution layers (plan compiler, technique
+	// mapping) may lower it to the reduced-precision kernels: ternary
+	// weights survive int8 storage losslessly up to the row scale.
+	net.MarkQuantised()
 	net.Freeze()
 	return st
 }

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+// TestExecAlgoMapping pins the split between the modelled algorithm
+// (Algo — what the paper's platform ran, feeding the hw cost model and
+// the golden figures) and the execution algorithm (ExecAlgo — what this
+// host actually runs): quantised stacks execute through the int8 kernel
+// while their modelled mapping stays SparseDirect.
+func TestExecAlgoMapping(t *testing.T) {
+	cases := []struct {
+		tech    core.Technique
+		backend core.Backend
+		auto    bool
+		want    nn.Algo
+	}{
+		{core.Quantised, core.OMP, false, nn.QuantInt8},
+		{core.Quantised, core.CLBlast, false, nn.Im2colGEMM}, // modelled backend mapping holds
+		{core.Plain, core.OMP, false, nn.Direct},
+		{core.WeightPruned, core.OMP, false, nn.SparseDirect},
+		{core.Quantised, core.OMP, true, nn.Auto}, // Auto outranks the fixed int8 lowering
+	}
+	for _, c := range cases {
+		cfg := core.Config{Technique: c.tech, Backend: c.backend, AutoAlgo: c.auto}
+		if got := cfg.ExecAlgo(); got != c.want {
+			t.Fatalf("%v/%v auto=%v: ExecAlgo %v, want %v", c.tech, c.backend, c.auto, got, c.want)
+		}
+	}
+	// The modelled mapping must be untouched by the execution split.
+	cfg := core.Config{Technique: core.Quantised, Backend: core.OMP}
+	if cfg.Algo() != nn.SparseDirect {
+		t.Fatalf("Algo() = %v, want the modelled SparseDirect", cfg.Algo())
+	}
+}

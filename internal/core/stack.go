@@ -175,6 +175,20 @@ func (c *Config) Algo() nn.Algo {
 	}
 }
 
+// ExecAlgo returns the algorithm host execution actually uses, which
+// may be newer than what the cost model projects: Quantised
+// configurations on the OMP backend run the genuinely quantised int8
+// kernel path (per-channel scales, i32 accumulate, ternary zero-skip)
+// rather than the CSR path Algo reports for the modelled platforms.
+// Everything else — including the simulated backends and the golden
+// paper figures built on Algo — is unchanged.
+func (c *Config) ExecAlgo() nn.Algo {
+	if !c.AutoAlgo && c.Backend == OMP && c.Technique == Quantised {
+		return nn.QuantInt8
+	}
+	return c.Algo()
+}
+
 // Format returns the weight storage format implied by the technique.
 func (c *Config) Format() metrics.Format {
 	switch c.Technique {
@@ -310,7 +324,7 @@ func (in *Instance) PlanFor(batch int) (*nn.Plan, error) {
 	}
 	ctx := nn.Inference()
 	ctx.Threads = in.Config.Threads
-	ctx.Algo = in.Config.Algo()
+	ctx.Algo = in.Config.ExecAlgo()
 	shape := tensor.Shape{batch, in.Net.InputShape[0], in.Net.InputShape[1], in.Net.InputShape[2]}
 	p, err := nn.Compile(in.Net, ctx, shape)
 	if err != nil {
@@ -361,7 +375,7 @@ func (in *Instance) Run(input *tensor.Tensor) RunResult {
 	}
 	ctx := nn.Inference()
 	ctx.Threads = in.Config.Threads
-	ctx.Algo = in.Config.Algo()
+	ctx.Algo = in.Config.ExecAlgo()
 	start := time.Now()
 	out := in.Net.Forward(&ctx, input)
 	return RunResult{Output: out, Elapsed: time.Since(start)}

@@ -31,6 +31,12 @@ type Conv2D struct {
 	// SparseDirect path; nil until Freeze is called.
 	csr *sparse.CSR
 
+	// qw and wf16 cache the reduced-precision views of the flattened
+	// filters for the QuantInt8/QuantF16 paths; like csr they are built
+	// lazily and dropped by Invalidate.
+	qw   *blas.QMatrix
+	wf16 *blas.F16Matrix
+
 	// FisherRecord enables Fisher-information accumulation for channel
 	// pruning: during training the forward output is cached and every
 	// backward pass folds activation×gradient sums into FisherScores
@@ -91,9 +97,34 @@ func (c *Conv2D) CSR() *sparse.CSR {
 	return c.csr
 }
 
-// Invalidate drops the CSR cache; training steps call this via the
-// optimiser so stale sparse views are never executed.
-func (c *Conv2D) Invalidate() { c.csr = nil }
+// QWeights returns the int8 per-output-channel-scaled view of the
+// flattened filters, building it on first use. Rows are output
+// channels, so per-group and per-row-block addressing is RowView.
+func (c *Conv2D) QWeights() *blas.QMatrix {
+	if c.qw == nil {
+		cpg := c.Geom.InC / c.Geom.Groups
+		c.qw = blas.QuantizeRowsInt8(c.W.W.Data(), c.Geom.OutC, cpg*c.Geom.KH*c.Geom.KW)
+	}
+	return c.qw
+}
+
+// F16Weights returns the binary16 view of the flattened filters,
+// building it on first use.
+func (c *Conv2D) F16Weights() *blas.F16Matrix {
+	if c.wf16 == nil {
+		cpg := c.Geom.InC / c.Geom.Groups
+		c.wf16 = blas.QuantizeRowsF16(c.W.W.Data(), c.Geom.OutC, cpg*c.Geom.KH*c.Geom.KW)
+	}
+	return c.wf16
+}
+
+// Invalidate drops the CSR and reduced-precision caches; training steps
+// call this via the optimiser so stale views are never executed.
+func (c *Conv2D) Invalidate() {
+	c.csr = nil
+	c.qw = nil
+	c.wf16 = nil
+}
 
 // OutShape returns the NCHW output shape for the given input shape.
 func (c *Conv2D) OutShape(in tensor.Shape) tensor.Shape {
@@ -119,6 +150,10 @@ func (c *Conv2D) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 		out = c.forwardGEMM(ctx, in)
 	case Winograd:
 		out = c.forwardWinograd(ctx, in)
+	case QuantInt8:
+		out = c.forwardQuantInt8(ctx, in)
+	case QuantF16:
+		out = c.forwardQuantF16(ctx, in)
 	default:
 		out = c.forwardDirect(ctx, in)
 	}
@@ -276,6 +311,10 @@ func (c *Conv2D) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
 		return c.planGEMM(pc, in, out)
 	case Winograd:
 		return c.planWinograd(pc, in, out)
+	case QuantInt8:
+		return c.planQuantInt8(pc, in, out)
+	case QuantF16:
+		return c.planQuantF16(pc, in, out)
 	default:
 		return c.planDirect(pc, in, out)
 	}

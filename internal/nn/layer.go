@@ -38,6 +38,16 @@ const (
 	// compiled plans resolve Auto; the eager Forward path treats it as
 	// Direct.
 	Auto
+	// QuantInt8 executes with int8 weight storage (per-output-channel
+	// scales baked at compile time), dynamic int8 activation
+	// quantisation, int32 accumulation and f32 dequantise-on-output —
+	// the genuinely quantised path for TTQ networks, whose exact-zero
+	// ternary weights the kernel skips row-wise.
+	QuantInt8
+	// QuantF16 stores weights as IEEE binary16 and computes in f32: a
+	// half-storage variant for convolutions; linear layers fall back to
+	// the dense f32 kernel.
+	QuantF16
 )
 
 // String names the algorithm for experiment output.
@@ -53,9 +63,24 @@ func (a Algo) String() string {
 		return "winograd"
 	case Auto:
 		return "auto"
+	case QuantInt8:
+		return "int8"
+	case QuantF16:
+		return "f16"
 	default:
 		return "unknown"
 	}
+}
+
+// AlgoFromString inverts String for the tuner cache's on-disk entries;
+// ok is false for names no Algo renders to (including "unknown").
+func AlgoFromString(s string) (Algo, bool) {
+	for _, a := range []Algo{Direct, Im2colGEMM, SparseDirect, Winograd, Auto, QuantInt8, QuantF16} {
+		if a.String() == s {
+			return a, true
+		}
+	}
+	return Direct, false
 }
 
 // Context carries the execution configuration down the layer stack.

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"repro/internal/blas"
 	"repro/internal/parallel"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
@@ -18,6 +19,7 @@ type Linear struct {
 	B         *Param // (Out)
 
 	csr    *sparse.CSR
+	qw     *blas.QMatrix  // int8 view for QuantInt8, built lazily
 	lastIn *tensor.Tensor // flattened (N, In)
 }
 
@@ -57,8 +59,20 @@ func (l *Linear) CSR() *sparse.CSR {
 	return l.csr
 }
 
-// Invalidate drops the CSR cache.
-func (l *Linear) Invalidate() { l.csr = nil }
+// QWeights returns the int8 per-output-neuron-scaled weight view,
+// building it on first use.
+func (l *Linear) QWeights() *blas.QMatrix {
+	if l.qw == nil {
+		l.qw = blas.QuantizeRowsInt8(l.W.W.Data(), l.Out, l.In)
+	}
+	return l.qw
+}
+
+// Invalidate drops the CSR and int8 caches.
+func (l *Linear) Invalidate() {
+	l.csr = nil
+	l.qw = nil
+}
 
 func (l *Linear) flatten(in *tensor.Tensor) *tensor.Tensor {
 	n := in.Shape()[0]
@@ -92,6 +106,20 @@ func (l *Linear) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 		return out
 	}
 
+	if ctx.Algo == QuantInt8 {
+		qw := l.QWeights()
+		xd, od := x.Data(), out.Data()
+		xq := make([]int8, n*l.In)
+		xs := make([]float32, n)
+		for ni := 0; ni < n; ni++ {
+			xs[ni] = blas.QuantizeInt8(xq[ni*l.In:(ni+1)*l.In], xd[ni*l.In:(ni+1)*l.In])
+		}
+		parallel.For(n*l.Out, ctx.Threads, ctx.Sched, linearInt8Body(qw, xq, xs, od, bias, l.In, l.Out))
+		return out
+	}
+
+	// QuantF16 has no dedicated linear kernel — binary16 is a conv
+	// storage optimisation here — so it runs the dense f32 path.
 	wd, xd, od := l.W.W.Data(), x.Data(), out.Data()
 	parallel.For(n*l.Out, ctx.Threads, ctx.Sched, func(job int) {
 		ni, o := job/l.Out, job%l.Out
@@ -106,6 +134,26 @@ func (l *Linear) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// linearInt8Body builds the per-(image, output) int8 dot-product body:
+// int32 accumulation, exact-zero weight codes skipped (the TTQ ternary
+// zeros), dequantised by the product of the weight-row and activation
+// scales. Closing over fixed slices keeps the plan path allocation-free.
+func linearInt8Body(qw *blas.QMatrix, xq []int8, xs []float32, od, bias []float32, in, out int) func(job int) {
+	return func(job int) {
+		ni, o := job/out, job%out
+		wrow := qw.Data[o*in : (o+1)*in]
+		xrow := xq[ni*in : (ni+1)*in]
+		var acc int32
+		for i, wv := range wrow {
+			if wv == 0 {
+				continue
+			}
+			acc += int32(wv) * int32(xrow[i])
+		}
+		od[ni*out+o] = float32(acc)*(qw.Scales[o]*xs[ni]) + bias[o]
+	}
+}
+
 // PlanStep implements PlanLayer. Under SparseDirect the frozen CSR
 // view executes row-by-row; under Auto the layer goes sparse when at
 // least half its weights are zero (fully-connected layers are where
@@ -118,10 +166,34 @@ func (l *Linear) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
 
 	algo := pc.ctx.Algo
 	if algo == Auto {
-		if l.W.W.Sparsity() >= 0.5 {
+		switch {
+		case pc.net != nil && pc.net.Quantised():
+			// A quantised network's rows are ternary: the int8 kernel
+			// gets both the zero-skip and the 4× weight bandwidth.
+			algo = QuantInt8
+		case l.W.W.Sparsity() >= 0.5:
 			algo = SparseDirect
-		} else {
+		default:
 			algo = Direct
+		}
+	}
+	if algo == QuantF16 {
+		// No dedicated f16 linear kernel; run the dense f32 path.
+		algo = Direct
+	}
+	if algo == QuantInt8 {
+		qw := l.QWeights()
+		// int8 activation staging is compile-time make(): the arena only
+		// serves float32, and these persist across runs all the same.
+		xq := make([]int8, n*l.In)
+		xs := make([]float32, n)
+		body := linearInt8Body(qw, xq, xs, od, bias, l.In, l.Out)
+		threads, sched := pc.ctx.Threads, pc.ctx.Sched
+		return func() {
+			for ni := 0; ni < n; ni++ {
+				xs[ni] = blas.QuantizeInt8(xq[ni*l.In:(ni+1)*l.In], xd[ni*l.In:(ni+1)*l.In])
+			}
+			parallel.For(n*l.Out, threads, sched, body)
 		}
 	}
 	if algo == SparseDirect {

@@ -23,6 +23,12 @@ type Network struct {
 	// plans record the version they were built against so stale plans
 	// can be detected instead of silently serving old structure.
 	version atomic.Uint64
+
+	// quantised records that compress/quant has run on this network, so
+	// the plan compiler may offer the reduced-precision kernels as Auto
+	// candidates and technique mapping may lower to them. Atomic because
+	// replica workers compile plans concurrently.
+	quantised atomic.Bool
 }
 
 // NewNetwork constructs an empty network.
@@ -122,6 +128,13 @@ func (n *Network) MarkMutated() { n.version.Add(1) }
 // derived artefacts (compiled plans) compare it against the version
 // they compiled at and rebuild on mismatch.
 func (n *Network) Version() uint64 { return n.version.Load() }
+
+// MarkQuantised flags the network as having been through weight
+// quantisation (compress/quant calls this); it is never cleared.
+func (n *Network) MarkQuantised() { n.quantised.Store(true) }
+
+// Quantised reports whether compress/quant has run on this network.
+func (n *Network) Quantised() bool { return n.quantised.Load() }
 
 // Describe walks the network at the given batch size, returning per-layer
 // stats and the aggregate.

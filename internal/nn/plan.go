@@ -121,6 +121,7 @@ func Compile(net *Network, ctx Context, inShape tensor.Shape) (p *Plan, err erro
 	arena := tensor.NewArena()
 	pc := &PlanCompiler{
 		ctx:       ctx,
+		net:       net,
 		arena:     arena,
 		algoCache: make(map[string]Algo),
 	}
@@ -208,6 +209,7 @@ func (p *Plan) Algos() []PlanAlgo {
 // Auto selection fills.
 type PlanCompiler struct {
 	ctx       Context
+	net       *Network
 	arena     *tensor.Arena
 	slabs     [2][]float32
 	resSlabs  [2][]float32
@@ -257,9 +259,12 @@ func (pc *PlanCompiler) dest(shape tensor.Shape) *tensor.Tensor {
 // given input. A fixed policy passes through (with Winograd demoted to
 // Direct on ineligible geometries, mirroring the eager fallback); Auto
 // times every candidate — direct, im2col+GEMM, Winograd where
-// eligible, CSR-sparse where the weights are actually sparse — using
-// the eager kernels on the compile-time input and caches the winner
-// per (geometry, shape, sparsity) so repeated layers select once.
+// eligible, CSR-sparse where the weights are actually sparse, and the
+// reduced-precision kernels on quantised networks — using the eager
+// kernels on the compile-time input. Winners resolve through the cache
+// hierarchy in tuner.go (per-plan → process memo → disk), so a
+// geometry is timed at most once per process and, with a disk cache
+// installed, at most once per host.
 func (pc *PlanCompiler) convAlgo(c *Conv2D, in *tensor.Tensor) Algo {
 	algo := pc.ctx.Algo
 	if algo == Winograd && !c.winogradOK() {
@@ -269,10 +274,6 @@ func (pc *PlanCompiler) convAlgo(c *Conv2D, in *tensor.Tensor) Algo {
 		return algo
 	}
 	sp := c.W.W.Sparsity()
-	key := fmt.Sprintf("%+v|%v|%.2f", c.Geom, in.Shape(), sp)
-	if cached, ok := pc.algoCache[key]; ok {
-		return cached
-	}
 	candidates := []Algo{Direct, Im2colGEMM}
 	if c.winogradOK() {
 		candidates = append(candidates, Winograd)
@@ -283,12 +284,41 @@ func (pc *PlanCompiler) convAlgo(c *Conv2D, in *tensor.Tensor) Algo {
 	if sp >= 0.25 {
 		candidates = append(candidates, SparseDirect)
 	}
-	runs := make([]func(), len(candidates))
-	for i, a := range candidates {
-		ctx := Context{Threads: pc.ctx.Threads, Sched: pc.ctx.Sched, Algo: a}
-		runs[i] = func() { _ = c.Forward(&ctx, in) }
+	// The reduced-precision kernels only make sense once compress/quant
+	// has shaped the weights (ternary rows: exact zeros to skip, little
+	// left to lose to int8 rounding); on unquantised networks they would
+	// trade accuracy for nothing.
+	if pc.net != nil && pc.net.Quantised() {
+		candidates = append(candidates, QuantInt8, QuantF16)
 	}
-	best, _ := pc.tuner.Pick(runs)
-	pc.algoCache[key] = candidates[best]
-	return candidates[best]
+	h, w := in.Shape()[2], in.Shape()[3]
+	key := tunerKey(c.Geom, h, w, pc.ctx.Threads, sp, candidates)
+	if cached, ok := pc.algoCache[key]; ok {
+		return cached
+	}
+	algo, hit := lookupTunedAlgo(key, candidates)
+	if !hit {
+		// Build the lazy weight views (CSR, int8, f16) outside the timed
+		// region so one-time construction cost doesn't bias the verdict.
+		for _, a := range candidates {
+			switch a {
+			case SparseDirect:
+				c.CSR()
+			case QuantInt8:
+				c.QWeights()
+			case QuantF16:
+				c.F16Weights()
+			}
+		}
+		runs := make([]func(), len(candidates))
+		for i, a := range candidates {
+			ctx := Context{Threads: pc.ctx.Threads, Sched: pc.ctx.Sched, Algo: a}
+			runs[i] = func() { _ = c.Forward(&ctx, in) }
+		}
+		best, _ := pc.tuner.Pick(runs)
+		algo = candidates[best]
+		storeTunedAlgo(key, algo)
+	}
+	pc.algoCache[key] = algo
+	return algo
 }

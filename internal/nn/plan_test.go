@@ -139,7 +139,7 @@ func TestPlanAutoSelectsPerLayer(t *testing.T) {
 // compilation, executing the plan performs no heap allocation, for
 // every algorithm.
 func TestPlanZeroAllocations(t *testing.T) {
-	for _, algo := range []Algo{Direct, Im2colGEMM, Winograd, SparseDirect} {
+	for _, algo := range []Algo{Direct, Im2colGEMM, Winograd, SparseDirect, QuantInt8, QuantF16} {
 		t.Run(algo.String(), func(t *testing.T) {
 			r := tensor.NewRNG(107)
 			net := planTestNet(r)

@@ -1,0 +1,292 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/tensor"
+)
+
+// quantTol is the parity budget for the reduced-precision paths against
+// the f32 direct reference: int8 carries ~1/254 relative error per
+// operand through a handful of layers.
+const quantTol = 0.15
+
+// TestQuantPlanMatchesEagerForward: the compiled quantised plan and the
+// eager quantised forward lower through the same kernels and must agree
+// almost exactly (both quantise activations per job with the same
+// scales; only summation order differs).
+func TestQuantPlanMatchesEagerForward(t *testing.T) {
+	for _, algo := range []Algo{QuantInt8, QuantF16} {
+		t.Run(algo.String(), func(t *testing.T) {
+			r := tensor.NewRNG(121)
+			net := planTestNet(r)
+			in := randInput(tensor.NewRNG(122), 2, 3, 8, 8)
+			want := net.Forward(inferCtx(algo, 1), in)
+			p := planFor(t, net, algo, 2)
+			got := p.Execute(in)
+			if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+				t.Fatalf("%v: plan differs from eager quantised forward by %v", algo, d)
+			}
+		})
+	}
+}
+
+// TestQuantPlanNearFloatReference bounds the accuracy cost: quantised
+// execution must track the f32 direct reference within the quantisation
+// error budget, and f16 must be strictly tighter than int8's bound.
+func TestQuantPlanNearFloatReference(t *testing.T) {
+	r := tensor.NewRNG(123)
+	net := planTestNet(r)
+	in := randInput(tensor.NewRNG(124), 2, 3, 8, 8)
+	want := net.Forward(inferCtx(Direct, 1), in)
+
+	for _, c := range []struct {
+		algo Algo
+		tol  float64
+	}{
+		{QuantInt8, quantTol},
+		{QuantF16, 0.02},
+	} {
+		p := planFor(t, net, c.algo, 2)
+		got := p.Execute(in)
+		if d := tensor.MaxAbsDiff(got, want); d > c.tol {
+			t.Fatalf("%v: quantised plan differs from f32 reference by %v (budget %v)", c.algo, d, c.tol)
+		}
+	}
+}
+
+// TestQuantPlanMultiThreaded engages the row-parallel jobs==1 path and
+// the per-worker scratch of the batched path.
+func TestQuantPlanMultiThreaded(t *testing.T) {
+	for _, algo := range []Algo{QuantInt8, QuantF16} {
+		for _, batch := range []int{1, 3} {
+			r := tensor.NewRNG(125)
+			net := planTestNet(r)
+			in := randInput(tensor.NewRNG(126), batch, 3, 8, 8)
+			want := net.Forward(inferCtx(algo, 1), in)
+			ctx := Inference()
+			ctx.Algo = algo
+			ctx.Threads = 2
+			p, err := Compile(net, ctx, tensor.Shape{batch, 3, 8, 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := p.Execute(in)
+			if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+				t.Fatalf("%v threads=2 batch=%d: plan differs by %v", algo, batch, d)
+			}
+		}
+	}
+}
+
+// TestAutoOffersQuantOnlyToQuantisedNets: the Auto candidate set gates
+// the reduced-precision kernels on the network being quantised — a
+// plain f32 network must never resolve to them.
+func TestAutoOffersQuantOnlyToQuantisedNets(t *testing.T) {
+	resetTunerMemo()
+	defer resetTunerMemo()
+
+	r := tensor.NewRNG(127)
+	plain := planTestNet(r)
+	p := planFor(t, plain, Auto, 1)
+	for _, pa := range p.Algos() {
+		if pa.Algo == QuantInt8 || pa.Algo == QuantF16 {
+			t.Fatalf("plain network resolved layer %q to %v", pa.Layer, pa.Algo)
+		}
+	}
+
+	// The same geometry on a quantised network gets a different tuner
+	// key (candidate set is provenance), so marking the net quantised
+	// re-times rather than reusing the plain verdicts.
+	resetTunerMemo()
+	ResetTunerCounters()
+	q := planTestNet(tensor.NewRNG(127))
+	q.MarkQuantised()
+	pq := planFor(t, q, Auto, 1)
+	in := randInput(tensor.NewRNG(128), 1, 3, 8, 8)
+	want := q.Forward(inferCtx(Direct, 1), in)
+	if d := tensor.MaxAbsDiff(pq.Execute(in), want); d > quantTol {
+		t.Fatalf("auto plan on quantised net differs from f32 reference by %v", d)
+	}
+	if timed, _, _ := TunerCounters(); timed == 0 {
+		t.Fatal("quantised candidate set must re-time, not reuse plain verdicts")
+	}
+}
+
+// TestTunerMemoisesAcrossBatchSizes: the second compile of the same
+// geometries — different batch size — must resolve every conv from the
+// process memo without timing anything.
+func TestTunerMemoisesAcrossBatchSizes(t *testing.T) {
+	resetTunerMemo()
+	defer resetTunerMemo()
+
+	r := tensor.NewRNG(129)
+	net := planTestNet(r)
+	ResetTunerCounters()
+	planFor(t, net, Auto, 1)
+	timed1, memo1, _ := TunerCounters()
+	if timed1 == 0 {
+		t.Fatal("first compile must time candidates")
+	}
+
+	planFor(t, net, Auto, 4)
+	timed2, memo2, _ := TunerCounters()
+	if timed2 != timed1 {
+		t.Fatalf("second compile timed %d new geometries, want 0", timed2-timed1)
+	}
+	if memo2 == memo1 {
+		t.Fatal("second compile must hit the process memo")
+	}
+}
+
+// TestTunerDiskCacheLifecycle is the persistence round trip: a cold
+// process times and saves; a warm process (fresh memo, same cache dir)
+// resolves everything from disk and times nothing; a corrupt cache file
+// degrades to cold-start behaviour with no error.
+func TestTunerDiskCacheLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	defer SetTunerCache(nil)
+	defer resetTunerMemo()
+
+	// Cold: everything is timed, verdicts land on disk.
+	resetTunerMemo()
+	ResetTunerCounters()
+	cold, err := blas.OpenTunerCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetTunerCache(cold)
+	net := planTestNet(tensor.NewRNG(130))
+	planFor(t, net, Auto, 1)
+	coldTimed, _, coldDisk := TunerCounters()
+	if coldTimed == 0 || coldDisk != 0 {
+		t.Fatalf("cold start: timed=%d disk=%d, want timed>0 disk=0", coldTimed, coldDisk)
+	}
+	if wrote, err := cold.Save(); err != nil || !wrote {
+		t.Fatalf("cold save = %v/%v, want true/nil", wrote, err)
+	}
+
+	// Warm: a new process image (memo dropped, cache reopened) times
+	// nothing — every verdict comes from disk.
+	resetTunerMemo()
+	ResetTunerCounters()
+	warm, err := blas.OpenTunerCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Loaded() == 0 {
+		t.Fatal("warm cache loaded nothing")
+	}
+	SetTunerCache(warm)
+	planFor(t, planTestNet(tensor.NewRNG(130)), Auto, 1)
+	warmTimed, _, warmDisk := TunerCounters()
+	if warmTimed != 0 {
+		t.Fatalf("warm start timed %d geometries, want 0", warmTimed)
+	}
+	if warmDisk == 0 {
+		t.Fatal("warm start must resolve from the disk cache")
+	}
+
+	// And the warm plan is the same plan: per-layer choices must be
+	// byte-identical to what the cold process recorded.
+	coldPlan := planFor(t, planTestNet(tensor.NewRNG(130)), Auto, 1)
+	warmAlgos := coldPlan.Algos()
+	resetTunerMemo()
+	freshPlan := planFor(t, planTestNet(tensor.NewRNG(130)), Auto, 1)
+	for i, pa := range freshPlan.Algos() {
+		if pa.Algo != warmAlgos[i].Algo {
+			t.Fatalf("layer %q: disk-resolved algo %v differs from memoised %v", pa.Layer, pa.Algo, warmAlgos[i].Algo)
+		}
+	}
+}
+
+// TestTunerDiskRejectsUnknownAlgo: a disk entry naming an algorithm
+// outside the current candidate set (stale gating, renamed algo) must
+// read as a miss, not resolve to something the geometry can't run.
+func TestTunerDiskRejectsUnknownAlgo(t *testing.T) {
+	dir := t.TempDir()
+	defer SetTunerCache(nil)
+	defer resetTunerMemo()
+
+	c, err := blas.OpenTunerCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetTunerCache(c)
+	resetTunerMemo()
+	ResetTunerCounters()
+	net := planTestNet(tensor.NewRNG(131))
+	planFor(t, net, Auto, 1)
+
+	// Poison every verdict with nonsense and force re-resolution.
+	for _, pa := range planFor(t, net, Auto, 1).Algos() {
+		_ = pa
+	}
+	poison, _ := blas.OpenTunerCache(dir)
+	SetTunerCache(poison)
+	resetTunerMemo()
+	// The in-memory entries of `poison` mirror disk; overwrite them.
+	for _, key := range tunerMemoKeysForTest(net) {
+		poison.Store(key, "no-such-algo")
+	}
+	ResetTunerCounters()
+	planFor(t, net, Auto, 1)
+	timed, _, disk := TunerCounters()
+	if disk != 0 {
+		t.Fatalf("poisoned entries produced %d disk hits", disk)
+	}
+	if timed == 0 {
+		t.Fatal("poisoned entries must force re-timing")
+	}
+}
+
+// tunerMemoKeysForTest recovers the memo keys the last Auto compile of
+// net produced (the memo holds exactly the keys poisoning should hit).
+func tunerMemoKeysForTest(net *Network) []string {
+	tunerMu.Lock()
+	defer tunerMu.Unlock()
+	keys := make([]string, 0, len(tunerMemo))
+	for k := range tunerMemo {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func TestAlgoFromString(t *testing.T) {
+	for _, a := range []Algo{Direct, Im2colGEMM, Winograd, SparseDirect, Auto, QuantInt8, QuantF16} {
+		got, ok := AlgoFromString(a.String())
+		if !ok || got != a {
+			t.Fatalf("AlgoFromString(%q) = %v/%v", a.String(), got, ok)
+		}
+	}
+	if _, ok := AlgoFromString("no-such-algo"); ok {
+		t.Fatal("unknown name must not resolve")
+	}
+}
+
+// TestLinearAutoPrefersInt8OnQuantisedNet: the linear head has no timed
+// tuner — its Auto policy is structural — and must pick int8 exactly
+// when the network is quantised.
+func TestLinearAutoPrefersInt8OnQuantisedNet(t *testing.T) {
+	r := tensor.NewRNG(132)
+	net := NewNetwork("lin-quant", tensor.Shape{2, 3, 3}, 4)
+	net.Add(NewFlatten("fl"), NewLinear("fc", 18, 4, r))
+	in := randInput(tensor.NewRNG(133), 2, 2, 3, 3)
+
+	want := net.Forward(inferCtx(Direct, 1), in)
+	net.MarkQuantised()
+	ctx := Inference()
+	ctx.Algo = Auto
+	p, err := Compile(net, ctx, tensor.Shape{2, 2, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Execute(in)
+	if d := tensor.MaxAbsDiff(got, want); d > quantTol {
+		t.Fatalf("quantised linear differs from f32 by %v", d)
+	}
+	if d := tensor.MaxAbsDiff(got, want); d == 0 {
+		t.Fatal("int8 linear output is bit-identical to f32 — quantised path not engaged")
+	}
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/blas"
+	"repro/internal/sparse"
+)
+
+// Process-wide tuner memoisation and the optional disk cache behind it.
+//
+// Auto selection used to re-time every conv geometry once per plan
+// compile — and plans are compiled per batch size per replica, so a
+// server start timed the same layer many times over. The verdict only
+// depends on (geometry, per-image spatial extent, thread budget, weight
+// sparsity, candidate set), none of which vary across batch sizes or
+// replicas, so winners are memoised process-wide under that key. When a
+// blas.TunerCache is installed the same keys also hit disk, making the
+// verdicts durable across process starts: a warm start times nothing.
+//
+// Lookup order per key: the compiling plan's own cache → the process
+// memo → the disk cache → time the candidates. Stores propagate to all
+// levels.
+
+var (
+	tunerMu   sync.Mutex
+	tunerMemo = map[string]Algo{}
+	tunerDisk *blas.TunerCache
+
+	tunerTimed   atomic.Uint64
+	tunerMemoHit atomic.Uint64
+	tunerDiskHit atomic.Uint64
+)
+
+// SetTunerCache installs (or, with nil, removes) the disk cache behind
+// the process memo. Install before compiling plans; winners timed while
+// no cache was installed stay memory-only.
+func SetTunerCache(c *blas.TunerCache) {
+	tunerMu.Lock()
+	tunerDisk = c
+	tunerMu.Unlock()
+}
+
+// TunerCounters reports how many Auto conv selections were resolved by
+// actually timing candidates, by the process memo, and by the disk
+// cache since the last reset. The serving binary logs them so a warm
+// start is checkable: timed must be zero when every verdict came from
+// disk.
+func TunerCounters() (timed, memoHits, diskHits uint64) {
+	return tunerTimed.Load(), tunerMemoHit.Load(), tunerDiskHit.Load()
+}
+
+// ResetTunerCounters zeroes the counters (the memo itself survives).
+func ResetTunerCounters() {
+	tunerTimed.Store(0)
+	tunerMemoHit.Store(0)
+	tunerDiskHit.Store(0)
+}
+
+// resetTunerMemo drops every memoised winner; tests use it to force
+// re-resolution through the disk cache or fresh timing.
+func resetTunerMemo() {
+	tunerMu.Lock()
+	tunerMemo = map[string]Algo{}
+	tunerMu.Unlock()
+}
+
+// tunerKey builds the cache key for one conv geometry. The batch size
+// is deliberately absent — per-image work is what distinguishes the
+// candidates — while the thread budget, weight sparsity (quantised to
+// two decimals; the CSR gate works at that resolution) and the
+// candidate set itself are provenance: changing any of them must miss.
+func tunerKey(geom sparse.ConvParams, h, w, threads int, sp float64, candidates []Algo) string {
+	names := make([]string, len(candidates))
+	for i, a := range candidates {
+		names[i] = a.String()
+	}
+	return fmt.Sprintf("conv|%+v|in=%dx%d|t=%d|sp=%.2f|%s",
+		geom, h, w, threads, sp, strings.Join(names, ","))
+}
+
+// lookupTunedAlgo resolves key against the process memo and then the
+// disk cache. A disk entry must name an algorithm in the current
+// candidate set — anything else (renamed algo, stale gating) reads as a
+// miss and gets re-timed.
+func lookupTunedAlgo(key string, candidates []Algo) (Algo, bool) {
+	tunerMu.Lock()
+	defer tunerMu.Unlock()
+	if a, ok := tunerMemo[key]; ok {
+		tunerMemoHit.Add(1)
+		return a, true
+	}
+	if tunerDisk != nil {
+		if name, ok := tunerDisk.Lookup(key); ok {
+			if a, known := AlgoFromString(name); known && algoIn(a, candidates) {
+				tunerMemo[key] = a
+				tunerDiskHit.Add(1)
+				return a, true
+			}
+		}
+	}
+	return Direct, false
+}
+
+// storeTunedAlgo records a freshly timed winner at every cache level.
+func storeTunedAlgo(key string, algo Algo) {
+	tunerTimed.Add(1)
+	tunerMu.Lock()
+	tunerMemo[key] = algo
+	disk := tunerDisk
+	tunerMu.Unlock()
+	if disk != nil {
+		disk.Store(key, algo.String())
+	}
+}
+
+func algoIn(a Algo, set []Algo) bool {
+	for _, s := range set {
+		if s == a {
+			return true
+		}
+	}
+	return false
+}

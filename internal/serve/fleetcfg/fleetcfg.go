@@ -119,6 +119,11 @@ type Server struct {
 	// Seed drives deterministic weight initialisation and load-generator
 	// noise; 0 resolves to 1.
 	Seed uint64 `json:"seed,omitempty"`
+	// TunerCache is a directory for the persistent algorithm-tuner
+	// cache (see blas.TunerCache): timed per-geometry kernel verdicts
+	// are loaded from it at boot and saved back after plan compilation,
+	// so warm starts skip re-timing. Empty disables persistence.
+	TunerCache string `json:"tunerCache,omitempty"`
 }
 
 // Cluster configures a fleet-fronting load generator.

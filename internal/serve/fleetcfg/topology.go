@@ -53,6 +53,12 @@ func (c *Config) Topology() string {
 	if r.Server.Listen != "" {
 		fmt.Fprintf(&b, " listen=%s", r.Server.Listen)
 	}
+	// Rendered only when set so pre-existing goldens hold, and
+	// independent of the cache file's contents so a cold and a warm
+	// start print byte-identical topologies.
+	if r.Server.TunerCache != "" {
+		fmt.Fprintf(&b, " tunercache=%s", r.Server.TunerCache)
+	}
 	b.WriteString("\n")
 
 	if len(r.Models) > 0 || len(r.Endpoints) > 0 {

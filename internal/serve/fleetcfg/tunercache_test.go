@@ -1,0 +1,46 @@
+package fleetcfg
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTunerCacheFieldParsesAndRenders: the tunerCache directory is part
+// of the server section; set, it must survive Parse→Validate→Resolve
+// and appear in the topology rendering. Unset, the rendering is
+// byte-identical to a config without the field — which is what keeps
+// the pre-existing goldens and the cold/warm -dryrun comparison stable.
+func TestTunerCacheFieldParsesAndRenders(t *testing.T) {
+	with := `{
+		"server": {"seed": 7, "tunerCache": "/tmp/tc"},
+		"models": [{"kind": "mini-vgg"}]
+	}`
+	cfg, err := Parse([]byte(with))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Server.TunerCache != "/tmp/tc" {
+		t.Fatalf("TunerCache = %q, want /tmp/tc", cfg.Server.TunerCache)
+	}
+	if r := cfg.Resolve(); r.Server.TunerCache != "/tmp/tc" {
+		t.Fatalf("resolved TunerCache = %q", r.Server.TunerCache)
+	}
+	topo := cfg.Topology()
+	if !strings.Contains(topo, " tunercache=/tmp/tc") {
+		t.Fatalf("topology does not render the cache dir:\n%s", topo)
+	}
+
+	without, err := Parse([]byte(`{
+		"server": {"seed": 7},
+		"models": [{"kind": "mini-vgg"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(without.Topology(), "tunercache") {
+		t.Fatal("unset tunerCache must not appear in the topology")
+	}
+}

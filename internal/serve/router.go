@@ -163,11 +163,13 @@ type endpoint struct {
 }
 
 // newEndpoint wires instantiated variant pools into a router, ordering
-// them by modelled single-image cost on the configured platform.
+// them by measured single-image cost on this host (falling back to the
+// modelled platform cost for pools whose boot probe failed) — so a
+// "cheap" quantised variant must actually be cheap here to rank first.
 func newEndpoint(spec EndpointSpec, vars []*variant) *endpoint {
 	ep := &endpoint{name: spec.Name, variants: vars}
 	sort.SliceStable(ep.variants, func(i, j int) bool {
-		return ep.variants[i].pool.modelSeconds < ep.variants[j].pool.modelSeconds
+		return ep.variants[i].pool.costSeconds() < ep.variants[j].pool.costSeconds()
 	})
 	for _, v := range ep.variants {
 		if v.pool.insts[0].Config.Technique == core.Plain {
@@ -299,9 +301,13 @@ type VariantStats struct {
 	Technique core.Technique
 	// Accuracy is the modelled top-1 accuracy (percent, 0 = unknown).
 	Accuracy float64
-	// ModelledSeconds is the static per-image cost rank on the
-	// configured platform — the router's cheapest-first key.
+	// ModelledSeconds is the static per-image cost on the configured
+	// (paper) platform.
 	ModelledSeconds float64
+	// MeasuredSeconds is the warmed batch-1 compiled-plan time probed on
+	// this host at pool construction — the router's cheapest-first key
+	// (0 = probe failed; the modelled cost ranks instead).
+	MeasuredSeconds float64
 	// Routed counts requests the router placed on this variant; Shed
 	// counts requests refused while this variant was their preferred
 	// (cheapest satisfying) choice.
@@ -339,6 +345,7 @@ func (v *variant) stats() VariantStats {
 		Technique:       v.pool.insts[0].Config.Technique,
 		Accuracy:        v.accuracy,
 		ModelledSeconds: v.pool.modelSeconds,
+		MeasuredSeconds: v.pool.measuredSeconds,
 		Routed:          ps.Routed,
 		Shed:            ps.Shed,
 		Pool:            ps,

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Benchmark smoke: the CI bench gate plus a machine-readable summary.
+#
+# Runs the two serving-path benchmarks, enforces the compiled-plan
+# 0-alloc gate (the quantised int8 rows included), times a cold vs warm
+# tuner-cache server start against the same cache directory, and writes
+# the results to BENCH_7.json (override the path with $1). Wall-clock
+# numbers are recorded, not asserted — CI hosts are too noisy to gate
+# on timing; the structural assertions (allocations, cache hit/timed
+# counters) are the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_7.json}
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== plan bench (0 allocs/op gate, int8 rows included) =="
+go test -run '^$' -bench 'BenchmarkPlanInference$' -benchtime 1x -benchmem . | tee "$work/plan-bench.out"
+bad=$(awk '/\/plan\/.*allocs\/op/ && $(NF-1) != 0 {print}' "$work/plan-bench.out")
+if [ -n "$bad" ]; then
+  echo "compiled-plan rows allocate:"; echo "$bad"; exit 1
+fi
+grep -q '/plan/batch=' "$work/plan-bench.out"      # the gate saw the f32 rows
+grep -q '/plan/int8/batch=' "$work/plan-bench.out" # ...and the quantised rows
+
+echo "== serve bench =="
+go test -run '^$' -bench 'BenchmarkServeThroughput$' -benchtime 1x -benchmem . | tee "$work/serve-bench.out"
+
+echo "== tuner cache cold vs warm start =="
+go build -o "$work/dlis-serve" ./cmd/dlis-serve
+tc="$work/tunercache"
+run_flags=(-model mini-vgg -auto -replicas 1 -batch 4 -clients 4 -requests 32 -tunercache "$tc")
+"$work/dlis-serve" "${run_flags[@]}" | tee "$work/cold.log"
+# Cold start must have timed candidates and persisted the verdicts.
+grep -Eq 'tuner cache: hits=0 memo=[0-9]+ timed=[1-9][0-9]*' "$work/cold.log"
+grep -q 'tuner cache: saved' "$work/cold.log"
+"$work/dlis-serve" "${run_flags[@]}" | tee "$work/warm.log"
+# Warm start resolves every verdict from disk: nothing re-timed, and a
+# clean cache is not rewritten.
+grep -Eq 'tuner cache: hits=[1-9][0-9]* memo=[0-9]+ timed=0' "$work/warm.log"
+if grep -q 'tuner cache: saved' "$work/warm.log"; then
+  echo "warm start rewrote a clean cache"; exit 1
+fi
+# The resolved topology must not depend on the cache state.
+"$work/dlis-serve" "${run_flags[@]}" -dryrun > "$work/dry-warm.out"
+rm -rf "$tc"
+"$work/dlis-serve" "${run_flags[@]}" -dryrun > "$work/dry-cold.out"
+cmp "$work/dry-cold.out" "$work/dry-warm.out"
+
+cold_ms=$(sed -n 's/^server ready in \([0-9]*\) ms$/\1/p' "$work/cold.log")
+warm_ms=$(sed -n 's/^server ready in \([0-9]*\) ms$/\1/p' "$work/warm.log")
+req_s=$(awk '/^BenchmarkServeThroughput/ {for (i = 1; i <= NF; i++) if ($i == "req/s") v = $(i-1)} END {print v}' "$work/serve-bench.out")
+
+{
+  echo '{'
+  echo '  "bench": "BENCH_7",'
+  echo "  \"serveReqPerSec\": ${req_s:-0},"
+  echo '  "planBench": ['
+  awk '/^BenchmarkPlanInference\// {
+    name = $1; sub(/^BenchmarkPlanInference\//, "", name); sub(/-[0-9]+$/, "", name)
+    nsop = ""; allocs = ""
+    for (i = 1; i <= NF; i++) {
+      if ($i == "ns/op") nsop = $(i-1)
+      if ($i == "allocs/op") allocs = $(i-1)
+    }
+    printf "%s    {\"name\": \"%s\", \"nsPerOp\": %s, \"allocsPerOp\": %s}", sep, name, nsop, allocs
+    sep = ",\n"
+  } END { print "" }' "$work/plan-bench.out"
+  echo '  ],'
+  echo "  \"tunerColdStartMs\": ${cold_ms:-0},"
+  echo "  \"tunerWarmStartMs\": ${warm_ms:-0}"
+  echo '}'
+} > "$out"
+echo "wrote $out"
+cat "$out"
