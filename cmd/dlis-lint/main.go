@@ -1,0 +1,171 @@
+// Command dlis-lint is the repo-native static analysis suite enforcing
+// the serving stack's machine-checked contracts:
+//
+//	noalloc      //dlis:noalloc functions must not heap-allocate
+//	errcontract  sentinels match via errors.Is, wraps preserve %w
+//	atomics      atomic struct fields are never accessed plainly
+//
+// It is a vet tool: `dlis-lint ./...` re-executes the Go command as
+// `go vet -vettool=<self> ./...`, so cmd/go does package loading, test
+// variants and build caching while this binary checks one type-checked
+// unit per invocation (see internal/lint/unitchecker for the
+// protocol). Individual analyzers select with -noalloc, -errcontract,
+// -atomics; with no selection all run.
+//
+// Exit status: 0 clean, 1 operational failure, non-zero from go vet
+// when diagnostics are reported.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/atomics"
+	"repro/internal/lint/errcontract"
+	"repro/internal/lint/noalloc"
+	"repro/internal/lint/unitchecker"
+)
+
+var suite = []*analysis.Analyzer{
+	noalloc.Analyzer,
+	errcontract.Analyzer,
+	atomics.Analyzer,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dlis-lint: ")
+
+	versionFlag := flag.String("V", "", "print version and exit (cmd/go tool protocol)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags in JSON (cmd/go tool protocol)")
+	enabled := make(map[string]*bool, len(suite))
+	for _, a := range suite {
+		enabled[a.Name] = flag.Bool(a.Name, false, a.Doc)
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: dlis-lint [-noalloc] [-errcontract] [-atomics] <packages>\n\nAnalyzers (all run when none is selected):\n")
+		for _, a := range suite {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		printVersion(*versionFlag)
+		return
+	}
+	if *flagsFlag {
+		printFlagDefs()
+		return
+	}
+
+	analyzers := selected(enabled)
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		// Invoked by cmd/go on one compilation unit.
+		os.Exit(unitchecker.Run(args[0], analyzers))
+	}
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	os.Exit(reexec(args, enabled))
+}
+
+// selected returns the analyzers to run: the explicitly enabled set,
+// or all of them when none is selected (the go vet convention).
+func selected(enabled map[string]*bool) []*analysis.Analyzer {
+	any := false
+	for _, on := range enabled {
+		any = any || *on
+	}
+	if !any {
+		return suite
+	}
+	var out []*analysis.Analyzer
+	for _, a := range suite {
+		if *enabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// reexec drives the full-tree mode through the Go command, which owns
+// package loading, test variants and caching:
+// `go vet -vettool=<self> <analyzer flags> <patterns>`.
+func reexec(patterns []string, enabled map[string]*bool) int {
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatalf("cannot locate own executable (build with 'go build ./cmd/dlis-lint'): %v", err)
+	}
+	args := []string{"vet", "-vettool=" + self}
+	for _, a := range suite {
+		if *enabled[a.Name] {
+			args = append(args, "-"+a.Name)
+		}
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		log.Fatalf("running go vet: %v", err)
+	}
+	return 0
+}
+
+// printVersion implements the -V=full handshake cmd/go uses to key its
+// build cache on the tool's identity: the last field must be a content
+// ID, so hash the executable.
+func printVersion(mode string) {
+	if mode != "full" {
+		log.Fatalf("unsupported -V value %q", mode)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(self)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dlis-lint version devel buildID=%x\n", h.Sum(nil))
+}
+
+// printFlagDefs implements the -flags handshake: cmd/go asks for the
+// tool's flags as JSON so it can accept them on the go vet line.
+func printFlagDefs() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := make([]jsonFlag, 0, len(suite))
+	for _, a := range suite {
+		defs = append(defs, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	out, err := json.Marshal(defs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
+}

@@ -218,7 +218,7 @@ func TestServerPublicAPI(t *testing.T) {
 			t.Fatalf("%s: empty stats %+v", stack, st)
 		}
 	}
-	if _, err := srv.Do(ctx, Request{Target: "mobile-wp", Images: []*Tensor{NewImage(1, 32, 32, 1)}}); err != ErrServerClosed {
+	if _, err := srv.Do(ctx, Request{Target: "mobile-wp", Images: []*Tensor{NewImage(1, 32, 32, 1)}}); !errors.Is(err, ErrServerClosed) {
 		t.Fatalf("infer after close: %v, want ErrServerClosed", err)
 	}
 }

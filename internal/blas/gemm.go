@@ -93,6 +93,8 @@ func checkGEMMDst(dst, a, b *tensor.Tensor, tile Tiling) (int, int, int) {
 // GEMMInto computes dst = A·B with the blocked kernel, overwriting dst
 // (which must be m×n). It performs no allocation, so a compiled plan
 // can reuse one product buffer across every inference.
+//
+//dlis:noalloc
 func GEMMInto(dst, a, b *tensor.Tensor, tile Tiling) {
 	m, k, n := checkGEMMDst(dst, a, b, tile)
 	od := dst.Data()
@@ -137,9 +139,12 @@ func GEMMParallel(a, b *tensor.Tensor, tile Tiling, threads int) *tensor.Tensor 
 // GEMMParallelInto is the destination-passing GEMMParallel: dst = A·B
 // split across threads, overwriting dst without allocating (beyond the
 // fork/join of the worker goroutines themselves when threads > 1).
+//
+//dlis:noalloc
 func GEMMParallelInto(dst, a, b *tensor.Tensor, tile Tiling, threads int) {
 	m, k, n := checkGEMMDst(dst, a, b, tile)
 	ad, bd, od := a.Data(), b.Data(), dst.Data()
+	//dlis:alloc-ok fork/join worker closure, the documented threads>1 exemption
 	parallel.ForRange(m, threads, func(lo, hi int) {
 		clear(od[lo*n : hi*n])
 		gemmBlockedInto(ad, bd, od, lo, hi, k, n, tile)

@@ -51,6 +51,8 @@ func Im2col(in *tensor.Tensor, p Im2colParams) *tensor.Tensor {
 // as explicit zeros rather than skipped, so a reused destination buffer
 // (a compiled plan's column scratch) never leaks a previous image's
 // values. No allocation is performed.
+//
+//dlis:noalloc
 func Im2colInto(dst, in *tensor.Tensor, p Im2colParams) {
 	if in.NumElements() != p.C*p.H*p.W {
 		panic(fmt.Sprintf("blas: Im2col input has %d elements, want %d", in.NumElements(), p.C*p.H*p.W))

@@ -113,6 +113,8 @@ func QuantizeInt8(dst []int8, src []float32) float32 {
 //
 // int32 accumulation is exact while 127·127·k < 2³¹, i.e. k below
 // ~133k — far beyond any layer this stack lowers.
+//
+//dlis:noalloc
 func QGEMMInt8Into(dst []float32, a *QMatrix, b []int8, n int, bScale float32, acc []int32) {
 	m, k := a.Rows, a.Cols
 	if len(b) != k*n {
@@ -251,6 +253,8 @@ func F16ToF32(h uint16) float32 {
 // B of n columns, accumulating in float32 and overwriting dst. Like the
 // int8 kernel it skips exact-zero A codes (binary16 preserves TTQ's
 // exact zeros) and allocates nothing.
+//
+//dlis:noalloc
 func GEMMF16Into(dst []float32, a *F16Matrix, b []float32, n int) {
 	m, k := a.Rows, a.Cols
 	if len(b) != k*n {

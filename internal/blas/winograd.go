@@ -150,6 +150,8 @@ func WinogradConv2D(in, weights *tensor.Tensor, bias []float32) *tensor.Tensor {
 // scratch, performing no allocation. The filter transform runs on every
 // call — it is cheap relative to the tile loop and keeps the plan
 // correct if weights are updated between inferences.
+//
+//dlis:noalloc
 func WinogradConv2DInto(out, in, weights *tensor.Tensor, bias []float32, s *WinogradScratch) {
 	if in.Shape().Rank() != 4 {
 		panic(fmt.Sprintf("blas: WinogradConv2D requires NCHW input, got %v", in.Shape()))
@@ -173,8 +175,11 @@ func WinogradConv2DInto(out, in, weights *tensor.Tensor, bias []float32, s *Wino
 		panic(fmt.Sprintf("blas: Winograd scratch sized for (%d,%d,%d,%d)→%d, input (%d,%d,%d,%d)→%d",
 			s.n, s.c, s.h, s.w, s.outC, n, c, h, w, outC))
 	}
-	if !out.Shape().Equal(tensor.Shape{n, outC, h, w}) {
-		panic(fmt.Sprintf("blas: Winograd destination %v, want %v", out.Shape(), tensor.Shape{n, outC, h, w}))
+	// Compared field-wise (not via a Shape literal) so the steady-state
+	// path of a compiled plan stays allocation-free.
+	os := out.Shape()
+	if os.Rank() != 4 || os[0] != n || os[1] != outC || os[2] != h || os[3] != w {
+		panic(fmt.Sprintf("blas: Winograd destination %v, want %v", os, tensor.Shape{n, outC, h, w}))
 	}
 
 	// Pre-transform every filter: U[oc][ic] is 4×4.

@@ -1,0 +1,67 @@
+// Package analysis is the repo-native core of the dlis-lint analyzer
+// suite: the Analyzer/Pass/Diagnostic surface the analyzers under
+// internal/lint/... are written against.
+//
+// The API deliberately mirrors the subset of
+// golang.org/x/tools/go/analysis that the suite needs (Analyzer with a
+// Run function, a Pass carrying the type-checked package, Reportf for
+// diagnostics). The build image this repository grows in has no module
+// proxy access, so taking x/tools as a dependency is not possible;
+// mirroring its shape keeps a future migration mechanical — swap the
+// import path, delete this package. Until then the contract checkers
+// stay buildable from a bare toolchain, which is itself a feature: the
+// lint gate can never rot behind an unfetchable dependency.
+//
+// Unlike x/tools, there is no fact propagation and no modular result
+// sharing: every analyzer in this suite is strictly package-local by
+// construction (the contracts they enforce — allocation-free bodies,
+// errors.Is discipline, atomic field access — are all visible within
+// one type-checked package), so a Pass is just the package and a sink
+// for diagnostics.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one contract checker: a name (which doubles as
+// its enable/disable flag on the dlis-lint command line), user-facing
+// documentation, and the per-package Run function.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+	// Doc is the analyzer's help text; the first line is used as the
+	// flag usage string.
+	Doc string
+	// Run applies the analyzer to one type-checked package, reporting
+	// findings through pass.Report. The error return is for operational
+	// failures (not findings); it aborts the whole lint run.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}

@@ -1,0 +1,246 @@
+// Package analysistest runs dlis-lint analyzers over golden fixture
+// packages and checks their diagnostics against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest (which the
+// build image cannot fetch — see internal/lint/analysis).
+//
+// Fixtures live under <analyzer>/testdata/src/<importpath>/ in
+// GOPATH-shaped trees. Imports resolve inside the same tree, so a
+// fixture that needs fmt or sync/atomic imports a committed stub
+// package rather than the real standard library: the stub pins the
+// package *path* the analyzer keys on while keeping the fixture
+// hermetic — no toolchain source tree is parsed, and a fixture
+// type-checks identically on every Go version. testdata directories
+// are invisible to ./... patterns, so stubs and deliberate violations
+// never reach the build, vet, or staticcheck.
+//
+// Expectations are trailing comments of the form
+//
+//	code() // want "regexp"
+//	code() // want "first" "second"
+//
+// where each quoted string is a regular expression matched against one
+// diagnostic message reported on that line. Diagnostics and
+// expectations must match one-to-one per line: a missed expectation,
+// an unexpected diagnostic, or a message mismatch each fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// Run loads each fixture package under dir/src and applies the
+// analyzer, comparing diagnostics against the // want expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld := &loader{
+		fset: token.NewFileSet(),
+		src:  filepath.Join(dir, "src"),
+		pkgs: make(map[string]*loaded),
+	}
+	for _, path := range pkgpaths {
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			run(t, ld, a, path)
+		})
+	}
+}
+
+func run(t *testing.T, ld *loader, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	lp, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      ld.fset,
+		Files:     lp.files,
+		Pkg:       lp.pkg,
+		TypesInfo: lp.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, ld.fset, lp.files)
+	type lineKey struct {
+		file string
+		line int
+	}
+	got := make(map[lineKey][]string)
+	for _, d := range diags {
+		p := ld.fset.Position(d.Pos)
+		got[lineKey{p.Filename, p.Line}] = append(got[lineKey{p.Filename, p.Line}], d.Message)
+	}
+
+	// Match wants against diagnostics line by line.
+	for key, rxs := range wants {
+		msgs := got[lineKey{key.file, key.line}]
+		for _, rx := range rxs {
+			idx := -1
+			for i, m := range msgs {
+				if rx.MatchString(m) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %q)", key.file, key.line, rx, msgs)
+				continue
+			}
+			msgs = append(msgs[:idx], msgs[idx+1:]...)
+		}
+		if len(msgs) > 0 {
+			t.Errorf("%s:%d: unexpected diagnostics %q", key.file, key.line, msgs)
+		}
+		delete(got, lineKey{key.file, key.line})
+	}
+	for key, msgs := range got {
+		sort.Strings(msgs)
+		t.Errorf("%s:%d: unexpected diagnostics %q", key.file, key.line, msgs)
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants parses the // want comments of the fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(rest) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want expectation %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					key := wantKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], rx)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted returns the top-level double-quoted strings of s,
+// respecting backslash escapes.
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		if s[i] != '"' {
+			continue
+		}
+		j := i + 1
+		for j < len(s) && s[j] != '"' {
+			if s[j] == '\\' {
+				j++
+			}
+			j++
+		}
+		if j >= len(s) {
+			break
+		}
+		out = append(out, s[i:j+1])
+		i = j
+	}
+	return out
+}
+
+// loaded is one type-checked fixture package.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader type-checks fixture packages from a GOPATH-shaped src tree,
+// resolving imports recursively within it.
+type loader struct {
+	fset *token.FileSet
+	src  string
+	pkgs map[string]*loaded
+}
+
+// Import implements types.Importer over the fixture tree.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	lp, err := ld.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return lp.pkg, nil
+}
+
+func (ld *loader) load(path string) (*loaded, error) {
+	if lp, ok := ld.pkgs[path]; ok {
+		if lp == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return lp, nil
+	}
+	ld.pkgs[path] = nil // cycle marker
+
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no Go files in %s", path, dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	lp := &loaded{pkg: pkg, files: files, info: info}
+	ld.pkgs[path] = lp
+	return lp, nil
+}

@@ -1,0 +1,124 @@
+// Package atomics implements the dlis-lint analyzer enforcing the
+// atomic field-access contract: a struct field that is ever operated
+// on through sync/atomic (atomic.AddInt64(&s.pending, 1), ...) must be
+// operated on through sync/atomic everywhere in the package.
+//
+// A plain read racing an atomic write is a data race the race detector
+// only catches on interleavings it happens to execute; this check
+// rejects the pattern on every function at every commit instead. Most
+// of the serving tier already uses the typed atomic.Int64/Uint64
+// wrappers, which make mixed access inexpressible — this analyzer
+// covers the remaining raw-field idiom (and any future backsliding
+// into it).
+//
+// Two access forms are findings for a field with at least one atomic
+// access in the package:
+//
+//   - a plain (non-atomic) read or write of the field
+//   - taking the field's address outside a sync/atomic call argument,
+//     which would let the pointer alias into unchecked plain access
+//
+// Initialisation before a struct escapes to other goroutines (the
+// classic constructor pattern) is a legitimate plain access the
+// analyzer cannot prove safe; waive those sites with
+// //dlis:atomic-ok <reason>. Local variables are out of scope: the
+// contract tracks struct fields, where cross-function mixing happens.
+package atomics
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+// Analyzer is the atomic field-access contract checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomics",
+	Doc:  "report plain access to struct fields that are accessed via sync/atomic elsewhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find every field with a sync/atomic access, remembering
+	// the selector nodes that ARE those accesses (and one example
+	// position per field for the diagnostic).
+	atomicFields := make(map[*types.Var]token.Pos)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if f := fieldOf(pass, sel); f != nil {
+				if _, seen := atomicFields[f]; !seen {
+					atomicFields[f] = sel.Pos()
+				}
+				sanctioned[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector of those fields is a finding.
+	for _, file := range pass.Files {
+		dirs := directive.Parse(pass.Fset, file, nil)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			f := fieldOf(pass, sel)
+			if f == nil {
+				return true
+			}
+			if _, atomic := atomicFields[f]; !atomic {
+				return true
+			}
+			if dirs.Suppressed(pass.Fset, sel.Pos(), directive.AtomicOK) {
+				return true
+			}
+			where := pass.Fset.Position(atomicFields[f])
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed with sync/atomic (e.g. %s:%d) but plainly here; every access must go through sync/atomic (or waive with //dlis:atomic-ok reason)",
+				f.Name(), where.Filename, where.Line)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a function in sync/atomic
+// (the free functions; the typed wrappers need no checking — they make
+// plain access inexpressible).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,12 @@
+package atomics_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/atomics"
+)
+
+func TestAtomics(t *testing.T) {
+	analysistest.Run(t, "testdata", atomics.Analyzer, "a")
+}

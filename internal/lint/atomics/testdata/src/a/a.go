@@ -1,0 +1,52 @@
+// Package a is the firing fixture for the atomics analyzer: fields
+// with mixed atomic/plain access, address aliasing, and the
+// constructor waiver.
+package a
+
+import "sync/atomic"
+
+type pool struct {
+	pending int64
+	done    uint64
+	// plainOnly is never touched atomically, so plain access is fine.
+	plainOnly int64
+}
+
+func (p *pool) admit() int64 {
+	return atomic.AddInt64(&p.pending, 1) // clean: the atomic access itself
+}
+
+func (p *pool) drain() {
+	for atomic.LoadInt64(&p.pending) > 0 { // clean
+	}
+}
+
+func (p *pool) snapshot() int64 {
+	return p.pending // want "field pending is accessed with sync/atomic"
+}
+
+func (p *pool) reset() {
+	p.pending = 0 // want "field pending is accessed with sync/atomic"
+}
+
+func (p *pool) alias() *int64 {
+	return &p.pending // want "field pending is accessed with sync/atomic"
+}
+
+func (p *pool) finish() {
+	atomic.AddUint64(&p.done, 1) // clean
+}
+
+func (p *pool) doneRacy() uint64 {
+	return p.done // want "field done is accessed with sync/atomic"
+}
+
+func (p *pool) idle() int64 {
+	return p.plainOnly // clean: no atomic access anywhere
+}
+
+func newPool() *pool {
+	p := &pool{}
+	p.pending = 0 //dlis:atomic-ok constructor; p has not escaped to another goroutine yet
+	return p
+}

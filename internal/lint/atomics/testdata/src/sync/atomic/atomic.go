@@ -1,0 +1,13 @@
+// Package atomic is a fixture stub pinning the "sync/atomic" import
+// path for the atomics analyzer tests.
+package atomic
+
+func AddInt64(addr *int64, delta int64) (new int64)
+
+func LoadInt64(addr *int64) (val int64)
+
+func StoreInt64(addr *int64, val int64)
+
+func CompareAndSwapInt64(addr *int64, old, new int64) (swapped bool)
+
+func AddUint64(addr *uint64, delta uint64) (new uint64)

@@ -1,0 +1,120 @@
+// Package directive parses the //dlis: comment directives that carry
+// the repo's machine-checked contracts:
+//
+//	//dlis:noalloc            the next function (declaration or literal)
+//	                          must not heap-allocate (see lint/noalloc)
+//	//dlis:alloc-ok <reason>  suppress a noalloc finding on the next
+//	                          (or same) line; the reason is mandatory
+//	//dlis:atomic-ok <reason> suppress an atomics finding on the next
+//	                          (or same) line; the reason is mandatory
+//
+// Directives follow the Go toolchain's directive-comment convention:
+// a // comment with no space before the tool prefix. Position is what
+// binds a directive to code: a noalloc directive governs the function
+// whose `func` token starts on the line immediately below it (or, for
+// declarations, anywhere in the doc comment); the -ok suppressions
+// cover findings on their own line or the line immediately below.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Kind discriminates the directive forms.
+type Kind int
+
+const (
+	NoAlloc Kind = iota
+	AllocOK
+	AtomicOK
+)
+
+// Directive is one parsed //dlis: comment.
+type Directive struct {
+	Kind   Kind
+	Reason string // text after the verb; required for the -ok forms
+	Pos    token.Pos
+	Line   int // line the comment sits on (its last line for groups)
+}
+
+// Map indexes a file's directives by source line.
+type Map struct {
+	byLine map[int][]Directive
+}
+
+// Parse collects the //dlis: directives of one file. Unknown
+// //dlis: verbs are reported through report so a typo like
+// //dlis:no-alloc cannot silently waive a contract.
+func Parse(fset *token.FileSet, file *ast.File, report func(pos token.Pos, msg string)) *Map {
+	m := &Map{byLine: make(map[int][]Directive)}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//dlis:")
+			if !ok {
+				continue
+			}
+			verb, rest, _ := strings.Cut(text, " ")
+			d := Directive{Reason: strings.TrimSpace(rest), Pos: c.Pos(), Line: fset.Position(c.Pos()).Line}
+			switch verb {
+			case "noalloc":
+				d.Kind = NoAlloc
+			case "alloc-ok":
+				d.Kind = AllocOK
+			case "atomic-ok":
+				d.Kind = AtomicOK
+			default:
+				if report != nil {
+					report(c.Pos(), "unknown directive //dlis:"+verb)
+				}
+				continue
+			}
+			if (d.Kind == AllocOK || d.Kind == AtomicOK) && d.Reason == "" && report != nil {
+				report(c.Pos(), "//dlis:"+verb+" requires a justification: //dlis:"+verb+" <reason>")
+			}
+			m.byLine[d.Line] = append(m.byLine[d.Line], d)
+		}
+	}
+	return m
+}
+
+// at returns the directives of the given kind on the given line.
+func (m *Map) at(line int, kind Kind) []Directive {
+	var out []Directive
+	for _, d := range m.byLine[line] {
+		if d.Kind == kind {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FuncAnnotated reports whether a function starting at pos is governed
+// by //dlis:noalloc: the directive sits on the line directly above the
+// func token. doc, when non-nil (function declarations), is also
+// scanned so the directive can live anywhere in the doc comment.
+func (m *Map) FuncAnnotated(fset *token.FileSet, pos token.Pos, doc *ast.CommentGroup) bool {
+	if doc != nil {
+		for _, c := range doc.List {
+			if strings.HasPrefix(c.Text, "//dlis:noalloc") {
+				return true
+			}
+		}
+	}
+	return len(m.at(fset.Position(pos).Line-1, NoAlloc)) > 0
+}
+
+// Suppressed reports whether a finding at pos is waived by a
+// kind-matching -ok directive on the same line (trailing comment) or
+// the line directly above. A directive with an empty reason does not
+// suppress — Parse has already flagged it.
+func (m *Map) Suppressed(fset *token.FileSet, pos token.Pos, kind Kind) bool {
+	line := fset.Position(pos).Line
+	for _, d := range append(m.at(line, kind), m.at(line-1, kind)...) {
+		if d.Reason != "" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package directive_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/directive"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File, *directive.Map, []string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var complaints []string
+	m := directive.Parse(fset, f, func(pos token.Pos, msg string) {
+		complaints = append(complaints, msg)
+	})
+	return fset, f, m, complaints
+}
+
+func TestEmptyReasonIsReportedAndDoesNotSuppress(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = make([]int, 1) //dlis:alloc-ok
+}
+`
+	fset, f, m, complaints := parse(t, src)
+	if len(complaints) != 1 || !strings.Contains(complaints[0], "requires a justification") {
+		t.Fatalf("want one justification complaint, got %q", complaints)
+	}
+	// The bare directive must not suppress: line 4 carries it but the
+	// empty reason invalidates it.
+	pos := f.Decls[0].(*ast.FuncDecl).Body.List[0].Pos()
+	if m.Suppressed(fset, pos, directive.AllocOK) {
+		t.Fatal("empty-reason alloc-ok suppressed a finding")
+	}
+}
+
+func TestUnknownVerbIsReported(t *testing.T) {
+	src := `package p
+
+//dlis:no-alloc
+func f() {}
+`
+	_, _, _, complaints := parse(t, src)
+	if len(complaints) != 1 || !strings.Contains(complaints[0], "unknown directive //dlis:no-alloc") {
+		t.Fatalf("want unknown-directive complaint, got %q", complaints)
+	}
+}
+
+func TestKindsDoNotCrossSuppress(t *testing.T) {
+	src := `package p
+
+func f() {
+	g() //dlis:atomic-ok justified elsewhere
+}
+
+func g() {}
+`
+	fset, f, m, _ := parse(t, src)
+	pos := f.Decls[0].(*ast.FuncDecl).Body.List[0].Pos()
+	if m.Suppressed(fset, pos, directive.AllocOK) {
+		t.Fatal("atomic-ok suppressed an alloc finding")
+	}
+	if !m.Suppressed(fset, pos, directive.AtomicOK) {
+		t.Fatal("atomic-ok did not suppress an atomic finding")
+	}
+}
+
+func TestFuncAnnotated(t *testing.T) {
+	src := `package p
+
+//dlis:noalloc
+func annotated() {}
+
+func not() {}
+
+func maker() func() {
+	//dlis:noalloc
+	return func() {}
+}
+`
+	fset, f, m, _ := parse(t, src)
+	decls := f.Decls
+	if !m.FuncAnnotated(fset, decls[0].Pos(), decls[0].(*ast.FuncDecl).Doc) {
+		t.Fatal("doc-comment directive not recognised")
+	}
+	if m.FuncAnnotated(fset, decls[1].Pos(), decls[1].(*ast.FuncDecl).Doc) {
+		t.Fatal("unannotated function recognised as annotated")
+	}
+	ret := decls[2].(*ast.FuncDecl).Body.List[0].(*ast.ReturnStmt)
+	lit := ret.Results[0].(*ast.FuncLit)
+	if !m.FuncAnnotated(fset, lit.Pos(), nil) {
+		t.Fatal("line-above directive on returned closure not recognised")
+	}
+}

@@ -1,0 +1,216 @@
+// Package errcontract implements the dlis-lint analyzer enforcing the
+// typed-error wire contract: sentinel errors must be matched with
+// errors.Is, never ==, and error chains must be preserved with %w.
+//
+// The serving tier's sentinels (serve.ErrOverloaded, ErrNoVariant,
+// ErrClosed, ErrUnknownTarget and their facade re-exports) survive the
+// HTTP wire and the cluster failover path only because every consumer
+// matches them with errors.Is against reconstructed or wrapped values.
+// A direct == works in-process and silently breaks remotely, so:
+//
+//   - comparing (==, !=, or switch/case) any package-level error
+//     variable named Err... is a finding — rewrite with errors.Is.
+//     The one structural exception is the errors.Is protocol itself: a
+//     method named Is with an error parameter (e.g. OverloadedError.Is)
+//     is where the == belongs, and is exempt.
+//   - fmt.Errorf formatting an error-typed operand with any verb but
+//     %w is a finding: %v/%s flatten the chain to text and errors.Is
+//     stops matching downstream.
+//
+// There is deliberately no suppression directive: unlike noalloc,
+// the contract has no known legitimate violations, and the Is-method
+// exemption is structural.
+package errcontract
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the typed-error contract checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcontract",
+	Doc:  "report == against error sentinels and fmt.Errorf wrapping without %w",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			exempt := ok && isIsMethod(pass, fn)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if exempt || (n.Op != token.EQL && n.Op != token.NEQ) {
+						return true
+					}
+					if name := sentinelName(pass, n.X); name != "" {
+						report(pass, n.Pos(), name)
+					} else if name := sentinelName(pass, n.Y); name != "" {
+						report(pass, n.Pos(), name)
+					}
+				case *ast.SwitchStmt:
+					if exempt || n.Tag == nil {
+						return true
+					}
+					for _, stmt := range n.Body.List {
+						cc, ok := stmt.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, v := range cc.List {
+							if name := sentinelName(pass, v); name != "" {
+								report(pass, v.Pos(), name)
+							}
+						}
+					}
+				case *ast.CallExpr:
+					checkErrorf(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func report(pass *analysis.Pass, pos token.Pos, name string) {
+	pass.Reportf(pos, "sentinel %s compared with ==; use errors.Is so wrapped and wire-reconstructed errors still match", name)
+}
+
+// sentinelName returns the name of the package-level Err... error
+// variable e refers to, or "" if e is not a sentinel reference.
+func sentinelName(pass *analysis.Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || !isErrorType(v.Type()) {
+		return ""
+	}
+	return v.Name()
+}
+
+// isIsMethod reports whether fn is an errors.Is protocol method: named
+// Is, with a receiver and a single error parameter.
+func isIsMethod(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Name.Name != "Is" || fn.Recv == nil || fn.Type.Params.NumFields() != 1 {
+		return false
+	}
+	p := fn.Type.Params.List[0]
+	return isErrorIface(pass.TypesInfo.TypeOf(p.Type))
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error-typed
+// operand with a verb other than %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" || obj.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: not analyzable
+	}
+	vs, ok := verbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // explicit argument indexes: not analyzable
+	}
+	for i, verb := range vs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) || verb == 'w' || verb == '*' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if isErrorType(pass.TypesInfo.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "fmt.Errorf formats this error with %%%c, severing the chain; use %%w so errors.Is survives the wrap", verb)
+		}
+	}
+}
+
+// verbs returns one rune per operand the format string consumes ('*'
+// for a width/precision operand, otherwise the verb). ok is false for
+// formats with explicit argument indexes, which this checker skips.
+func verbs(format string) (out []rune, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags.
+		for i < len(format) && strings.ContainsRune("#0+- ", rune(format[i])) {
+			i++
+		}
+		// Width.
+		if i < len(format) && format[i] == '*' {
+			out = append(out, '*')
+			i++
+		}
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			i++
+		}
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				out = append(out, '*')
+				i++
+			}
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+		case '[':
+			return nil, false
+		default:
+			out = append(out, rune(format[i]))
+		}
+	}
+	return out, true
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface()) || isErrorIface(t)
+}
+
+// isErrorIface reports whether t is the error interface itself (or an
+// alias/equivalent interface).
+func isErrorIface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	return ok && types.Identical(iface, errorIface())
+}
+
+func errorIface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}

@@ -1,0 +1,12 @@
+package errcontract_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/errcontract"
+)
+
+func TestErrContract(t *testing.T) {
+	analysistest.Run(t, "testdata", errcontract.Analyzer, "a")
+}

@@ -1,0 +1,80 @@
+// Package a is the firing fixture for the errcontract analyzer:
+// sentinel comparisons that must use errors.Is, and fmt.Errorf wraps
+// that sever the chain.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrOverloaded = errors.New("overloaded")
+var ErrClosed = errors.New("closed")
+
+// plain is not Err-prefixed, so it is not a sentinel under the
+// contract.
+var plain = errors.New("plain")
+
+func compare(err error) bool {
+	if err == ErrOverloaded { // want "sentinel ErrOverloaded compared with =="
+		return true
+	}
+	if ErrClosed != err { // want "sentinel ErrClosed compared with =="
+		return true
+	}
+	if err == plain { // not a sentinel: clean
+		return true
+	}
+	if err == nil { // nil check: clean
+		return false
+	}
+	return errors.Is(err, ErrOverloaded) // the fix: clean
+}
+
+func classify(err error) int {
+	switch err {
+	case ErrOverloaded: // want "sentinel ErrOverloaded compared with =="
+		return 1
+	case nil:
+		return 0
+	}
+	switch { // tagless switch never compares: clean
+	case errors.Is(err, ErrClosed):
+		return 2
+	}
+	return 3
+}
+
+func wrapBad(err error) error {
+	return fmt.Errorf("submit failed: %v", err) // want "formats this error with %v"
+}
+
+func wrapString(err error) error {
+	return fmt.Errorf("submit failed: %s", err) // want "formats this error with %s"
+}
+
+func wrapMixed(name string, cause, inner error) error {
+	return fmt.Errorf("%s: %v: %w", name, cause, inner) // want "formats this error with %v"
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("submit failed: %w", err) // clean
+}
+
+func wrapValue(n int) error {
+	return fmt.Errorf("bad count %d", n) // non-error operand: clean
+}
+
+func wrapAny(rec any) error {
+	return fmt.Errorf("panic: %v", rec) // any is not statically error: clean
+}
+
+type timeoutError struct{ cause error }
+
+func (e *timeoutError) Error() string { return "timeout: " + e.cause.Error() }
+
+// Is implements the errors.Is protocol; the == here is the one place
+// it belongs.
+func (e *timeoutError) Is(target error) bool {
+	return target == ErrOverloaded // clean: Is-method exemption
+}

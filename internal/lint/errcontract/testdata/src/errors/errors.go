@@ -1,0 +1,11 @@
+// Package errors is a fixture stub pinning the "errors" import path
+// for the errcontract analyzer tests.
+package errors
+
+type simple struct{ s string }
+
+func (e *simple) Error() string { return e.s }
+
+func New(text string) error { return &simple{text} }
+
+func Is(err, target error) bool { return err == target }

@@ -1,0 +1,7 @@
+// Package fmt is a fixture stub pinning the "fmt" import path for the
+// errcontract analyzer tests.
+package fmt
+
+func Errorf(format string, a ...any) error { return nil }
+
+func Sprintf(format string, a ...any) string { return format }

@@ -1,0 +1,280 @@
+// Package noalloc implements the dlis-lint analyzer enforcing the
+// repo's zero-allocation contract: a function or closure annotated
+// //dlis:noalloc (every compiled PlanStep closure in internal/nn, the
+// destination-passing kernels in internal/blas, internal/sparse and
+// internal/tensor) must not contain heap-allocating constructs.
+//
+// Flagged constructs:
+//
+//   - make, new and append
+//   - map and slice literals, and taking the address of a composite
+//     literal
+//   - any call into package fmt
+//   - string concatenation (+ and +=) and allocating conversions
+//     (string ↔ []byte/[]rune, integer → string)
+//   - interface boxing: passing or converting a concrete
+//     non-pointer-shaped value to an interface type
+//   - calling a variadic function with loose arguments (the call
+//     allocates the argument slice; spreading an existing slice with
+//     ... does not)
+//   - closures that capture variables (the closure header and its
+//     captures are heap-allocated at creation)
+//
+// Two escapes are built in. Arguments of panic(...) are exempt: a
+// panicking path is not the steady state the contract protects, and
+// the hot-path kernels all build their bounds-violation messages with
+// fmt.Sprintf inside panic calls. Everything else needs an explicit
+// //dlis:alloc-ok <reason> on (or directly above) the offending line;
+// the reason is mandatory and an empty one is itself a finding.
+//
+// The check is local by design: it does not chase callees. The
+// annotated kernels form a shallow call graph whose interior calls are
+// themselves annotated, and the runtime backstop (TestPlanZeroAllocations,
+// the CI bench-smoke 0-alloc gate) catches what a callee hides.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+// Analyzer is the noalloc contract checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "report heap-allocating constructs inside //dlis:noalloc functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		dirs := directive.Parse(pass.Fset, file, func(pos token.Pos, msg string) {
+			pass.Reportf(pos, "%s", msg)
+		})
+		c := &checker{pass: pass, dirs: dirs}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && dirs.FuncAnnotated(pass.Fset, fn.Pos(), fn.Doc) {
+					c.checkBody(fn.Body)
+					return false
+				}
+			case *ast.FuncLit:
+				if dirs.FuncAnnotated(pass.Fset, fn.Pos(), nil) {
+					c.checkBody(fn.Body)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	dirs *directive.Map
+}
+
+// report emits a finding unless an alloc-ok directive waives it.
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.dirs.Suppressed(c.pass.Fset, pos, directive.AllocOK) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// checkBody walks one annotated function body. Nested function
+// literals are both flagged at creation (when they capture) and walked
+// — a closure built in a noalloc region is assumed to run in it too.
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			return c.checkCall(n)
+		case *ast.CompositeLit:
+			switch c.typeOf(n).Underlying().(type) {
+			case *types.Map:
+				c.report(n.Pos(), "map literal allocates in //dlis:noalloc function")
+			case *types.Slice:
+				c.report(n.Pos(), "slice literal allocates in //dlis:noalloc function")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.report(n.Pos(), "address of composite literal escapes to the heap in //dlis:noalloc function")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(c.typeOf(n.X)) {
+				c.report(n.Pos(), "string concatenation allocates in //dlis:noalloc function")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(c.typeOf(n.Lhs[0])) {
+				c.report(n.Pos(), "string concatenation allocates in //dlis:noalloc function")
+			}
+		case *ast.FuncLit:
+			if capt := c.captures(n); len(capt) > 0 {
+				c.report(n.Pos(), "closure capturing %s allocates in //dlis:noalloc function", strings.Join(capt, ", "))
+			}
+			// Fall through: the literal's body is walked too.
+		}
+		return true
+	})
+}
+
+// checkCall handles calls: builtins, conversions, fmt, interface
+// boxing and variadic argument slices. It returns false (stop
+// descending) for panic arguments, which are exempt cold paths.
+func (c *checker) checkCall(call *ast.CallExpr) bool {
+	// Builtins and panic.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				c.report(call.Pos(), "%s allocates in //dlis:noalloc function", b.Name())
+			case "panic":
+				return false // cold path: message construction is exempt
+			}
+			return true
+		}
+	}
+
+	// Conversions.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return true
+	}
+
+	// Calls into fmt.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj := c.pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			c.report(call.Pos(), "call to fmt.%s allocates in //dlis:noalloc function", obj.Name())
+		}
+	}
+
+	sig, ok := c.typeOf(call.Fun).Underlying().(*types.Signature)
+	if !ok {
+		return true
+	}
+
+	// Variadic calls with loose arguments allocate the argument slice.
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= sig.Params().Len() {
+		c.report(call.Pos(), "variadic call allocates its argument slice in //dlis:noalloc function (spread an existing slice with ... instead)")
+	}
+
+	// Interface boxing at the call site.
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case i < sig.Params().Len()-1 || !sig.Variadic():
+			if i >= sig.Params().Len() {
+				continue
+			}
+			param = sig.Params().At(i).Type()
+		case call.Ellipsis != token.NoPos:
+			param = sig.Params().At(sig.Params().Len() - 1).Type()
+		default:
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		}
+		if boxes(param, c.typeOf(arg)) {
+			c.report(arg.Pos(), "passing %s to interface parameter boxes it on the heap in //dlis:noalloc function", c.typeOf(arg))
+		}
+	}
+	return true
+}
+
+// checkConversion flags conversions that copy to the heap: string ↔
+// []byte/[]rune, integer → string, and boxing conversions to
+// interface types.
+func (c *checker) checkConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := c.typeOf(call.Args[0])
+	switch {
+	case isString(to) && (isByteOrRuneSlice(from) || isInteger(from)):
+		c.report(call.Pos(), "conversion to string allocates in //dlis:noalloc function")
+	case isByteOrRuneSlice(to) && isString(from):
+		c.report(call.Pos(), "conversion of string to %s allocates in //dlis:noalloc function", to)
+	case boxes(to, from):
+		c.report(call.Pos(), "conversion of %s to interface boxes it on the heap in //dlis:noalloc function", from)
+	}
+}
+
+// captures lists the variables a function literal closes over:
+// objects used inside the literal but declared outside it (and below
+// package scope — globals are not captured).
+func (c *checker) captures(lit *ast.FuncLit) []string {
+	seen := make(map[*types.Var]bool)
+	var names []string
+	ast.Inspect(lit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pkg() != c.pass.Pkg || v.Parent() == c.pass.Pkg.Scope() {
+			return true // imported or package-level: not a capture
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the literal
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	return names
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if t := c.pass.TypesInfo.TypeOf(e); t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+		e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// boxes reports whether assigning a value of type from to a parameter
+// (or conversion target) of type to heap-allocates an interface box.
+// Pointer-shaped values (pointers, channels, maps, funcs,
+// unsafe.Pointer) fit the interface data word and do not allocate;
+// neither does a value that is already an interface, or untyped nil.
+func boxes(to, from types.Type) bool {
+	if to == nil || from == nil || !types.IsInterface(to) || types.IsInterface(from) {
+		return false
+	}
+	switch u := from.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil && u.Kind() != types.UnsafePointer
+	}
+	return true
+}

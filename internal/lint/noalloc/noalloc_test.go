@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "a")
+}

@@ -1,0 +1,105 @@
+// Package a is the firing fixture for the noalloc analyzer: every
+// construct the zero-allocation contract rejects, plus the panic and
+// alloc-ok escapes.
+package a
+
+import "fmt"
+
+type point struct{ x, y int }
+
+func sink(v any)     {}
+func vari(xs ...int) {}
+func local() int     { return 1 }
+
+//dlis:noalloc
+func builtins(dst []float32) {
+	buf := make([]float32, 8) // want "make allocates"
+	_ = buf
+	dst = append(dst, 1) // want "append allocates"
+	_ = dst
+	p := new(int) // want "new allocates"
+	_ = p
+}
+
+//dlis:noalloc
+func literals() {
+	m := map[int]int{1: 2} // want "map literal allocates"
+	_ = m
+	s := []int{1, 2} // want "slice literal allocates"
+	_ = s
+	q := &point{1, 2} // want "address of composite literal"
+	_ = q
+	v := point{3, 4} // value struct literal: stack, clean
+	_ = v
+	var a [4]int // array: stack, clean
+	_ = a
+}
+
+//dlis:noalloc
+func formatting() {
+	fmt.Println() // want "call to fmt.Println allocates"
+}
+
+//dlis:noalloc
+func strop(a, b string, bs []byte) {
+	c := a + b // want "string concatenation allocates"
+	_ = c
+	a += b         // want "string concatenation allocates"
+	d := []byte(a) // want "conversion of string"
+	_ = d
+	e := string(bs) // want "conversion to string allocates"
+	_ = e
+	n := len(a) + len(b) // len is free, clean
+	_ = n
+}
+
+//dlis:noalloc
+func boxing(x int, p *point) {
+	sink(x)       // want "passing int to interface parameter boxes"
+	sink(p)       // pointer-shaped: clean
+	var i any = x // plain assignment conversion is not a call site; vet-level gap, clean here
+	_ = i
+}
+
+//dlis:noalloc
+func variadics(xs []int) {
+	vari(1, 2)  // want "variadic call allocates its argument slice"
+	vari(xs...) // spread of an existing slice: clean
+	vari()      // no loose arguments: clean
+}
+
+//dlis:noalloc
+func closures(k int) func() int {
+	f := func() int { return k }       // want "closure capturing k allocates"
+	g := func() int { return local() } // captures nothing: clean
+	_ = g
+	return f
+}
+
+//dlis:noalloc
+func coldPath(n, max int) {
+	if n > max {
+		panic(fmt.Sprintf("n %d exceeds %d", n, max)) // panic argument: exempt, clean
+	}
+}
+
+//dlis:noalloc
+func waived() {
+	buf := make([]int, 4) //dlis:alloc-ok one-time warmup buffer, measured free
+	_ = buf
+	//dlis:alloc-ok reason may also sit on the line above
+	big := make([]int, 8)
+	_ = big
+}
+
+// unannotated allocates freely: the contract is opt-in.
+func unannotated() []int {
+	return append(make([]int, 0, 4), 1, 2)
+}
+
+func planStepStyle(k int) func() {
+	//dlis:noalloc
+	return func() {
+		_ = make([]int, k) // want "make allocates"
+	}
+}

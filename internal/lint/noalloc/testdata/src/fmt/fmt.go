@@ -1,0 +1,9 @@
+// Package fmt is a fixture stub pinning the "fmt" import path for the
+// noalloc analyzer tests; only the identity of the package matters.
+package fmt
+
+func Println(a ...any) (int, error) { return 0, nil }
+
+func Sprintf(format string, a ...any) string { return format }
+
+func Errorf(format string, a ...any) error { return nil }

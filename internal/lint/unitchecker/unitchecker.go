@@ -1,0 +1,207 @@
+// Package unitchecker implements the cmd/go vet tool protocol for the
+// dlis-lint analyzer suite, so the binary slots straight into
+//
+//	go vet -vettool=$(which dlis-lint) ./...
+//
+// The protocol (stable since Go 1.12, unpublished but relied on by
+// golang.org/x/tools/go/analysis/unitchecker, which this package
+// re-implements over the standard library): cmd/go type-checks
+// nothing itself — for every package in the build graph it writes a
+// JSON "vet config" describing the compilation unit (source files,
+// the import map, and the compiled export data of every dependency)
+// and invokes the tool as `tool <flags> <unit>.cfg`. The tool
+// type-checks the unit against the export data, reports diagnostics
+// to stderr, writes its facts file (empty here — the dlis analyzers
+// are package-local by design, see internal/lint/analysis) to
+// VetxOutput, and signals findings with a non-zero exit.
+//
+// Driving the suite through cmd/go rather than a custom loader buys
+// exactly what the CI gate needs: correct handling of test variants
+// (in-package _test.go files and external _test packages, where two of
+// the tree's real sentinel-comparison violations lived), build-cache
+// keyed incremental re-runs, and one behaviour shared by `dlis-lint
+// ./...` and `go vet -vettool`.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config mirrors cmd/go's vetConfig (src/cmd/go/internal/work/exec.go);
+// field names are the wire contract.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Run checks the unit described by cfgFile with the given analyzers
+// and returns the process exit code: 0 clean, 1 operational failure,
+// 2 diagnostics reported. Diagnostics and errors go to stderr.
+func Run(cfgFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	// The dlis analyzers neither produce nor consume cross-package
+	// facts, so dependency-mode runs (VetxOnly) have nothing to do and
+	// the facts file is always empty — but it must exist for cmd/go to
+	// cache the unit.
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typeCheck(fset, files, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the problem with better errors;
+			// see golang/go#18395.
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: type-checking: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: analyzer %s: %v\n", cfg.ImportPath, a.Name, err)
+			return 1
+		}
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+func readConfig(cfgFile string) (*Config, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", cfgFile, err)
+	}
+	return cfg, nil
+}
+
+// typeCheck checks the unit's files against the export data cmd/go
+// supplied for every dependency.
+func typeCheck(fset *token.FileSet, files []*ast.File, cfg *Config) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gc := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	var hardErr error
+	tcfg := types.Config{
+		Importer:  mappedImporter{cfg.ImportMap, gc.(types.ImporterFrom)},
+		Sizes:     types.SizesFor(compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+		Error: func(err error) {
+			if hardErr == nil {
+				hardErr = err
+			}
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err == nil {
+		err = hardErr
+	}
+	return pkg, info, err
+}
+
+// mappedImporter canonicalises source import paths through the unit's
+// ImportMap (e.g. "repro/internal/serve" → the test-augmented variant
+// when vetting an external test package) before hitting export data.
+type mappedImporter struct {
+	importMap map[string]string
+	next      types.ImporterFrom
+}
+
+func (m mappedImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m mappedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.next.ImportFrom(path, dir, mode)
+}

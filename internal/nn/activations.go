@@ -44,6 +44,7 @@ func (r *ReLU) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
 			r.LayerName, in.Shape(), out.Shape()))
 	}
 	id, od := in.Data(), out.Data()
+	//dlis:noalloc
 	return func() {
 		for i, v := range id {
 			if v > 0 {

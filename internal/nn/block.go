@@ -127,6 +127,7 @@ func (b *ResidualBlock) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func(
 		skip = bufB
 	}
 	md, sd, od := bufA.Data(), skip.Data(), out.Data()
+	//dlis:noalloc
 	return func() {
 		r1()
 		r2()

@@ -339,6 +339,7 @@ func (c *Conv2D) planDirect(pc *PlanCompiler, in, out *tensor.Tensor) func() {
 	body := c.directBody(src, out)
 	jobs := in.Shape()[0] * g.OutC
 	threads, sched := pc.ctx.Threads, pc.ctx.Sched
+	//dlis:noalloc
 	return func() {
 		if padScratch != nil {
 			tensor.Pad2DInto(padScratch, in, g.Pad)
@@ -353,6 +354,7 @@ func (c *Conv2D) planWinograd(pc *PlanCompiler, in, out *tensor.Tensor) func() {
 	n, h, w := in.Shape()[0], in.Shape()[2], in.Shape()[3]
 	scratch := blas.NewWinogradScratch(pc.Arena(), n, c.Geom.InC, h, w, c.Geom.OutC)
 	weights, bias := c.W.W, c.B.W.Data()
+	//dlis:noalloc
 	return func() {
 		blas.WinogradConv2DInto(out, in, weights, bias, scratch)
 	}
@@ -366,6 +368,7 @@ func (c *Conv2D) planSparse(pc *PlanCompiler, in, out *tensor.Tensor) func() {
 	_, padScratch := c.padPlan(pc, in)
 	bias := c.B.W.Data()
 	geom := c.Geom
+	//dlis:noalloc
 	return func() {
 		sparse.Conv2DInto(out, in, csr, bias, geom, padScratch)
 	}
@@ -443,6 +446,7 @@ func (c *Conv2D) planGEMM(pc *PlanCompiler, in, out *tensor.Tensor) func() {
 			}
 		}
 	}
+	//dlis:noalloc
 	return func() {
 		parallel.ForWorker(jobs, threads, sched, body)
 	}

@@ -236,6 +236,7 @@ func (c *Conv2D) planQuantInt8(pc *PlanCompiler, in, out *tensor.Tensor) func() 
 		body := c.quantDirectBody(qw, src, out)
 		jobs := in.Shape()[0] * g.OutC
 		threads, sched := pc.ctx.Threads, pc.ctx.Sched
+		//dlis:noalloc
 		return func() {
 			if padScratch != nil {
 				tensor.Pad2DInto(padScratch, in, g.Pad)
@@ -331,6 +332,7 @@ func (c *Conv2D) planQuantInt8(pc *PlanCompiler, in, out *tensor.Tensor) func() 
 			}
 		}
 	}
+	//dlis:noalloc
 	return func() {
 		parallel.ForWorker(jobs, threads, sched, body)
 	}
@@ -346,6 +348,7 @@ func (c *Conv2D) planQuantF16(pc *PlanCompiler, in, out *tensor.Tensor) func() {
 		body := c.f16DirectBody(wf, src, out)
 		jobs := in.Shape()[0] * g.OutC
 		threads, sched := pc.ctx.Threads, pc.ctx.Sched
+		//dlis:noalloc
 		return func() {
 			if padScratch != nil {
 				tensor.Pad2DInto(padScratch, in, g.Pad)
@@ -427,6 +430,7 @@ func (c *Conv2D) planQuantF16(pc *PlanCompiler, in, out *tensor.Tensor) func() {
 			}
 		}
 	}
+	//dlis:noalloc
 	return func() {
 		parallel.ForWorker(jobs, threads, sched, body)
 	}

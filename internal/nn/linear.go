@@ -189,6 +189,7 @@ func (l *Linear) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
 		xs := make([]float32, n)
 		body := linearInt8Body(qw, xq, xs, od, bias, l.In, l.Out)
 		threads, sched := pc.ctx.Threads, pc.ctx.Sched
+		//dlis:noalloc
 		return func() {
 			for ni := 0; ni < n; ni++ {
 				xs[ni] = blas.QuantizeInt8(xq[ni*l.In:(ni+1)*l.In], xd[ni*l.In:(ni+1)*l.In])
@@ -198,6 +199,7 @@ func (l *Linear) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
 	}
 	if algo == SparseDirect {
 		csr := l.CSR()
+		//dlis:noalloc
 		return func() {
 			for ni := 0; ni < n; ni++ {
 				row := od[ni*l.Out : (ni+1)*l.Out]
@@ -221,6 +223,7 @@ func (l *Linear) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
 		}
 		od[ni*l.Out+o] = acc
 	}
+	//dlis:noalloc
 	return func() {
 		parallel.For(n*l.Out, threads, sched, body)
 	}

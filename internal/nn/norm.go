@@ -146,6 +146,7 @@ func (b *BatchNorm) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
 	mean, variance := b.RunningMean, b.RunningVar
 	eps := float64(b.Eps)
 	hw := h * w
+	//dlis:noalloc
 	return func() {
 		for ci := 0; ci < c; ci++ {
 			inv := float32(1 / math.Sqrt(float64(variance[ci])+eps))

@@ -168,6 +168,8 @@ func (p *Plan) Output() *tensor.Tensor { return p.output }
 // Output. It performs no heap allocation; with Threads > 1 the only
 // transient allocations are the fork/join goroutines of the parallel
 // loops themselves.
+//
+//dlis:noalloc
 func (p *Plan) Run() *tensor.Tensor {
 	for i := range p.steps {
 		p.steps[i].run()

@@ -87,6 +87,7 @@ func (m *MaxPool2D) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func() {
 	oh, ow := h/m.K, w/m.K
 	id, od := in.Data(), out.Data()
 	k := m.K
+	//dlis:noalloc
 	return func() {
 		for nc := 0; nc < n*c; nc++ {
 			src := id[nc*h*w:]
@@ -182,6 +183,7 @@ func (g *GlobalAvgPool) PlanStep(pc *PlanCompiler, in, out *tensor.Tensor) func(
 	id, od := in.Data(), out.Data()
 	hw := h * w
 	fhw := float32(hw)
+	//dlis:noalloc
 	return func() {
 		for nc := 0; nc < n*c; nc++ {
 			var acc float32

@@ -1,0 +1,58 @@
+package fleetcfg
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse asserts the config loader's contract over arbitrary
+// bytes: Parse never panics, a nil error always comes with a non-nil
+// Config, and every Validate failure on a parsed config is a typed
+// *Error carrying a field path — the property the CLI's error
+// rendering and the tests' path assertions both rely on.
+func FuzzParse(f *testing.F) {
+	// Every committed fixture is a seed, so the fuzzer starts from the
+	// full grammar (cluster, pools, operating points, durations).
+	fixtures, err := filepath.Glob("testdata/*.json")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, fix := range fixtures {
+		data, err := os.ReadFile(fix)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{} {}`))                                  // trailing data
+	f.Add([]byte(`{"unknown":1}`))                          // unknown field
+	f.Add([]byte(`{"pool":{"delay":250}}`))                 // numeric duration
+	f.Add([]byte(`{"pool":{"delay":"never"}}`))             // unparseable duration
+	f.Add([]byte(`{"pool":{"replicas":-3}}`))               // out-of-range value
+	f.Add([]byte(`{"models":[{"name":"m"}]}`))              // missing kind
+	f.Add([]byte(`{"server":{"listen":"nope"},"load":{}}`)) // bad address
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatal("Parse returned nil config with nil error")
+		}
+		if verr := c.Validate(); verr != nil {
+			var pe *Error
+			if !errors.As(verr, &pe) {
+				t.Fatalf("Validate returned %T (%v), want *fleetcfg.Error", verr, verr)
+			}
+			if pe.Path == "" || pe.Msg == "" {
+				t.Fatalf("Validate error %q lacks a field path or message", pe.Error())
+			}
+		}
+	})
+}

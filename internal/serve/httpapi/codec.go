@@ -203,6 +203,13 @@ func DecodeRequest(r io.Reader, maxElements int) (serve.Request, error) {
 	}
 	total := 0
 	for i, im := range hdr.Images {
+		// A missing or empty shape would slip through the dimension loop
+		// below (vacuously valid, one element) and build a rank-0 tensor
+		// that every NCHW consumer downstream rejects by panic — fail it
+		// here like any other malformed shape.
+		if len(im.Shape) == 0 {
+			return serve.Request{}, fmt.Errorf("httpapi: image %d has empty shape", i)
+		}
 		n := 1
 		for _, d := range im.Shape {
 			if d <= 0 {

@@ -1,0 +1,134 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+// fuzzMaxElements is the payload cap handed to the decoders under
+// fuzzing — small enough that a declared-size bomb cannot slow the
+// fuzzer, large enough to accept every seed.
+const fuzzMaxElements = 1 << 16
+
+// frame assembles magic | u32 header length | header | payload by
+// hand, so seeds can describe malformed frames EncodeRequest would
+// refuse to produce.
+func frame(header string, payload []byte) []byte {
+	var b bytes.Buffer
+	b.WriteString(frameMagic)
+	b.Write(binary.LittleEndian.AppendUint32(nil, uint32(len(header))))
+	b.WriteString(header)
+	b.Write(payload)
+	return b.Bytes()
+}
+
+// f32payload renders values as the little-endian float32 wire payload.
+func f32payload(vals ...float32) []byte {
+	var out []byte
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+	}
+	return out
+}
+
+// FuzzDecodeRequest asserts the request decoder's contract over
+// arbitrary bytes: it never panics, and on success every image is a
+// well-formed tensor within the element cap.
+func FuzzDecodeRequest(f *testing.F) {
+	// A well-formed frame, produced by the real encoder.
+	var good bytes.Buffer
+	err := EncodeRequest(&good, serve.Request{
+		Target: "resnet",
+		Images: []*tensor.Tensor{tensor.FromSlice(make([]float32, 12), 3, 2, 2)},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	// Truncated preamble: magic cut mid-way.
+	f.Add([]byte(frameMagic[:2]))
+	// Truncated header: declared length runs past the body.
+	f.Add(frame(`{"target":"r","images":[]}`, nil)[:len(frameMagic)+4+5])
+	// Oversized u32 header length, far beyond maxHeaderBytes.
+	f.Add(append([]byte(frameMagic), 0xff, 0xff, 0xff, 0xff))
+	// Payload not a whole number of float32s for the declared shape.
+	f.Add(frame(`{"images":[{"shape":[2]}]}`, []byte{1, 2, 3}))
+	// Empty and null shapes: one element by vacuous product, rank 0.
+	f.Add(frame(`{"images":[{"shape":[]}]}`, f32payload(1)))
+	f.Add(frame(`{"images":[{}]}`, f32payload(1)))
+	// Zero and negative dimensions, and a declared-size bomb.
+	f.Add(frame(`{"images":[{"shape":[0]}]}`, nil))
+	f.Add(frame(`{"images":[{"shape":[-1,-1]}]}`, nil))
+	f.Add(frame(`{"images":[{"shape":[65536,65536]}]}`, nil))
+	// Wrong magic.
+	f.Add(frame("DLW2"+`{}`, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(bytes.NewReader(data), fuzzMaxElements)
+		if err != nil {
+			return
+		}
+		total := 0
+		for i, img := range req.Images {
+			if img == nil {
+				t.Fatalf("image %d decoded to nil without error", i)
+			}
+			if img.Shape().Rank() == 0 {
+				t.Fatalf("image %d decoded to a rank-0 tensor", i)
+			}
+			for _, d := range img.Shape() {
+				if d <= 0 {
+					t.Fatalf("image %d decoded with non-positive dimension in %v", i, img.Shape())
+				}
+			}
+			total += img.NumElements()
+		}
+		if total > fuzzMaxElements {
+			t.Fatalf("decoded payload of %d elements exceeds the %d cap", total, fuzzMaxElements)
+		}
+	})
+}
+
+// FuzzDecodeResponse asserts the response decoder's contract: no
+// panics, and on success every result carries either an error or an
+// output consistent with its declared width.
+func FuzzDecodeResponse(f *testing.F) {
+	var good bytes.Buffer
+	err := EncodeResponse(&good, &serve.Response{Results: []serve.Result{
+		{Stack: "plain", Class: 3, BatchSize: 1, Output: tensor.FromSlice(make([]float32, 10), 1, 10)},
+		{Stack: "plain", Err: errors.New("boom")},
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte(frameMagic))
+	f.Add(append([]byte(frameMagic), 0xff, 0xff, 0xff, 0xff))
+	// Declared classes with a short (non-f32-multiple) payload.
+	f.Add(frame(`{"results":[{"classes":4}]}`, []byte{0, 1, 2}))
+	// Negative and bomb-sized class counts.
+	f.Add(frame(`{"results":[{"classes":-8}]}`, nil))
+	f.Add(frame(`{"results":[{"classes":2147483647}]}`, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeResponse(bytes.NewReader(data), fuzzMaxElements)
+		if err != nil {
+			return
+		}
+		for i, res := range resp.Results {
+			if res.Err != nil && res.Output != nil {
+				t.Fatalf("result %d decoded with both an error and an output", i)
+			}
+			if res.Output != nil && res.Output.NumElements() > fuzzMaxElements {
+				t.Fatalf("result %d output of %d elements exceeds the %d cap",
+					i, res.Output.NumElements(), fuzzMaxElements)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -209,10 +210,10 @@ func TestGracefulShutdownDrains(t *testing.T) {
 			t.Fatalf("request %d drained without output", i)
 		}
 	}
-	if _, err := doSubmit(ctx, s, "m", testImage(9), SLO{}); err != ErrClosed {
+	if _, err := doSubmit(ctx, s, "m", testImage(9), SLO{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close: err = %v, want ErrClosed", err)
 	}
-	if _, err := doInfer(ctx, s, "m", testImage(9), SLO{}); err != ErrClosed {
+	if _, err := doInfer(ctx, s, "m", testImage(9), SLO{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("infer after close: err = %v, want ErrClosed", err)
 	}
 	st, err := s.Stats("m")

@@ -47,6 +47,8 @@ func Conv2D(in *tensor.Tensor, filters *CSR, bias []float32, p ConvParams) *tens
 // (n × OutC × OH × OW) without allocating. padded is the caller's
 // padding scratch, shaped (n, InC, H+2·Pad, W+2·Pad); it must be nil
 // exactly when p.Pad == 0 (pad-0 geometries read the input directly).
+//
+//dlis:noalloc
 func Conv2DInto(out, in *tensor.Tensor, filters *CSR, bias []float32, p ConvParams, padded *tensor.Tensor) {
 	if in.Shape().Rank() != 4 {
 		panic(fmt.Sprintf("sparse: Conv2D requires NCHW input, got %v", in.Shape()))
@@ -68,9 +70,12 @@ func Conv2DInto(out, in *tensor.Tensor, filters *CSR, bias []float32, p ConvPara
 		panic(fmt.Sprintf("sparse: bias length %d, want %d", len(bias), p.OutC))
 	}
 	oh, ow := p.OutSize(h, w)
-	if !out.Shape().Equal(tensor.Shape{n, p.OutC, oh, ow}) {
+	// Compared field-wise (not via a Shape literal) so the steady-state
+	// path of a compiled plan stays allocation-free.
+	os := out.Shape()
+	if os.Rank() != 4 || os[0] != n || os[1] != p.OutC || os[2] != oh || os[3] != ow {
 		panic(fmt.Sprintf("sparse: Conv2D destination %v, want %v",
-			out.Shape(), tensor.Shape{n, p.OutC, oh, ow}))
+			os, tensor.Shape{n, p.OutC, oh, ow}))
 	}
 
 	// Explicit padding buffer, as in the paper's C implementation —

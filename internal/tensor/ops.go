@@ -99,6 +99,8 @@ func Pad2D(in *Tensor, p int) *Tensor {
 // is fully overwritten — so repeated calls over a reused destination
 // buffer (a compiled plan's padding scratch) do the minimum work. A pad
 // of 0 degenerates to a straight copy.
+//
+//dlis:noalloc
 func Pad2DInto(dst, in *Tensor, p int) {
 	if p == 0 {
 		dst.CopyFrom(in)
