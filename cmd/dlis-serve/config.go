@@ -39,6 +39,7 @@ type flagValues struct {
 	variants   string
 	slo        string
 	queueCap   int
+	tenants    string
 	listen     string
 	connect    string
 	cluster    string
@@ -67,6 +68,7 @@ func defineFlags(fs *flag.FlagSet) *flagValues {
 	fs.StringVar(&v.variants, "variants", "", "comma-separated techniques to host as one SLO-routed endpoint per model (e.g. plain,weight-pruning,quantisation); empty serves one pool per model")
 	fs.StringVar(&v.slo, "slo", "", "request SLO: acc=<min top-1 %>,lat=<max latency>,prio=<class>, any subset (e.g. acc=90,lat=500ms,prio=1)")
 	fs.IntVar(&v.queueCap, "queuecap", 0, "per-pool admission queue capacity (0 = replicas*batch*4); routed traffic beyond it is shed with a RetryAfter hint")
+	fs.StringVar(&v.tenants, "tenants", "", "synthetic tenant mix N[:w1,...,wN]: split clients and requests across tenants t0..tN-1 proportionally to weight; hosting modes register the same tenants with matching fair-share weights")
 	fs.StringVar(&v.listen, "listen", "", "serve the configured stacks over HTTP on this address (e.g. :8080) instead of running the load generator")
 	fs.StringVar(&v.connect, "connect", "", "drive a remote dlis HTTP server at this address (e.g. host:8080) instead of building one in-process")
 	fs.StringVar(&v.cluster, "cluster", "", "comma-separated dlis HTTP backend addresses (host1:8080,host2:8080,...); run the load generator over the fleet through one cluster client")
@@ -114,6 +116,10 @@ func flagConfig(v *flagValues) (*dlis.FleetConfig, error) {
 	if err != nil {
 		return nil, err
 	}
+	mix, err := parseTenantMix(v.tenants)
+	if err != nil {
+		return nil, err
+	}
 	cfg := &dlis.FleetConfig{
 		Server: &dlis.FleetServer{Listen: v.listen, MemLimitMB: v.memlimitMB, Seed: v.seed, TunerCache: v.tunerCache},
 		Pool:   poolFromFlags(v),
@@ -123,13 +129,15 @@ func flagConfig(v *flagValues) (*dlis.FleetConfig, error) {
 	}
 	if v.connect != "" || v.cluster != "" {
 		// Remote load generation: -model names the remote routing
-		// targets; nothing is hosted here.
+		// targets; nothing is hosted here, so the mix only shapes the
+		// load loop — tenancy is enforced by the remote fleet's config.
 		cfg.Load = &dlis.FleetLoad{
 			Connect: v.connect, Targets: targets,
 			Clients: v.clients, Requests: v.requests, SLO: slo,
 		}
 		return cfg, nil
 	}
+	cfg.Tenants = tenantSection(mix)
 	cfg.Models, cfg.Endpoints, err = modelSections(targets, v.technique, v.variants)
 	if err != nil {
 		return nil, err
@@ -277,6 +285,18 @@ func applyFlagOverrides(cfg *dlis.FleetConfig, v *flagValues, set map[string]boo
 		}
 		ensureLoad()
 		cfg.Load.SLO = slo
+	}
+	if set["tenants"] {
+		mix, err := parseTenantMix(v.tenants)
+		if err != nil {
+			return err
+		}
+		// Remote roles reject a tenants section outright (Validate), so
+		// the mix only rebuilds the hosted section — wholesale, like
+		// -model: an explicit empty -tenants clears the file's section.
+		if remote := cfg.Cluster != nil || (cfg.Load != nil && cfg.Load.Connect != ""); !remote {
+			cfg.Tenants = tenantSection(mix)
+		}
 	}
 	if set["threads"] || set["auto"] || set["platform"] {
 		for i := range cfg.Models {

@@ -16,6 +16,7 @@
 //	dlis-serve -cluster host1:8080,host2:8080 -model mini-vgg/plain
 //	dlis-serve -config fleet.json                       # declarative topology
 //	dlis-serve -config fleet.json -dryrun               # print resolved topology
+//	dlis-serve -model mini-vgg -tenants 2:10,1          # skewed multi-tenant mix
 //
 // With -config the whole topology — models, endpoints, pool tuning,
 // server role, cluster membership, load parameters — comes from one
@@ -47,6 +48,18 @@
 // responses (HTTP 429 with Retry-After, in-process ErrServerOverloaded
 // with the same hint) make the client back off and retry.
 //
+// With -tenants N[:w1,...,wN] the same closed loop runs as a skewed
+// multi-tenant mix: clients and request budgets split across synthetic
+// tenants t0..tN-1 proportionally to weight and every request carries
+// its tenant's identity. Hosting modes register the tenants with
+// matching fair-share weights, so a 10:1 mix exercises weighted-fair
+// admission end to end; against a -connect/-cluster fleet the remote
+// config defines the tenancy and the mix only shapes the offered load.
+// Quota rejections (HTTP 429 with a quota error code, in-process
+// ErrQuotaExceeded) are counted but never retried — the tenant's
+// budget is spent on every member alike — and the report adds
+// per-tenant served/quota lines plus the server's metered usage table.
+//
 // The per-pool table reports:
 //
 //	throughput  completed requests per second through the server
@@ -77,6 +90,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -109,6 +123,9 @@ func main() {
 	if l := rcfg.Load; l != nil {
 		gen.targets, gen.clients, gen.requests = l.Targets, l.Clients, l.Requests
 		gen.slo = l.SLO.ServeSLO()
+	}
+	if gen.tenants, err = parseTenantMix(fl.tenants); err != nil {
+		fatal(err)
 	}
 
 	switch rcfg.Mode() {
@@ -382,14 +399,19 @@ type loadGen struct {
 	clients  int
 	requests int
 	seed     uint64
+	tenants  []tenantMix
 }
 
 // runLoad drives the closed loop through the transport-agnostic
 // Client: per target, gen.clients concurrent clients each submit one
 // request, wait, and submit the next until the target's budget is
-// spent. Overload rejections back off by the server's RetryAfter hint
-// (bounded so one slow variant cannot idle a client for seconds) and
-// retry; other errors abort that client.
+// spent. With a -tenants mix the clients and budgets are split across
+// the tenants proportionally to weight, and every request carries its
+// tenant's identity. Overload rejections back off by the server's
+// RetryAfter hint (bounded so one slow variant cannot idle a client
+// for seconds) and retry; quota rejections consume the request without
+// a retry — the tenant's budget is spent fleet-wide, so there is
+// nothing to retry against; other errors abort that client.
 func runLoad(client dlis.Client, gen loadGen) (time.Duration, int64) {
 	ctx := context.Background()
 	shapes := make(map[string][2]int, len(gen.targets))
@@ -408,48 +430,79 @@ func runLoad(client dlis.Client, gen loadGen) (time.Duration, int64) {
 		}
 	}
 
+	// Without -tenants the mix is one anonymous tenant — the identical
+	// load shape the generator always ran.
+	mix := gen.tenants
+	if len(mix) == 0 {
+		mix = []tenantMix{{Weight: 1}}
+	}
+	clientSplit := splitByWeight(gen.clients, mix)
+	reqSplit := splitByWeight(gen.requests, mix)
+	stats := make([]*tenantLoadStats, len(mix))
+	for i, m := range mix {
+		stats[i] = &tenantLoadStats{mix: m, clients: clientSplit[i], offered: reqSplit[i] * len(gen.targets)}
+	}
+
 	var wg sync.WaitGroup
 	var clientErrs atomic.Int64
 	start := time.Now()
 	for _, name := range gen.targets {
-		var budget atomic.Int64
-		budget.Store(int64(gen.requests))
-		for c := 0; c < gen.clients; c++ {
-			wg.Add(1)
-			go func(name string, c int, budget *atomic.Int64) {
-				defer wg.Done()
-				hw := shapes[name]
-				img := dlis.NewImage(1, hw[0], hw[1], uint64(c)+gen.seed)
-				req := dlis.Request{Target: name, Images: []*dlis.Tensor{img}, SLO: gen.slo}
-				for budget.Add(-1) >= 0 {
-					for {
-						_, err := client.InferSync(ctx, req)
-						if err == nil {
-							break
-						}
-						if errors.Is(err, dlis.ErrServerOverloaded) {
-							// Shed: honour the hint from either transport
-							// (HTTP carries it as 429 + Retry-After).
-							retry := time.Millisecond
-							var ov *dlis.OverloadedError
-							if errors.As(err, &ov) && ov.RetryAfter > retry {
-								retry = ov.RetryAfter
+		for ti := range mix {
+			budget := new(atomic.Int64)
+			budget.Store(int64(reqSplit[ti]))
+			ts := stats[ti]
+			for c := 0; c < clientSplit[ti]; c++ {
+				wg.Add(1)
+				go func(name string, c int, ts *tenantLoadStats, budget *atomic.Int64) {
+					defer wg.Done()
+					hw := shapes[name]
+					img := dlis.NewImage(1, hw[0], hw[1], uint64(c)+gen.seed)
+					req := dlis.Request{Target: name, Tenant: ts.mix.Name, Images: []*dlis.Tensor{img}, SLO: gen.slo}
+					for budget.Add(-1) >= 0 {
+						sent := time.Now()
+						for {
+							_, err := client.InferSync(ctx, req)
+							if err == nil {
+								ts.served.Add(1)
+								ts.latNanos.Add(int64(time.Since(sent)))
+								break
 							}
-							if max := 50 * time.Millisecond; retry > max {
-								retry = max
+							if errors.Is(err, dlis.ErrQuotaExceeded) {
+								// The tenant's own budget is spent — on every
+								// member, so unlike overload a retry cannot
+								// land anywhere better. Count it, consume the
+								// request, move on.
+								ts.quota.Add(1)
+								break
 							}
-							time.Sleep(retry)
-							continue
+							if errors.Is(err, dlis.ErrServerOverloaded) {
+								// Shed: honour the hint from either transport
+								// (HTTP carries it as 429 + Retry-After).
+								ts.retries.Add(1)
+								retry := time.Millisecond
+								var ov *dlis.OverloadedError
+								if errors.As(err, &ov) && ov.RetryAfter > retry {
+									retry = ov.RetryAfter
+								}
+								if max := 50 * time.Millisecond; retry > max {
+									retry = max
+								}
+								time.Sleep(retry)
+								continue
+							}
+							clientErrs.Add(1)
+							fmt.Fprintf(os.Stderr, "dlis-serve: %s client %d: %v\n", name, c, err)
+							return
 						}
-						clientErrs.Add(1)
-						fmt.Fprintf(os.Stderr, "dlis-serve: %s client %d: %v\n", name, c, err)
-						return
 					}
-				}
-			}(name, c, &budget)
+				}(name, c, ts, budget)
+			}
 		}
 	}
 	wg.Wait()
+	if len(gen.tenants) > 0 {
+		reportTenants(stats)
+	}
 	return time.Since(start), clientErrs.Load()
 }
 
@@ -520,6 +573,27 @@ func report(st dlis.ServerStats, gen loadGen, batch int, baseline map[string]flo
 					v.Pool.MeanBatchOccupancy, v.Pool.ReplicaMemoryMB)
 			}
 			fmt.Fprintf(tw, "%s TOTAL\t\t\t\t%d\t%d\t\t\t\t\t\n", es.Endpoint, es.Routed, es.Shed)
+		}
+	}
+	// The usage table appears only when named tenants exist: a legacy
+	// untenanted run metering everything under the anonymous default
+	// keeps its pre-tenant report.
+	_, anon := st.Tenants[""]
+	if len(st.Tenants) > 0 && !(anon && len(st.Tenants) == 1) {
+		names := make([]string, 0, len(st.Tenants))
+		for name := range st.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(tw, "tenant\tweight\trequests\timages\tshed\tquota\tmodel-seconds")
+		for _, name := range names {
+			u := st.Tenants[name]
+			label := name
+			if label == "" {
+				label = "(anonymous)"
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.3fs\n",
+				label, u.Weight, u.Requests, u.Images, u.Shed, u.QuotaRejected, u.ModelSeconds)
 		}
 	}
 	tw.Flush()

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	dlis "repro"
+)
+
+// tenantMix is one synthetic tenant of the -tenants load mix: the
+// identity the load generator stamps on its requests, and the weight
+// that skews both the offered load and — in hosting modes — the
+// server's fair-share configuration.
+type tenantMix struct {
+	Name   string
+	Weight int
+}
+
+// parseTenantMix parses -tenants "N" or "N:w1,...,wN" into N synthetic
+// tenants t0..tN-1. Without the weight list every tenant weighs 1;
+// with it, the list length must match N and every weight must be a
+// positive integer. An empty spec is nil: the untenanted (anonymous)
+// load mix the generator always ran.
+func parseTenantMix(s string) ([]tenantMix, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	spec, weights, hasWeights := strings.Cut(s, ":")
+	n, err := strconv.Atoi(strings.TrimSpace(spec))
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("malformed -tenants %q: want N or N:w1,...,wN with N ≥ 1", s)
+	}
+	mix := make([]tenantMix, n)
+	for i := range mix {
+		mix[i] = tenantMix{Name: "t" + strconv.Itoa(i), Weight: 1}
+	}
+	if hasWeights {
+		ws := splitList(weights)
+		if len(ws) != n {
+			return nil, fmt.Errorf("-tenants %q: %d weight(s) for %d tenant(s)", s, len(ws), n)
+		}
+		for i, w := range ws {
+			wi, err := strconv.Atoi(w)
+			if err != nil || wi < 1 {
+				return nil, fmt.Errorf("-tenants %q: weight %q is not a positive integer", s, w)
+			}
+			mix[i].Weight = wi
+		}
+	}
+	return mix, nil
+}
+
+// tenantSection lowers the mix to a fleet-config tenants section, so a
+// hosting process configured purely by flags registers the same
+// weighted fair shares the load generator is about to skew against.
+func tenantSection(mix []tenantMix) *dlis.FleetTenants {
+	if len(mix) == 0 {
+		return nil
+	}
+	t := &dlis.FleetTenants{Defs: make([]dlis.FleetTenantDef, len(mix))}
+	for i, m := range mix {
+		t.Defs[i] = dlis.FleetTenantDef{Name: m.Name, Weight: m.Weight}
+	}
+	return t
+}
+
+// splitByWeight apportions total across the mix proportionally to
+// weight: integer shares first, the remainder round-robin, and a floor
+// of one each so every tenant participates. The floor can push the sum
+// slightly past total for tiny totals — deliberate: a tenant that
+// exists sends load.
+func splitByWeight(total int, mix []tenantMix) []int {
+	sum := 0
+	for _, m := range mix {
+		sum += m.Weight
+	}
+	out := make([]int, len(mix))
+	used := 0
+	for i, m := range mix {
+		out[i] = total * m.Weight / sum
+		used += out[i]
+	}
+	for i := 0; used < total; i = (i + 1) % len(out) {
+		out[i]++
+		used++
+	}
+	for i := range out {
+		if out[i] < 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// tenantLoadStats aggregates one tenant's closed-loop outcomes across
+// every target of the run.
+type tenantLoadStats struct {
+	mix      tenantMix
+	clients  int // closed-loop clients per target
+	offered  int // request budget summed over all targets
+	served   atomic.Int64
+	quota    atomic.Int64
+	retries  atomic.Int64
+	latNanos atomic.Int64 // summed end-to-end latency of served requests
+}
+
+// reportTenants prints one greppable line per tenant of the mix; the
+// CI fairness smoke asserts on these, and the mean latency makes the
+// fair-queueing effect measurable per tenant (a starved tenant shows
+// up as a mean far above its service time).
+func reportTenants(stats []*tenantLoadStats) {
+	fmt.Println()
+	for _, ts := range stats {
+		mean := time.Duration(0)
+		if n := ts.served.Load(); n > 0 {
+			mean = time.Duration(ts.latNanos.Load() / n)
+		}
+		fmt.Printf("tenant %s: weight=%d clients=%d offered=%d served=%d quota=%d overload-retries=%d mean-latency=%v\n",
+			ts.mix.Name, ts.mix.Weight, ts.clients, ts.offered,
+			ts.served.Load(), ts.quota.Load(), ts.retries.Load(),
+			mean.Round(time.Microsecond))
+	}
+}

@@ -286,6 +286,42 @@ type (
 // routing target the server does not host (HTTP 404 over the wire).
 var ErrUnknownTarget = serve.ErrUnknownTarget
 
+// Per-tenant serving tier (see internal/serve/tenant and DESIGN.md
+// §13): requests carry a tenant identity, the server meters per-tenant
+// usage (persisted across restarts), enforces per-tenant quotas, and
+// admits queued work through weighted deficit-round-robin fair
+// scheduling instead of FIFO.
+type (
+	// TenantConfig enables the tenant tier on a server: the quota
+	// window, the usage-persistence file and cadence, and the declared
+	// tenant specs. Wire it via ServerConfig.Tenants.
+	TenantConfig = serve.TenantConfig
+	// TenantSpec declares one tenant's fair-share weight and budgets.
+	TenantSpec = serve.TenantSpec
+	// TenantUsage is one tenant's metered usage snapshot (requests,
+	// images, sheds, quota rejections, model-seconds).
+	TenantUsage = serve.TenantUsage
+	// QuotaError is the typed per-tenant admission rejection; match it
+	// with errors.Is(err, ErrQuotaExceeded). Distinct from
+	// OverloadedError: a spent budget must not be retried on another
+	// server, a full queue may be.
+	QuotaError = serve.QuotaError
+)
+
+// ErrQuotaExceeded is the errors.Is sentinel for per-tenant quota
+// rejections. It never matches ErrServerOverloaded: overload is a
+// property of one server's queue, quota of the tenant's budget
+// everywhere, and the cluster tier relies on the distinction to never
+// re-place a quota rejection on another member.
+var ErrQuotaExceeded = serve.ErrQuotaExceeded
+
+// MaxTenantIDLen bounds a tenant identity in bytes.
+const MaxTenantIDLen = serve.MaxTenantIDLen
+
+// ValidateTenantID checks a tenant identity: at most MaxTenantIDLen
+// bytes, no control characters; empty is the valid anonymous default.
+func ValidateTenantID(id string) error { return serve.ValidateTenantID(id) }
+
 // NewLocalClient wraps a running server in the transport-agnostic
 // Client interface. The client owns the server's shutdown: Close
 // drains it gracefully.
@@ -363,6 +399,11 @@ type (
 	FleetLoad = fleetcfg.Load
 	// FleetSLO is the request objective the load generator carries.
 	FleetSLO = fleetcfg.SLO
+	// FleetTenants is the per-tenant tier section (window, usage file,
+	// tenant declarations).
+	FleetTenants = fleetcfg.Tenants
+	// FleetTenantDef declares one tenant in a fleet file.
+	FleetTenantDef = fleetcfg.TenantDef
 	// FleetOperatingPoint pins a compression level in a fleet file.
 	FleetOperatingPoint = fleetcfg.OperatingPoint
 	// FleetDuration is the human-writable duration type fleet files use

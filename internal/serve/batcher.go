@@ -3,17 +3,23 @@ package serve
 import "time"
 
 // batchLoop is the pool's dynamic batcher: it opens a batch on the
-// first queued request and flushes to the workers when either MaxBatch
-// requests have coalesced or MaxDelay has elapsed since the batch was
-// opened — whichever comes first. Size-triggered flushes never wait on
-// the timer, so a saturated queue streams full batches back to back,
-// while a lone request under light load pays at most MaxDelay of extra
-// latency.
+// first available request and flushes to the workers when either
+// MaxBatch requests have coalesced or MaxDelay has elapsed since the
+// batch was opened — whichever comes first. Size-triggered flushes
+// never wait on the timer, so a saturated intake streams full batches
+// back to back, while a lone request under light load pays at most
+// MaxDelay of extra latency.
 //
-// When the queue channel closes (graceful shutdown), the loop first
-// drains every remaining request — Go delivers buffered values before
-// reporting closure — flushes the final partial batch, and then closes
-// the batch channel so the workers exit.
+// Requests are pulled through the intake's weighted deficit-round-robin
+// pop, so a batch assembled under multi-tenant saturation interleaves
+// tenants at their weight ratios instead of serving whoever arrived
+// first. The arrival signal is coalesced (capacity-1 channel), so the
+// loop always drains pop() to empty after each wakeup before sleeping
+// again.
+//
+// On graceful shutdown (intake closed), the loop drains every
+// remaining request, flushes the final partial batch, and closes the
+// batch channel so the workers exit.
 func (p *pool) batchLoop() {
 	defer p.wg.Done()
 	defer close(p.batches)
@@ -21,8 +27,8 @@ func (p *pool) batchLoop() {
 	// since Go 1.23); MaxBatch == 1 never waits, so it needs no timer.
 	var timer *time.Timer
 	for {
-		first, ok := <-p.queue
-		if !ok {
+		first := p.intake.popWait()
+		if first == nil {
 			return
 		}
 		batch := append(make([]*request, 0, p.cfg.MaxBatch), first)
@@ -34,16 +40,19 @@ func (p *pool) batchLoop() {
 			}
 			open := true
 			for open && len(batch) < p.cfg.MaxBatch {
-				select {
-				case r, ok := <-p.queue:
-					if !ok {
-						// Shutdown: the queue is closed and empty. Flush
-						// what we have and exit after dispatch.
-						timer.Stop()
-						p.batches <- batch
-						return
-					}
+				if r := p.intake.pop(); r != nil {
 					batch = append(batch, r)
+					continue
+				}
+				if p.intake.closed.Load() {
+					// Shutdown: the intake is closed and empty. Flush what
+					// we have and exit after dispatch.
+					timer.Stop()
+					p.batches <- batch
+					return
+				}
+				select {
+				case <-p.intake.arrival:
 				case <-timer.C:
 					open = false
 				}

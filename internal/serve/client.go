@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/serve/tenant"
 	"repro/internal/tensor"
 )
 
@@ -47,6 +48,13 @@ type Request struct {
 	// endpoint target rides its cheapest variant. A non-zero SLO gets
 	// SLO routing on endpoints and bounded admission on pools.
 	SLO SLO
+	// Tenant identifies who this request is billed to and fair-queued
+	// as: at most tenant.MaxIDLen bytes, no control characters, empty
+	// for the anonymous default tenant. Every transport carries it
+	// verbatim (the DLW1 header over HTTP), the meter charges usage to
+	// it, quotas reject against it, and the pools' weighted intake
+	// schedules by its configured weight.
+	Tenant string
 }
 
 // Response is the outcome of one Request: one Result per image, in
@@ -153,6 +161,10 @@ type ModelInfo struct {
 type ServerStats struct {
 	Pools     map[string]Stats         `json:"pools"`
 	Endpoints map[string]EndpointStats `json:"endpoints,omitempty"`
+	// Tenants is the per-tenant usage breakdown (requests, images,
+	// shed/quota rejections, model-seconds), keyed by tenant ID with ""
+	// as the anonymous default; omitted when no tenant has any usage.
+	Tenants map[string]TenantUsage `json:"tenants,omitempty"`
 }
 
 // Client is the transport-agnostic serving API: the same interface is
@@ -192,20 +204,43 @@ func (s *Server) Do(ctx context.Context, req Request) (*ResponseFuture, error) {
 }
 
 // submitRequest validates and places one Request, returning the
-// per-image futures.
+// per-image futures. Tenant identity is resolved here, once, for every
+// transport: the ID is validated, the quota gate runs before any
+// placement work, and admission outcomes (admitted images, overload
+// sheds) are recorded against the tenant.
 func (s *Server) submitRequest(ctx context.Context, req Request) ([]*Future, error) {
+	if err := tenant.ValidateID(req.Tenant); err != nil {
+		return nil, err
+	}
 	if len(req.Images) == 0 {
 		return nil, fmt.Errorf("serve: request for %q carries no images", req.Target)
 	}
+	if err := s.meter.Admit(req.Tenant); err != nil {
+		return nil, err
+	}
+	futs, err := s.placeRequest(ctx, req)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.meter.RecordShed(req.Tenant)
+		}
+		return nil, err
+	}
+	s.meter.RecordAdmitted(req.Tenant, len(req.Images))
+	return futs, nil
+}
+
+// placeRequest routes one quota-admitted Request onto a pool or
+// endpoint.
+func (s *Server) placeRequest(ctx context.Context, req Request) ([]*Future, error) {
 	if ep, ok := s.endpoints[req.Target]; ok {
-		return ep.routeMany(req.Images, req.SLO)
+		return ep.routeMany(req.Tenant, req.Images, req.SLO)
 	}
 	p, ok := s.pools[req.Target]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q (hosted: %v %v)", ErrUnknownTarget, req.Target, s.names, s.endpointNames)
 	}
 	if req.SLO == (SLO{}) {
-		return p.submitMany(ctx, req.Images)
+		return p.submitMany(ctx, req.Tenant, req.Images)
 	}
 	// A non-zero SLO on a direct pool target means bounded admission on
 	// that single pool. MinAccuracy needs the router's per-variant curve
@@ -222,7 +257,7 @@ func (s *Server) submitRequest(ctx context.Context, req Request) ([]*Future, err
 			return nil, p.overloaded() // floors the RetryAfter hint
 		}
 	}
-	return p.trySubmitMany(req.Images)
+	return p.trySubmitMany(req.Tenant, req.Images)
 }
 
 // Models lists every hosted routing target: endpoints first (the names
@@ -264,6 +299,9 @@ func (s *Server) Snapshot() ServerStats {
 		for _, name := range s.endpointNames {
 			st.Endpoints[name] = s.endpoints[name].snapshot()
 		}
+	}
+	if t := s.meter.Snapshot(); len(t) > 0 {
+		st.Tenants = t
 	}
 	return st
 }

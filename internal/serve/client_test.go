@@ -231,35 +231,38 @@ func TestSubmitCancelReclaimsQueueSlot(t *testing.T) {
 	p := &pool{
 		name:   "raw",
 		cfg:    Config{MaxBatch: 4, QueueCap: 1},
-		queue:  make(chan *request, 1),
+		intake: newIntake(1, func(string) int { return 1 }),
 		chw:    tensor.Shape{3, 32, 32},
 		imgLen: 3 * 32 * 32,
 	}
 	ctx := context.Background()
-	if _, err := p.submit(ctx, testImage(1)); err != nil {
+	if _, err := p.submit(ctx, "", testImage(1)); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.pending.Load(); got != 1 {
 		t.Fatalf("pending after first submit = %d, want 1", got)
 	}
 
-	// The queue is full and nothing consumes it, so this submission can
+	// The intake is full and nothing consumes it, so this submission can
 	// only leave through its (already cancelled) context.
 	gone, cancel := context.WithCancel(ctx)
 	cancel()
-	if _, err := p.submit(gone, testImage(2)); !errors.Is(err, context.Canceled) {
+	if _, err := p.submit(gone, "", testImage(2)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("submit into a full queue under cancelled ctx: err = %v", err)
 	}
 	if got := p.pending.Load(); got != 1 {
 		t.Fatalf("pending after aborted submit = %d, want 1 — the counter leaked", got)
 	}
-	if got := len(p.queue); got != 1 {
-		t.Fatalf("queue holds %d requests, want only the first", got)
+	p.intake.mu.Lock()
+	depth := p.intake.size
+	p.intake.mu.Unlock()
+	if depth != 1 {
+		t.Fatalf("intake holds %d requests, want only the first", depth)
 	}
 
 	// The reclaimed capacity is really usable: admission-controlled
 	// submission at the cap boundary still sees exactly one slot taken.
-	if _, err := p.trySubmit(testImage(3)); !errors.Is(err, ErrOverloaded) {
+	if _, err := p.trySubmit("", testImage(3)); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("trySubmit at cap: err = %v, want ErrOverloaded (cap 1 already held)", err)
 	}
 	if got := p.pending.Load(); got != 1 {

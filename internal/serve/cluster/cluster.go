@@ -332,6 +332,16 @@ func (c *Cluster) do(ctx context.Context, req serve.Request) (*serve.Response, e
 			return resp, err
 		}
 		switch {
+		case errors.Is(err, serve.ErrQuotaExceeded):
+			// A quota verdict is about the tenant, not the member: every
+			// member meters the same identity against the same budget, so
+			// re-placing the request elsewhere would not succeed — it
+			// would double-charge the rejection and burn a second queue
+			// slot probing a verdict that is already final. Surface it
+			// untouched (it is not a shed, and never an ejection). This
+			// case must precede the overload branch: both arrive as HTTP
+			// 429, and only the typed code keeps them apart.
+			return nil, err
 		case errors.Is(err, serve.ErrOverloaded):
 			m.shed.Add(n)
 			var ov *serve.OverloadedError

@@ -40,6 +40,24 @@ func (c *Config) ServerConfig() (serve.Config, error) {
 		MaxDelay: time.Duration(r.Pool.Delay),
 		QueueCap: *r.Pool.QueueCap,
 	}
+	if t := r.Tenants; t != nil {
+		tcfg := serve.TenantConfig{
+			Window:           time.Duration(t.Window),
+			SnapshotInterval: time.Duration(t.SnapshotInterval),
+			UsageFile:        t.UsageFile,
+		}
+		if len(t.Defs) > 0 {
+			tcfg.Tenants = make(map[string]serve.TenantSpec, len(t.Defs))
+			for _, d := range t.Defs {
+				tcfg.Tenants[d.Name] = serve.TenantSpec{
+					Weight:                d.Weight,
+					RequestsPerSec:        d.RequestsPerSec,
+					ModelSecondsPerWindow: d.ModelSecondsPerWindow,
+				}
+			}
+		}
+		scfg.Tenants = &tcfg
+	}
 	ref := r.referenced()
 	modelByName := make(map[string]*Model, len(r.Models))
 	for i := range r.Models {

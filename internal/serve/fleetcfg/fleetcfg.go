@@ -105,6 +105,11 @@ type Config struct {
 	// remote via Connect, or cluster modes; meaningless for a pure
 	// HTTP server).
 	Load *Load `json:"load,omitempty"`
+	// Tenants configures per-tenant metering, quotas and weighted fair
+	// admission for the hosted pools. Tenancy is enforced where the
+	// pools live, so a remote load generator (connect or cluster role)
+	// must not declare it — put it in the backend configs.
+	Tenants *Tenants `json:"tenants,omitempty"`
 }
 
 // Server configures the serving process.
@@ -209,6 +214,43 @@ type Endpoint struct {
 	// QueueCap overrides the pool queue capacity for this endpoint's
 	// variant pools; nil keeps the server-wide value.
 	QueueCap *int `json:"queueCap,omitempty"`
+}
+
+// Tenants configures the per-tenant tier: usage metering, quota
+// enforcement and weighted fair admission (see serve.TenantConfig,
+// which this section lowers to verbatim).
+type Tenants struct {
+	// Window is the quota accounting window; 0 resolves to 1s. Both
+	// budgets (requests and model-seconds) refill when it rolls.
+	Window Duration `json:"window,omitempty"`
+	// SnapshotInterval is the usage-file autosave cadence; 0 resolves
+	// to 5s, negative disables periodic saves (the file is still
+	// written once on shutdown).
+	SnapshotInterval Duration `json:"snapshotInterval,omitempty"`
+	// UsageFile is the path of the persistent usage ledger, restored at
+	// boot and merged back on save. Empty disables persistence.
+	UsageFile string `json:"usageFile,omitempty"`
+	// Defs declares the known tenants. Unknown tenants are still served
+	// (weight 1, no quota); a declaration is how a tenant gets a
+	// fair-share weight or a budget.
+	Defs []TenantDef `json:"defs,omitempty"`
+}
+
+// TenantDef declares one tenant's weight and budgets.
+type TenantDef struct {
+	// Name is the tenant identity requests carry; "" is the anonymous
+	// default tenant, which may be declared to reweight or cap
+	// unattributed traffic.
+	Name string `json:"name"`
+	// Weight is the deficit-round-robin fair-share weight; 0 resolves
+	// to 1.
+	Weight int `json:"weight,omitempty"`
+	// RequestsPerSec caps admitted requests, accounted per window; 0
+	// means unlimited.
+	RequestsPerSec float64 `json:"requestsPerSec,omitempty"`
+	// ModelSecondsPerWindow caps measured model execution seconds per
+	// window; 0 means unlimited.
+	ModelSecondsPerWindow float64 `json:"modelSecondsPerWindow,omitempty"`
 }
 
 // Load configures the closed-loop load generator.

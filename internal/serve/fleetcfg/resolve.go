@@ -7,6 +7,7 @@ import (
 	"repro/internal/pareto"
 	"repro/internal/serve"
 	"repro/internal/serve/cluster"
+	"repro/internal/serve/tenant"
 )
 
 // defaultPlatform is the modelled hardware a model resolves to when
@@ -58,6 +59,11 @@ func (c *Config) clone() *Config {
 			l.SLO = &s
 		}
 		out.Load = &l
+	}
+	if c.Tenants != nil {
+		t := *c.Tenants
+		t.Defs = append([]TenantDef(nil), c.Tenants.Defs...)
+		out.Tenants = &t
 	}
 	return &out
 }
@@ -153,6 +159,20 @@ func (c *Config) Resolve() *Config {
 
 	if out.Cluster != nil && out.Cluster.ProbeInterval == 0 {
 		out.Cluster.ProbeInterval = Duration(cluster.DefaultProbeInterval)
+	}
+
+	if out.Tenants != nil {
+		if out.Tenants.Window == 0 {
+			out.Tenants.Window = Duration(tenant.DefaultWindow)
+		}
+		if out.Tenants.SnapshotInterval == 0 {
+			out.Tenants.SnapshotInterval = Duration(tenant.DefaultSnapshotInterval)
+		}
+		for i := range out.Tenants.Defs {
+			if out.Tenants.Defs[i].Weight == 0 {
+				out.Tenants.Defs[i].Weight = 1
+			}
+		}
 	}
 
 	// Every mode but the pure HTTP server runs the load generator.

@@ -1,0 +1,204 @@
+package fleetcfg
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve/tenant"
+)
+
+// tenantedLocal is baseLocal plus a tenants section exercising every
+// field: a weighted, double-capped tenant and a declared anonymous
+// default.
+func tenantedLocal() *Config {
+	c := baseLocal()
+	c.Tenants = &Tenants{
+		Window:           Duration(2 * time.Second),
+		SnapshotInterval: Duration(10 * time.Second),
+		UsageFile:        "/var/lib/dlis/usage.json",
+		Defs: []TenantDef{
+			{Name: "acme", Weight: 10, RequestsPerSec: 50, ModelSecondsPerWindow: 1.5},
+			{Name: "", Weight: 1},
+		},
+	}
+	return c
+}
+
+// TestTenantsValidate: every rejection class of the tenants section is
+// a typed error naming the offending field path.
+func TestTenantsValidate(t *testing.T) {
+	tests := []struct {
+		name     string
+		mutate   func(c *Config)
+		wantPath string
+	}{
+		{"tenants on cluster role", func(c *Config) {
+			*c = *baseCluster()
+			c.Tenants = &Tenants{Defs: []TenantDef{{Name: "acme"}}}
+		}, "tenants"},
+		{"tenants on connect role", func(c *Config) {
+			c.Models, c.Endpoints = nil, nil
+			c.Load = &Load{Connect: "127.0.0.1:18081", Targets: []string{"m"}}
+			c.Tenants = &Tenants{Defs: []TenantDef{{Name: "acme"}}}
+		}, "tenants"},
+		{"negative window", func(c *Config) {
+			c.Tenants.Window = Duration(-time.Second)
+		}, "tenants.window"},
+		{"oversized tenant name", func(c *Config) {
+			c.Tenants.Defs[0].Name = strings.Repeat("a", tenant.MaxIDLen+1)
+		}, "tenants.defs[0].name"},
+		{"control character in tenant name", func(c *Config) {
+			c.Tenants.Defs[0].Name = "acme\nprod"
+		}, "tenants.defs[0].name"},
+		{"duplicate tenant", func(c *Config) {
+			c.Tenants.Defs[1].Name = "acme"
+		}, "tenants.defs[1].name"},
+		{"negative weight", func(c *Config) {
+			c.Tenants.Defs[0].Weight = -2
+		}, "tenants.defs[0].weight"},
+		{"negative request rate", func(c *Config) {
+			c.Tenants.Defs[0].RequestsPerSec = -1
+		}, "tenants.defs[0].requestsPerSec"},
+		{"negative model-second budget", func(c *Config) {
+			c.Tenants.Defs[0].ModelSecondsPerWindow = -0.5
+		}, "tenants.defs[0].modelSecondsPerWindow"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tenantedLocal()
+			tc.mutate(c)
+			err := c.Validate()
+			var ce *Error
+			if !errors.As(err, &ce) {
+				t.Fatalf("Validate() = %v, want *Error", err)
+			}
+			if ce.Path != tc.wantPath {
+				t.Fatalf("error path = %q, want %q (%v)", ce.Path, tc.wantPath, ce)
+			}
+		})
+	}
+	if err := tenantedLocal().Validate(); err != nil {
+		t.Fatalf("valid tenanted config rejected: %v", err)
+	}
+}
+
+// TestTenantsResolveDefaults: an empty tenants section resolves to the
+// tenant tier's defaults, declared values survive untouched, and
+// Resolve stays pure and idempotent with the section present.
+func TestTenantsResolveDefaults(t *testing.T) {
+	c := baseLocal()
+	c.Tenants = &Tenants{Defs: []TenantDef{{Name: "acme"}}}
+	r := c.Resolve()
+	if got := time.Duration(r.Tenants.Window); got != tenant.DefaultWindow {
+		t.Fatalf("window resolved to %v, want %v", got, tenant.DefaultWindow)
+	}
+	if got := time.Duration(r.Tenants.SnapshotInterval); got != tenant.DefaultSnapshotInterval {
+		t.Fatalf("snapshotInterval resolved to %v, want %v", got, tenant.DefaultSnapshotInterval)
+	}
+	if r.Tenants.Defs[0].Weight != 1 {
+		t.Fatalf("weight resolved to %d, want 1", r.Tenants.Defs[0].Weight)
+	}
+	if c.Tenants.Defs[0].Weight != 0 {
+		t.Fatal("Resolve mutated its receiver's tenant defs")
+	}
+	r2 := r.Resolve()
+	if r2.Tenants.Window != r.Tenants.Window ||
+		r2.Tenants.SnapshotInterval != r.Tenants.SnapshotInterval ||
+		r2.Tenants.UsageFile != r.Tenants.UsageFile ||
+		len(r2.Tenants.Defs) != len(r.Tenants.Defs) ||
+		r2.Tenants.Defs[0] != r.Tenants.Defs[0] {
+		t.Fatal("Resolve is not idempotent over the tenants section")
+	}
+
+	// Explicit values pass through.
+	full := tenantedLocal().Resolve()
+	if time.Duration(full.Tenants.Window) != 2*time.Second || full.Tenants.Defs[0].Weight != 10 {
+		t.Fatalf("explicit tenant values not preserved: %+v", full.Tenants)
+	}
+}
+
+// TestTenantsParseRoundTrip: the section survives strict JSON parsing,
+// and unknown fields inside it are rejected like everywhere else.
+func TestTenantsParseRoundTrip(t *testing.T) {
+	src := `{
+		"models": [{"kind": "mini-vgg"}],
+		"tenants": {
+			"window": "500ms",
+			"snapshotInterval": "-1s",
+			"usageFile": "usage.json",
+			"defs": [{"name": "acme", "weight": 10, "requestsPerSec": 25.5}]
+		}
+	}`
+	c, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tn := c.Tenants
+	if time.Duration(tn.Window) != 500*time.Millisecond ||
+		time.Duration(tn.SnapshotInterval) != -time.Second ||
+		tn.UsageFile != "usage.json" ||
+		tn.Defs[0] != (TenantDef{Name: "acme", Weight: 10, RequestsPerSec: 25.5}) {
+		t.Fatalf("parsed tenants = %+v", tn)
+	}
+	if _, err := Parse([]byte(`{"tenants": {"defz": []}}`)); err == nil {
+		t.Fatal("unknown field inside tenants accepted")
+	}
+}
+
+// TestTenantsLowerToServerConfig: ServerConfig carries the section
+// into serve.Config.Tenants verbatim (durations lowered, every def
+// keyed by name).
+func TestTenantsLowerToServerConfig(t *testing.T) {
+	scfg, err := tenantedLocal().ServerConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := scfg.Tenants
+	if tc == nil {
+		t.Fatal("serve.Config.Tenants not populated")
+	}
+	if tc.Window != 2*time.Second || tc.SnapshotInterval != 10*time.Second || tc.UsageFile != "/var/lib/dlis/usage.json" {
+		t.Fatalf("lowered tenant config = %+v", tc)
+	}
+	spec := tc.Tenants["acme"]
+	if spec.Weight != 10 || spec.RequestsPerSec != 50 || spec.ModelSecondsPerWindow != 1.5 {
+		t.Fatalf("lowered acme spec = %+v", spec)
+	}
+	if _, ok := tc.Tenants[""]; !ok {
+		t.Fatal("declared anonymous tenant dropped in lowering")
+	}
+
+	// Without the section the pointer stays nil — the server runs the
+	// zero-cost untenanted meter.
+	plain, err := baseLocal().ServerConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Tenants != nil {
+		t.Fatalf("unconfigured tenants lowered to %+v, want nil", plain.Tenants)
+	}
+}
+
+// TestTenantsTopology: the -dryrun report renders the section
+// deterministically, and configs without it render byte-identically to
+// the pre-tenant output (the goldens pin that globally).
+func TestTenantsTopology(t *testing.T) {
+	top := tenantedLocal().Topology()
+	for _, want := range []string{
+		"tenants: window=2s snapshot=10s usagefile=/var/lib/dlis/usage.json",
+		"tenant acme: weight=10 rps=50 modelsec=1.5",
+		"tenant (anonymous): weight=1",
+	} {
+		if !strings.Contains(top, want) {
+			t.Fatalf("topology missing %q:\n%s", want, top)
+		}
+	}
+	if strings.Contains(baseLocal().Topology(), "tenant") {
+		t.Fatal("untenanted topology mentions tenants")
+	}
+}

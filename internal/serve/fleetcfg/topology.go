@@ -122,6 +122,30 @@ func (c *Config) Topology() string {
 		}
 	}
 
+	// Rendered only when declared so pre-existing goldens hold.
+	if t := r.Tenants; t != nil {
+		fmt.Fprintf(&b, "tenants: window=%s snapshot=%s", t.Window, t.SnapshotInterval)
+		if t.UsageFile != "" {
+			fmt.Fprintf(&b, " usagefile=%s", t.UsageFile)
+		}
+		b.WriteString("\n")
+		for i := range t.Defs {
+			d := &t.Defs[i]
+			name := d.Name
+			if name == "" {
+				name = "(anonymous)"
+			}
+			fmt.Fprintf(&b, "  tenant %s: weight=%d", name, d.Weight)
+			if d.RequestsPerSec > 0 {
+				fmt.Fprintf(&b, " rps=%g", d.RequestsPerSec)
+			}
+			if d.ModelSecondsPerWindow > 0 {
+				fmt.Fprintf(&b, " modelsec=%g", d.ModelSecondsPerWindow)
+			}
+			b.WriteString("\n")
+		}
+	}
+
 	if r.Cluster != nil {
 		fmt.Fprintf(&b, "cluster: members=[%s] probe=%s\n",
 			strings.Join(r.Cluster.Members, " "), r.Cluster.ProbeInterval)

@@ -175,7 +175,10 @@ func (c *Config) Validate() error {
 	if err := c.validateCluster(); err != nil {
 		return err
 	}
-	return c.validateLoad()
+	if err := c.validateLoad(); err != nil {
+		return err
+	}
+	return c.validateTenants()
 }
 
 // validateRoles rejects contradictory process roles — the conditions
@@ -487,6 +490,44 @@ func (c *Config) validateLoad() error {
 			if ceiling, known := c.accuracyCeiling(ep); known && l.SLO.MinAccuracy > ceiling {
 				return errf("load.slo.minAccuracy", "endpoint %q tops out at %.1f%% top-1, below the required %.1f%%", t, ceiling, l.SLO.MinAccuracy)
 			}
+		}
+	}
+	return nil
+}
+
+// validateTenants checks the per-tenant tier: tenancy lives with the
+// pools, so remote roles must not declare it, identities must pass the
+// same wire validation the server applies, and weights and budgets
+// must be non-negative.
+func (c *Config) validateTenants() error {
+	t := c.Tenants
+	if t == nil {
+		return nil
+	}
+	if c.Cluster != nil || (c.Load != nil && c.Load.Connect != "") {
+		return errf("tenants", "a remote load generator enforces no tenancy; declare tenants in the backend configs")
+	}
+	if t.Window < 0 {
+		return errf("tenants.window", "%v must not be negative", t.Window)
+	}
+	seen := make(map[string]int, len(t.Defs))
+	for i, d := range t.Defs {
+		path := fmt.Sprintf("tenants.defs[%d]", i)
+		if err := serve.ValidateTenantID(d.Name); err != nil {
+			return errf(path+".name", "%v", err)
+		}
+		if j, dup := seen[d.Name]; dup {
+			return errf(path+".name", "duplicate tenant %q (also defs[%d])", d.Name, j)
+		}
+		seen[d.Name] = i
+		if d.Weight < 0 {
+			return errf(path+".weight", "%d must not be negative (0 resolves to 1)", d.Weight)
+		}
+		if d.RequestsPerSec < 0 {
+			return errf(path+".requestsPerSec", "%v must not be negative (0 means unlimited)", d.RequestsPerSec)
+		}
+		if d.ModelSecondsPerWindow < 0 {
+			return errf(path+".modelSecondsPerWindow", "%v must not be negative (0 means unlimited)", d.ModelSecondsPerWindow)
 		}
 	}
 	return nil

@@ -72,6 +72,12 @@ func (c *Client) InferSync(ctx context.Context, req serve.Request) (*serve.Respo
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", FrameContentType)
+	if req.Tenant != "" {
+		// The frame header already carries the tenant; mirror it in the
+		// HTTP header so intermediaries can meter and route without
+		// parsing frames.
+		hreq.Header.Set(TenantHeader, req.Tenant)
+	}
 	hresp, err := c.hc.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: infer round trip: %w", err)
@@ -162,6 +168,12 @@ func decodeStatusError(hresp *http.Response) error {
 	switch code {
 	case "overloaded":
 		return &serve.OverloadedError{Stack: we.Stack, RetryAfter: retryAfter(we, hresp)}
+	case "quota":
+		// Reconstructed as the typed quota error so errors.Is keeps
+		// quota distinct from overload across the wire: the cluster's
+		// failover path depends on that distinction to never re-place a
+		// quota rejection on another member.
+		return &serve.QuotaError{Tenant: we.Tenant, Resource: we.Resource, RetryAfter: retryAfter(we, hresp)}
 	case "no_variant":
 		return &remoteError{msg: msg, sentinel: serve.ErrNoVariant}
 	case "closed":

@@ -14,10 +14,16 @@
 // working remotely:
 //
 //	serve.ErrOverloaded    → 429 + Retry-After  → *serve.OverloadedError
+//	serve.ErrQuotaExceeded → 429 + Retry-After  → *serve.QuotaError (code "quota")
 //	serve.ErrNoVariant     → 422               → wraps serve.ErrNoVariant
 //	serve.ErrClosed        → 503               → wraps serve.ErrClosed
 //	serve.ErrUnknownTarget → 404               → wraps serve.ErrUnknownTarget
 //	anything else          → 400
+//
+// Overload and quota share the 429 status but never the code: the
+// `quota` marker is what lets a client (and the cluster's failover
+// path) keep a tenant's spent budget distinct from a server's full
+// queue — the former must not be retried elsewhere, the latter may.
 //
 // # Wire frames
 //
@@ -67,7 +73,10 @@ type wireImage struct {
 
 // wireRequest is the /v1/infer request header.
 type wireRequest struct {
-	Target string      `json:"target"`
+	Target string `json:"target"`
+	// Tenant is the request's tenant identity, carried verbatim in the
+	// frame header so it survives any proxy between client and server.
+	Tenant string      `json:"tenant,omitempty"`
 	SLO    wireSLO     `json:"slo"`
 	Images []wireImage `json:"images"`
 }
@@ -93,13 +102,17 @@ type wireResponse struct {
 // wireError is the JSON body of every non-200 response.
 type wireError struct {
 	Error string `json:"error"`
-	// Code is the machine-readable error class: "overloaded",
+	// Code is the machine-readable error class: "overloaded", "quota",
 	// "no_variant", "closed", "unknown_target" or "bad_request".
 	Code string `json:"code"`
 	// Stack and RetryAfterMS flesh out reconstructed OverloadedErrors
 	// (the Retry-After header only has whole-second resolution).
 	Stack        string `json:"stack,omitempty"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	// Tenant and Resource flesh out reconstructed QuotaErrors: who was
+	// rejected and which budget ("requests" or "model-seconds") ran dry.
+	Tenant   string `json:"tenant,omitempty"`
+	Resource string `json:"resource,omitempty"`
 }
 
 // writeFrame emits magic, the JSON header and the payload slices.
@@ -168,6 +181,7 @@ func readFloats(r io.Reader, n int) ([]float32, error) {
 func EncodeRequest(w io.Writer, req serve.Request) error {
 	hdr := wireRequest{
 		Target: req.Target,
+		Tenant: req.Tenant,
 		SLO: wireSLO{
 			MinAccuracy:  req.SLO.MinAccuracy,
 			MaxLatencyNS: int64(req.SLO.MaxLatency),
@@ -193,8 +207,15 @@ func DecodeRequest(r io.Reader, maxElements int) (serve.Request, error) {
 	if err := readFrameHeader(r, &hdr); err != nil {
 		return serve.Request{}, err
 	}
+	// Reject malformed tenant identities (oversized, control characters)
+	// at the wire edge, before any payload allocation: the server's
+	// metering and fair queueing key on this string verbatim.
+	if err := serve.ValidateTenantID(hdr.Tenant); err != nil {
+		return serve.Request{}, fmt.Errorf("httpapi: %w", err)
+	}
 	req := serve.Request{
 		Target: hdr.Target,
+		Tenant: hdr.Tenant,
 		SLO: serve.SLO{
 			MinAccuracy: hdr.SLO.MinAccuracy,
 			MaxLatency:  time.Duration(hdr.SLO.MaxLatencyNS),

@@ -68,11 +68,31 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(frame(`{"images":[{"shape":[65536,65536]}]}`, nil))
 	// Wrong magic.
 	f.Add(frame("DLW2"+`{}`, nil))
+	// Tenant identities: a valid one, an oversized one (past the
+	// 256-byte cap), and ones smuggling control characters — the
+	// decoder must reject the malformed ones before any allocation.
+	var tenanted bytes.Buffer
+	err = EncodeRequest(&tenanted, serve.Request{
+		Target: "resnet",
+		Tenant: "acme-prod",
+		Images: []*tensor.Tensor{tensor.FromSlice(make([]float32, 12), 3, 2, 2)},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tenanted.Bytes())
+	f.Add(frame(`{"tenant":"`+string(bytes.Repeat([]byte{'a'}, serve.MaxTenantIDLen+1))+`","images":[{"shape":[1]}]}`, f32payload(1)))
+	f.Add(frame(`{"tenant":"evil\u0000corp","images":[{"shape":[1]}]}`, f32payload(1)))
+	f.Add(frame(`{"tenant":"tab\there","images":[{"shape":[1]}]}`, f32payload(1)))
+	f.Add(frame(`{"tenant":"del\u007fchar","images":[{"shape":[1]}]}`, f32payload(1)))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := DecodeRequest(bytes.NewReader(data), fuzzMaxElements)
 		if err != nil {
 			return
+		}
+		if serve.ValidateTenantID(req.Tenant) != nil {
+			t.Fatalf("decoder accepted malformed tenant id %q", req.Tenant)
 		}
 		total := 0
 		for i, img := range req.Images {

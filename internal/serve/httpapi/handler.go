@@ -18,6 +18,13 @@ const DefaultMaxBodyBytes = 64 << 20
 // FrameContentType labels the binary frame bodies of /v1/infer.
 const FrameContentType = "application/x-dlis-frame"
 
+// TenantHeader is the HTTP header carrying the tenant identity.
+// The DLW1 frame header's tenant field is authoritative on /v1/infer;
+// this header is the fallback for frames without one — the hook
+// proxies and gateways use to stamp identity onto pass-through
+// traffic without parsing frames.
+const TenantHeader = "X-DLIS-Tenant"
+
 // Handler serves a serve.Server over HTTP. Construct with NewHandler;
 // it is an http.Handler, so callers mount it on any mux or server and
 // own the listener lifecycle (TLS, timeouts, graceful shutdown).
@@ -58,6 +65,19 @@ func (h *Handler) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	if req.Tenant == "" {
+		// Frame field wins; the header covers clients and proxies that
+		// stamp identity outside the frame. Validate it like any other
+		// wire input — Do would reject it anyway, but rejecting here
+		// keeps the error at the boundary it belongs to.
+		if t := r.Header.Get(TenantHeader); t != "" {
+			if err := serve.ValidateTenantID(t); err != nil {
+				writeError(w, err)
+				return
+			}
+			req.Tenant = t
+		}
 	}
 	rf, err := h.srv.Do(r.Context(), req)
 	if err != nil {
@@ -100,7 +120,26 @@ func writeError(w http.ResponseWriter, err error) {
 	we := wireError{Error: err.Error(), Code: "bad_request"}
 	status := http.StatusBadRequest
 	var ov *serve.OverloadedError
+	var qe *serve.QuotaError
 	switch {
+	case errors.As(err, &qe):
+		// Quota shares overload's 429 but keeps its own code: a client
+		// seeing "quota" must back off until the window refills and must
+		// NOT re-route the request to another server — the budget is
+		// spent everywhere.
+		status = http.StatusTooManyRequests
+		we.Code = "quota"
+		we.Tenant = qe.Tenant
+		we.Resource = qe.Resource
+		we.RetryAfterMS = int64((qe.RetryAfter + time.Millisecond - 1) / time.Millisecond)
+		if we.RetryAfterMS < 1 {
+			we.RetryAfterMS = 1
+		}
+		secs := int64(qe.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	case errors.As(err, &ov):
 		status = http.StatusTooManyRequests
 		we.Code = "overloaded"

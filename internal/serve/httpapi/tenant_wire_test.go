@@ -1,0 +1,153 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+// tenantedConfig hosts one mini pool with a one-request-per-window
+// budget for tenant "capped", so the second wire request in a test
+// deterministically trips the quota.
+func tenantedConfig() serve.Config {
+	return serve.Config{
+		Stacks:   []serve.StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}},
+		Replicas: 1, MaxBatch: 2, MaxDelay: time.Millisecond,
+		Tenants: &serve.TenantConfig{
+			Window:  time.Hour,
+			Tenants: map[string]serve.TenantSpec{"capped": {RequestsPerSec: 1.0 / 3600}},
+		},
+	}
+}
+
+// TestHTTPQuotaWireContract is the errors.Is contract across the wire:
+// a server-side quota rejection comes back as a *serve.QuotaError that
+// matches ErrQuotaExceeded, does NOT match ErrOverloaded, and carries
+// the tenant, resource and a positive retry hint.
+func TestHTTPQuotaWireContract(t *testing.T) {
+	_, c := loopback(t, tenantedConfig())
+	ctx := context.Background()
+	req := serve.Request{Target: "m", Tenant: "capped", Images: []*tensor.Tensor{testImage(1)}}
+	if _, err := c.InferSync(ctx, req); err != nil {
+		t.Fatalf("request within budget refused: %v", err)
+	}
+	_, err := c.InferSync(ctx, req)
+	if !errors.Is(err, serve.ErrQuotaExceeded) {
+		t.Fatalf("request beyond budget: err = %v, want ErrQuotaExceeded across the wire", err)
+	}
+	if errors.Is(err, serve.ErrOverloaded) {
+		t.Fatal("remote quota rejection matches ErrOverloaded: a cluster would wrongly retry it elsewhere")
+	}
+	var qe *serve.QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("remote quota error is %T, want *serve.QuotaError", err)
+	}
+	if qe.Tenant != "capped" || qe.Resource != "requests" || qe.RetryAfter <= 0 {
+		t.Fatalf("reconstructed QuotaError = %+v, want tenant=capped resource=requests retryAfter>0", qe)
+	}
+
+	// The per-tenant usage breakdown rides the stats route.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Tenants["capped"]; got.Requests != 1 || got.QuotaRejected != 1 {
+		t.Fatalf("remote usage = %+v, want requests=1 quotaRejected=1", got)
+	}
+}
+
+// TestHTTPTenantHeaderFallback: a frame without a tenant adopts the
+// X-DLIS-Tenant header (the proxy/gateway hook), a frame with one keeps
+// the frame's identity, and a malformed header is rejected with a 400
+// before any inference work.
+func TestHTTPTenantHeaderFallback(t *testing.T) {
+	srv, c := loopback(t, tenantedConfig())
+	base := strings.TrimRight(c.base, "/")
+
+	post := func(tenantInFrame, tenantHeader string) *http.Response {
+		t.Helper()
+		var body bytes.Buffer
+		err := EncodeRequest(&body, serve.Request{
+			Target: "m", Tenant: tenantInFrame, Images: []*tensor.Tensor{testImage(2)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hreq, err := http.NewRequest(http.MethodPost, base+"/v1/infer", &body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hreq.Header.Set("Content-Type", FrameContentType)
+		if tenantHeader != "" {
+			hreq.Header.Set(TenantHeader, tenantHeader)
+		}
+		hresp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { hresp.Body.Close() })
+		return hresp
+	}
+
+	if resp := post("", "from-header"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("header-attributed request: status %d, want 200", resp.StatusCode)
+	}
+	if resp := post("from-frame", "from-header"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("frame-attributed request: status %d, want 200", resp.StatusCode)
+	}
+	if resp := post("", strings.Repeat("x", serve.MaxTenantIDLen+1)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized header tenant: status %d, want 400", resp.StatusCode)
+	}
+
+	u := srv.TenantUsageSnapshot()
+	if u["from-header"].Requests != 1 {
+		t.Fatalf("header fallback not metered: %+v", u)
+	}
+	if u["from-frame"].Requests != 1 {
+		t.Fatalf("frame identity lost to the header: %+v", u)
+	}
+}
+
+// TestCodecRejectsMalformedTenants: the request decoder refuses
+// oversized and control-character identities at the wire edge.
+func TestCodecRejectsMalformedTenants(t *testing.T) {
+	for _, id := range []string{
+		strings.Repeat("t", serve.MaxTenantIDLen+1),
+		"line\nbreak",
+		"nul\x00byte",
+		"del\x7f",
+	} {
+		var buf bytes.Buffer
+		err := EncodeRequest(&buf, serve.Request{
+			Target: "m", Tenant: id, Images: []*tensor.Tensor{testImage(3)},
+		})
+		if err != nil {
+			t.Fatalf("encoding probe frame: %v", err)
+		}
+		if _, err := DecodeRequest(&buf, fuzzMaxElements); err == nil {
+			t.Fatalf("decoder accepted malformed tenant %q", id)
+		}
+	}
+	// A maximum-length clean identity still round-trips.
+	var buf bytes.Buffer
+	want := strings.Repeat("t", serve.MaxTenantIDLen)
+	if err := EncodeRequest(&buf, serve.Request{
+		Target: "m", Tenant: want, Images: []*tensor.Tensor{testImage(4)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := DecodeRequest(&buf, fuzzMaxElements)
+	if err != nil {
+		t.Fatalf("max-length tenant rejected: %v", err)
+	}
+	if req.Tenant != want {
+		t.Fatalf("tenant identity mangled in transit: got %d bytes", len(req.Tenant))
+	}
+}

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// tenantQueue is one tenant's sub-queue inside a pool's intake. The
+// slice is a reusable ring segment: pop consumes from head, and when
+// the queue fully drains it resets to reqs[:0] so steady-state traffic
+// re-uses the same backing array instead of allocating.
+//
+// pending counts the tenant's admitted-but-unexecuted requests (queued
+// here plus coalescing in the batcher's open batch). It is read by
+// admission under the intake lock and decremented lock-free by workers
+// as batches start executing, so it is atomic.
+type tenantQueue struct {
+	id      string
+	weight  int
+	credit  int // remaining DRR credit in the current round
+	head    int
+	reqs    []*request
+	pending atomic.Int64
+}
+
+// intake is the pool's weighted deficit-round-robin front end,
+// replacing the old FIFO channel. Each tenant gets its own sub-queue;
+// the batcher pops across the active sub-queues in rounds, each round
+// granting every active tenant `weight` dequeues of credit. A tenant
+// with a deep backlog therefore cannot starve the others: it drains at
+// its weight share while lighter tenants' requests overtake its
+// backlog.
+//
+// Admission is share-aware (tryPut): a tenant may hold at most
+// cap × weight / activeWeight slots — its proportional slice of the
+// queue capacity among currently-active tenants, floored at one — so a
+// saturating tenant is refused (sheds) at its share while others still
+// admit. With a single active tenant the share is exactly cap,
+// preserving the pre-tenant admission semantics bit for bit. The sum
+// of shares never exceeds cap at a fixed active set; when new tenants
+// activate against an already-full queue the instantaneous total can
+// transiently exceed cap (the old tenant's over-share backlog drains
+// before it can admit again), which the pool's inclusive `pending`
+// gauge reports truthfully to the router's live gate.
+//
+// Wakeups use two capacity-1 signal channels rather than per-waiter
+// allocations: arrival wakes the (single) batcher, space wakes blocked
+// direct submitters. Signals are coalesced — a consumer re-checks
+// state after each receive.
+type intake struct {
+	cap    int
+	weight func(string) int
+
+	mu     sync.Mutex
+	size   int // total queued requests (excludes the batcher's open batch)
+	queues map[string]*tenantQueue
+	ring   []*tenantQueue // active (non-empty) sub-queues, DRR order
+	cur    int            // ring index currently being served
+
+	arrival chan struct{} // something was pushed (batcher wakeup)
+	space   chan struct{} // something was popped (blocked-submitter wakeup)
+	closed  atomic.Bool
+}
+
+func newIntake(capacity int, weight func(string) int) *intake {
+	return &intake{
+		cap:     capacity,
+		weight:  weight,
+		queues:  make(map[string]*tenantQueue),
+		arrival: make(chan struct{}, 1),
+		space:   make(chan struct{}, 1),
+	}
+}
+
+// signalArrival posts a coalesced "work available" token.
+func (in *intake) signalArrival() {
+	select {
+	case in.arrival <- struct{}{}:
+	default:
+	}
+}
+
+// signalSpace posts a coalesced "capacity freed" token.
+func (in *intake) signalSpace() {
+	select {
+	case in.space <- struct{}{}:
+	default:
+	}
+}
+
+// queueLocked returns id's sub-queue, creating it on first use.
+// Sub-queues are never removed from the map (only from the active
+// ring), so a *tenantQueue held by an executing request stays valid
+// for its lock-free pending decrement.
+func (in *intake) queueLocked(id string) *tenantQueue {
+	q := in.queues[id]
+	if q == nil {
+		q = &tenantQueue{id: id, weight: in.weight(id)}
+		if q.weight < 1 {
+			q.weight = 1
+		}
+		in.queues[id] = q
+	}
+	return q
+}
+
+// pushLocked appends r to q, joining q to the active ring on its
+// empty→non-empty edge (at the tail: a freshly active tenant waits at
+// most one DRR round).
+func (in *intake) pushLocked(q *tenantQueue, r *request) {
+	if len(q.reqs) == 0 {
+		in.ring = append(in.ring, q)
+	}
+	r.tq = q
+	q.reqs = append(q.reqs, r)
+	in.size++
+}
+
+// shareLocked is q's current slice of the queue capacity:
+// cap × weight / activeWeight over the tenants with work in flight
+// (q always counts as active for its own admission), floored at 1 so
+// no configured tenant can be starved of admission entirely.
+func (in *intake) shareLocked(q *tenantQueue) int {
+	active := q.weight
+	for _, o := range in.queues {
+		if o != q && o.pending.Load() > 0 {
+			active += o.weight
+		}
+	}
+	share := in.cap * q.weight / active
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// tryPut is the router-facing all-or-nothing admission: the group is
+// admitted iff the tenant's in-flight count plus the group fits its
+// current capacity share. It returns false (shed) otherwise. The
+// requests are enqueued back to back so the batcher can coalesce them.
+func (in *intake) tryPut(id string, reqs []*request) bool {
+	in.mu.Lock()
+	q := in.queueLocked(id)
+	n := int64(len(reqs))
+	if int(q.pending.Load())+len(reqs) > in.shareLocked(q) {
+		in.mu.Unlock()
+		return false
+	}
+	q.pending.Add(n)
+	for _, r := range reqs {
+		in.pushLocked(q, r)
+	}
+	in.mu.Unlock()
+	in.signalArrival()
+	return true
+}
+
+// put is the blocking enqueue behind pool.submitMany: it waits (under
+// ctx) for overall queue space rather than the tenant share — direct
+// submitters asked to wait, not to be load-balanced — and admits one
+// request per call so a multi-image group interleaves fairly with
+// other waiters, exactly like the old channel send.
+func (in *intake) put(ctx context.Context, id string, r *request) error {
+	for {
+		in.mu.Lock()
+		if in.size < in.cap {
+			q := in.queueLocked(id)
+			q.pending.Add(1)
+			in.pushLocked(q, r)
+			stillRoom := in.size < in.cap
+			in.mu.Unlock()
+			in.signalArrival()
+			if stillRoom {
+				// Pass the baton: our admission consumed a space token other
+				// waiters may be sleeping on.
+				in.signalSpace()
+			}
+			return nil
+		}
+		in.mu.Unlock()
+		select {
+		case <-in.space:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// pop dequeues the next request under weighted deficit round robin, or
+// returns nil when every sub-queue is empty. Each active tenant gets
+// `weight` consecutive dequeues per round; an emptied sub-queue leaves
+// the ring (and resets its storage) until its next push.
+//
+//dlis:noalloc
+func (in *intake) pop() *request {
+	in.mu.Lock()
+	if in.size == 0 {
+		in.mu.Unlock()
+		return nil
+	}
+	if in.cur >= len(in.ring) {
+		in.cur = 0
+	}
+	q := in.ring[in.cur]
+	if q.credit <= 0 {
+		q.credit = q.weight
+	}
+	r := q.reqs[q.head]
+	q.reqs[q.head] = nil
+	q.head++
+	q.credit--
+	in.size--
+	if q.head == len(q.reqs) {
+		// Drained: reset storage for reuse and drop out of the ring.
+		q.reqs = q.reqs[:0]
+		q.head = 0
+		q.credit = 0
+		copy(in.ring[in.cur:], in.ring[in.cur+1:])
+		in.ring[len(in.ring)-1] = nil
+		in.ring = in.ring[:len(in.ring)-1]
+		if in.cur >= len(in.ring) {
+			in.cur = 0
+		}
+	} else if q.credit == 0 {
+		in.cur++
+		if in.cur >= len(in.ring) {
+			in.cur = 0
+		}
+	}
+	in.mu.Unlock()
+	in.signalSpace()
+	return r
+}
+
+// popWait blocks until a request is available, returning nil only once
+// the intake is closed and fully drained. Safe for a single consumer
+// (the batcher).
+func (in *intake) popWait() *request {
+	for {
+		if r := in.pop(); r != nil {
+			return r
+		}
+		// close() is ordered after every submitter (pool.close waits out
+		// subs before closing), so closed + empty means drained for good.
+		if in.closed.Load() {
+			return nil
+		}
+		<-in.arrival
+	}
+}
+
+// close marks the intake closed and wakes the batcher so it can
+// observe the drained state. The caller must guarantee no pushes
+// happen after close (pool.close orders this via its submitter
+// WaitGroup).
+func (in *intake) close() {
+	in.closed.Store(true)
+	in.signalArrival()
+}

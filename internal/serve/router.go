@@ -215,8 +215,8 @@ func (ep *endpoint) candidates(slo SLO) ([]*variant, error) {
 
 // route places one request: candidates in cost order, live latency
 // gate, bounded admission, spillover for priority traffic.
-func (ep *endpoint) route(img *tensor.Tensor, slo SLO) (*Future, error) {
-	futs, err := ep.routeMany([]*tensor.Tensor{img}, slo)
+func (ep *endpoint) route(tid string, img *tensor.Tensor, slo SLO) (*Future, error) {
+	futs, err := ep.routeMany(tid, []*tensor.Tensor{img}, slo)
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +229,10 @@ func (ep *endpoint) route(img *tensor.Tensor, slo SLO) (*Future, error) {
 // less accurate stack than its SLO asked for). Candidates are tried in
 // cost order with the live latency gate and all-or-nothing bounded
 // admission; spillover applies to the whole group for priority traffic.
-func (ep *endpoint) routeMany(imgs []*tensor.Tensor, slo SLO) ([]*Future, error) {
+// The tenant identity rides into every candidate's admission gate, so a
+// spilling group is charged against the same tenant share wherever it
+// lands.
+func (ep *endpoint) routeMany(tid string, imgs []*tensor.Tensor, slo SLO) ([]*Future, error) {
 	cands, err := ep.candidates(slo)
 	if err != nil {
 		return nil, err
@@ -268,7 +271,7 @@ func (ep *endpoint) routeMany(imgs []*tensor.Tensor, slo SLO) ([]*Future, error)
 				continue
 			}
 		}
-		futs, err := v.pool.trySubmitMany(imgs)
+		futs, err := v.pool.trySubmitMany(tid, imgs)
 		if err == nil {
 			v.routed.Add(n)
 			ep.routed.Add(n)

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/serve/tenant"
 	"repro/internal/tensor"
 )
 
@@ -97,6 +98,11 @@ type Config struct {
 	// latency percentiles and the windowed Throughput figure; 0 uses
 	// metrics.DefaultLatencyWindow.
 	LatencyWindow int
+	// Tenants configures per-tenant metering, quotas and weighted fair
+	// admission (see package tenant). Nil meters everything as the
+	// anonymous default tenant with no limits — the pre-tenant
+	// behaviour.
+	Tenants *tenant.Config
 }
 
 // DefaultConfig returns the fully resolved serving defaults used for
@@ -142,6 +148,7 @@ type Server struct {
 	cfg   Config
 	pools map[string]*pool
 	names []string // pool names in Config order, for deterministic listings
+	meter *tenant.Meter
 
 	endpoints     map[string]*endpoint // SLO routers, keyed by endpoint name
 	endpointNames []string             // endpoint names in Config order
@@ -164,6 +171,17 @@ func New(cfg Config) (*Server, error) {
 		endpoints: make(map[string]*endpoint, len(cfg.Endpoints)),
 		variants:  make(map[string]*variant),
 	}
+	// The meter comes up before any pool: every pool's intake asks it
+	// for tenant weights and bills model-seconds into it.
+	var tcfg tenant.Config
+	if cfg.Tenants != nil {
+		tcfg = *cfg.Tenants
+	}
+	meter, err := tenant.NewMeter(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	s.meter = meter
 	for _, spec := range cfg.Stacks {
 		if _, err := s.addPool(spec, cfg); err != nil {
 			s.Close()
@@ -216,7 +234,7 @@ func (s *Server) addPool(spec StackSpec, cfg Config) (*pool, error) {
 	if _, dup := s.pools[name]; dup {
 		return nil, fmt.Errorf("serve: duplicate stack name %q", name)
 	}
-	p, err := newPool(name, spec.Stack, cfg)
+	p, err := newPool(name, spec.Stack, cfg, s.meter)
 	if err != nil {
 		return nil, fmt.Errorf("serve: stack %q: %w", name, err)
 	}
@@ -315,10 +333,14 @@ func (s *Server) AllStats() map[string]Stats {
 
 // Close gracefully shuts the server down: it refuses new submissions,
 // flushes and executes every request already accepted (including a
-// final partial batch per pool), and returns once all workers have
-// exited. Close is idempotent.
+// final partial batch per pool), stops the tenant meter (persisting a
+// final usage snapshot when a usage file is configured), and returns
+// once all workers have exited. Close is idempotent.
 func (s *Server) Close() {
 	for _, name := range s.names {
 		s.pools[name].close()
+	}
+	if s.meter != nil {
+		s.meter.Close() // best effort: a failed usage save must not block shutdown
 	}
 }

@@ -1,0 +1,284 @@
+package tenant
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Usage is one tenant's cumulative consumption, as exported through
+// Server.Snapshot(), /v1/stats and the persisted usage file. Counters
+// are cumulative across restarts (the meter seeds them from the usage
+// file at boot), so they are monotone for the lifetime of the file.
+type Usage struct {
+	// Requests and Images count admitted work.
+	Requests uint64 `json:"requests"`
+	Images   uint64 `json:"images"`
+	// Shed counts requests rejected for server overload; QuotaRejected
+	// counts requests rejected by this tenant's own quota.
+	Shed          uint64 `json:"shed,omitempty"`
+	QuotaRejected uint64 `json:"quotaRejected,omitempty"`
+	// ModelSeconds is the measured model execution time charged to the
+	// tenant: each completed batch bills its wall time to its requests
+	// in equal per-image shares.
+	ModelSeconds float64 `json:"modelSeconds,omitempty"`
+	// Weight is the tenant's configured fair-share weight (display
+	// only; never persisted as usage).
+	Weight int `json:"weight,omitempty"`
+}
+
+// usage is the live, atomically-updated form of one tenant's state.
+//
+// The win* fields implement the quota token bucket: winStart holds the
+// index (unix nanos / window) of the accounting window the counters
+// belong to, and any admitter observing a stale index CAS-rolls it and
+// resets the counters. The reset is not atomic with the CAS — a
+// concurrent Add between them can be lost — which under-counts by at
+// most one in-flight request per roll and is an accepted accuracy
+// trade for a lock-free hot path.
+type usage struct {
+	requests      atomic.Uint64
+	images        atomic.Uint64
+	shed          atomic.Uint64
+	quotaRejected atomic.Uint64
+	modelMicros   atomic.Int64
+
+	winStart    atomic.Int64
+	winRequests atomic.Int64
+	winMicros   atomic.Int64
+
+	// spec is immutable after construction (zero for tenants first seen
+	// at runtime: weight 1, no limits).
+	spec Spec
+}
+
+// Meter is the per-tenant aggregator: every admission decision and
+// every completed batch flows through it. Counter updates are plain
+// atomics; the map of tenants is read-locked on the hot path and only
+// write-locked the first time a new identity appears.
+type Meter struct {
+	window time.Duration
+
+	mu      sync.RWMutex
+	tenants map[string]*usage
+
+	// Persistence (store.go). file=="" disables it entirely.
+	file  string
+	dirty atomic.Bool
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewMeter builds a meter from cfg, creating one usage slot per
+// configured tenant plus the anonymous default. If cfg.UsageFile is
+// set, persisted usage is restored (corrupt or foreign files degrade
+// to empty) and a background saver starts at cfg.SnapshotInterval.
+func NewMeter(cfg Config) (*Meter, error) {
+	window := cfg.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	m := &Meter{
+		window:  window,
+		tenants: make(map[string]*usage, len(cfg.Tenants)+1),
+		file:    cfg.UsageFile,
+		stop:    make(chan struct{}),
+	}
+	for id, spec := range cfg.Tenants {
+		if err := ValidateID(id); err != nil {
+			return nil, err
+		}
+		if spec.Weight < 1 {
+			spec.Weight = 1
+		}
+		m.tenants[id] = &usage{spec: spec}
+	}
+	if _, ok := m.tenants[""]; !ok {
+		m.tenants[""] = &usage{spec: Spec{Weight: 1}}
+	}
+	if m.file != "" {
+		m.restore()
+		interval := cfg.SnapshotInterval
+		if interval == 0 {
+			interval = DefaultSnapshotInterval
+		}
+		if interval > 0 {
+			m.wg.Add(1)
+			go m.saveLoop(interval)
+		}
+	}
+	return m, nil
+}
+
+// lookup is the hot-path tenant fetch: a read-locked map index.
+//
+//dlis:noalloc
+func (m *Meter) lookup(id string) *usage {
+	m.mu.RLock()
+	u := m.tenants[id]
+	m.mu.RUnlock()
+	return u
+}
+
+// get returns id's usage slot, creating one (weight 1, no limits) the
+// first time an unconfigured identity appears.
+func (m *Meter) get(id string) *usage {
+	if u := m.lookup(id); u != nil {
+		return u
+	}
+	m.mu.Lock()
+	u := m.tenants[id]
+	if u == nil {
+		u = &usage{spec: Spec{Weight: 1}}
+		m.tenants[id] = u
+	}
+	m.mu.Unlock()
+	return u
+}
+
+// roll lazily turns the accounting window over: if u's window index is
+// stale, the first admitter to CAS it resets the window counters.
+func (u *usage) roll(idx int64) {
+	if old := u.winStart.Load(); old != idx && u.winStart.CompareAndSwap(old, idx) {
+		u.winRequests.Store(0)
+		u.winMicros.Store(0)
+	}
+}
+
+// Admit is the quota gate for one request. It returns nil for tenants
+// without limits, and a *QuotaError (matching ErrQuotaExceeded under
+// errors.Is) once the tenant's request rate or model-seconds budget
+// for the current window is exhausted. Rejected requests consume no
+// request tokens.
+func (m *Meter) Admit(id string) error {
+	u := m.get(id)
+	if u.spec.RequestsPerSec <= 0 && u.spec.ModelSecondsPerWindow <= 0 {
+		return nil
+	}
+	now := time.Now().UnixNano()
+	u.roll(now / int64(m.window))
+	if u.spec.RequestsPerSec > 0 {
+		budget := u.spec.RequestsPerSec * m.window.Seconds()
+		if float64(u.winRequests.Add(1)) > budget {
+			u.winRequests.Add(-1)
+			return m.reject(u, id, "requests", now)
+		}
+	}
+	if u.spec.ModelSecondsPerWindow > 0 {
+		if float64(u.winMicros.Load())/1e6 >= u.spec.ModelSecondsPerWindow {
+			return m.reject(u, id, "model-seconds", now)
+		}
+	}
+	return nil
+}
+
+// reject records a quota rejection and builds its error, pointing the
+// caller at the end of the current window.
+func (m *Meter) reject(u *usage, id, resource string, now int64) error {
+	u.quotaRejected.Add(1)
+	m.dirty.Store(true)
+	windowEnd := (now/int64(m.window) + 1) * int64(m.window)
+	return &QuotaError{Tenant: id, Resource: resource, RetryAfter: time.Duration(windowEnd - now)}
+}
+
+// RecordAdmitted counts one admitted request carrying images images.
+//
+//dlis:noalloc
+func (m *Meter) RecordAdmitted(id string, images int) {
+	u := m.lookup(id)
+	if u == nil {
+		u = m.get(id)
+	}
+	u.requests.Add(1)
+	u.images.Add(uint64(images))
+	m.dirty.Store(true)
+}
+
+// RecordShed counts one request rejected for server overload.
+//
+//dlis:noalloc
+func (m *Meter) RecordShed(id string) {
+	u := m.lookup(id)
+	if u == nil {
+		u = m.get(id)
+	}
+	u.shed.Add(1)
+	m.dirty.Store(true)
+}
+
+// ChargeModelSeconds bills sec of measured model execution to id —
+// the pool calls this once per request with its per-image share of
+// each completed batch's wall time. The charge lands both in the
+// cumulative meter and in the live quota window.
+//
+//dlis:noalloc
+func (m *Meter) ChargeModelSeconds(id string, sec float64) {
+	u := m.lookup(id)
+	if u == nil {
+		u = m.get(id)
+	}
+	micros := int64(sec * 1e6)
+	u.modelMicros.Add(micros)
+	u.winMicros.Add(micros)
+	m.dirty.Store(true)
+}
+
+// Weight returns id's configured fair-share weight (1 for unknown
+// tenants); the pool's DRR intake uses it to size credits and queue
+// shares.
+//
+//dlis:noalloc
+func (m *Meter) Weight(id string) int {
+	u := m.lookup(id)
+	if u == nil {
+		return 1
+	}
+	return u.spec.Weight
+}
+
+// Window returns the quota accounting window.
+func (m *Meter) Window() time.Duration { return m.window }
+
+// snap reads one tenant's counters into exported form.
+func (u *usage) snap() Usage {
+	return Usage{
+		Requests:      u.requests.Load(),
+		Images:        u.images.Load(),
+		Shed:          u.shed.Load(),
+		QuotaRejected: u.quotaRejected.Load(),
+		ModelSeconds:  float64(u.modelMicros.Load()) / 1e6,
+		Weight:        u.spec.Weight,
+	}
+}
+
+// Snapshot exports every tenant with recorded usage or a non-default
+// spec. The idle anonymous tenant is elided so single-tenant servers
+// keep their pre-tenant stats surface.
+func (m *Meter) Snapshot() map[string]Usage {
+	m.mu.RLock()
+	out := make(map[string]Usage, len(m.tenants))
+	for id, u := range m.tenants {
+		s := u.snap()
+		if id == "" && s == (Usage{Weight: 1}) {
+			continue
+		}
+		out[id] = s
+	}
+	m.mu.RUnlock()
+	return out
+}
+
+// IDs returns the known tenant IDs in sorted order (for deterministic
+// reporting).
+func (m *Meter) IDs() []string {
+	m.mu.RLock()
+	ids := make([]string, 0, len(m.tenants))
+	for id := range m.tenants {
+		ids = append(ids, id)
+	}
+	m.mu.RUnlock()
+	sort.Strings(ids)
+	return ids
+}

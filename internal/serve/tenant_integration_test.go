@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/serve/tenant"
+	"repro/internal/tensor"
+)
+
+// tenantSubmit places one single-image request for a tenant through
+// the unified submission path with a priority-only SLO, so pools use
+// bounded (try) admission instead of blocking — the saturation tests
+// need sheds, not stalls.
+func tenantSubmit(t *testing.T, s *Server, target, tid string, seed uint64) error {
+	t.Helper()
+	_, err := s.submitRequest(context.Background(), Request{
+		Target: target,
+		Tenant: tid,
+		Images: []*tensor.Tensor{testImage(seed)},
+		SLO:    SLO{Priority: 1},
+	})
+	return err
+}
+
+// TestTenantQuotaThroughSubmission: a tenant with a two-request budget
+// gets exactly two admissions per window; the third is a typed quota
+// rejection, distinct from overload, and the metered snapshot accounts
+// for all three outcomes.
+func TestTenantQuotaThroughSubmission(t *testing.T) {
+	s := newTestServer(t, Config{
+		Stacks:   []StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}},
+		Replicas: 1, MaxBatch: 4, MaxDelay: time.Millisecond,
+		Tenants: &TenantConfig{
+			Window:  time.Hour,
+			Tenants: map[string]TenantSpec{"capped": {RequestsPerSec: 2.0 / 3600}},
+		},
+	})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		resp, err := s.Do(ctx, Request{Target: "m", Tenant: "capped", Images: []*tensor.Tensor{testImage(uint64(i))}})
+		if err != nil {
+			t.Fatalf("request %d within budget refused: %v", i, err)
+		}
+		if _, err := resp.Wait(ctx); err != nil {
+			t.Fatalf("request %d failed: %v", i, err)
+		}
+	}
+	_, err := s.Do(ctx, Request{Target: "m", Tenant: "capped", Images: []*tensor.Tensor{testImage(9)}})
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("request beyond budget: err = %v, want ErrQuotaExceeded", err)
+	}
+	if errors.Is(err, ErrOverloaded) {
+		t.Fatal("quota rejection matches ErrOverloaded: the cluster would retry it on another member")
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("quota error is %T, want *QuotaError", err)
+	}
+	if qe.Tenant != "capped" || qe.Resource != "requests" {
+		t.Fatalf("QuotaError = %+v, want tenant=capped resource=requests", qe)
+	}
+	if qe.RetryAfter <= 0 || qe.RetryAfter > time.Hour {
+		t.Fatalf("RetryAfter = %v, want within (0, window]", qe.RetryAfter)
+	}
+
+	// An uncapped tenant is untouched by the rival's spent budget.
+	if err := tenantSubmit(t, s, "m", "other", 20); err != nil {
+		t.Fatalf("uncapped tenant refused: %v", err)
+	}
+
+	u := s.Snapshot().Tenants
+	if got := u["capped"]; got.Requests != 2 || got.QuotaRejected != 1 {
+		t.Fatalf("capped usage = %+v, want requests=2 quotaRejected=1", got)
+	}
+	if got := u["other"]; got.Requests != 1 {
+		t.Fatalf("other usage = %+v, want requests=1", got)
+	}
+}
+
+// TestTenantFairAdmissionUnderSaturation: a hot tenant that has filled
+// the queue does not lock lighter tenants out. The weighted share gate
+// sheds the hog at its slice while a background tenant still admits —
+// the admission half of the DRR fairness story (the dequeue half is
+// pinned by the intake tests).
+func TestTenantFairAdmissionUnderSaturation(t *testing.T) {
+	const capacity = 8
+	s, err := New(Config{
+		Stacks:   []StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}},
+		Replicas: 1, MaxBatch: 64, MaxDelay: time.Hour, QueueCap: capacity,
+		Tenants: &TenantConfig{
+			Tenants: map[string]TenantSpec{"hot": {Weight: 3}, "bg": {Weight: 1}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alone, the hot tenant owns the whole queue — single-tenant
+	// admission semantics are unchanged by the tenant tier.
+	for i := 0; i < capacity; i++ {
+		if err := tenantSubmit(t, s, "m", "hot", uint64(i)); err != nil {
+			t.Fatalf("hot request %d within capacity refused: %v", i, err)
+		}
+	}
+	if err := tenantSubmit(t, s, "m", "hot", 100); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("hot request beyond capacity: err = %v, want ErrOverloaded", err)
+	}
+	// The background tenant activates against the full queue and still
+	// admits up to its weight share (8 × 1⁄4 = 2): fair admission, where
+	// the old FIFO gate would have shed it outright.
+	for i := 0; i < 2; i++ {
+		if err := tenantSubmit(t, s, "m", "bg", uint64(200+i)); err != nil {
+			t.Fatalf("background request %d refused despite free share: %v", i, err)
+		}
+	}
+	if err := tenantSubmit(t, s, "m", "bg", 300); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("background request beyond share: err = %v, want ErrOverloaded", err)
+	}
+	// Once both are active the hog is held to its own share too.
+	if err := tenantSubmit(t, s, "m", "hot", 101); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("hot request with rival active: err = %v, want ErrOverloaded", err)
+	}
+
+	s.Close() // the drain answers everything admitted above
+
+	u := s.TenantUsageSnapshot()
+	if got := u["hot"]; got.Requests != capacity || got.Shed != 2 {
+		t.Fatalf("hot usage = %+v, want requests=%d shed=2", got, capacity)
+	}
+	if got := u["bg"]; got.Requests != 2 || got.Shed != 1 {
+		t.Fatalf("bg usage = %+v, want requests=2 shed=1", got)
+	}
+	// Model-seconds were charged from measured batch time on the drain.
+	if u["hot"].ModelSeconds <= 0 {
+		t.Fatalf("hot model-seconds = %v, want > 0 after execution", u["hot"].ModelSeconds)
+	}
+}
+
+// TestTenantUsageSurvivesServerRestart: the usage ledger written at
+// Close is restored on the next boot, and counters keep growing
+// monotonically across generations.
+func TestTenantUsageSurvivesServerRestart(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "usage", "tenants.json")
+	cfg := func() Config {
+		return Config{
+			Stacks:   []StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}},
+			Replicas: 1, MaxBatch: 4, MaxDelay: time.Millisecond,
+			Tenants: &TenantConfig{
+				UsageFile:        file,
+				SnapshotInterval: -1, // only the shutdown save writes
+				Tenants:          map[string]TenantSpec{"acme": {Weight: 2}},
+			},
+		}
+	}
+	serveN := func(n int) *Server {
+		s, err := New(cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		for i := 0; i < n; i++ {
+			resp, err := s.Do(ctx, Request{Target: "m", Tenant: "acme", Images: []*tensor.Tensor{testImage(uint64(i))}})
+			if err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			if _, err := resp.Wait(ctx); err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+		}
+		return s
+	}
+
+	s := serveN(3)
+	s.Close()
+
+	s = serveN(2)
+	if got := s.TenantUsageSnapshot()["acme"].Requests; got != 5 {
+		s.Close()
+		t.Fatalf("after restart and 2 more requests: requests = %d, want 5 (3 restored + 2)", got)
+	}
+	before := s.TenantUsageSnapshot()["acme"].ModelSeconds
+	s.Close()
+
+	// Third generation: nothing served, the restored baseline alone.
+	s, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := s.TenantUsageSnapshot()["acme"]
+	if got.Requests != 5 {
+		t.Fatalf("cold-boot restored requests = %d, want 5", got.Requests)
+	}
+	if got.ModelSeconds < before {
+		t.Fatalf("model-seconds regressed across restart: %v < %v", got.ModelSeconds, before)
+	}
+}
+
+// TestTenantIDValidatedAtSubmission: malformed identities are rejected
+// before any placement or metering work.
+func TestTenantIDValidatedAtSubmission(t *testing.T) {
+	s := newTestServer(t, Config{
+		Stacks:   []StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}},
+		Replicas: 1, MaxBatch: 4, MaxDelay: time.Millisecond,
+	})
+	for _, id := range []string{"evil\x00corp", "tab\ttenant", string(make([]byte, tenant.MaxIDLen+1))} {
+		if _, err := s.Do(context.Background(), Request{
+			Target: "m", Tenant: id, Images: []*tensor.Tensor{testImage(1)},
+		}); err == nil {
+			t.Fatalf("tenant id %q accepted, want rejection", id)
+		}
+	}
+	if len(s.Snapshot().Tenants) != 0 {
+		t.Fatal("rejected identities left metering residue")
+	}
+}

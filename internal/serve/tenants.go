@@ -1,0 +1,44 @@
+package serve
+
+import "repro/internal/serve/tenant"
+
+// Tenant surface re-exports. The tenant package is the subsystem
+// (metering, quotas, fairness weights, usage persistence); serve is
+// where requests carry the identity, so the types and sentinels
+// callers and transports match against live here too.
+
+// ErrQuotaExceeded is the errors.Is sentinel for per-tenant quota
+// rejections. It is deliberately distinct from ErrOverloaded: overload
+// says "the server is full, retry (or retry elsewhere)", quota says
+// "this tenant's budget is spent everywhere until the window turns
+// over" — transports map it to HTTP 429 with a `quota` code, and the
+// cluster must surface it without retrying another member.
+var ErrQuotaExceeded = tenant.ErrQuotaExceeded
+
+// QuotaError is the typed quota rejection (tenant, exhausted resource,
+// window refill hint); matches ErrQuotaExceeded under errors.Is.
+type QuotaError = tenant.QuotaError
+
+// TenantConfig configures the server's tenant subsystem (Config.Tenants).
+type TenantConfig = tenant.Config
+
+// TenantSpec is one configured tenant: weight and quota limits.
+type TenantSpec = tenant.Spec
+
+// TenantUsage is one tenant's cumulative usage snapshot, as exported
+// through ServerStats.Tenants and the persisted usage file.
+type TenantUsage = tenant.Usage
+
+// MaxTenantIDLen is the byte-length cap on tenant IDs.
+const MaxTenantIDLen = tenant.MaxIDLen
+
+// ValidateTenantID enforces the tenant-identity rules (≤ MaxTenantIDLen
+// bytes, no control characters) at transport boundaries; the empty
+// string — the anonymous default tenant — is valid.
+func ValidateTenantID(id string) error { return tenant.ValidateID(id) }
+
+// TenantUsageSnapshot exports the server's live per-tenant usage — the
+// same view ServerStats.Tenants carries.
+func (s *Server) TenantUsageSnapshot() map[string]TenantUsage {
+	return s.meter.Snapshot()
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/serve/tenant"
 	"repro/internal/tensor"
 )
 
@@ -17,16 +18,18 @@ type request struct {
 	img *tensor.Tensor // flat C*H*W payload, already validated
 	enq time.Time
 	fut *Future
+	tq  *tenantQueue // owning tenant sub-queue, set at enqueue
 }
 
-// pool serves one stack configuration: a request queue, a batcher, and
-// Replicas workers each owning a private core.Instance.
+// pool serves one stack configuration: a weighted-fair intake, a
+// batcher, and Replicas workers each owning a private core.Instance.
 type pool struct {
 	name  string
 	cfg   Config
 	insts []*core.Instance
+	meter *tenant.Meter
 
-	queue   chan *request
+	intake  *intake
 	batches chan []*request
 
 	mu      sync.Mutex // guards closed against concurrent submit/close
@@ -89,8 +92,10 @@ func measurePlanSeconds(inst *core.Instance) float64 {
 }
 
 // newPool instantiates the stack Replicas times and starts the batcher
-// and worker goroutines.
-func newPool(name string, stack core.Config, cfg Config) (*pool, error) {
+// and worker goroutines. The meter supplies tenant weights for the
+// DRR intake and absorbs the pool's per-batch model-second charges; a
+// nil meter gets a default (anonymous-only, no limits) one.
+func newPool(name string, stack core.Config, cfg Config, meter *tenant.Meter) (*pool, error) {
 	proto, err := core.Instantiate(stack)
 	if err != nil {
 		return nil, err
@@ -103,11 +108,15 @@ func newPool(name string, stack core.Config, cfg Config) (*pool, error) {
 		}
 		insts = append(insts, rep)
 	}
+	if meter == nil {
+		meter, _ = tenant.NewMeter(tenant.Config{})
+	}
 	p := &pool{
 		name:         name,
 		cfg:          cfg,
 		insts:        insts,
-		queue:        make(chan *request, cfg.QueueCap),
+		meter:        meter,
+		intake:       newIntake(cfg.QueueCap, meter.Weight),
 		batches:      make(chan []*request),
 		drained:      make(chan struct{}),
 		lat:          metrics.NewLatencyRecorder(cfg.LatencyWindow),
@@ -128,10 +137,10 @@ func newPool(name string, stack core.Config, cfg Config) (*pool, error) {
 	return p, nil
 }
 
-// submit validates the image and enqueues it, blocking (under ctx) when
-// the queue is full.
-func (p *pool) submit(ctx context.Context, img *tensor.Tensor) (*Future, error) {
-	futs, err := p.submitMany(ctx, []*tensor.Tensor{img})
+// submit validates the image and enqueues it for tenant tid, blocking
+// (under ctx) when the queue is full.
+func (p *pool) submit(ctx context.Context, tid string, img *tensor.Tensor) (*Future, error) {
+	futs, err := p.submitMany(ctx, tid, []*tensor.Tensor{img})
 	if err != nil {
 		return nil, err
 	}
@@ -141,11 +150,12 @@ func (p *pool) submit(ctx context.Context, img *tensor.Tensor) (*Future, error) 
 // submitMany validates and enqueues a group of images as consecutive
 // requests — one enqueue burst, one future per image. Back-to-back
 // enqueueing is what lets the batcher coalesce a multi-image request
-// into as few forward passes as MaxBatch allows. Sends block (under
-// ctx) when the queue is full; on a ctx abort the images enqueued so
-// far stay accepted and execute (their futures are simply abandoned),
-// exactly like a single accepted submission whose waiter gives up.
-func (p *pool) submitMany(ctx context.Context, imgs []*tensor.Tensor) ([]*Future, error) {
+// into as few forward passes as MaxBatch allows. Enqueues block (under
+// ctx) when the intake is at capacity; on a ctx abort the images
+// enqueued so far stay accepted and execute (their futures are simply
+// abandoned), exactly like a single accepted submission whose waiter
+// gives up.
+func (p *pool) submitMany(ctx context.Context, tid string, imgs []*tensor.Tensor) ([]*Future, error) {
 	for _, img := range imgs {
 		if err := p.checkShape(img); err != nil {
 			return nil, err
@@ -154,10 +164,10 @@ func (p *pool) submitMany(ctx context.Context, imgs []*tensor.Tensor) ([]*Future
 
 	// Registering in subs under the same lock as the closed check lets
 	// close() order itself after every admitted submitter: it flips
-	// closed, waits for subs to drain, and only then closes the queue
-	// channel — so no send below can hit a closed channel. Senders
-	// blocked on a full queue make progress because the batcher keeps
-	// consuming until the channel is closed.
+	// closed, waits for subs to drain, and only then closes the intake
+	// — so no push below can land after close. Submitters blocked on a
+	// full intake make progress because the batcher keeps popping until
+	// the intake is closed.
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -170,35 +180,34 @@ func (p *pool) submitMany(ctx context.Context, imgs []*tensor.Tensor) ([]*Future
 	futs := make([]*Future, len(imgs))
 	for i, img := range imgs {
 		r := &request{img: img, enq: time.Now(), fut: newFuture()}
-		// pending is raised before the send (and lowered again on a
+		// pending is raised before the push (and lowered again on a
 		// context abort) so it always bounds the true in-flight count
-		// from above: a batch that executes between send and a late
+		// from above: a batch that executes between push and a late
 		// increment would otherwise drive the counter transiently
 		// negative.
 		p.pending.Add(1)
-		select {
-		case p.queue <- r:
-			futs[i] = r.fut
-		case <-ctx.Done():
+		if err := p.intake.put(ctx, tid, r); err != nil {
 			p.pending.Add(-1)
 			if i > 0 {
 				return nil, fmt.Errorf("serve: %s: %d of %d images enqueued before abort: %w",
-					p.name, i, len(imgs), ctx.Err())
+					p.name, i, len(imgs), err)
 			}
-			return nil, ctx.Err()
+			return nil, err
 		}
+		futs[i] = r.fut
 	}
 	return futs, nil
 }
 
 // trySubmit is the admission-controlled variant of submit the router
-// uses: it never blocks on a full pool. Load beyond the queue capacity
-// — counting both the queue channel and requests already coalescing in
-// the batcher's open batch — is refused with an *OverloadedError whose
-// RetryAfter estimates the current backlog's drain time, so callers
-// shed (or spill to another variant) instead of piling up unboundedly.
-func (p *pool) trySubmit(img *tensor.Tensor) (*Future, error) {
-	futs, err := p.trySubmitMany([]*tensor.Tensor{img})
+// uses: it never blocks on a full pool. Load beyond the tenant's share
+// of the queue capacity — counting both the queued requests and those
+// already coalescing in the batcher's open batch — is refused with an
+// *OverloadedError whose RetryAfter estimates the current backlog's
+// drain time, so callers shed (or spill to another variant) instead of
+// piling up unboundedly.
+func (p *pool) trySubmit(tid string, img *tensor.Tensor) (*Future, error) {
+	futs, err := p.trySubmitMany(tid, []*tensor.Tensor{img})
 	if err != nil {
 		return nil, err
 	}
@@ -206,9 +215,12 @@ func (p *pool) trySubmit(img *tensor.Tensor) (*Future, error) {
 }
 
 // trySubmitMany is the admission-controlled group enqueue: the whole
-// group is admitted against QueueCap at once (pending + N ≤ cap) or
-// refused as a unit, so a multi-image request is never half-shed.
-func (p *pool) trySubmitMany(imgs []*tensor.Tensor) ([]*Future, error) {
+// group is admitted against the tenant's live capacity share at once
+// (tenant in-flight + N ≤ share, where share = QueueCap × weight /
+// active weight — exactly QueueCap when the tenant is alone) or
+// refused as a unit, so a multi-image request is never half-shed and a
+// saturating tenant sheds at its share while others still admit.
+func (p *pool) trySubmitMany(tid string, imgs []*tensor.Tensor) ([]*Future, error) {
 	for _, img := range imgs {
 		if err := p.checkShape(img); err != nil {
 			return nil, err
@@ -224,40 +236,23 @@ func (p *pool) trySubmitMany(imgs []*tensor.Tensor) ([]*Future, error) {
 	p.mu.Unlock()
 	defer p.subs.Done()
 
-	// The pending gate bounds admitted-but-unexecuted load at QueueCap
-	// even though up to MaxBatch of it has already left the channel for
-	// the batcher's open batch; the non-blocking send is the backstop
-	// for a gated admit racing a full channel.
+	// pending (the pool-wide inclusive depth behind the router's live
+	// gate and RetryAfter estimates) is raised before admission and
+	// rolled back on refusal, bounding the true in-flight count from
+	// above as in submitMany.
 	n := int64(len(imgs))
-	if p.pending.Add(n) > int64(p.cfg.QueueCap) {
+	reqs := make([]*request, len(imgs))
+	futs := make([]*Future, len(imgs))
+	now := time.Now()
+	for i, img := range imgs {
+		r := &request{img: img, enq: now, fut: newFuture()}
+		reqs[i] = r
+		futs[i] = r.fut
+	}
+	p.pending.Add(n)
+	if !p.intake.tryPut(tid, reqs) {
 		p.pending.Add(-n)
 		return nil, p.overloaded()
-	}
-	futs := make([]*Future, len(imgs))
-	for i, img := range imgs {
-		r := &request{img: img, enq: time.Now(), fut: newFuture()}
-		select {
-		case p.queue <- r:
-			futs[i] = r.fut
-		default:
-			// Blocking direct submitters raced the gated admission to the
-			// channel slots.
-			if i == 0 {
-				// Nothing sent yet: shed cleanly, rolling the whole
-				// reservation back — admission stays all-or-nothing.
-				p.pending.Add(-n)
-				return nil, p.overloaded()
-			}
-			// Mid-group, the group is already admitted under the cap and
-			// partially enqueued; shedding now would strand executed
-			// images (and let a router re-place the group elsewhere,
-			// duplicating work). Finish with a blocking send instead:
-			// the batcher consumes until the channel closes, and close()
-			// waits on our subs registration before closing it, so the
-			// send always completes.
-			p.queue <- r
-			futs[i] = r.fut
-		}
 	}
 	return futs, nil
 }
@@ -363,9 +358,13 @@ func (p *pool) workerLoop(inst *core.Instance) {
 // once either way.
 func (p *pool) runBatch(inst *core.Instance, batch []*request) {
 	n := len(batch)
-	// These requests are now executing, not waiting: admission depth and
-	// RetryAfter estimates stop counting them.
+	// These requests are now executing, not waiting: admission depth,
+	// RetryAfter estimates and the tenants' capacity shares stop
+	// counting them.
 	p.pending.Add(-int64(n))
+	for _, r := range batch {
+		r.tq.pending.Add(-1)
+	}
 	res, err := p.runGuarded(inst, batch)
 	if err == nil && (res.Output.NumElements() == 0 || res.Output.NumElements()%n != 0) {
 		err = fmt.Errorf("serve: %s: engine returned %d outputs for a batch of %d",
@@ -418,6 +417,13 @@ func (p *pool) runBatch(inst *core.Instance, batch []*request) {
 	p.batchNanos.Add(int64(res.Elapsed))
 	p.batchesTimed.Add(1)
 	p.batchesDone.Add(1)
+	// Bill the batch's measured wall time to its tenants in equal
+	// per-image shares: batching amortises cost, so tenants sharing a
+	// batch split it rather than each paying the full pass.
+	per := res.Elapsed.Seconds() / float64(n)
+	for _, r := range batch {
+		p.meter.ChargeModelSeconds(r.tq.id, per)
+	}
 	for i, r := range batch {
 		row := tensor.New(1, classes)
 		copy(row.Data(), out[i*classes:(i+1)*classes])
@@ -461,7 +467,7 @@ func (p *pool) runGuarded(inst *core.Instance, batch []*request) (res core.RunRe
 }
 
 // close refuses new submissions, waits out in-flight submitters, lets
-// the batcher drain the queue (flushing a final partial batch), and
+// the batcher drain the intake (flushing a final partial batch), and
 // waits for the workers to finish every accepted request. Concurrent
 // callers all block until the drain has completed — losing the race to
 // initiate shutdown still means winning the guarantee it provides.
@@ -475,7 +481,7 @@ func (p *pool) close() {
 	p.closed = true
 	p.mu.Unlock()
 	p.subs.Wait()
-	close(p.queue)
+	p.intake.close()
 	p.wg.Wait()
 	close(p.drained)
 }
