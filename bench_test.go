@@ -12,6 +12,8 @@ package dlis
 import (
 	"context"
 	"fmt"
+	"net"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -554,4 +556,114 @@ func BenchmarkDeepCompressionStorage(b *testing.B) {
 		ratio = float64(st.Dense) / float64(st.Huffman)
 	}
 	b.ReportMetric(ratio, "compression-x")
+}
+
+// BenchmarkTransportParity measures the wire overhead of every client
+// transport against the in-process LocalClient on one loopback host:
+// the same pool, the same closed loop (8 concurrent callers), the same
+// images — only the transport changes. The DLW2 rows are the
+// acceptance gate for the multiplexed session protocol: the mux path
+// must land within ~1% of LocalClient and strictly above HTTP/1
+// (EXPERIMENTS.md, transport section). The pipeline row replaces the
+// closed loop with ONE streaming session keeping a 32-request window
+// in flight — a single connection, single submitter saturating the
+// backend.
+func BenchmarkTransportParity(b *testing.B) {
+	cfg := DefaultServerConfig()
+	cfg.Stacks = []ServerStack{{Name: "m", Stack: StackConfig{
+		Model: "mini-vgg", Technique: Plain,
+		Backend: OMP, Threads: 1, Platform: "odroid-xu4", Seed: 1,
+	}}}
+	cfg.Replicas, cfg.MaxBatch, cfg.MaxDelay = 2, 4, time.Millisecond
+	srv, err := NewServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(NewHTTPHandler(srv, 0))
+	defer ts.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ml := NewMuxListener(srv, MuxListenerConfig{MaxInFlight: 256})
+	go ml.Serve(ln)
+	defer ml.Close()
+
+	const clients = 8
+	imgs := make([]*Tensor, clients)
+	for c := range imgs {
+		imgs[c] = NewImage(1, 32, 32, uint64(2*c+1))
+	}
+	ctx := context.Background()
+
+	closed := func(b *testing.B, client Client) {
+		var budget atomic.Int64
+		budget.Store(int64(b.N))
+		b.ResetTimer()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				req := Request{Target: "m", Images: []*Tensor{imgs[c]}}
+				for budget.Add(-1) >= 0 {
+					if _, err := client.InferSync(ctx, req); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/s")
+	}
+
+	b.Run("local", func(b *testing.B) {
+		// Note: not Closed — the LocalClient owns the server shutdown.
+		closed(b, NewLocalClient(srv))
+	})
+	b.Run("http", func(b *testing.B) {
+		client := NewHTTPClient(ts.URL)
+		defer client.Close()
+		closed(b, client)
+	})
+	b.Run("dlw2", func(b *testing.B) {
+		client := NewMuxClient(ln.Addr().String())
+		defer client.Close()
+		closed(b, client)
+	})
+	b.Run("dlw2-pipeline", func(b *testing.B) {
+		client := NewMuxClient(ln.Addr().String())
+		defer client.Close()
+		sess, err := client.Session(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		req := Request{Target: "m", Images: []*Tensor{imgs[0]}}
+		const window = 32
+		b.ResetTimer()
+		start := time.Now()
+		inflight := 0
+		for done := 0; done < b.N; {
+			for inflight < window && done+inflight < b.N {
+				if _, err := sess.Send(req); err != nil {
+					b.Fatal(err)
+				}
+				inflight++
+			}
+			res, err := sess.Recv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			inflight--
+			done++
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/s")
+	})
 }

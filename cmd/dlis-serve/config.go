@@ -41,8 +41,10 @@ type flagValues struct {
 	queueCap   int
 	tenants    string
 	listen     string
+	muxListen  string
 	connect    string
 	cluster    string
+	pipeline   int
 	tunerCache string
 }
 
@@ -70,8 +72,10 @@ func defineFlags(fs *flag.FlagSet) *flagValues {
 	fs.IntVar(&v.queueCap, "queuecap", 0, "per-pool admission queue capacity (0 = replicas*batch*4); routed traffic beyond it is shed with a RetryAfter hint")
 	fs.StringVar(&v.tenants, "tenants", "", "synthetic tenant mix N[:w1,...,wN]: split clients and requests across tenants t0..tN-1 proportionally to weight; hosting modes register the same tenants with matching fair-share weights")
 	fs.StringVar(&v.listen, "listen", "", "serve the configured stacks over HTTP on this address (e.g. :8080) instead of running the load generator")
-	fs.StringVar(&v.connect, "connect", "", "drive a remote dlis HTTP server at this address (e.g. host:8080) instead of building one in-process")
-	fs.StringVar(&v.cluster, "cluster", "", "comma-separated dlis HTTP backend addresses (host1:8080,host2:8080,...); run the load generator over the fleet through one cluster client")
+	fs.StringVar(&v.muxListen, "muxlisten", "", "serve the configured stacks over the DLW2 multiplexed session protocol on this address (e.g. :8091); combines with -listen for a dual-protocol server")
+	fs.StringVar(&v.connect, "connect", "", "drive a remote dlis server at this address instead of building one in-process; dlw2://host:port pins the mux transport, http://host:port pins HTTP, a bare host:port prefers mux with HTTP fallback")
+	fs.StringVar(&v.cluster, "cluster", "", "comma-separated dlis backend addresses (scheme rules as -connect); run the load generator over the fleet through one cluster client")
+	fs.IntVar(&v.pipeline, "pipeline", 0, "streaming-session load mode: keep this many requests in flight per target over one pipelined session instead of -clients closed loops")
 	fs.StringVar(&v.tunerCache, "tunercache", "", "directory for the persistent algorithm-tuner cache; warm starts load timed per-geometry kernel verdicts instead of re-timing them")
 	return v
 }
@@ -121,7 +125,7 @@ func flagConfig(v *flagValues) (*dlis.FleetConfig, error) {
 		return nil, err
 	}
 	cfg := &dlis.FleetConfig{
-		Server: &dlis.FleetServer{Listen: v.listen, MemLimitMB: v.memlimitMB, Seed: v.seed, TunerCache: v.tunerCache},
+		Server: &dlis.FleetServer{Listen: v.listen, MuxListen: v.muxListen, MemLimitMB: v.memlimitMB, Seed: v.seed, TunerCache: v.tunerCache},
 		Pool:   poolFromFlags(v),
 	}
 	if v.cluster != "" {
@@ -133,7 +137,7 @@ func flagConfig(v *flagValues) (*dlis.FleetConfig, error) {
 		// load loop — tenancy is enforced by the remote fleet's config.
 		cfg.Load = &dlis.FleetLoad{
 			Connect: v.connect, Targets: targets,
-			Clients: v.clients, Requests: v.requests, SLO: slo,
+			Clients: v.clients, Requests: v.requests, Pipeline: v.pipeline, SLO: slo,
 		}
 		return cfg, nil
 	}
@@ -149,10 +153,10 @@ func flagConfig(v *flagValues) (*dlis.FleetConfig, error) {
 		cfg.Models[i].AutoAlgo = v.auto
 		cfg.Models[i].Platform = v.platform
 	}
-	if v.listen == "" {
+	if v.listen == "" && v.muxListen == "" {
 		// Targets stay empty: Resolve derives every hosted routing name,
 		// which is exactly the declared model/endpoint list.
-		cfg.Load = &dlis.FleetLoad{Clients: v.clients, Requests: v.requests, SLO: slo}
+		cfg.Load = &dlis.FleetLoad{Clients: v.clients, Requests: v.requests, Pipeline: v.pipeline, SLO: slo}
 	}
 	return cfg, nil
 }
@@ -228,6 +232,10 @@ func applyFlagOverrides(cfg *dlis.FleetConfig, v *flagValues, set map[string]boo
 		ensureServer()
 		cfg.Server.Listen = v.listen
 	}
+	if set["muxlisten"] {
+		ensureServer()
+		cfg.Server.MuxListen = v.muxListen
+	}
 	if set["seed"] {
 		ensureServer()
 		cfg.Server.Seed = v.seed
@@ -277,6 +285,10 @@ func applyFlagOverrides(cfg *dlis.FleetConfig, v *flagValues, set map[string]boo
 	if set["requests"] {
 		ensureLoad()
 		cfg.Load.Requests = v.requests
+	}
+	if set["pipeline"] {
+		ensureLoad()
+		cfg.Load.Pipeline = v.pipeline
 	}
 	if set["slo"] {
 		slo, err := parseFleetSLO(v.slo)

@@ -12,8 +12,11 @@
 //	dlis-serve -model resnet18 -variants plain,weight-pruning,quantisation \
 //	           -slo acc=90,lat=500ms,prio=1
 //	dlis-serve -model mini-vgg -listen :8080            # HTTP server mode
+//	dlis-serve -model mini-vgg -muxlisten :8091         # DLW2 session server
+//	dlis-serve -model mini-vgg -listen :8080 -muxlisten :8091 # both protocols
 //	dlis-serve -connect host:8080 -model mini-vgg/plain # remote load gen
-//	dlis-serve -cluster host1:8080,host2:8080 -model mini-vgg/plain
+//	dlis-serve -connect dlw2://host:8091 -model mini-vgg/plain -pipeline 32
+//	dlis-serve -cluster host1:8080,dlw2://host2:8091 -model mini-vgg/plain
 //	dlis-serve -config fleet.json                       # declarative topology
 //	dlis-serve -config fleet.json -dryrun               # print resolved topology
 //	dlis-serve -model mini-vgg -tenants 2:10,1          # skewed multi-tenant mix
@@ -33,11 +36,16 @@
 // own pool (routing key "<model>/<technique>") and the load generator
 // drives a LocalClient. With -listen the process only serves: the same
 // pools (or -variants endpoints) are exposed over HTTP at /v1/infer,
-// /v1/models and /v1/stats until SIGINT/SIGTERM drains them. With
-// -connect the process only generates load: -model names the remote
-// routing targets (pools or endpoints — discovered via /v1/models,
-// which also supplies the input geometry), and the report is built
-// from the remote statistics. With -cluster the load generator fronts
+// /v1/models and /v1/stats until SIGINT/SIGTERM drains them;
+// -muxlisten additionally (or instead) serves the DLW2 multiplexed
+// session protocol on its own port, and a drain covers both listeners.
+// With -connect the process only generates load: -model names the
+// remote routing targets (pools or endpoints — discovered via the
+// models call, which also supplies the input geometry), and the report
+// is built from the remote statistics. The connect string picks the
+// transport: dlw2://host:port pins DLW2, http://host:port pins HTTP,
+// and a bare host:port probes for DLW2 with HTTP fallback. With
+// -cluster the load generator fronts
 // a whole fleet of -listen backends through one dlis.Cluster client:
 // placement is least-loaded power-of-two-choices over the healthy
 // members, a backend dying mid-run fails over to the survivors, and
@@ -47,6 +55,14 @@
 // — until -requests requests per target have completed. Overloaded
 // responses (HTTP 429 with Retry-After, in-process ErrServerOverloaded
 // with the same hint) make the client back off and retry.
+//
+// With -pipeline N the closed loops are replaced by one streaming
+// session per target (and tenant): the generator opens client.Session
+// and keeps N requests in flight over the single pipe, re-issuing as
+// completions stream back. Over dlw2:// this exercises the multiplexed
+// transport the way it is meant to be used — one connection, many
+// outstanding ids, out-of-order completion — and a single process can
+// saturate a remote backend without hundreds of sockets.
 //
 // With -tenants N[:w1,...,wN] the same closed loop runs as a skewed
 // multi-tenant mix: clients and request budgets split across synthetic
@@ -122,6 +138,7 @@ func main() {
 	gen := loadGen{seed: rcfg.Server.Seed}
 	if l := rcfg.Load; l != nil {
 		gen.targets, gen.clients, gen.requests = l.Targets, l.Clients, l.Requests
+		gen.pipeline = l.Pipeline
 		gen.slo = l.SLO.ServeSLO()
 	}
 	if gen.tenants, err = parseTenantMix(fl.tenants); err != nil {
@@ -131,8 +148,9 @@ func main() {
 	switch rcfg.Mode() {
 	case dlis.FleetModeConnect:
 		// Remote mode: no server, no baseline — the wire supplies
-		// discovery, geometry and the final statistics.
-		runRemote(dlis.NewHTTPClient(rcfg.Load.Connect), gen)
+		// discovery, geometry and the final statistics. DialBackend
+		// picks the transport from the connect string's scheme.
+		runRemote(dlis.DialBackend(rcfg.Load.Connect), gen)
 		return
 	case dlis.FleetModeCluster:
 		// Cluster mode: the same load generator, pointed at a fleet of
@@ -226,7 +244,7 @@ func main() {
 	applyMemLimit(srv, rcfg.Server.MemLimitMB)
 
 	if rcfg.Mode() == dlis.FleetModeListen {
-		serveHTTP(srv, rcfg.Server.Listen)
+		serveListen(srv, rcfg.Server.Listen, rcfg.Server.MuxListen)
 		saveTuner() // anything tuned for batch shapes seen only under load
 		return
 	}
@@ -256,33 +274,51 @@ func main() {
 	report(st, gen, srvCfg.MaxBatch, baseline, errCount)
 }
 
-// serveHTTP exposes the server's pools and endpoints over the httpapi
-// routes until a termination signal arrives, then drains gracefully.
-func serveHTTP(srv *dlis.Server, addr string) {
-	hs := &http.Server{Addr: addr, Handler: dlis.NewHTTPHandler(srv, 0)}
-	done := make(chan error, 1)
-	go func() { done <- hs.ListenAndServe() }()
+// serveListen exposes the server over HTTP (httpAddr), DLW2 sessions
+// (muxAddr), or both, until a termination signal arrives, then drains
+// every listener gracefully. At least one address is non-empty — the
+// config validator derives listen mode only when one is set.
+func serveListen(srv *dlis.Server, httpAddr, muxAddr string) {
+	done := make(chan error, 2)
+	var hs *http.Server
+	if httpAddr != "" {
+		hs = &http.Server{Addr: httpAddr, Handler: dlis.NewHTTPHandler(srv, 0)}
+		go func() { done <- hs.ListenAndServe() }()
+		fmt.Printf("serving HTTP on %s (/v1/infer /v1/models /v1/stats); SIGINT drains\n", httpAddr)
+	}
+	var ml *dlis.MuxListener
+	if muxAddr != "" {
+		ml = dlis.NewMuxListener(srv, dlis.MuxListenerConfig{})
+		go func() { done <- ml.ListenAndServe(muxAddr) }()
+		fmt.Printf("serving DLW2 sessions on %s; SIGINT drains\n", muxAddr)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	fmt.Printf("serving HTTP on %s (/v1/infer /v1/models /v1/stats); SIGINT drains\n", addr)
 	select {
 	case err := <-done:
-		fatal(err) // listener died before any signal
+		if err != nil {
+			fatal(err) // a listener died before any signal
+		}
 	case s := <-sig:
 		fmt.Printf("\n%v: draining...\n", s)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	_ = hs.Shutdown(ctx) // stop accepting, finish in-flight exchanges
-	srv.Close()          // drain accepted requests
+	if hs != nil {
+		_ = hs.Shutdown(ctx) // stop accepting, finish in-flight exchanges
+	}
+	if ml != nil {
+		_ = ml.Shutdown(ctx) // goaway every session, wait for the acks
+	}
+	srv.Close() // drain accepted requests
 	fmt.Println("drained")
 }
 
-// runRemote drives a remote server: discovery (with a startup grace
-// period so a just-launched -listen process can finish instantiating),
-// geometry from /v1/models, the shared load loop, and a report built
-// from the remote statistics.
-func runRemote(client *dlis.HTTPClient, gen loadGen) {
+// runRemote drives a remote server over any Client transport:
+// discovery (with a startup grace period so a just-launched -listen
+// process can finish instantiating), geometry from the models call,
+// the shared load loop, and a report built from the remote statistics.
+func runRemote(client dlis.Client, gen loadGen) {
 	ctx := context.Background()
 	var ms []dlis.ModelInfo
 	var err error
@@ -306,8 +342,12 @@ func runRemote(client *dlis.HTTPClient, gen loadGen) {
 			fatal(fmt.Errorf("remote server does not host %q (hosted: %v)", t, names))
 		}
 	}
-	fmt.Printf("dlis-serve: remote load generator → %d target(s), %d clients, %d requests/target\n",
-		len(gen.targets), gen.clients, gen.requests)
+	shape := fmt.Sprintf("%d clients", gen.clients)
+	if gen.pipeline > 0 {
+		shape = fmt.Sprintf("pipeline of %d per session", gen.pipeline)
+	}
+	fmt.Printf("dlis-serve: remote load generator → %d target(s), %s, %d requests/target\n",
+		len(gen.targets), shape, gen.requests)
 	wall, errCount := runLoad(client, gen)
 	fmt.Printf("\nload run complete in %v\n", wall.Round(time.Millisecond))
 	st, err := client.Stats(ctx)
@@ -328,7 +368,9 @@ func runRemote(client *dlis.HTTPClient, gen loadGen) {
 func runCluster(rcfg *dlis.FleetConfig, gen loadGen) {
 	var members []dlis.ClusterMember
 	for _, a := range rcfg.Cluster.Members {
-		members = append(members, dlis.ClusterMember{Name: a, Client: dlis.NewHTTPClient(a)})
+		// DialBackend honours each member's scheme prefix: dlw2:// pins
+		// the mux transport, http:// pins HTTP, bare addresses probe.
+		members = append(members, dlis.ClusterMember{Name: a, Client: dlis.DialBackend(a)})
 	}
 	cl, err := dlis.NewClusterWithConfig(rcfg.ClusterConfig(), members...)
 	if err != nil {
@@ -398,6 +440,7 @@ type loadGen struct {
 	slo      dlis.SLO
 	clients  int
 	requests int
+	pipeline int // >0: streaming sessions with this many requests in flight
 	seed     uint64
 	tenants  []tenantMix
 }
@@ -412,6 +455,10 @@ type loadGen struct {
 // for seconds) and retry; quota rejections consume the request without
 // a retry — the tenant's budget is spent fleet-wide, so there is
 // nothing to retry against; other errors abort that client.
+//
+// With gen.pipeline > 0 the closed loops are replaced by one streaming
+// session per target and tenant that keeps gen.pipeline requests in
+// flight (see pipelineTarget); the error semantics are identical.
 func runLoad(client dlis.Client, gen loadGen) (time.Duration, int64) {
 	ctx := context.Background()
 	shapes := make(map[string][2]int, len(gen.targets))
@@ -448,6 +495,15 @@ func runLoad(client dlis.Client, gen loadGen) (time.Duration, int64) {
 	start := time.Now()
 	for _, name := range gen.targets {
 		for ti := range mix {
+			if gen.pipeline > 0 {
+				ts, budget := stats[ti], reqSplit[ti]
+				wg.Add(1)
+				go func(name string) {
+					defer wg.Done()
+					pipelineTarget(ctx, client, gen, name, shapes[name], ts, budget, &clientErrs)
+				}(name)
+				continue
+			}
 			budget := new(atomic.Int64)
 			budget.Store(int64(reqSplit[ti]))
 			ts := stats[ti]
@@ -500,10 +556,97 @@ func runLoad(client dlis.Client, gen loadGen) (time.Duration, int64) {
 		}
 	}
 	wg.Wait()
+	wall := time.Since(start)
+	// Client-side accounting line, machine-parseable: the smoke scripts
+	// compare transports by this run's own served count and throughput,
+	// which — unlike the server's statistics — does not accumulate
+	// across successive runs against the same backend.
+	var served, quota int64
+	for _, ts := range stats {
+		served += ts.served.Load()
+		quota += ts.quota.Load()
+	}
+	mode := fmt.Sprintf("clients=%d", gen.clients)
+	if gen.pipeline > 0 {
+		mode = fmt.Sprintf("pipeline=%d", gen.pipeline)
+	}
+	fmt.Printf("client loop (%s): served=%d quota=%d wall=%v throughput=%.2f req/s\n",
+		mode, served, quota, wall.Round(time.Millisecond), float64(served)/wall.Seconds())
 	if len(gen.tenants) > 0 {
 		reportTenants(stats)
 	}
-	return time.Since(start), clientErrs.Load()
+	return wall, clientErrs.Load()
+}
+
+// pipelineTarget keeps gen.pipeline requests in flight over one
+// streaming session until budget requests have been consumed. The
+// per-request error semantics mirror the closed loop: an overload shed
+// honours the (bounded) RetryAfter hint and re-issues, a quota
+// rejection consumes the request without a retry, any other failure —
+// including a send or receive error on the session itself — abandons
+// the remaining budget and counts as a client error.
+func pipelineTarget(ctx context.Context, client dlis.Client, gen loadGen, name string, hw [2]int, ts *tenantLoadStats, budget int, clientErrs *atomic.Int64) {
+	if budget <= 0 {
+		return
+	}
+	sess, err := client.Session(ctx)
+	if err != nil {
+		clientErrs.Add(1)
+		fmt.Fprintf(os.Stderr, "dlis-serve: %s session: %v\n", name, err)
+		return
+	}
+	defer sess.Close()
+	img := dlis.NewImage(1, hw[0], hw[1], gen.seed)
+	req := dlis.Request{Target: name, Tenant: ts.mix.Name, Images: []*dlis.Tensor{img}, SLO: gen.slo}
+	inflight := make(map[uint64]time.Time, gen.pipeline)
+	completed := 0
+	for completed < budget {
+		// Top up the window: every unit of budget not yet consumed and
+		// not already on the wire gets (re-)issued.
+		for len(inflight) < gen.pipeline && completed+len(inflight) < budget {
+			id, err := sess.Send(req)
+			if err != nil {
+				clientErrs.Add(1)
+				fmt.Fprintf(os.Stderr, "dlis-serve: %s pipeline send: %v\n", name, err)
+				return
+			}
+			inflight[id] = time.Now()
+		}
+		res, err := sess.Recv()
+		if err != nil {
+			clientErrs.Add(1)
+			fmt.Fprintf(os.Stderr, "dlis-serve: %s pipeline recv: %v\n", name, err)
+			return
+		}
+		sent := inflight[res.ID]
+		delete(inflight, res.ID)
+		switch {
+		case res.Err == nil:
+			ts.served.Add(1)
+			ts.latNanos.Add(int64(time.Since(sent)))
+			completed++
+		case errors.Is(res.Err, dlis.ErrQuotaExceeded):
+			ts.quota.Add(1)
+			completed++
+		case errors.Is(res.Err, dlis.ErrServerOverloaded):
+			// Shed: the unit returns to the to-issue pool and the top-up
+			// loop re-sends it on the next pass, after the hint.
+			ts.retries.Add(1)
+			retry := time.Millisecond
+			var ov *dlis.OverloadedError
+			if errors.As(res.Err, &ov) && ov.RetryAfter > retry {
+				retry = ov.RetryAfter
+			}
+			if max := 50 * time.Millisecond; retry > max {
+				retry = max
+			}
+			time.Sleep(retry)
+		default:
+			clientErrs.Add(1)
+			fmt.Fprintf(os.Stderr, "dlis-serve: %s pipeline: %v\n", name, res.Err)
+			return
+		}
+	}
 }
 
 // report renders the final table from a ServerStats snapshot — the

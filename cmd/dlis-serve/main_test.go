@@ -74,8 +74,11 @@ func TestFlagModeDerivation(t *testing.T) {
 	}{
 		{[]string{"-model", "mini-vgg"}, dlis.FleetModeLocal},
 		{[]string{"-model", "mini-vgg", "-listen", ":8080"}, dlis.FleetModeListen},
+		{[]string{"-model", "mini-vgg", "-muxlisten", ":8091"}, dlis.FleetModeListen},
+		{[]string{"-model", "mini-vgg", "-listen", ":8080", "-muxlisten", ":8091"}, dlis.FleetModeListen},
 		{[]string{"-model", "mini-vgg/plain", "-connect", "127.0.0.1:8080"}, dlis.FleetModeConnect},
-		{[]string{"-model", "mini-vgg/plain", "-cluster", "127.0.0.1:18081"}, dlis.FleetModeCluster},
+		{[]string{"-model", "mini-vgg/plain", "-connect", "dlw2://127.0.0.1:8091", "-pipeline", "32"}, dlis.FleetModeConnect},
+		{[]string{"-model", "mini-vgg/plain", "-cluster", "127.0.0.1:18081,dlw2://127.0.0.1:18091"}, dlis.FleetModeCluster},
 	}
 	for _, tc := range tests {
 		cfg := mustParse(t, tc.args...)
@@ -208,5 +211,45 @@ func TestCIFixturesBootTheGauntlet(t *testing.T) {
 	}
 	if cl.Load.Requests != 600 {
 		t.Errorf("cluster fixture requests = %d; CI asserts served=600", cl.Load.Requests)
+	}
+
+	// The mux-smoke fixture: one dual-protocol backend serving the same
+	// pool over HTTP and DLW2 on distinct ports, so the smoke job can
+	// drive both transports against identical hosting and compare.
+	mx := load("fleet-mux-backend.json").Resolve()
+	if mx.Mode() != dlis.FleetModeListen {
+		t.Fatalf("mux backend must resolve to listen mode, got %v", mx.Mode())
+	}
+	if mx.Server.Listen == "" || mx.Server.MuxListen == "" {
+		t.Fatalf("mux backend must listen on both protocols, got listen=%q muxListen=%q",
+			mx.Server.Listen, mx.Server.MuxListen)
+	}
+	scfg, err := mx.ServerConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosted := map[string]bool{}
+	for _, s := range scfg.Stacks {
+		hosted[s.Key()] = true
+	}
+	if !hosted["mini-vgg/plain"] {
+		t.Errorf("mux backend does not host mini-vgg/plain (stacks %v); the smoke job targets it", scfg.Stacks)
+	}
+}
+
+// TestPipelineFlagThreadsThrough pins the streaming-session load knob:
+// -pipeline must land in the resolved load section and survive the
+// flag-over-file override path.
+func TestPipelineFlagThreadsThrough(t *testing.T) {
+	cfg := mustParse(t, "-model", "mini-vgg", "-pipeline", "32")
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Resolve().Load.Pipeline; got != 32 {
+		t.Errorf("resolved pipeline = %d, want 32", got)
+	}
+	neg := mustParse(t, "-model", "mini-vgg", "-pipeline", "-1")
+	if neg.Validate() == nil {
+		t.Error("negative -pipeline must be rejected by validation")
 	}
 }

@@ -29,6 +29,7 @@ package dlis
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/blas"
 	"repro/internal/core"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/serve/cluster"
 	"repro/internal/serve/fleetcfg"
 	"repro/internal/serve/httpapi"
+	"repro/internal/serve/muxwire"
 	"repro/internal/tensor"
 	"repro/internal/train"
 )
@@ -245,15 +247,16 @@ func DefaultServerConfig() ServerConfig { return serve.DefaultConfig() }
 
 // Transport-agnostic client surface (see DESIGN.md §8): one
 // Request/Response pair over every transport. Client is satisfied by
-// LocalClient (in-process, wrapping a Server) and HTTPClient (the same
-// types over the httpapi wire format), so serving code is written once
-// against Client and pointed at either deployment. The legacy
-// Server.Submit / Infer / Route / RouteInfer methods remain as
-// deprecated shims over this path.
+// LocalClient (in-process, wrapping a Server), HTTPClient (the same
+// types over the httpapi wire format), MuxClient (the DLW2 multiplexed
+// session transport) and Cluster, so serving code is written once
+// against Client and pointed at any deployment. The former
+// Server.Submit / Infer / Route / RouteInfer shims are gone — submit
+// through a Client.
 type (
 	// Client is the transport-agnostic serving API: Infer/InferSync
 	// with a Request, InferBatch for multi-image convenience, plus
-	// Stats, Models and Close.
+	// Stats, Models, Session and Close.
 	Client = serve.Client
 	// Request is one inference request: Target (pool or endpoint
 	// routing name), Images (one or more C×H×W inputs) and an optional
@@ -280,7 +283,79 @@ type (
 	// HTTPHandler exposes a Server over HTTP (/v1/infer, /v1/models,
 	// /v1/stats); it is an http.Handler for any mux or server.
 	HTTPHandler = httpapi.Handler
+	// Session is the streaming half of every Client: Send pipelines
+	// requests without awaiting execution, Recv delivers completions in
+	// completion (not submission) order, matched by the uint64 id Send
+	// returned. Native frames-on-one-connection over MuxClient; an
+	// adapter over the other transports.
+	Session = serve.Session
+	// SessionResult is one Session completion: the id, and either the
+	// Response or the request's typed error.
+	SessionResult = serve.SessionResult
+	// ClientOption is a functional constructor option shared by every
+	// client transport (NewLocalClient, NewHTTPClient, NewMuxClient,
+	// DialBackend): WithTimeout, WithTenant, WithPoolSize.
+	ClientOption = serve.ClientOption
+	// MuxClient is the remote Client over DLW2 — one persistent TCP
+	// connection (a small pool of them) carrying many in-flight
+	// requests as interleaved frames — with pipelined submission,
+	// reconnect-with-backoff, typed-error reconstruction, and native
+	// streaming sessions.
+	MuxClient = muxwire.Client
+	// MuxListener serves a Server over DLW2; construct with
+	// NewMuxListener, run Serve/ListenAndServe, stop with Shutdown
+	// (graceful drain) or Close.
+	MuxListener = muxwire.Listener
+	// MuxListenerConfig tunes a MuxListener (per-session in-flight cap,
+	// request body bound); the zero value uses the defaults.
+	MuxListenerConfig = muxwire.ListenerConfig
 )
+
+// Functional client options, unified across transports. Each transport
+// ignores options it has no use for (PoolSize on a LocalClient, say).
+//
+//	c := dlis.NewMuxClient("backend:18091",
+//	    dlis.WithTimeout(2*time.Second),
+//	    dlis.WithTenant("batch-jobs"),
+//	    dlis.WithPoolSize(4))
+
+// WithTimeout bounds each synchronous call (InferSync, Stats, Models)
+// when the caller's ctx carries no earlier deadline.
+func WithTimeout(d time.Duration) ClientOption { return serve.WithTimeout(d) }
+
+// WithTenant stamps a default tenant identity on requests that do not
+// set one.
+func WithTenant(id string) ClientOption { return serve.WithTenant(id) }
+
+// WithPoolSize sizes a connection-pooling transport's pool.
+func WithPoolSize(n int) ClientOption { return serve.WithPoolSize(n) }
+
+// DLW2Scheme is the connect-string scheme selecting the mux transport
+// ("dlw2://host:port").
+const DLW2Scheme = muxwire.Scheme
+
+// NewMuxClient targets a DLW2 listener at addr ("host:port" or
+// "dlw2://host:port"). Connections are dialed lazily and redialed with
+// backoff; Session opens a dedicated pinned connection for streaming.
+func NewMuxClient(addr string, opts ...ClientOption) *MuxClient {
+	return muxwire.NewClient(addr, opts...)
+}
+
+// NewMuxListener exposes srv over DLW2. The listener does not own the
+// server, so it can share one with an HTTPHandler; Shutdown drains
+// in-flight sessions gracefully.
+func NewMuxListener(srv *Server, cfg MuxListenerConfig) *MuxListener {
+	return muxwire.NewListener(srv, cfg)
+}
+
+// DialBackend builds the Client for a backend connect string:
+// "dlw2://host:port" forces the mux transport, "http://…" forces HTTP,
+// and a bare "host:port" prefers mux with automatic HTTP fallback (the
+// first call probes the port with a DLW2 hello). This is the dial used
+// by cmd/dlis-serve for -connect and cluster members.
+func DialBackend(addr string, opts ...ClientOption) Client {
+	return muxwire.Dial(addr, opts...)
+}
 
 // ErrUnknownTarget is the errors.Is sentinel for requests naming a
 // routing target the server does not host (HTTP 404 over the wire).
@@ -325,11 +400,16 @@ func ValidateTenantID(id string) error { return serve.ValidateTenantID(id) }
 // NewLocalClient wraps a running server in the transport-agnostic
 // Client interface. The client owns the server's shutdown: Close
 // drains it gracefully.
-func NewLocalClient(srv *Server) *LocalClient { return serve.NewLocalClient(srv) }
+func NewLocalClient(srv *Server, opts ...ClientOption) *LocalClient {
+	return serve.NewLocalClient(srv, opts...)
+}
 
 // NewHTTPClient targets a dlis HTTP server at base (e.g.
-// "http://host:8080"); per-call deadlines come from the ctx.
-func NewHTTPClient(base string) *HTTPClient { return httpapi.NewClient(base) }
+// "http://host:8080"); per-call deadlines come from the ctx or
+// WithTimeout.
+func NewHTTPClient(base string, opts ...ClientOption) *HTTPClient {
+	return httpapi.NewClient(base, opts...)
+}
 
 // NewHTTPHandler exposes srv over HTTP. maxBodyBytes bounds request
 // bodies (0 = the 64 MiB default); the caller owns the listener
@@ -339,10 +419,10 @@ func NewHTTPHandler(srv *Server, maxBodyBytes int64) *HTTPHandler {
 }
 
 // Sharded cluster serving tier (see DESIGN.md §9): a Cluster is a
-// Client over a fleet of member backends — any mix of LocalClients and
-// HTTPClients — with a health-checked member table, least-loaded
+// Client over a fleet of member backends — any mix of local, HTTP and
+// DLW2 mux clients — with a health-checked member table, least-loaded
 // (power-of-two-choices) placement, overload retry on the next-best
-// member, and transport-failure failover. NewCluster(members...) is a
+// member, and transport-failure failover. NewCluster(members) is a
 // drop-in replacement for a single server behind the Client interface.
 type (
 	// Cluster is the fleet-level Client; construct with NewCluster.
@@ -358,16 +438,33 @@ type (
 	ClusterStats = cluster.Stats
 	// ClusterMemberStats is one member's entry in ClusterStats.
 	ClusterMemberStats = cluster.MemberStats
+	// ClusterOption is a functional option for NewCluster:
+	// WithProbeInterval, WithProbeTimeout, WithEjectionBackoff.
+	ClusterOption = cluster.Option
 )
 
-// NewCluster assembles a fleet Client over the members with default
-// health checking, probing each member once; members that are down
-// start ejected and are re-admitted automatically when they come up.
-func NewCluster(members ...ClusterMember) (*Cluster, error) {
-	return cluster.New(cluster.Config{}, members...)
+// WithProbeInterval sets the cluster health-probe cadence.
+func WithProbeInterval(d time.Duration) ClusterOption { return cluster.WithProbeInterval(d) }
+
+// WithProbeTimeout bounds one cluster health probe.
+func WithProbeTimeout(d time.Duration) ClusterOption { return cluster.WithProbeTimeout(d) }
+
+// WithEjectionBackoff sets the ejected-member re-probe backoff range.
+func WithEjectionBackoff(base, max time.Duration) ClusterOption {
+	return cluster.WithBackoff(base, max)
 }
 
-// NewClusterWithConfig is NewCluster with explicit health-check tuning.
+// NewCluster assembles a fleet Client over the members, probing each
+// member once; members that are down start ejected and are re-admitted
+// automatically when they come up. Health-check tuning rides in the
+// options tail.
+func NewCluster(members []ClusterMember, opts ...ClusterOption) (*Cluster, error) {
+	return cluster.NewWithOptions(members, opts...)
+}
+
+// NewClusterWithConfig is the config-struct spelling of NewCluster,
+// kept for callers that already hold a ClusterConfig (e.g. one resolved
+// from a fleet file).
 func NewClusterWithConfig(cfg ClusterConfig, members ...ClusterMember) (*Cluster, error) {
 	return cluster.New(cfg, members...)
 }

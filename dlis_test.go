@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"net"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -309,9 +310,10 @@ func TestEndpointPublicAPI(t *testing.T) {
 
 func TestClientPublicAPI(t *testing.T) {
 	// The transport-agnostic Client surface end to end through the
-	// facade: the same Request answered by a LocalClient and by an
-	// HTTPClient over a loopback listener, with identical logits and
-	// with the typed sentinels surviving the wire under errors.Is.
+	// facade: the same Request answered by a LocalClient, by an
+	// HTTPClient over a loopback listener, and by a MuxClient over a
+	// loopback DLW2 session — with identical logits and with the typed
+	// sentinels surviving both wires under errors.Is.
 	base := StackConfig{Model: "mini-vgg", Technique: Plain,
 		Backend: OMP, Threads: 1, Platform: "odroid-xu4", Seed: 1}
 	cfg := DefaultServerConfig()
@@ -327,6 +329,15 @@ func TestClientPublicAPI(t *testing.T) {
 	defer ts.Close()
 	remote := NewHTTPClient(ts.URL)
 	defer remote.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := NewMuxListener(srv, MuxListenerConfig{})
+	go ml.Serve(ln)
+	defer ml.Close()
+	mux := NewMuxClient(ln.Addr().String())
+	defer mux.Close()
 
 	ctx := context.Background()
 	img := NewImage(1, 32, 32, 3)
@@ -335,18 +346,71 @@ func TestClientPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := remote.InferSync(ctx, req)
-	if err != nil {
+	for name, c := range map[string]Client{"remote": remote, "mux": mux} {
+		got, err := c.InferSync(ctx, req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		wf, gf := want.First(), got.First()
+		if wf.Stack != gf.Stack || wf.Class != gf.Class {
+			t.Fatalf("transports disagree: local %s/%d, %s %s/%d", wf.Stack, wf.Class, name, gf.Stack, gf.Class)
+		}
+		for i, v := range wf.Output.Data() {
+			if v != gf.Output.Data()[i] {
+				t.Fatalf("%s logits differ from local logits", name)
+			}
+		}
+	}
+
+	// Session streaming through the facade: Send pipelines without
+	// awaiting, Recv collects in completion order, ids match up — the
+	// same contract in process and over a DLW2 connection.
+	for name, c := range map[string]Client{"local": local, "mux": mux} {
+		sess, err := c.Session(ctx)
+		if err != nil {
+			t.Fatalf("%s session: %v", name, err)
+		}
+		sent := map[uint64]bool{}
+		for i := 0; i < 3; i++ {
+			id, err := sess.Send(req)
+			if err != nil {
+				t.Fatalf("%s send %d: %v", name, i, err)
+			}
+			if sent[id] {
+				t.Fatalf("%s reused session id %d", name, id)
+			}
+			sent[id] = true
+		}
+		for i := 0; i < 3; i++ {
+			res, err := sess.Recv()
+			if err != nil {
+				t.Fatalf("%s recv %d: %v", name, i, err)
+			}
+			if !sent[res.ID] {
+				t.Fatalf("%s recv unknown id %d", name, res.ID)
+			}
+			if res.Err != nil {
+				t.Fatalf("%s session result %d: %v", name, res.ID, res.Err)
+			}
+			if res.Resp.First().Class != want.First().Class {
+				t.Fatalf("%s session logits disagree with sync path", name)
+			}
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatalf("%s session close: %v", name, err)
+		}
+	}
+
+	// The unified option vocabulary: the same slice configures any
+	// transport, and a stamped tenant is visible in the server's meter.
+	opts := []ClientOption{WithTimeout(5 * time.Second), WithTenant("opted"), WithPoolSize(2)}
+	stamped := NewMuxClient(ln.Addr().String(), opts...)
+	if _, err := stamped.InferSync(ctx, req); err != nil {
 		t.Fatal(err)
 	}
-	wf, gf := want.First(), got.First()
-	if wf.Stack != gf.Stack || wf.Class != gf.Class {
-		t.Fatalf("transports disagree: local %s/%d, remote %s/%d", wf.Stack, wf.Class, gf.Stack, gf.Class)
-	}
-	for i, v := range wf.Output.Data() {
-		if v != gf.Output.Data()[i] {
-			t.Fatal("remote logits differ from local logits")
-		}
+	stamped.Close()
+	if st, err := local.Stats(ctx); err != nil || st.Tenants["opted"].Requests == 0 {
+		t.Fatalf("WithTenant stamp not metered: tenants %+v, %v", st.Tenants, err)
 	}
 
 	// Discovery parity: both transports list the same targets.
@@ -362,9 +426,9 @@ func TestClientPublicAPI(t *testing.T) {
 		t.Fatalf("Models disagree: local %+v, remote %+v", lm, rm)
 	}
 
-	// The acceptance contract: typed sentinels hold for HTTPClient
-	// errors exactly as for local ones.
-	for name, c := range map[string]Client{"local": local, "remote": remote} {
+	// The acceptance contract: typed sentinels hold across every
+	// transport exactly as for local calls.
+	for name, c := range map[string]Client{"local": local, "remote": remote, "mux": mux} {
 		if _, err := c.InferSync(ctx, Request{Target: "gone", Images: []*Tensor{img}}); !errors.Is(err, ErrUnknownTarget) {
 			t.Fatalf("%s unknown target: err = %v, want ErrUnknownTarget", name, err)
 		}
@@ -383,9 +447,15 @@ func TestClientPublicAPI(t *testing.T) {
 	if _, err := remote.InferSync(ctx, impossible); !errors.Is(err, ErrNoVariant) {
 		t.Fatalf("impossible deadline over HTTP: err = %v, want ErrNoVariant", err)
 	}
+	if _, err := mux.InferSync(ctx, impossible); !errors.Is(err, ErrNoVariant) {
+		t.Fatalf("impossible deadline over DLW2: err = %v, want ErrNoVariant", err)
+	}
 	srv.Close()
 	if _, err := remote.InferSync(ctx, req); !errors.Is(err, ErrServerClosed) {
 		t.Fatalf("closed server over HTTP: err = %v, want ErrServerClosed", err)
+	}
+	if _, err := mux.InferSync(ctx, req); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("closed server over DLW2: err = %v, want ErrServerClosed", err)
 	}
 }
 
@@ -417,6 +487,21 @@ func TestClusterPublicAPI(t *testing.T) {
 	var _ Client = cl // the acceptance contract: Cluster is a Client verbatim
 
 	ctx := context.Background()
+
+	// The redesigned constructor: a member slice plus functional
+	// options, with NewClusterWithConfig (above) kept as the legacy
+	// config-struct wrapper.
+	cl2, err := NewCluster([]ClusterMember{{Name: "c", Client: NewLocalClient(newServer())}},
+		WithProbeInterval(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms, err := cl2.Models(ctx); err != nil || len(ms) != 1 {
+		t.Fatalf("option-built cluster models = %+v, %v", ms, err)
+	}
+	if err := cl2.Close(); err != nil {
+		t.Fatal(err)
+	}
 	ms, err := cl.Models(ctx)
 	if err != nil || len(ms) != 1 || ms[0].Name != "m" {
 		t.Fatalf("cluster models = %+v, %v", ms, err)

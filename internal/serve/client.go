@@ -13,13 +13,15 @@ import (
 //
 // The four historical entry points (Submit / Infer / Route /
 // RouteInfer) were in-process methods with positional arguments — fine
-// for a library, unusable over a wire. This file redesigns the client
-// side of the serving subsystem around one Request/Response pair and a
-// Client interface with exactly two implementations today: LocalClient
-// (this file, a direct wrapper over Server) and httpapi.Client (the
-// same types round-tripped over HTTP). Everything a caller can say is
-// in the Request value, so adding a transport never changes the API
-// again:
+// for a library, unusable over a wire. They are gone now (deleted in
+// the DLW2 PR after two releases as deprecated shims); the client side
+// of the serving subsystem is one Request/Response pair and a Client
+// interface with four implementations: LocalClient (this file, a
+// direct wrapper over Server), httpapi.Client (the same types
+// round-tripped over HTTP/DLW1), muxwire.Client (pipelined over a
+// persistent DLW2 session), and cluster.Cluster (placement over N of
+// any of those). Everything a caller can say is in the Request value,
+// so adding a transport never changes the API again:
 //
 //	Request{Target, Images, SLO} ──► Client.Infer ──► *ResponseFuture ──► Response{Results}
 //
@@ -186,6 +188,12 @@ type Client interface {
 	Stats(ctx context.Context) (ServerStats, error)
 	// Models lists the hosted routing targets.
 	Models(ctx context.Context) ([]ModelInfo, error)
+	// Session opens a streaming session pinned to this client: Send
+	// pipelines requests without awaiting, Recv collects outcomes in
+	// completion order. muxwire pins a dedicated connection; other
+	// transports adapt via NewPipelinedSession with identical
+	// semantics.
+	Session(ctx context.Context) (Session, error)
 	// Close releases the client; LocalClient shuts its server down.
 	Close() error
 }
@@ -310,12 +318,18 @@ func (s *Server) Snapshot() ServerStats {
 // *Server the same surface remote transports present, so code written
 // against Client runs unchanged in either deployment.
 type LocalClient struct {
-	srv *Server
+	srv  *Server
+	opts ClientOptions
 }
 
 // NewLocalClient wraps a running server. The client assumes ownership
-// for Close: closing the client gracefully drains the server.
-func NewLocalClient(srv *Server) *LocalClient { return &LocalClient{srv: srv} }
+// for Close: closing the client gracefully drains the server. Options
+// follow the transport-unified vocabulary: WithTenant stamps a default
+// tenant, WithTimeout bounds the synchronous calls; pool-related
+// options are accepted and ignored (there is no connection).
+func NewLocalClient(srv *Server, opts ...ClientOption) *LocalClient {
+	return &LocalClient{srv: srv, opts: BuildClientOptions(opts...)}
+}
 
 // Server exposes the wrapped server, for callers that need
 // local-only facilities (InputShape, per-pool Stats) next to the
@@ -324,12 +338,14 @@ func (c *LocalClient) Server() *Server { return c.srv }
 
 // Infer submits the request on the in-process path.
 func (c *LocalClient) Infer(ctx context.Context, req Request) (*ResponseFuture, error) {
-	return c.srv.Do(ctx, req)
+	return c.srv.Do(ctx, c.opts.Stamp(req))
 }
 
 // InferSync is Infer followed by Wait.
 func (c *LocalClient) InferSync(ctx context.Context, req Request) (*Response, error) {
-	rf, err := c.srv.Do(ctx, req)
+	ctx, cancel := c.opts.Deadline(ctx)
+	defer cancel()
+	rf, err := c.srv.Do(ctx, c.opts.Stamp(req))
 	if err != nil {
 		return nil, err
 	}
@@ -349,6 +365,11 @@ func (c *LocalClient) Stats(ctx context.Context) (ServerStats, error) {
 // Models lists the wrapped server's routing targets.
 func (c *LocalClient) Models(ctx context.Context) ([]ModelInfo, error) {
 	return c.srv.Models(), nil
+}
+
+// Session opens an in-process pipelined session.
+func (c *LocalClient) Session(ctx context.Context) (Session, error) {
+	return NewPipelinedSession(ctx, c)
 }
 
 // Close gracefully drains and shuts down the wrapped server.

@@ -87,6 +87,10 @@ func (f *fakeBackend) Models(ctx context.Context) ([]serve.ModelInfo, error) {
 	return f.models, f.probeErr
 }
 
+func (f *fakeBackend) Session(ctx context.Context) (serve.Session, error) {
+	return serve.NewPipelinedSession(ctx, f)
+}
+
 func (f *fakeBackend) Close() error {
 	f.closed.Store(true)
 	return nil

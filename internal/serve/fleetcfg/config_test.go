@@ -140,6 +140,15 @@ func TestConfigValidate(t *testing.T) {
 		{"memlimit below -1", baseLocal, func(c *Config) {
 			c.Server.MemLimitMB = -2
 		}, "server.memLimitMB"},
+		{"bad mux listen address", baseLocal, func(c *Config) {
+			c.Server.MuxListen = "no-port"
+			c.Load = nil
+		}, "server.muxListen"},
+		{"mux listen equals listen", baseLocal, func(c *Config) {
+			c.Server.Listen = ":8080"
+			c.Server.MuxListen = ":8080"
+			c.Load = nil
+		}, "server.muxListen"},
 
 		{"listen with load section", baseLocal, func(c *Config) {
 			c.Server.Listen = ":8080"
@@ -173,6 +182,9 @@ func TestConfigValidate(t *testing.T) {
 		{"member bad port", baseCluster, func(c *Config) {
 			c.Cluster.Members[0] = "127.0.0.1:http"
 		}, "cluster.members[0]"},
+		{"member unknown scheme", baseCluster, func(c *Config) {
+			c.Cluster.Members[0] = "grpc://127.0.0.1:18081"
+		}, "cluster.members[0]"},
 		{"duplicate member", baseCluster, func(c *Config) {
 			c.Cluster.Members[1] = c.Cluster.Members[0]
 		}, "cluster.members[1]"},
@@ -184,6 +196,11 @@ func TestConfigValidate(t *testing.T) {
 			return &Config{Load: &Load{Connect: "127.0.0.1:8080", Targets: []string{"x"}}}
 		}, func(c *Config) {
 			c.Load.Connect = "no-port"
+		}, "load.connect"},
+		{"connect unknown scheme", func() *Config {
+			return &Config{Load: &Load{Connect: "dlw2://127.0.0.1:8080", Targets: []string{"x"}}}
+		}, func(c *Config) {
+			c.Load.Connect = "ftp://127.0.0.1:8080"
 		}, "load.connect"},
 		{"negative clients", baseLocal, func(c *Config) {
 			c.Load.Clients = -1
@@ -275,6 +292,15 @@ func TestModeDerivation(t *testing.T) {
 	listen.Load = nil
 	if m := listen.Mode(); m != ModeListen {
 		t.Fatalf("listen config mode = %v", m)
+	}
+	mux := baseLocal()
+	mux.Server.MuxListen = ":8091"
+	mux.Load = nil
+	if m := mux.Mode(); m != ModeListen {
+		t.Fatalf("mux-only listen config mode = %v", m)
+	}
+	if err := mux.Validate(); err != nil {
+		t.Fatalf("mux-only listen config must validate, got: %v", err)
 	}
 	connect := &Config{Load: &Load{Connect: "h:1", Targets: []string{"x"}}}
 	if m := connect.Mode(); m != ModeConnect {

@@ -115,9 +115,13 @@ type Config struct {
 // Server configures the serving process.
 type Server struct {
 	// Listen is the HTTP listen address (e.g. ":8080" or
-	// "127.0.0.1:18081"). Empty means the process is not an HTTP
-	// server: it runs the in-process load generator instead.
+	// "127.0.0.1:18081"). Empty means the process serves no HTTP.
 	Listen string `json:"listen,omitempty"`
+	// MuxListen is the DLW2 multiplexed-session listen address. A
+	// process may listen on both protocols (same server, two doors) or
+	// either alone; with neither set it runs the in-process load
+	// generator instead.
+	MuxListen string `json:"muxListen,omitempty"`
 	// MemLimitMB is the soft heap limit in MB; 0 derives it from the
 	// replica footprints at boot, -1 disables the limit.
 	MemLimitMB int `json:"memLimitMB,omitempty"`
@@ -133,7 +137,10 @@ type Server struct {
 
 // Cluster configures a fleet-fronting load generator.
 type Cluster struct {
-	// Members lists the backend HTTP addresses ("host:port").
+	// Members lists the backend addresses. A bare "host:port" prefers
+	// the DLW2 mux transport with automatic HTTP fallback; a
+	// "dlw2://host:port" or "http://host:port" prefix pins the
+	// transport.
 	Members []string `json:"members"`
 	// ProbeInterval is the health-prober cadence; 0 resolves to the
 	// cluster tier's default (250ms).
@@ -255,8 +262,10 @@ type TenantDef struct {
 
 // Load configures the closed-loop load generator.
 type Load struct {
-	// Connect drives a remote dlis HTTP server at this address instead
-	// of building one in-process.
+	// Connect drives a remote dlis server at this address instead of
+	// building one in-process. A bare "host:port" prefers the DLW2 mux
+	// transport with automatic HTTP fallback; a "dlw2://" or "http://"
+	// prefix pins the transport.
 	Connect string `json:"connect,omitempty"`
 	// Targets are the routing names to drive. Empty resolves to every
 	// hosted pool and endpoint (local mode); remote modes (Connect,
@@ -265,6 +274,12 @@ type Load struct {
 	// Clients is the closed-loop client count per target; 0 resolves
 	// to 2 × replicas × batch.
 	Clients int `json:"clients,omitempty"`
+	// Pipeline switches the generator to streaming-session mode: one
+	// pipelined session per target keeping this many requests in
+	// flight back-to-back (instead of Clients synchronous loops). Best
+	// over a dlw2:// connect address, where the session is a native
+	// multiplexed connection. 0 keeps the closed loop.
+	Pipeline int `json:"pipeline,omitempty"`
 	// Requests is the request budget per target; 0 resolves to
 	// 4 × replicas × batch, min 64.
 	Requests int `json:"requests,omitempty"`

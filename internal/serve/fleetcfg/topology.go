@@ -53,6 +53,9 @@ func (c *Config) Topology() string {
 	if r.Server.Listen != "" {
 		fmt.Fprintf(&b, " listen=%s", r.Server.Listen)
 	}
+	if r.Server.MuxListen != "" {
+		fmt.Fprintf(&b, " muxlisten=%s", r.Server.MuxListen)
+	}
 	// Rendered only when set so pre-existing goldens hold, and
 	// independent of the cache file's contents so a cold and a warm
 	// start print byte-identical topologies.
@@ -154,6 +157,9 @@ func (c *Config) Topology() string {
 	if l := r.Load; l != nil {
 		fmt.Fprintf(&b, "load: targets=[%s] clients=%d requests=%d",
 			strings.Join(l.Targets, " "), l.Clients, l.Requests)
+		if l.Pipeline > 0 {
+			fmt.Fprintf(&b, " pipeline=%d", l.Pipeline)
+		}
 		if l.Connect != "" {
 			fmt.Fprintf(&b, " connect=%s", l.Connect)
 		}

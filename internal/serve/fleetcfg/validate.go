@@ -23,12 +23,14 @@ const (
 	// ModeLocal boots an in-process server and drives it with the
 	// closed-loop load generator.
 	ModeLocal Mode = iota
-	// ModeListen serves the hosted stacks over HTTP until drained.
+	// ModeListen serves the hosted stacks over HTTP and/or DLW2 until
+	// drained.
 	ModeListen
-	// ModeConnect generates load against one remote HTTP server.
+	// ModeConnect generates load against one remote server (HTTP or
+	// DLW2, per the connect address's scheme).
 	ModeConnect
-	// ModeCluster generates load against a fleet of HTTP backends
-	// through one cluster client.
+	// ModeCluster generates load against a fleet of backends through
+	// one cluster client.
 	ModeCluster
 )
 
@@ -36,7 +38,7 @@ const (
 func (m Mode) String() string {
 	switch m {
 	case ModeListen:
-		return "http server"
+		return "server"
 	case ModeConnect:
 		return "remote load generator"
 	case ModeCluster:
@@ -56,7 +58,7 @@ func (c *Config) Mode() Mode {
 		return ModeCluster
 	case c.Load != nil && c.Load.Connect != "":
 		return ModeConnect
-	case c.Server != nil && c.Server.Listen != "":
+	case c.Server != nil && (c.Server.Listen != "" || c.Server.MuxListen != ""):
 		return ModeListen
 	default:
 		return ModeLocal
@@ -134,6 +136,23 @@ func (c *Config) effectiveBatch() int {
 	return defaultTuning().MaxBatch
 }
 
+// checkConnectAddr validates a backend connect string: an optional
+// transport scheme ("dlw2://" or "http://" / "https://") followed by a
+// host:port with an explicit host. Any other scheme is rejected by
+// name rather than as a malformed host:port.
+func checkConnectAddr(addr string) error {
+	rest := addr
+	if i := strings.Index(addr, "://"); i >= 0 {
+		switch scheme := addr[:i]; scheme {
+		case "dlw2", "http", "https":
+			rest = addr[i+3:]
+		default:
+			return fmt.Errorf("unknown scheme %q in %q (want dlw2, http or https, or a bare host:port)", scheme, addr)
+		}
+	}
+	return checkHostPort(rest, true)
+}
+
 // checkHostPort validates a "host:port" (or ":port" when needHost is
 // false) address with a numeric port in 1..65535.
 func checkHostPort(addr string, needHost bool) error {
@@ -184,11 +203,11 @@ func (c *Config) Validate() error {
 // validateRoles rejects contradictory process roles — the conditions
 // under which the old flag interface silently picked one mode.
 func (c *Config) validateRoles() error {
-	listen := c.Server != nil && c.Server.Listen != ""
+	listen := c.Server != nil && (c.Server.Listen != "" || c.Server.MuxListen != "")
 	connect := c.Load != nil && c.Load.Connect != ""
 	switch {
 	case c.Cluster != nil && listen:
-		return errf("server.listen", "conflicts with cluster.members: a process is either an HTTP backend or a cluster load generator")
+		return errf("server.listen", "conflicts with cluster.members: a process is either a serving backend or a cluster load generator")
 	case c.Cluster != nil && connect:
 		return errf("load.connect", "conflicts with cluster.members: drive one remote server or a fleet, not both")
 	case listen && connect:
@@ -223,6 +242,14 @@ func (c *Config) validateServer() error {
 	if c.Server.Listen != "" {
 		if err := checkHostPort(c.Server.Listen, false); err != nil {
 			return errf("server.listen", "%v", err)
+		}
+	}
+	if c.Server.MuxListen != "" {
+		if err := checkHostPort(c.Server.MuxListen, false); err != nil {
+			return errf("server.muxListen", "%v", err)
+		}
+		if c.Server.MuxListen == c.Server.Listen {
+			return errf("server.muxListen", "equals server.listen %q: the two protocols need distinct ports", c.Server.Listen)
 		}
 	}
 	if c.Server.MemLimitMB < -1 {
@@ -407,7 +434,7 @@ func (c *Config) validateCluster() error {
 	seen := make(map[string]int, len(cl.Members))
 	for i, m := range cl.Members {
 		path := fmt.Sprintf("cluster.members[%d]", i)
-		if err := checkHostPort(m, true); err != nil {
+		if err := checkConnectAddr(m); err != nil {
 			return errf(path, "%v", err)
 		}
 		if j, dup := seen[m]; dup {
@@ -427,12 +454,15 @@ func (c *Config) validateLoad() error {
 		return nil
 	}
 	if l.Connect != "" {
-		if err := checkHostPort(l.Connect, true); err != nil {
+		if err := checkConnectAddr(l.Connect); err != nil {
 			return errf("load.connect", "%v", err)
 		}
 	}
 	if l.Clients < 0 {
 		return errf("load.clients", "%d must not be negative", l.Clients)
+	}
+	if l.Pipeline < 0 {
+		return errf("load.pipeline", "%d must not be negative (0 keeps the closed loop)", l.Pipeline)
 	}
 	if l.Requests < 0 {
 		return errf("load.requests", "%d must not be negative", l.Requests)

@@ -23,18 +23,22 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+	opts serve.ClientOptions
 }
 
 // NewClient targets a server at base, e.g. "http://host:8080" (a bare
 // "host:8080" gets the http scheme). The zero http.Client underneath
-// has no request timeout — per-call deadlines come from the ctx, which
-// must bound slow calls the same way it does in-process.
-func NewClient(base string) *Client {
+// has no request timeout — per-call deadlines come from the ctx (or
+// serve.WithTimeout), which must bound slow calls the same way they do
+// in-process. Options follow the transport-unified vocabulary
+// (serve.WithTimeout, serve.WithTenant); pool options are ignored —
+// net/http manages its own keep-alive pool.
+func NewClient(base string, opts ...serve.ClientOption) *Client {
 	base = strings.TrimRight(base, "/")
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &Client{base: base, hc: &http.Client{}}
+	return &Client{base: base, hc: &http.Client{}, opts: serve.BuildClientOptions(opts...)}
 }
 
 // remoteError preserves the server-rendered message while unwrapping
@@ -63,6 +67,9 @@ func (c *Client) Infer(ctx context.Context, req serve.Request) (*serve.ResponseF
 // in-process path it returns the Response alongside the first
 // per-image execution error, so partial results stay inspectable.
 func (c *Client) InferSync(ctx context.Context, req serve.Request) (*serve.Response, error) {
+	req = c.opts.Stamp(req)
+	ctx, cancel := c.opts.Deadline(ctx)
+	defer cancel()
 	var body bytes.Buffer
 	if err := EncodeRequest(&body, req); err != nil {
 		return nil, err
@@ -110,6 +117,14 @@ func (c *Client) Models(ctx context.Context) ([]serve.ModelInfo, error) {
 	return ms, c.getJSON(ctx, "/v1/models", &ms)
 }
 
+// Session opens a pipelined session over the HTTP transport. HTTP has
+// no true pinned connection to offer, so this is the generic adapter:
+// the same Send/Recv semantics, each in-flight request riding its own
+// keep-alive round trip.
+func (c *Client) Session(ctx context.Context) (serve.Session, error) {
+	return serve.NewPipelinedSession(ctx, c)
+}
+
 // Close releases idle connections. The remote server stays up — a
 // client does not own its lifecycle the way LocalClient owns its
 // in-process server.
@@ -139,9 +154,9 @@ func (c *Client) getJSON(ctx context.Context, path string, dst any) error {
 }
 
 // decodeStatusError rebuilds the typed error a non-200 response
-// encodes. The machine code (not the status) selects the error class,
-// with the status as a fallback for bodies another layer produced
-// (e.g. a proxy's bare 503).
+// encodes, via the shared wireError.typedError table. The machine code
+// (not the status) selects the error class, with the status as a
+// fallback for bodies another layer produced (e.g. a proxy's bare 503).
 func decodeStatusError(hresp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(hresp.Body, maxHeaderBytes))
 	var we wireError
@@ -156,30 +171,16 @@ func decodeStatusError(hresp *http.Response) error {
 	if msg == "" {
 		msg = "no error body"
 	}
-	code := we.Code
-	if code == "" {
+	if we.Code == "" {
 		switch hresp.StatusCode {
 		case http.StatusTooManyRequests:
-			code = "overloaded"
+			we.Code = "overloaded"
 		case http.StatusServiceUnavailable:
-			code = "closed"
+			we.Code = "closed"
 		}
 	}
-	switch code {
-	case "overloaded":
-		return &serve.OverloadedError{Stack: we.Stack, RetryAfter: retryAfter(we, hresp)}
-	case "quota":
-		// Reconstructed as the typed quota error so errors.Is keeps
-		// quota distinct from overload across the wire: the cluster's
-		// failover path depends on that distinction to never re-place a
-		// quota rejection on another member.
-		return &serve.QuotaError{Tenant: we.Tenant, Resource: we.Resource, RetryAfter: retryAfter(we, hresp)}
-	case "no_variant":
-		return &remoteError{msg: msg, sentinel: serve.ErrNoVariant}
-	case "closed":
-		return &remoteError{msg: msg, sentinel: serve.ErrClosed}
-	case "unknown_target":
-		return &remoteError{msg: msg, sentinel: serve.ErrUnknownTarget}
+	if err := we.typedError(msg, retryAfter(we, hresp)); err != nil {
+		return err
 	}
 	return fmt.Errorf("httpapi: server returned %s: %s", hresp.Status, msg)
 }

@@ -2,10 +2,8 @@ package httpapi
 
 import (
 	"encoding/json"
-	"errors"
 	"net/http"
 	"strconv"
-	"time"
 
 	"repro/internal/serve"
 )
@@ -114,59 +112,19 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // writeError maps a submission error to its HTTP shape: a typed
-// status, a machine-readable code, and — for overload — the
-// Retry-After header plus a millisecond-precision hint in the body.
+// status, a machine-readable code (the shared toWireError table), and —
+// for the retryable classes — the Retry-After header plus the
+// millisecond-precision hint in the body.
 func writeError(w http.ResponseWriter, err error) {
-	we := wireError{Error: err.Error(), Code: "bad_request"}
-	status := http.StatusBadRequest
-	var ov *serve.OverloadedError
-	var qe *serve.QuotaError
-	switch {
-	case errors.As(err, &qe):
-		// Quota shares overload's 429 but keeps its own code: a client
-		// seeing "quota" must back off until the window refills and must
-		// NOT re-route the request to another server — the budget is
-		// spent everywhere.
-		status = http.StatusTooManyRequests
-		we.Code = "quota"
-		we.Tenant = qe.Tenant
-		we.Resource = qe.Resource
-		we.RetryAfterMS = int64((qe.RetryAfter + time.Millisecond - 1) / time.Millisecond)
-		if we.RetryAfterMS < 1 {
-			we.RetryAfterMS = 1
-		}
-		secs := int64(qe.RetryAfter.Seconds())
+	we, status := toWireError(err)
+	if we.RetryAfterMS > 0 && status == http.StatusTooManyRequests {
+		// Retry-After is whole seconds; round a sub-second hint up to 1
+		// so zero never means "immediately".
+		secs := we.RetryAfterMS / 1000
 		if secs < 1 {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-	case errors.As(err, &ov):
-		status = http.StatusTooManyRequests
-		we.Code = "overloaded"
-		we.Stack = ov.Stack
-		// Ceil to a non-zero millisecond count: truncation would omit a
-		// sub-ms hint from the body and the client would fall back to
-		// the whole-second header — a 1000× inflated backoff.
-		we.RetryAfterMS = int64((ov.RetryAfter + time.Millisecond - 1) / time.Millisecond)
-		if we.RetryAfterMS < 1 {
-			we.RetryAfterMS = 1
-		}
-		// Retry-After is whole seconds; round up so zero never means
-		// "immediately" for a sub-second hint.
-		secs := int64(ov.RetryAfter.Seconds())
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-	case errors.Is(err, serve.ErrNoVariant):
-		status = http.StatusUnprocessableEntity
-		we.Code = "no_variant"
-	case errors.Is(err, serve.ErrClosed):
-		status = http.StatusServiceUnavailable
-		we.Code = "closed"
-	case errors.Is(err, serve.ErrUnknownTarget):
-		status = http.StatusNotFound
-		we.Code = "unknown_target"
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

@@ -1,0 +1,134 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// The wire error table, shared by every remote transport.
+//
+// DLW1-over-HTTP renders submission errors as a non-200 status with a
+// wireError JSON body; DLW2 (internal/serve/muxwire) carries the same
+// body as an error frame payload. Both directions go through this file
+// — toWireError on the serving side, wireError.typedError on the
+// client side — so the errors.Is contracts (ErrOverloaded with its
+// RetryAfter hint, ErrQuotaExceeded with tenant/resource, ErrNoVariant,
+// ErrClosed, ErrUnknownTarget) survive either wire identically, by
+// construction rather than by parallel maintenance.
+
+// toWireError maps a submission error onto the machine-readable wire
+// shape plus the HTTP status the DLW1 transport pairs with it.
+func toWireError(err error) (wireError, int) {
+	we := wireError{Error: err.Error(), Code: "bad_request"}
+	status := http.StatusBadRequest
+	var ov *serve.OverloadedError
+	var qe *serve.QuotaError
+	switch {
+	case errors.As(err, &qe):
+		// Quota shares overload's 429 but keeps its own code: a client
+		// seeing "quota" must back off until the window refills and must
+		// NOT re-route the request to another server — the budget is
+		// spent everywhere.
+		status = http.StatusTooManyRequests
+		we.Code = "quota"
+		we.Tenant = qe.Tenant
+		we.Resource = qe.Resource
+		we.RetryAfterMS = ceilMS(qe.RetryAfter)
+	case errors.As(err, &ov):
+		status = http.StatusTooManyRequests
+		we.Code = "overloaded"
+		we.Stack = ov.Stack
+		// Ceil to a non-zero millisecond count: truncation would omit a
+		// sub-ms hint from the body and an HTTP client would fall back
+		// to the whole-second header — a 1000× inflated backoff.
+		we.RetryAfterMS = ceilMS(ov.RetryAfter)
+	case errors.Is(err, serve.ErrNoVariant):
+		status = http.StatusUnprocessableEntity
+		we.Code = "no_variant"
+	case errors.Is(err, serve.ErrClosed):
+		status = http.StatusServiceUnavailable
+		we.Code = "closed"
+	case errors.Is(err, serve.ErrUnknownTarget):
+		status = http.StatusNotFound
+		we.Code = "unknown_target"
+	}
+	return we, status
+}
+
+// ceilMS renders a retry hint as a non-zero millisecond count.
+func ceilMS(d time.Duration) int64 {
+	ms := int64((d + time.Millisecond - 1) / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// typedError reconstructs the in-process error class the code selects,
+// or nil for codes without a typed counterpart (bad_request, unknown
+// codes from newer servers). msg is the human-readable message to
+// preserve; retry is the recovered RetryAfter hint for the classes that
+// carry one.
+func (we wireError) typedError(msg string, retry time.Duration) error {
+	switch we.Code {
+	case "overloaded":
+		return &serve.OverloadedError{Stack: we.Stack, RetryAfter: retry}
+	case "quota":
+		// Typed quota keeps errors.Is(err, ErrQuotaExceeded) distinct
+		// from overload across the wire: the cluster's failover path
+		// depends on that distinction to never re-place a quota
+		// rejection on another member.
+		return &serve.QuotaError{Tenant: we.Tenant, Resource: we.Resource, RetryAfter: retry}
+	case "no_variant":
+		return &remoteError{msg: msg, sentinel: serve.ErrNoVariant}
+	case "closed":
+		return &remoteError{msg: msg, sentinel: serve.ErrClosed}
+	case "unknown_target":
+		return &remoteError{msg: msg, sentinel: serve.ErrUnknownTarget}
+	}
+	return nil
+}
+
+// MarshalError renders err as the wire error body — the same JSON shape
+// /v1/infer's non-200 responses carry, for transports (DLW2) that frame
+// errors instead of wrapping them in HTTP statuses.
+func MarshalError(err error) []byte {
+	we, _ := toWireError(err)
+	b, merr := json.Marshal(we)
+	if merr != nil {
+		// err.Error() contained something json.Marshal chokes on; keep
+		// the class, drop the message.
+		we.Error = "unencodable error message"
+		b, _ = json.Marshal(we)
+	}
+	return b
+}
+
+// UnmarshalError reconstructs the typed error a wire error body
+// encodes; the inverse of MarshalError. Bodies that are not wireError
+// JSON (junk from a non-DLIS peer) degrade to an untyped error carrying
+// the raw text.
+func UnmarshalError(data []byte) error {
+	var we wireError
+	_ = json.Unmarshal(data, &we)
+	msg := we.Error
+	if msg == "" {
+		msg = string(bytes.TrimSpace(data))
+	}
+	if msg == "" {
+		msg = "no error body"
+	}
+	retry := time.Duration(we.RetryAfterMS) * time.Millisecond
+	if retry < time.Millisecond {
+		retry = time.Millisecond
+	}
+	if terr := we.typedError(msg, retry); terr != nil {
+		return terr
+	}
+	return errors.New(msg)
+}

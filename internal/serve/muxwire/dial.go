@@ -1,0 +1,148 @@
+package muxwire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/httpapi"
+	"repro/internal/tensor"
+)
+
+// Dial builds the serve.Client for a backend address:
+//
+//   - "dlw2://host:port" — this transport, explicitly.
+//   - "http://…" / "https://…" — the DLW1-over-HTTP transport.
+//   - bare "host:port" — mux preferred with HTTP fallback: the first
+//     call probes the port with a DLW2 hello; a valid hello pins the
+//     mux transport, a live port that is not DLW2 pins HTTP, and an
+//     unreachable port stays undecided (calls fail with the transport
+//     error and the next call re-probes), so backends that boot later
+//     — or get upgraded to DLW2 later — are picked up without
+//     reconfiguration.
+//
+// The opts tail is handed to whichever transport wins.
+func Dial(addr string, opts ...serve.ClientOption) serve.Client {
+	switch {
+	case strings.HasPrefix(addr, Scheme+"://"):
+		return NewClient(addr, opts...)
+	case strings.HasPrefix(addr, "http://"), strings.HasPrefix(addr, "https://"):
+		return httpapi.NewClient(addr, opts...)
+	}
+	return &autoClient{addr: addr, opts: opts}
+}
+
+// autoClient defers the mux-vs-HTTP decision until the backend is
+// reachable, then delegates every call to the pinned transport.
+type autoClient struct {
+	addr string
+	opts []serve.ClientOption
+
+	mu     sync.Mutex
+	pinned serve.Client
+}
+
+// resolve returns the pinned transport, probing if undecided.
+func (a *autoClient) resolve() (serve.Client, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.pinned != nil {
+		return a.pinned, nil
+	}
+	nc, err := net.DialTimeout("tcp", a.addr, DialTimeout)
+	if err != nil {
+		return nil, err // transport-shaped: the cluster ejects and re-probes
+	}
+	_ = nc.SetDeadline(time.Now().Add(DialTimeout))
+	probeErr := writeHello(nc, 0)
+	if probeErr == nil {
+		_, probeErr = readHello(nc)
+	}
+	nc.Close()
+	var ne net.Error
+	timedOut := errors.As(probeErr, &ne) && ne.Timeout()
+	switch {
+	case probeErr == nil:
+		// The port answered a valid DLW2 hello: pin mux. The probe
+		// connection is discarded; the client pool dials its own.
+		a.pinned = NewClient(a.addr, a.opts...)
+	case errors.Is(probeErr, ErrProtocol), timedOut:
+		// The port spoke, but not DLW2 (an HTTP 400 page for our binary
+		// "request line", a TLS alert) — or sat silent through the probe
+		// window the way an HTTP server awaiting a request line does.
+		// Either way it is a live non-DLW2 port: fall back to
+		// DLW1-over-HTTP.
+		a.pinned = httpapi.NewClient(a.addr, a.opts...)
+	default:
+		// The connection itself failed mid-probe (reset, EOF): the
+		// backend is flapping, not identified. Stay undecided so a
+		// healthy restart — possibly as DLW2 — is re-probed, and return
+		// the transport-shaped error the cluster's ejection logic
+		// expects.
+		return nil, probeErr
+	}
+	return a.pinned, nil
+}
+
+func (a *autoClient) Infer(ctx context.Context, req serve.Request) (*serve.ResponseFuture, error) {
+	c, err := a.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return c.Infer(ctx, req)
+}
+
+func (a *autoClient) InferSync(ctx context.Context, req serve.Request) (*serve.Response, error) {
+	c, err := a.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return c.InferSync(ctx, req)
+}
+
+func (a *autoClient) InferBatch(ctx context.Context, target string, imgs []*tensor.Tensor) (*serve.Response, error) {
+	c, err := a.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return c.InferBatch(ctx, target, imgs)
+}
+
+func (a *autoClient) Stats(ctx context.Context) (serve.ServerStats, error) {
+	c, err := a.resolve()
+	if err != nil {
+		return serve.ServerStats{}, err
+	}
+	return c.Stats(ctx)
+}
+
+func (a *autoClient) Models(ctx context.Context) ([]serve.ModelInfo, error) {
+	c, err := a.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return c.Models(ctx)
+}
+
+func (a *autoClient) Session(ctx context.Context) (serve.Session, error) {
+	c, err := a.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return c.Session(ctx)
+}
+
+func (a *autoClient) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.pinned != nil {
+		return a.pinned.Close()
+	}
+	return nil
+}
+
+var _ serve.Client = (*autoClient)(nil)

@@ -1,0 +1,169 @@
+package muxwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestFrameHeaderRoundTrip pins the fixed-header layout: every field
+// survives encode/decode, and the encoding is byte-stable (little
+// endian, 16 bytes) so independently written peers interoperate.
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	in := frameHeader{typ: frameResponse, flags: 3, length: 0xDEAD, id: 0x1122334455667788}
+	var buf [frameHeaderSize]byte
+	encodeFrameHeader(&buf, in)
+	if buf[0] != frameResponse || buf[1] != 3 {
+		t.Fatalf("type/flags bytes = %x %x", buf[0], buf[1])
+	}
+	if got := binary.LittleEndian.Uint32(buf[4:8]); got != 0xDEAD {
+		t.Fatalf("length field = %#x, want 0xDEAD", got)
+	}
+	if got := binary.LittleEndian.Uint64(buf[8:16]); got != in.id {
+		t.Fatalf("id field = %#x", got)
+	}
+	out, err := decodeFrameHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+// TestFrameHeaderValidation pins the two structural gates of the fixed
+// header: unknown types and over-cap lengths are typed ErrProtocol
+// rejections.
+func TestFrameHeaderValidation(t *testing.T) {
+	var buf [frameHeaderSize]byte
+	encodeFrameHeader(&buf, frameHeader{typ: 0x7F, id: 1})
+	if _, err := decodeFrameHeader(&buf); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("unknown type: err = %v, want ErrProtocol", err)
+	}
+	encodeFrameHeader(&buf, frameHeader{typ: frameRequest, length: MaxFrameBytes + 1, id: 1})
+	if _, err := decodeFrameHeader(&buf); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("oversized length: err = %v, want ErrProtocol", err)
+	}
+	var h [helloSize]byte
+	encodeHello(&h, 7)
+	if w, err := decodeHello(&h); err != nil || w != 7 {
+		t.Fatalf("hello round trip: window=%d err=%v", w, err)
+	}
+	h[0] = 'X'
+	if _, err := decodeHello(&h); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("bad magic: err = %v, want ErrProtocol", err)
+	}
+	encodeHello(&h, 7)
+	h[4] = 99
+	if _, err := decodeHello(&h); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("bad version: err = %v, want ErrProtocol", err)
+	}
+}
+
+// TestFrameCodecZeroAlloc is the runtime half of the dlis:noalloc
+// annotation on the fixed-header codec: encode and decode must not
+// allocate — they run once per frame on the hot path in both
+// directions.
+func TestFrameCodecZeroAlloc(t *testing.T) {
+	var buf [frameHeaderSize]byte
+	var hbuf [helloSize]byte
+	h := frameHeader{typ: frameRequest, length: 1024, id: 42}
+	allocs := testing.AllocsPerRun(1000, func() {
+		encodeFrameHeader(&buf, h)
+		if _, err := decodeFrameHeader(&buf); err != nil {
+			t.Fatal(err)
+		}
+		encodeHello(&hbuf, 64)
+		if _, err := decodeHello(&hbuf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("frame codec allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestWriteReadFrameRoundTrip exercises the full frame path including
+// payload framing and the empty-payload case.
+func TestWriteReadFrameRoundTrip(t *testing.T) {
+	var wire bytes.Buffer
+	payload := []byte("tensor bytes go here")
+	if err := writeFrame(&wire, frameRequest, 9, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(&wire, frameGoaway, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	h, p, err := readFrame(&wire)
+	if err != nil || h.typ != frameRequest || h.id != 9 || !bytes.Equal(p, payload) {
+		t.Fatalf("frame 1: h=%+v p=%q err=%v", h, p, err)
+	}
+	h, p, err = readFrame(&wire)
+	if err != nil || h.typ != frameGoaway || h.id != 0 || p != nil {
+		t.Fatalf("frame 2: h=%+v p=%q err=%v", h, p, err)
+	}
+	if _, _, err := readFrame(&wire); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// decodeStream is the fuzz driver: one hello then frames to exhaustion,
+// the exact sequence a server-side session reads.
+func decodeStream(data []byte) error {
+	r := bytes.NewReader(data)
+	if _, err := readHello(r); err != nil {
+		return err
+	}
+	for {
+		if _, _, err := readFrame(r); err != nil {
+			return err
+		}
+	}
+}
+
+// FuzzDecodeFrame feeds the DLW2 stream decoder adversarial input:
+// truncated preambles, giant declared lengths, unknown types,
+// mid-stream junk. The decoder must never panic and every failure must
+// be typed — a structural ErrProtocol or a clean io error — so a
+// hostile peer can only ever produce a closed connection, not a crash
+// or an unbounded allocation.
+func FuzzDecodeFrame(f *testing.F) {
+	// A valid hello + request frame + goaway.
+	var seed bytes.Buffer
+	_ = writeHello(&seed, 0)
+	_ = writeFrame(&seed, frameRequest, 1, []byte("payload"))
+	_ = writeFrame(&seed, frameGoaway, 0, nil)
+	f.Add(seed.Bytes())
+	// Truncated preamble.
+	f.Add(seed.Bytes()[:3])
+	f.Add(seed.Bytes()[:helloSize+5])
+	// Giant declared length.
+	var giant bytes.Buffer
+	_ = writeHello(&giant, 0)
+	var gh [frameHeaderSize]byte
+	gh[0] = frameRequest
+	binary.LittleEndian.PutUint32(gh[4:8], 0xFFFFFFFF)
+	giant.Write(gh[:])
+	f.Add(giant.Bytes())
+	// Unknown frame type mid-stream.
+	var unk bytes.Buffer
+	_ = writeHello(&unk, 0)
+	_ = writeFrame(&unk, frameResponse, 2, nil)
+	unk.WriteByte(0x40)
+	unk.Write(make([]byte, frameHeaderSize-1))
+	f.Add(unk.Bytes())
+	// Pure junk.
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := decodeStream(data)
+		if err == nil {
+			t.Fatal("decodeStream terminated without error on a finite stream")
+		}
+		if !errors.Is(err, ErrProtocol) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("untyped decode error: %v", err)
+		}
+	})
+}

@@ -1,0 +1,373 @@
+package muxwire
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/httpapi"
+)
+
+// DefaultMaxInFlight is the default per-session in-flight request cap a
+// Listener advertises in its hello. A session over the cap is not
+// stalled — excess requests are answered immediately with a backpressure
+// error frame (the "overloaded" wire error plus RetryAfter hint), so a
+// client that ignores the advertised window degrades to typed sheds,
+// never to a wedged pipe.
+const DefaultMaxInFlight = 64
+
+// sessionRetryAfter is the RetryAfter hint a backpressure frame
+// carries. A full session window is a transient condition (the pipe is
+// already executing a window's worth of work), so the hint is the
+// serving tier's floor.
+const sessionRetryAfter = 2 * time.Millisecond
+
+// ListenerConfig tunes a Listener. The zero value of every field is
+// replaced by its default.
+type ListenerConfig struct {
+	// MaxInFlight caps concurrently executing requests per session;
+	// 0 uses DefaultMaxInFlight.
+	MaxInFlight int
+	// MaxBodyBytes bounds one decoded request's tensor payload, as the
+	// HTTP transport's body cap does; 0 uses httpapi.DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Listener serves a serve.Server over DLW2 sessions. Construct with
+// NewListener, feed it accepted connections via Serve, and stop it with
+// Shutdown (graceful: in-flight requests complete) or Close (abrupt).
+type Listener struct {
+	srv      *serve.Server
+	cfg      ListenerConfig
+	maxElems int
+
+	mu       sync.Mutex
+	lns      map[net.Listener]struct{}
+	sessions map[*session]struct{}
+	draining bool
+
+	wg sync.WaitGroup // accept loops + session readers
+}
+
+// NewListener wraps a running server. The listener does not own the
+// server: closing the listener leaves the server (and any HTTP handler
+// sharing it) up.
+func NewListener(srv *serve.Server, cfg ListenerConfig) *Listener {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxInFlight > 1<<16-1 {
+		cfg.MaxInFlight = 1<<16 - 1 // the hello window field is u16
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = httpapi.DefaultMaxBodyBytes
+	}
+	return &Listener{
+		srv:      srv,
+		cfg:      cfg,
+		maxElems: int(cfg.MaxBodyBytes / 4),
+		lns:      make(map[net.Listener]struct{}),
+		sessions: make(map[*session]struct{}),
+	}
+}
+
+// Serve accepts DLW2 sessions on ln until the listener shuts down or ln
+// fails. Like http.Server.Serve it blocks; run it in a goroutine and
+// expect a nil return after Shutdown/Close.
+func (l *Listener) Serve(ln net.Listener) error {
+	l.mu.Lock()
+	if l.draining {
+		l.mu.Unlock()
+		ln.Close()
+		return serve.ErrClosed
+	}
+	l.lns[ln] = struct{}{}
+	l.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			l.mu.Lock()
+			draining := l.draining
+			delete(l.lns, ln)
+			l.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s := &session{l: l, conn: conn}
+		l.mu.Lock()
+		if l.draining {
+			l.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		l.sessions[s] = struct{}{}
+		l.wg.Add(1)
+		l.mu.Unlock()
+		go func() {
+			defer l.wg.Done()
+			s.run()
+			l.mu.Lock()
+			delete(l.sessions, s)
+			l.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr (TCP) and Serves.
+func (l *Listener) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return l.Serve(ln)
+}
+
+// Shutdown drains gracefully: listeners stop accepting, every session
+// gets a goaway frame, in-flight requests run to completion and their
+// responses are delivered, then connections close. ctx bounds the wait;
+// on expiry remaining connections are closed abruptly and ctx's error
+// returned.
+func (l *Listener) Shutdown(ctx context.Context) error {
+	l.mu.Lock()
+	l.draining = true
+	for ln := range l.lns {
+		ln.Close()
+	}
+	sessions := make([]*session, 0, len(l.sessions))
+	for s := range l.sessions {
+		sessions = append(sessions, s)
+	}
+	l.mu.Unlock()
+	for _, s := range sessions {
+		s.goaway()
+	}
+	// Sessions end themselves once the client acknowledges the goaway
+	// (the ack is ordered after the client's last request frame, so no
+	// request is lost) and the in-flight handlers have written their
+	// responses. Clients that never ack are cut off at ctx expiry.
+	done := make(chan struct{})
+	go func() {
+		l.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		for s := range l.sessions {
+			s.conn.Close()
+		}
+		l.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Close shuts down abruptly: listeners and connections close, in-flight
+// requests are abandoned client-side (the server still completes them
+// internally).
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	l.draining = true
+	for ln := range l.lns {
+		ln.Close()
+	}
+	for s := range l.sessions {
+		s.conn.Close()
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+	return nil
+}
+
+// session is one server-side DLW2 connection.
+type session struct {
+	l    *Listener
+	conn net.Conn
+
+	wmu sync.Mutex // serialises frame writes
+	bw  *bufio.Writer
+
+	// pending tracks in-flight request ids for duplicate detection; its
+	// size is the live in-flight count the backpressure gate reads.
+	pmu     sync.Mutex
+	pending map[uint64]struct{}
+
+	inflight sync.WaitGroup // per-request handler goroutines
+}
+
+// run drives one session: hello exchange, then the read loop. Every
+// request frame dispatches a handler goroutine, so slow batches never
+// stall the pipe — completion order is execution order.
+func (s *session) run() {
+	defer s.conn.Close()
+	// The hello exchange is bounded so a dead peer cannot pin the
+	// goroutine; established sessions have no read deadline (idle
+	// pipelining sessions are the point).
+	_ = s.conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := readHello(s.conn); err != nil {
+		return
+	}
+	s.wmu.Lock()
+	s.bw = bufio.NewWriterSize(s.conn, 64<<10)
+	err := writeHello(s.bw, uint16(s.l.cfg.MaxInFlight))
+	if err == nil {
+		err = s.bw.Flush()
+	}
+	s.wmu.Unlock()
+	if err != nil {
+		return
+	}
+	_ = s.conn.SetDeadline(time.Time{})
+	s.pending = make(map[uint64]struct{}, s.l.cfg.MaxInFlight)
+	// ctx cancels handler goroutines when the connection dies: their
+	// futures resolve against a closed pipe otherwise.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	br := bufio.NewReaderSize(s.conn, 64<<10)
+	for {
+		h, payload, err := readFrame(br)
+		if err != nil {
+			// io.EOF / reset: client went away. Protocol errors: stream
+			// out of sync, nothing sensible left to write. Either way the
+			// session ends; in-flight handlers finish against ctx.
+			s.inflight.Wait()
+			return
+		}
+		switch h.typ {
+		case frameRequest:
+			s.handleRequest(ctx, h.id, payload)
+		case frameStats:
+			s.handleControl(h.id, s.l.srv.Snapshot())
+		case frameModels:
+			s.handleControl(h.id, s.l.srv.Models())
+		case frameGoaway:
+			// The client's half of the drain handshake: it stopped sending
+			// before writing this, so by TCP ordering no request frame
+			// follows. Once the in-flight handlers have written their
+			// responses the session is complete.
+			s.inflight.Wait()
+			return
+		default:
+			// frameResponse/frameError/frameReply are server→client only;
+			// receiving one here means the peer is confused. Drop the
+			// session rather than guess.
+			s.inflight.Wait()
+			return
+		}
+	}
+}
+
+// handleRequest admits one request frame and dispatches its handler.
+func (s *session) handleRequest(ctx context.Context, id uint64, payload []byte) {
+	if id == 0 {
+		s.writeError(id, errZeroRequestID)
+		return
+	}
+	s.pmu.Lock()
+	if _, dup := s.pending[id]; dup {
+		s.pmu.Unlock()
+		s.writeError(id, errDuplicateID)
+		return
+	}
+	if len(s.pending) >= s.l.cfg.MaxInFlight {
+		s.pmu.Unlock()
+		// The backpressure frame: typed overload with a RetryAfter hint,
+		// delivered immediately while the pipe keeps flowing.
+		s.writeError(id, &serve.OverloadedError{Stack: "session", RetryAfter: sessionRetryAfter})
+		return
+	}
+	s.pending[id] = struct{}{}
+	s.pmu.Unlock()
+
+	req, err := httpapi.DecodeRequest(bytes.NewReader(payload), s.l.maxElems)
+	if err != nil {
+		s.finish(id)
+		s.writeError(id, err)
+		return
+	}
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Done()
+		defer s.finish(id)
+		rf, err := s.l.srv.Do(ctx, req)
+		if err != nil {
+			s.writeError(id, err)
+			return
+		}
+		resp, err := rf.Wait(ctx)
+		if resp == nil {
+			// Only a ctx abort (dead connection) leaves resp nil; write
+			// the error anyway for symmetry — it goes nowhere.
+			s.writeError(id, err)
+			return
+		}
+		// Per-image execution errors ride inside the response frame,
+		// exactly as they ride inside a 200 over HTTP.
+		var buf bytes.Buffer
+		if err := httpapi.EncodeResponse(&buf, resp); err != nil {
+			s.writeError(id, err)
+			return
+		}
+		s.write(frameResponse, id, buf.Bytes())
+	}()
+}
+
+// handleControl answers one stats/models frame with a JSON reply.
+func (s *session) handleControl(id uint64, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(id, err)
+		return
+	}
+	s.write(frameReply, id, b)
+}
+
+// finish retires an in-flight id.
+func (s *session) finish(id uint64) {
+	s.pmu.Lock()
+	delete(s.pending, id)
+	s.pmu.Unlock()
+}
+
+// write emits one frame under the write lock.
+func (s *session) write(typ byte, id uint64, payload []byte) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := writeFrame(s.bw, typ, id, payload); err == nil {
+		_ = s.bw.Flush()
+	}
+}
+
+// writeError emits the typed wire-error frame for err.
+func (s *session) writeError(id uint64, err error) {
+	s.write(frameError, id, httpapi.MarshalError(err))
+}
+
+// goaway notifies the client of a drain.
+func (s *session) goaway() {
+	s.write(frameGoaway, 0, nil)
+}
+
+// transportError classifies err for the cluster's failover logic: wrap
+// read-loop failures so errors.Is/As still see the net error or EOF
+// underneath.
+func transportError(addr string, err error) error {
+	if err == nil {
+		err = io.EOF
+	}
+	if errors.Is(err, ErrProtocol) {
+		return fmt.Errorf("muxwire: %s: %w", addr, err)
+	}
+	return fmt.Errorf("muxwire: connection to %s lost: %w", addr, err)
+}

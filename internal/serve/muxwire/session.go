@@ -1,0 +1,213 @@
+package muxwire
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/serve"
+	"repro/internal/serve/httpapi"
+)
+
+// sessionOutBuffer bounds undelivered outcomes before TCP flow control
+// engages (see the muxSession comment).
+const sessionOutBuffer = 1024
+
+// muxSession is the native DLW2 serve.Session: one pinned connection
+// (dialed outside the client's pool), Send writing request frames
+// back-to-back with no await, a dedicated read loop delivering
+// completion frames to Recv in arrival order.
+//
+// Backpressure is end-to-end and typed: a Send past the server's
+// session window is not blocked client-side — the server answers it
+// immediately with the overload error frame, which Recv surfaces as a
+// SessionResult whose Err is a *serve.OverloadedError carrying the
+// RetryAfter hint. If Recv stops draining, the buffered out channel
+// fills and the read loop stops reading — TCP flow control then
+// backpressures the server's writes without deadlocking other traffic
+// (the connection is exclusively this session's).
+//
+// A transport failure mid-session fails every outstanding request
+// through Recv (one SessionResult per outstanding ID, Err wrapping the
+// underlying net error); the session does not transparently reconnect —
+// in-flight state cannot be rebuilt, so the caller opens a fresh
+// session and re-decides what to resend.
+type muxSession struct {
+	client *Client
+	cn     *conn
+	ctx    context.Context
+	out    chan serve.SessionResult
+	done   chan struct{}
+
+	mu          sync.Mutex
+	nextID      uint64
+	outstanding map[uint64]struct{}
+	closed      bool
+	goaway      bool // server announced a drain: no new sends
+}
+
+func newMuxSession(ctx context.Context, c *Client, cn *conn) *muxSession {
+	s := &muxSession{
+		client:      c,
+		cn:          cn,
+		ctx:         ctx,
+		out:         make(chan serve.SessionResult, sessionOutBuffer),
+		done:        make(chan struct{}),
+		outstanding: make(map[uint64]struct{}),
+	}
+	go s.readLoop()
+	return s
+}
+
+// readLoop delivers completion frames in arrival order until the
+// connection dies, then fails whatever is still outstanding.
+func (s *muxSession) readLoop() {
+	br := bufio.NewReaderSize(s.cn.c, 64<<10)
+	for {
+		h, payload, err := readFrame(br)
+		if err != nil {
+			s.failOutstanding(transportError(s.client.addr, err))
+			return
+		}
+		switch h.typ {
+		case frameResponse, frameError:
+			s.mu.Lock()
+			_, known := s.outstanding[h.id]
+			delete(s.outstanding, h.id)
+			s.mu.Unlock()
+			if !known {
+				continue // late frame for an id we no longer track
+			}
+			sr := serve.SessionResult{ID: h.id}
+			if h.typ == frameResponse {
+				resp, derr := httpapi.DecodeResponse(bytes.NewReader(payload), httpapi.DefaultMaxBodyBytes/4)
+				if derr != nil {
+					sr.Err = derr
+				} else {
+					sr.Resp, sr.Err = resp, resp.Err()
+				}
+			} else {
+				sr.Err = httpapi.UnmarshalError(payload)
+			}
+			select {
+			case s.out <- sr:
+			case <-s.done:
+				return
+			}
+		case frameGoaway:
+			// Drain notice: outstanding completions still arrive; refuse
+			// new sends so the caller winds down and reopens elsewhere,
+			// and ack so the server can end the session once in-flight
+			// work drains.
+			s.mu.Lock()
+			s.goaway = true
+			s.mu.Unlock()
+			s.cn.ackGoaway()
+		default:
+			s.failOutstanding(transportError(s.client.addr, errUnknownFrameType))
+			return
+		}
+	}
+}
+
+// failOutstanding surfaces a dead connection as one errored
+// SessionResult per outstanding request.
+func (s *muxSession) failOutstanding(err error) {
+	s.mu.Lock()
+	ids := make([]uint64, 0, len(s.outstanding))
+	for id := range s.outstanding {
+		ids = append(ids, id)
+	}
+	s.outstanding = make(map[uint64]struct{})
+	s.goaway = true // the conn is gone; no new sends can succeed
+	s.mu.Unlock()
+	for _, id := range ids {
+		select {
+		case s.out <- serve.SessionResult{ID: id, Err: err}:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// Send pipelines one request frame; it never awaits execution.
+func (s *muxSession) Send(req serve.Request) (uint64, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, serve.ErrClosed
+	}
+	if s.goaway {
+		s.mu.Unlock()
+		return 0, serve.ErrClosed
+	}
+	s.nextID++
+	id := s.nextID
+	s.outstanding[id] = struct{}{}
+	s.mu.Unlock()
+	if err := s.ctx.Err(); err != nil {
+		s.drop(id)
+		return 0, err
+	}
+	req = s.client.opts.Stamp(req)
+	var body bytes.Buffer
+	if err := httpapi.EncodeRequest(&body, req); err != nil {
+		s.drop(id)
+		return 0, err
+	}
+	if err := s.cn.writeFrame(frameRequest, id, body.Bytes()); err != nil {
+		s.drop(id)
+		if errors.Is(err, serve.ErrClosed) {
+			// Dead-conn abort: the goaway ack (or Close) won the race;
+			// nothing reached the wire and outstanding responses still
+			// stream in — do not tear the connection down.
+			return 0, serve.ErrClosed
+		}
+		s.cn.fail(err)
+		return 0, transportError(s.client.addr, err)
+	}
+	return id, nil
+}
+
+// drop forgets an id that never made it onto the wire.
+func (s *muxSession) drop(id uint64) {
+	s.mu.Lock()
+	delete(s.outstanding, id)
+	s.mu.Unlock()
+}
+
+// Recv delivers the next completion, in arrival (not submission) order.
+func (s *muxSession) Recv() (serve.SessionResult, error) {
+	select {
+	case sr := <-s.out:
+		return sr, nil
+	case <-s.done:
+		select {
+		case sr := <-s.out:
+			return sr, nil
+		default:
+			return serve.SessionResult{}, serve.ErrClosed
+		}
+	case <-s.ctx.Done():
+		return serve.SessionResult{}, s.ctx.Err()
+	}
+}
+
+// Close tears down the pinned connection; undelivered outcomes are
+// discarded and in-flight server work completes unobserved.
+func (s *muxSession) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.cn.close(serve.ErrClosed)
+	return nil
+}
+
+var _ serve.Session = (*muxSession)(nil)

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -353,39 +352,6 @@ func (v *variant) stats() VariantStats {
 		Shed:            ps.Shed,
 		Pool:            ps,
 	}
-}
-
-// Route submits one single-image request to a logical endpoint under an
-// SLO and returns immediately with a Future (the resolved Result's
-// Stack field names the variant that served it). Admission is bounded:
-// a saturated endpoint returns an *OverloadedError (errors.Is
-// ErrOverloaded) carrying a RetryAfter hint, and an unsatisfiable
-// MinAccuracy returns an error matching ErrNoVariant. The image
-// aliasing contract is the same as Submit's.
-//
-// Deprecated: Route is a shim over the unified request path; use
-// Client.Infer (or Server.Do) with a Request carrying the SLO instead.
-func (s *Server) Route(ctx context.Context, endpoint string, img *tensor.Tensor, slo SLO) (*Future, error) {
-	if _, ok := s.endpoints[endpoint]; !ok {
-		return nil, fmt.Errorf("%w: unknown endpoint %q (hosted: %v)", ErrUnknownTarget, endpoint, s.endpointNames)
-	}
-	futs, err := s.submitRequest(ctx, Request{Target: endpoint, Images: []*tensor.Tensor{img}, SLO: slo})
-	if err != nil {
-		return nil, err
-	}
-	return futs[0], nil
-}
-
-// RouteInfer is the blocking convenience wrapper: Route then Wait.
-//
-// Deprecated: RouteInfer is a shim over the unified request path; use
-// Client.InferSync with a Request carrying the SLO instead.
-func (s *Server) RouteInfer(ctx context.Context, endpoint string, img *tensor.Tensor, slo SLO) (Result, error) {
-	f, err := s.Route(ctx, endpoint, img, slo)
-	if err != nil {
-		return Result{}, err
-	}
-	return f.Wait(ctx)
 }
 
 // Endpoints lists the hosted endpoint names in configuration order.

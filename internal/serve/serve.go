@@ -33,7 +33,6 @@
 package serve
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -261,45 +260,6 @@ func (s *Server) InputShape(name string) (tensor.Shape, error) {
 		return ep.variants[0].pool.chw.Clone(), nil
 	}
 	return nil, fmt.Errorf("serve: unknown stack or endpoint %q", name)
-}
-
-// Submit enqueues one single-image request for the named stack and
-// returns immediately with a Future. The image must be C×H×W or
-// 1×C×H×W matching the stack's input shape. Submit blocks only when
-// the pool queue is full, honouring ctx while it waits.
-//
-// The server does not copy the image at submit time: the caller must
-// not mutate it until the Future resolves, or the batch may execute
-// over the mutated data.
-//
-// An endpoint name is accepted too: the request is routed with a zero
-// SLO (cheapest variant), which means bounded admission — a saturated
-// endpoint sheds with ErrOverloaded instead of blocking.
-//
-// Deprecated: Submit is a shim over the unified request path; use
-// Client.Infer (or Server.Do) with a Request instead.
-func (s *Server) Submit(ctx context.Context, stack string, img *tensor.Tensor) (*Future, error) {
-	futs, err := s.submitRequest(ctx, Request{Target: stack, Images: []*tensor.Tensor{img}})
-	if err != nil {
-		return nil, err
-	}
-	return futs[0], nil
-}
-
-// Infer is the blocking convenience wrapper: Submit then Wait. After a
-// successful Infer the request has resolved, so the image is safe to
-// reuse. If Infer returns a context error the accepted request may
-// still be queued or executing — the image remains off-limits exactly
-// as for Submit.
-//
-// Deprecated: Infer is a shim over the unified request path; use
-// Client.InferSync with a Request instead.
-func (s *Server) Infer(ctx context.Context, stack string, img *tensor.Tensor) (Result, error) {
-	f, err := s.Submit(ctx, stack, img)
-	if err != nil {
-		return Result{}, err
-	}
-	return f.Wait(ctx)
 }
 
 // Stats snapshots the named pool's serving statistics. For pools
