@@ -160,8 +160,10 @@ func (c *Client) InferSync(ctx context.Context, req serve.Request) (*serve.Respo
 	}
 	if err := cn.writeFrame(frameRequest, call.id, body.Bytes()); err != nil {
 		cn.unregister(call.id)
-		if errors.Is(err, serve.ErrClosed) {
-			// Dead-conn abort (drain handshake): nothing reached the wire.
+		if errors.Is(err, serve.ErrClosed) || errors.Is(err, ErrPayloadTooLarge) {
+			// Nothing reached the wire: a dead-conn abort (drain handshake)
+			// or a refused oversize payload. The connection — and every
+			// other in-flight request on it — stays up.
 			return nil, err
 		}
 		cn.fail(err)
@@ -355,7 +357,10 @@ func (cn *conn) unregister(id uint64) {
 // marked dead aborts before touching the socket: combined with
 // ackGoaway (which sets dead before writing the ack under this same
 // lock), this guarantees no request frame ever follows the goaway ack
-// on the wire.
+// on the wire. Writes are bounded by frameWriteTimeout so a stalled
+// peer (full TCP window) cannot pin the caller — and every caller
+// queued behind wmu — indefinitely; on expiry the caller fails the
+// conn like any transport error.
 func (cn *conn) writeFrame(typ byte, id uint64, payload []byte) error {
 	cn.wmu.Lock()
 	defer cn.wmu.Unlock()
@@ -365,10 +370,20 @@ func (cn *conn) writeFrame(typ byte, id uint64, payload []byte) error {
 	if dead {
 		return deadErr
 	}
-	if err := writeFrame(cn.bw, typ, id, payload); err != nil {
-		return err
+	if len(payload) > MaxFrameBytes {
+		// Refuse before touching the socket: the server's decoder would
+		// kill the whole multiplexed connection on the oversized length,
+		// failing every other in-flight request; refusing here keeps it a
+		// per-request error like the HTTP transport's body cap.
+		return ErrPayloadTooLarge
 	}
-	return cn.bw.Flush()
+	_ = cn.c.SetWriteDeadline(time.Now().Add(frameWriteTimeout))
+	err := writeFrame(cn.bw, typ, id, payload)
+	if err == nil {
+		err = cn.bw.Flush()
+	}
+	_ = cn.c.SetWriteDeadline(time.Time{})
+	return err
 }
 
 // ackGoaway answers a server drain notice: mark the conn dead for new
@@ -386,9 +401,11 @@ func (cn *conn) ackGoaway() {
 	cn.deadErr = serve.ErrClosed
 	cn.mu.Unlock()
 	cn.wmu.Lock()
+	_ = cn.c.SetWriteDeadline(time.Now().Add(frameWriteTimeout))
 	if err := writeFrame(cn.bw, frameGoaway, 0, nil); err == nil {
 		_ = cn.bw.Flush()
 	}
+	_ = cn.c.SetWriteDeadline(time.Time{})
 	cn.wmu.Unlock()
 }
 

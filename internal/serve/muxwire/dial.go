@@ -13,17 +13,30 @@ import (
 	"repro/internal/tensor"
 )
 
+// reProbeInterval spaces DLW2 re-probes of a bare address whose last
+// probe timed out. A silent port is ambiguous — usually an HTTP server
+// waiting for a request line, but possibly a DLW2 backend too loaded
+// (cold start, saturated accept queue) to answer the hello in time —
+// so between probes calls ride the HTTP fallback, and each interval a
+// fresh probe gives a slow-but-genuine DLW2 backend another chance to
+// claim the pin. A var so tests can compress the schedule.
+var reProbeInterval = 5 * time.Second
+
 // Dial builds the serve.Client for a backend address:
 //
 //   - "dlw2://host:port" — this transport, explicitly.
 //   - "http://…" / "https://…" — the DLW1-over-HTTP transport.
 //   - bare "host:port" — mux preferred with HTTP fallback: the first
-//     call probes the port with a DLW2 hello; a valid hello pins the
-//     mux transport, a live port that is not DLW2 pins HTTP, and an
-//     unreachable port stays undecided (calls fail with the transport
-//     error and the next call re-probes), so backends that boot later
-//     — or get upgraded to DLW2 later — are picked up without
-//     reconfiguration.
+//     call probes the port with a DLW2 hello. A valid hello pins the
+//     mux transport; a port that affirmatively answers something other
+//     than DLW2 (an HTTP error page, a TLS alert) pins HTTP; a port
+//     that stays silent through the probe window is served over HTTP
+//     but NOT pinned — it is re-probed every reProbeInterval, so a
+//     DLW2 backend that was merely slow to answer is picked up rather
+//     than misclassified forever. An unreachable port stays undecided
+//     (calls fail with the transport error and the next call
+//     re-probes), so backends that boot later — or get upgraded to
+//     DLW2 later — are picked up without reconfiguration.
 //
 // The opts tail is handed to whichever transport wins.
 func Dial(addr string, opts ...serve.ClientOption) serve.Client {
@@ -42,20 +55,95 @@ type autoClient struct {
 	addr string
 	opts []serve.ClientOption
 
-	mu     sync.Mutex
-	pinned serve.Client
+	// mu guards the fields below; it is never held across dial or probe
+	// I/O, so one slow probe cannot serialise every concurrent call.
+	mu        sync.Mutex
+	pinned    serve.Client  // final transport; nil while undecided
+	fallback  serve.Client  // HTTP client serving calls between timed-out probes
+	probing   bool          // one probe in flight
+	probeDone chan struct{} // closed when the in-flight probe finishes
+	nextProbe time.Time     // earliest re-probe after a timeout
 }
 
-// resolve returns the pinned transport, probing if undecided.
+// probe verdicts.
+const (
+	probeMux     = iota // valid DLW2 hello: pin mux
+	probeHTTP           // affirmative non-DLW2 answer: pin HTTP
+	probeTimeout        // silent port: HTTP for now, re-probe later
+)
+
+// resolve returns the transport for the next call, probing if
+// undecided. Only one caller probes at a time; the rest ride the
+// pinned transport or HTTP fallback, or (before any verdict exists)
+// wait for the in-flight probe rather than racing their own.
 func (a *autoClient) resolve() (serve.Client, error) {
+	for {
+		a.mu.Lock()
+		if a.pinned != nil {
+			c := a.pinned
+			a.mu.Unlock()
+			return c, nil
+		}
+		if a.probing {
+			done, fb := a.probeDone, a.fallback
+			a.mu.Unlock()
+			if fb != nil {
+				return fb, nil
+			}
+			<-done
+			continue
+		}
+		if a.fallback != nil && time.Now().Before(a.nextProbe) {
+			c := a.fallback
+			a.mu.Unlock()
+			return c, nil
+		}
+		a.probing = true
+		a.probeDone = make(chan struct{})
+		a.mu.Unlock()
+		break
+	}
+	verdict, probeErr := a.probe()
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.pinned != nil {
-		return a.pinned, nil
+	a.probing = false
+	close(a.probeDone)
+	if probeErr != nil {
+		// Unreachable or flapping: not identified. Stay undecided so a
+		// healthy restart — possibly as DLW2 — is re-probed, and return
+		// the transport-shaped error the cluster's ejection logic expects.
+		return nil, probeErr
 	}
+	switch verdict {
+	case probeMux:
+		a.pinned = NewClient(a.addr, a.opts...)
+		if a.fallback != nil {
+			a.fallback.Close()
+			a.fallback = nil
+		}
+	case probeHTTP:
+		if a.fallback != nil {
+			a.pinned, a.fallback = a.fallback, nil
+		} else {
+			a.pinned = httpapi.NewClient(a.addr, a.opts...)
+		}
+	case probeTimeout:
+		if a.fallback == nil {
+			a.fallback = httpapi.NewClient(a.addr, a.opts...)
+		}
+		a.nextProbe = time.Now().Add(reProbeInterval)
+		return a.fallback, nil
+	}
+	return a.pinned, nil
+}
+
+// probe dials the bare address and attempts a DLW2 hello exchange. The
+// probe connection is always discarded; on a mux verdict the client
+// pool dials its own.
+func (a *autoClient) probe() (int, error) {
 	nc, err := net.DialTimeout("tcp", a.addr, DialTimeout)
 	if err != nil {
-		return nil, err // transport-shaped: the cluster ejects and re-probes
+		return 0, err
 	}
 	_ = nc.SetDeadline(time.Now().Add(DialTimeout))
 	probeErr := writeHello(nc, 0)
@@ -64,28 +152,22 @@ func (a *autoClient) resolve() (serve.Client, error) {
 	}
 	nc.Close()
 	var ne net.Error
-	timedOut := errors.As(probeErr, &ne) && ne.Timeout()
 	switch {
 	case probeErr == nil:
-		// The port answered a valid DLW2 hello: pin mux. The probe
-		// connection is discarded; the client pool dials its own.
-		a.pinned = NewClient(a.addr, a.opts...)
-	case errors.Is(probeErr, ErrProtocol), timedOut:
+		return probeMux, nil
+	case errors.Is(probeErr, ErrProtocol):
 		// The port spoke, but not DLW2 (an HTTP 400 page for our binary
-		// "request line", a TLS alert) — or sat silent through the probe
-		// window the way an HTTP server awaiting a request line does.
-		// Either way it is a live non-DLW2 port: fall back to
-		// DLW1-over-HTTP.
-		a.pinned = httpapi.NewClient(a.addr, a.opts...)
+		// "request line", a TLS alert): affirmatively a live non-DLW2
+		// port, pin DLW1-over-HTTP.
+		return probeHTTP, nil
+	case errors.As(probeErr, &ne) && ne.Timeout():
+		// Silent through the probe window — the way an HTTP server
+		// awaiting a request line behaves, but also the way an overloaded
+		// DLW2 backend does. Serve over HTTP but keep re-probing.
+		return probeTimeout, nil
 	default:
-		// The connection itself failed mid-probe (reset, EOF): the
-		// backend is flapping, not identified. Stay undecided so a
-		// healthy restart — possibly as DLW2 — is re-probed, and return
-		// the transport-shaped error the cluster's ejection logic
-		// expects.
-		return nil, probeErr
+		return 0, probeErr
 	}
-	return a.pinned, nil
 }
 
 func (a *autoClient) Infer(ctx context.Context, req serve.Request) (*serve.ResponseFuture, error) {
@@ -139,10 +221,16 @@ func (a *autoClient) Session(ctx context.Context) (serve.Session, error) {
 func (a *autoClient) Close() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	var err error
 	if a.pinned != nil {
-		return a.pinned.Close()
+		err = a.pinned.Close()
 	}
-	return nil
+	if a.fallback != nil {
+		if ferr := a.fallback.Close(); err == nil {
+			err = ferr
+		}
+	}
+	return err
 }
 
 var _ serve.Client = (*autoClient)(nil)

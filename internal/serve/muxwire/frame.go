@@ -50,6 +50,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Hello layout.
@@ -79,11 +80,27 @@ const frameHeaderSize = 16
 // any allocation so a hostile length field cannot size a buffer.
 const MaxFrameBytes = 64 << 20
 
+// frameWriteTimeout bounds one frame write (header + payload + flush)
+// on an established connection, on both ends. A peer that stops reading
+// (full TCP window) would otherwise block the writer indefinitely while
+// it holds the connection's write lock, serialising every other caller
+// behind it; on expiry the write fails and the connection is torn down
+// like any other transport failure. Generous enough for a MaxFrameBytes
+// payload over a slow real link.
+const frameWriteTimeout = 30 * time.Second
+
 // ErrProtocol is the errors.Is sentinel for every structural DLW2
 // violation: bad magic or version, oversized or malformed frames,
 // duplicate or zero request IDs. A protocol error is never retryable on
 // the same connection — the stream is out of sync.
 var ErrProtocol = errors.New("muxwire: protocol error")
+
+// ErrPayloadTooLarge rejects an encode-side payload over MaxFrameBytes
+// before any byte reaches the wire. Deliberately not an ErrProtocol:
+// the stream never desyncs, so the failure is per-request — the
+// connection (and every other in-flight request on it) stays usable,
+// matching the per-request body-cap rejection the HTTP transport gives.
+var ErrPayloadTooLarge = errors.New("muxwire: frame payload exceeds cap")
 
 // Typed structural violations, all matching ErrProtocol. Package-level
 // so the hot-path decoders return pre-built values instead of
@@ -184,8 +201,16 @@ func readHello(r io.Reader) (uint16, error) {
 // writeFrame emits one frame (header + payload) on w. Callers serialise
 // writes per connection; w is typically a buffered writer flushed by
 // the caller so back-to-back pipelined frames coalesce into few
-// syscalls.
+// syscalls. Payloads over MaxFrameBytes are rejected with
+// ErrPayloadTooLarge before any byte is written: the peer's decoder
+// would tear the whole session down on the oversized length (and a
+// payload past 4 GiB would truncate the u32 length field and desync the
+// stream), so the bound is enforced on the encode side where it can
+// stay a per-request error.
 func writeFrame(w io.Writer, typ byte, id uint64, payload []byte) error {
+	if len(payload) > MaxFrameBytes {
+		return ErrPayloadTooLarge
+	}
 	var buf [frameHeaderSize]byte
 	encodeFrameHeader(&buf, frameHeader{typ: typ, length: uint32(len(payload)), id: id})
 	if _, err := w.Write(buf[:]); err != nil {

@@ -109,6 +109,26 @@ func TestWriteReadFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWriteFrameRejectsOversizedPayload pins the encode-side cap: a
+// payload over MaxFrameBytes returns ErrPayloadTooLarge with zero
+// bytes written (the receiving decoder would tear the whole session
+// down on the length field otherwise), and the error is deliberately
+// NOT an ErrProtocol — the stream stays in sync, the failure is
+// per-request.
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	var wire bytes.Buffer
+	err := writeFrame(&wire, frameRequest, 1, make([]byte, MaxFrameBytes+1))
+	if !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("oversized payload: err = %v, want ErrPayloadTooLarge", err)
+	}
+	if wire.Len() != 0 {
+		t.Fatalf("refused frame leaked %d bytes onto the wire", wire.Len())
+	}
+	if errors.Is(err, ErrProtocol) {
+		t.Fatal("ErrPayloadTooLarge must not match ErrProtocol: the connection is still usable")
+	}
+}
+
 // decodeStream is the fuzz driver: one hello then frames to exhaustion,
 // the exact sequence a server-side session reads.
 func decodeStream(data []byte) error {

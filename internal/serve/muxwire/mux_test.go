@@ -459,9 +459,11 @@ func isTransportErr(err error) bool {
 // TestDialFallsBackToHTTPOnSilentPort pins the bare-address fallback:
 // probing an HTTP-only backend leaves the probe read waiting through
 // its deadline (an HTTP server sits on our binary hello expecting a
-// request line), and that *wrapped* timeout must still be recognised
-// as "live port, not DLW2" and pin the HTTP transport — not bubble up
-// as an unreachable-backend error.
+// request line), and that *wrapped* timeout must be served over the
+// HTTP fallback — not bubble up as an unreachable-backend error. A
+// silent port is ambiguous (it could be a DLW2 backend too slow for
+// the probe window), so the timeout must NOT pin HTTP permanently:
+// the decision stays open for re-probing.
 func TestDialFallsBackToHTTPOnSilentPort(t *testing.T) {
 	stack := miniStack("mini-mobilenet")
 	srv, err := serve.New(serve.Config{
@@ -492,7 +494,210 @@ func TestDialFallsBackToHTTPOnSilentPort(t *testing.T) {
 	if res := resp.First(); res.Stack != "m" {
 		t.Fatalf("fallback response metadata: %+v", res)
 	}
-	if _, ok := c.(*autoClient).pinned.(*httpapi.Client); !ok {
-		t.Fatalf("probe pinned %T, want *httpapi.Client", c.(*autoClient).pinned)
+	ac := c.(*autoClient)
+	ac.mu.Lock()
+	pinned, fb := ac.pinned, ac.fallback
+	ac.mu.Unlock()
+	if pinned != nil {
+		t.Fatalf("silent-port probe pinned %T; a timeout must stay undecided", pinned)
+	}
+	if _, ok := fb.(*httpapi.Client); !ok {
+		t.Fatalf("fallback transport is %T, want *httpapi.Client", fb)
+	}
+}
+
+// TestDialReProbesAfterSilentTimeout upgrades a bare address from the
+// HTTP fallback to mux: the first probe times out against an HTTP-only
+// port, then the port is replaced by a genuine DLW2 listener, and the
+// next call after the re-probe interval must pin the mux transport
+// instead of being stuck on HTTP forever.
+func TestDialReProbesAfterSilentTimeout(t *testing.T) {
+	oldInterval := reProbeInterval
+	reProbeInterval = 0 // every call past the first may re-probe
+	defer func() { reProbeInterval = oldInterval }()
+
+	stack := miniStack("mini-mobilenet")
+	srv, err := serve.New(serve.Config{
+		Stacks:   []serve.StackSpec{{Name: "m", Stack: stack}},
+		Replicas: 1, MaxBatch: 2, MaxDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	hs := &http.Server{Handler: httpapi.NewHandler(srv, 1<<20)}
+	go func() { _ = hs.Serve(ln) }()
+
+	c := Dial(addr)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := c.InferSync(ctx, serve.Request{Target: "m", Images: []*tensor.Tensor{testImage(1)}}); err != nil {
+		t.Fatalf("InferSync through fallback: %v", err)
+	}
+
+	// Swap the port to a real DLW2 listener.
+	hs.Close()
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewListener(srv, ListenerConfig{})
+	go func() { _ = l.Serve(ln2) }()
+	defer l.Close()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, err := c.InferSync(ctx, serve.Request{Target: "m", Images: []*tensor.Tensor{testImage(2)}})
+		ac := c.(*autoClient)
+		ac.mu.Lock()
+		_, isMux := ac.pinned.(*Client)
+		ac.mu.Unlock()
+		if err == nil && isMux {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("re-probe never pinned mux (last err %v, pinned mux %v)", err, isMux)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestShutdownDuringHelloPhase regresses a nil-pointer panic: a
+// connection accepted but still inside its hello exchange has no frame
+// writer yet, and a racing Shutdown used to crash the process writing
+// its goaway to it. Shutdown must instead skip (or defer) the goaway
+// and come back when the context expires.
+func TestShutdownDuringHelloPhase(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		Stacks:   []serve.StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}},
+		Replicas: 1, MaxBatch: 2, MaxDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewListener(srv, ListenerConfig{})
+	go func() { _ = l.Serve(ln) }()
+	// A client that connects and then stalls mid-hello: the session is
+	// registered server-side but never reaches the framed phase.
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	time.Sleep(50 * time.Millisecond) // let Serve register the session
+	sctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	// The stalled session cannot drain, so ctx expiry is the expected
+	// outcome — the point is that Shutdown returns instead of panicking.
+	if err := l.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestSessionRecvUnblocksAfterConnDeath regresses a hang: when the
+// pinned connection dies, Recv must first deliver one errored result
+// per outstanding request and then keep returning the transport error
+// — never park forever on a pipe that cannot deliver again.
+func TestSessionRecvUnblocksAfterConnDeath(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		Stacks:   []serve.StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}},
+		Replicas: 1, MaxBatch: 4, MaxDelay: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewListener(srv, ListenerConfig{})
+	go func() { _ = l.Serve(ln) }()
+	c := NewClient(ln.Addr().String())
+	defer c.Close()
+	sess, err := c.Session(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	// Pin one request in the open batch (MaxDelay holds it), then kill
+	// the listener under it.
+	id, err := sess.Send(serve.Request{Target: "m", Images: []*tensor.Tensor{testImage(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	recv := func() (serve.SessionResult, error) {
+		type out struct {
+			sr  serve.SessionResult
+			err error
+		}
+		ch := make(chan out, 1)
+		go func() {
+			sr, err := sess.Recv()
+			ch <- out{sr, err}
+		}()
+		select {
+		case o := <-ch:
+			return o.sr, o.err
+		case <-time.After(10 * time.Second):
+			t.Fatal("Recv hung after connection death")
+			return serve.SessionResult{}, nil
+		}
+	}
+	// First Recv: the outstanding request's failure result.
+	sr, err := recv()
+	if err != nil {
+		t.Fatalf("Recv for outstanding id: %v", err)
+	}
+	if sr.ID != id || sr.Err == nil {
+		t.Fatalf("outstanding request result = %+v, want id %d with transport error", sr, id)
+	}
+	// Second Recv: nothing outstanding remains; must return the
+	// terminal error, not block.
+	if _, err := recv(); err == nil {
+		t.Fatal("Recv after drain returned nil error on a dead session")
+	}
+}
+
+// TestOversizedPayloadIsPerRequestError pins the frame cap to the
+// per-request failure contract: a payload over MaxFrameBytes is
+// refused before touching the wire — errors.Is(ErrPayloadTooLarge) —
+// and the connection keeps serving other requests instead of being
+// torn down (which would fail every in-flight call on it, unlike the
+// HTTP transport's per-request body cap).
+func TestOversizedPayloadIsPerRequestError(t *testing.T) {
+	_, c, _ := loopback(t, serve.Config{
+		Stacks:   []serve.StackSpec{{Name: "m", Stack: miniStack("mini-mobilenet")}},
+		Replicas: 1, MaxBatch: 2, MaxDelay: time.Millisecond,
+	}, ListenerConfig{})
+	cn, err := c.conn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cn.writeFrame(frameRequest, 1, make([]byte, MaxFrameBytes+1)); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("oversized writeFrame: err = %v, want ErrPayloadTooLarge", err)
+	}
+	if cn.isDead() {
+		t.Fatal("oversized payload killed the connection; must stay per-request")
+	}
+	// The same connection still serves.
+	resp, err := c.InferSync(context.Background(), serve.Request{Target: "m", Images: []*tensor.Tensor{testImage(5)}})
+	if err != nil {
+		t.Fatalf("InferSync after refused oversize payload: %v", err)
+	}
+	if resp.First().Stack != "m" {
+		t.Fatalf("response after refusal: %+v", resp.First())
 	}
 }

@@ -229,6 +229,15 @@ func (s *session) run() {
 		return
 	}
 	_ = s.conn.SetDeadline(time.Time{})
+	// A Shutdown racing the hello exchange found s.bw nil and its goaway
+	// was dropped by write's guard; re-check now that the pipe is up so
+	// the client still hears the drain.
+	s.l.mu.Lock()
+	draining := s.l.draining
+	s.l.mu.Unlock()
+	if draining {
+		s.goaway()
+	}
 	s.pending = make(map[uint64]struct{}, s.l.cfg.MaxInFlight)
 	// ctx cancels handler goroutines when the connection dies: their
 	// futures resolve against a closed pipe otherwise.
@@ -319,6 +328,13 @@ func (s *session) handleRequest(ctx context.Context, id uint64, payload []byte) 
 			s.writeError(id, err)
 			return
 		}
+		if buf.Len() > MaxFrameBytes {
+			// A response that outgrew the frame cap degrades to a
+			// per-request error; writeFrame would refuse it anyway, and the
+			// client must not be left waiting on an id that never answers.
+			s.writeError(id, ErrPayloadTooLarge)
+			return
+		}
 		s.write(frameResponse, id, buf.Bytes())
 	}()
 }
@@ -340,12 +356,27 @@ func (s *session) finish(id uint64) {
 	s.pmu.Unlock()
 }
 
-// write emits one frame under the write lock.
+// write emits one frame under the write lock. Before the hello exchange
+// completes s.bw is nil — a Shutdown goaway racing that window is
+// dropped here (run re-sends it once the pipe is up) rather than
+// dereferencing a nil writer. A stalled peer cannot pin the writer
+// past frameWriteTimeout: on expiry (or any other write failure) the
+// connection is closed, unwinding the read loop and the session.
 func (s *session) write(typ byte, id uint64, payload []byte) {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	if err := writeFrame(s.bw, typ, id, payload); err == nil {
-		_ = s.bw.Flush()
+	if s.bw == nil {
+		return
+	}
+	_ = s.conn.SetWriteDeadline(time.Now().Add(frameWriteTimeout))
+	err := writeFrame(s.bw, typ, id, payload)
+	if err == nil {
+		err = s.bw.Flush()
+	}
+	_ = s.conn.SetWriteDeadline(time.Time{})
+	if err != nil && !errors.Is(err, ErrPayloadTooLarge) {
+		// Refused-payload errors wrote nothing — the stream is intact.
+		s.conn.Close()
 	}
 }
 

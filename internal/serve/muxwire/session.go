@@ -40,12 +40,17 @@ type muxSession struct {
 	ctx    context.Context
 	out    chan serve.SessionResult
 	done   chan struct{}
+	// readDone closes when the read loop exits — after that no further
+	// outcome can ever arrive, so Recv must not park forever once out is
+	// drained.
+	readDone chan struct{}
 
 	mu          sync.Mutex
 	nextID      uint64
 	outstanding map[uint64]struct{}
 	closed      bool
-	goaway      bool // server announced a drain: no new sends
+	goaway      bool  // server announced a drain: no new sends
+	termErr     error // why the read loop exited; Recv's verdict after out drains
 }
 
 func newMuxSession(ctx context.Context, c *Client, cn *conn) *muxSession {
@@ -55,6 +60,7 @@ func newMuxSession(ctx context.Context, c *Client, cn *conn) *muxSession {
 		ctx:         ctx,
 		out:         make(chan serve.SessionResult, sessionOutBuffer),
 		done:        make(chan struct{}),
+		readDone:    make(chan struct{}),
 		outstanding: make(map[uint64]struct{}),
 	}
 	go s.readLoop()
@@ -64,6 +70,7 @@ func newMuxSession(ctx context.Context, c *Client, cn *conn) *muxSession {
 // readLoop delivers completion frames in arrival order until the
 // connection dies, then fails whatever is still outstanding.
 func (s *muxSession) readLoop() {
+	defer close(s.readDone)
 	br := bufio.NewReaderSize(s.cn.c, 64<<10)
 	for {
 		h, payload, err := readFrame(br)
@@ -122,6 +129,9 @@ func (s *muxSession) failOutstanding(err error) {
 	}
 	s.outstanding = make(map[uint64]struct{})
 	s.goaway = true // the conn is gone; no new sends can succeed
+	if s.termErr == nil {
+		s.termErr = err
+	}
 	s.mu.Unlock()
 	for _, id := range ids {
 		select {
@@ -165,6 +175,11 @@ func (s *muxSession) Send(req serve.Request) (uint64, error) {
 			// stream in — do not tear the connection down.
 			return 0, serve.ErrClosed
 		}
+		if errors.Is(err, ErrPayloadTooLarge) {
+			// Refused before the wire: per-request failure, the pinned
+			// connection and everything in flight on it stay live.
+			return 0, err
+		}
 		s.cn.fail(err)
 		return 0, transportError(s.client.addr, err)
 	}
@@ -179,6 +194,10 @@ func (s *muxSession) drop(id uint64) {
 }
 
 // Recv delivers the next completion, in arrival (not submission) order.
+// Once the read loop has exited and buffered outcomes are drained, Recv
+// returns the transport error that killed the session (ErrClosed after
+// a clean drain) instead of parking forever on a pipe that can never
+// deliver again.
 func (s *muxSession) Recv() (serve.SessionResult, error) {
 	select {
 	case sr := <-s.out:
@@ -190,6 +209,21 @@ func (s *muxSession) Recv() (serve.SessionResult, error) {
 		default:
 			return serve.SessionResult{}, serve.ErrClosed
 		}
+	case <-s.readDone:
+		// The read loop delivered everything it ever will before exiting,
+		// so a non-blocking drain cannot lose a result.
+		select {
+		case sr := <-s.out:
+			return sr, nil
+		default:
+		}
+		s.mu.Lock()
+		err := s.termErr
+		s.mu.Unlock()
+		if err == nil {
+			err = serve.ErrClosed
+		}
+		return serve.SessionResult{}, err
 	case <-s.ctx.Done():
 		return serve.SessionResult{}, s.ctx.Err()
 	}
